@@ -1,0 +1,58 @@
+//! Incremental vs non-incremental CEGIS (the `T-NInc` ablation of Table 2, at
+//! the level of the resource-constraint solver itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resyn_logic::{Sort, SortingEnv, Term};
+use resyn_rescon::{CegisSolver, IncrementalCegis};
+use resyn_ty::check::UnknownInfo;
+use resyn_ty::constraints::ResourceConstraint;
+
+fn constraints() -> (Vec<ResourceConstraint>, Vec<UnknownInfo>, SortingEnv) {
+    let mut env = SortingEnv::new();
+    env.bind_var("a", Sort::Int).bind_var("b", Sort::Int);
+    let premise = Term::var("b").gt(Term::var("a"));
+    let cs = vec![
+        ResourceConstraint {
+            premise: premise.clone(),
+            potential: Term::unknown("P") - (Term::var("b") - Term::var("a")),
+            exact: false,
+            origin: "bench".into(),
+            env: env.clone(),
+        },
+        ResourceConstraint {
+            premise,
+            potential: (Term::var("b") - Term::var("a")) - Term::unknown("P"),
+            exact: false,
+            origin: "bench".into(),
+            env: env.clone(),
+        },
+    ];
+    let unknowns = vec![UnknownInfo {
+        name: "P".into(),
+        scope: vec!["a".into(), "b".into()],
+    }];
+    (cs, unknowns, env)
+}
+
+fn cegis_ablation(c: &mut Criterion) {
+    let (cs, unknowns, env) = constraints();
+    c.bench_function("cegis/incremental", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalCegis::new(CegisSolver::new(env.clone()), unknowns.clone());
+            // Constraints arrive one at a time, as during synthesis.
+            for chunk in cs.chunks(1) {
+                let _ = inc.add_constraints(chunk);
+            }
+        })
+    });
+    c.bench_function("cegis/from-scratch", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalCegis::new(CegisSolver::new(env.clone()), unknowns.clone());
+            let _ = inc.add_constraints(&cs);
+            let _ = inc.resolve_from_scratch();
+        })
+    });
+}
+
+criterion_group!(benches, cegis_ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks for the refinement-logic solver (the Z3 replacement) on
+//! validity queries of the shape type checking produces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resyn_logic::{Sort, SortingEnv, Term};
+use resyn_solver::Solver;
+
+fn env() -> SortingEnv {
+    let mut e = SortingEnv::new();
+    e.bind_var("l1", Sort::Int)
+        .bind_var("xs", Sort::Int)
+        .bind_var("x", Sort::Int)
+        .bind_var("y", Sort::Int)
+        .declare_measure("len", vec![Sort::Int], Sort::Int)
+        .declare_measure("elems", vec![Sort::Int], Sort::Set);
+    e
+}
+
+fn solver_benches(c: &mut Criterion) {
+    let solver = Solver::new(env());
+    let len = |x: &str| Term::app("len", vec![Term::var(x)]);
+    let elems = |x: &str| Term::app("elems", vec![Term::var(x)]);
+
+    c.bench_function("solver/arith-validity", |b| {
+        let premises = vec![
+            len("l1").eq_(len("xs") + Term::int(1)),
+            len("xs").ge(Term::int(0)),
+        ];
+        let goal = (len("l1") - len("xs")).ge(Term::int(1));
+        b.iter(|| assert!(solver.is_valid(&premises, &goal)))
+    });
+
+    c.bench_function("solver/set-validity", |b| {
+        let premises = vec![elems("l1").eq_(elems("xs").union(Term::var("x").singleton()))];
+        let goal = Term::var("x").member(elems("l1"));
+        b.iter(|| assert!(solver.is_valid(&premises, &goal)))
+    });
+
+    c.bench_function("solver/counterexample", |b| {
+        let goal = Term::var("x").le(Term::var("y"));
+        b.iter(|| assert!(!solver.is_valid(&[], &goal)))
+    });
+}
+
+criterion_group!(benches, solver_benches);
+criterion_main!(benches);

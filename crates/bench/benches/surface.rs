@@ -1,0 +1,68 @@
+//! Criterion bench for the surface syntax: parsing and printing of the
+//! signatures and programs used throughout the evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resyn_parse::surface::{expr_to_surface, schema_to_surface};
+use resyn_parse::{parse_expr, parse_problem, parse_schema};
+
+const SIGNATURES: &[(&str, &str)] = &[
+    (
+        "append",
+        "xs: List a^1 -> ys: List a -> {List a | len _v == len xs + len ys}",
+    ),
+    (
+        "insert",
+        "x: a -> xs: IList a^1 -> {IList a | elems _v == {x} union elems xs}",
+    ),
+    (
+        "range",
+        "lo: Int -> hi: {Int | _v >= lo}^(_v - lo) -> {List Int | len _v == hi - lo}",
+    ),
+];
+
+const INSERT_PROGRAM: &str = r"fix insert x. \xs.
+    match xs with
+    | INil -> ICons x INil
+    | ICons h t ->
+        (let g = leq x h in
+         if g then ICons x (ICons h t) else (let r = insert x t in ICons h r))";
+
+const PROBLEM: &str = r"
+    component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}
+    component append :: xs: List a^1 -> ys: List a ->
+                        {List a | len _v == len xs + len ys}
+    goal insert :: x: a -> xs: IList a^1 ->
+                   {IList a | elems _v == {x} union elems xs}
+    goal triple :: l: List Int^2 -> {List Int | len _v == 3 * len l}
+";
+
+fn surface(c: &mut Criterion) {
+    let mut group = c.benchmark_group("surface");
+
+    for (name, signature) in SIGNATURES {
+        group.bench_with_input(BenchmarkId::new("parse_schema", name), signature, |b, s| {
+            b.iter(|| parse_schema(s).unwrap())
+        });
+        let schema = parse_schema(signature).unwrap();
+        group.bench_with_input(BenchmarkId::new("print_schema", name), &schema, |b, s| {
+            b.iter(|| schema_to_surface(s))
+        });
+    }
+
+    group.bench_function("parse_program/insert", |b| {
+        b.iter(|| parse_expr(INSERT_PROGRAM).unwrap())
+    });
+    let program = parse_expr(INSERT_PROGRAM).unwrap();
+    group.bench_function("print_program/insert", |b| {
+        b.iter(|| expr_to_surface(&program))
+    });
+
+    group.bench_function("parse_problem/insert_triple", |b| {
+        b.iter(|| parse_problem(PROBLEM).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, surface);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench regenerating (a fast subset of) the paper's Table 2:
+//! the four synthesis configurations on the case studies.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use resyn_eval::suite;
+use resyn_synth::{Mode, Synthesizer};
+
+fn table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    let quick = ["cs10-replicate", "cs16-compare"];
+    for bench in suite::table2().into_iter().filter(|b| quick.contains(&b.id.as_str())) {
+        for (mode_name, mode) in [
+            ("T", Mode::ReSyn),
+            ("T-NR", Mode::Synquid),
+            ("T-EAC", Mode::Eac),
+            ("T-NInc", Mode::ReSynNoInc),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(mode_name, &bench.id),
+                &bench,
+                |b, bench| {
+                    b.iter(|| {
+                        Synthesizer::with_timeout(Duration::from_secs(60))
+                            .synthesize(&bench.goal, mode)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,407 @@
+//! The `resyn` command-line tool.
+//!
+//! Three subcommands operate on Synquid-style problem files (see
+//! [`resyn_parse`] for the surface syntax):
+//!
+//! * `resyn synth <problem.re>` — synthesize every `goal` in the file and
+//!   print the programs in surface syntax,
+//! * `resyn check <problem.re> <program.re>` — type-check a hand-written
+//!   program against a goal's resource-annotated signature,
+//! * `resyn measure <problem.re> <program.re>` — run a program in the
+//!   cost-semantics interpreter on inputs of growing size and report the
+//!   fitted asymptotic bound (the `B` column of the paper's Table 2),
+//! * `resyn parse <problem.re>` — validate a problem file and echo the parsed
+//!   signatures.
+//!
+//! The command logic lives in this library crate so it can be unit-tested
+//! without spawning processes; `main.rs` only handles I/O.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use resyn_parse::surface::{expr_to_surface, schema_to_surface};
+use resyn_parse::{parse_expr, parse_problem};
+use resyn_synth::{Mode, Synthesizer};
+
+/// Errors reported by the command-line front end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// A problem or program file failed to parse.
+    Parse(String),
+    /// A goal named on the command line does not exist in the problem file.
+    UnknownGoal(String),
+    /// Synthesis failed (timeout or exhausted search space).
+    SynthesisFailed(String),
+    /// A checked program does not satisfy its signature.
+    CheckFailed(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CliError::UnknownGoal(name) => write!(f, "no goal named `{name}` in the problem file"),
+            CliError::SynthesisFailed(name) => {
+                write!(f, "synthesis failed for goal `{name}` (timeout or no solution)")
+            }
+            CliError::CheckFailed(name) => {
+                write!(f, "program does not satisfy the signature of goal `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Options shared by the subcommands.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Synthesis / checking mode.
+    pub mode: Mode,
+    /// Per-goal timeout.
+    pub timeout: Duration,
+    /// Restrict `synth`/`check` to the goal with this name.
+    pub goal: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            mode: Mode::ReSyn,
+            timeout: Duration::from_secs(120),
+            goal: None,
+        }
+    }
+}
+
+/// Parse `--mode`, `--timeout` and `--goal` flags from an argument list,
+/// returning the remaining positional arguments.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown flags or malformed values.
+pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> {
+    let mut opts = Options::default();
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--mode needs a value".to_string()))?;
+                opts.mode = match value.as_str() {
+                    "resyn" => Mode::ReSyn,
+                    "synquid" => Mode::Synquid,
+                    "eac" => Mode::Eac,
+                    "noinc" => Mode::ReSynNoInc,
+                    "ct" | "constant-time" => Mode::ConstantTime,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown mode `{other}` (expected resyn, synquid, eac, noinc or ct)"
+                        )))
+                    }
+                };
+            }
+            "--timeout" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--timeout needs a value".to_string()))?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid timeout `{value}`")))?;
+                opts.timeout = Duration::from_secs(secs);
+            }
+            "--goal" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--goal needs a value".to_string()))?;
+                opts.goal = Some(value.clone());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`")))
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((positional, opts))
+}
+
+fn load_goals(
+    problem_text: &str,
+    opts: &Options,
+) -> Result<Vec<resyn_synth::Goal>, CliError> {
+    let problem = parse_problem(problem_text).map_err(|e| CliError::Parse(e.to_string()))?;
+    let goals = problem.into_goals();
+    match &opts.goal {
+        None => Ok(goals),
+        Some(name) => {
+            let selected: Vec<_> = goals.into_iter().filter(|g| &g.name == name).collect();
+            if selected.is_empty() {
+                Err(CliError::UnknownGoal(name.clone()))
+            } else {
+                Ok(selected)
+            }
+        }
+    }
+}
+
+/// `resyn parse`: validate a problem file and echo the parsed signatures.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] if the file does not parse.
+pub fn run_parse(problem_text: &str) -> Result<String, CliError> {
+    let problem = parse_problem(problem_text).map_err(|e| CliError::Parse(e.to_string()))?;
+    let mut out = String::new();
+    for (name, schema) in &problem.components {
+        let _ = writeln!(out, "component {name} :: {}", schema_to_surface(schema));
+    }
+    for (name, schema) in &problem.goals {
+        let _ = writeln!(out, "goal {name} :: {}", schema_to_surface(schema));
+    }
+    Ok(out)
+}
+
+/// `resyn synth`: synthesize every selected goal of a problem file and render
+/// the programs in surface syntax together with basic search statistics.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if parsing fails, the named goal does not exist or
+/// synthesis finds no program within the timeout.
+pub fn run_synth(problem_text: &str, opts: &Options) -> Result<String, CliError> {
+    let goals = load_goals(problem_text, opts)?;
+    let synthesizer = Synthesizer::with_timeout(opts.timeout);
+    let mut out = String::new();
+    for goal in goals {
+        let outcome = synthesizer.synthesize(&goal, opts.mode);
+        let Some(program) = outcome.program else {
+            return Err(CliError::SynthesisFailed(goal.name.clone()));
+        };
+        let _ = writeln!(out, "-- goal {}", goal.name);
+        let _ = writeln!(
+            out,
+            "-- {} candidates checked in {:.2}s ({} AST nodes)",
+            outcome.stats.candidates_checked,
+            outcome.stats.duration.as_secs_f64(),
+            program.size()
+        );
+        let _ = writeln!(out, "{}", expr_to_surface(&program));
+    }
+    Ok(out)
+}
+
+/// `resyn check`: type-check a hand-written program against a goal signature.
+/// On success the report names the goal and the mode; on failure a
+/// [`CliError::CheckFailed`] is returned.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if parsing fails, the goal cannot be found, or the
+/// program does not satisfy the signature under the selected mode.
+pub fn run_check(
+    problem_text: &str,
+    program_text: &str,
+    opts: &Options,
+) -> Result<String, CliError> {
+    let goals = load_goals(problem_text, opts)?;
+    let goal = goals
+        .first()
+        .ok_or_else(|| CliError::UnknownGoal("<none>".to_string()))?;
+    let program = parse_expr(program_text).map_err(|e| CliError::Parse(e.to_string()))?;
+    let synthesizer = Synthesizer::with_timeout(opts.timeout);
+    if synthesizer.check(goal, opts.mode, &program) {
+        Ok(format!(
+            "ok: program satisfies goal `{}` ({:?} mode)\n",
+            goal.name, opts.mode
+        ))
+    } else {
+        Err(CliError::CheckFailed(goal.name.clone()))
+    }
+}
+
+/// `resyn measure`: execute a program in the cost-semantics interpreter on
+/// inputs of growing size (recursive calls cost one unit) and report both the
+/// raw measurements and the fitted asymptotic class.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] if parsing fails, the goal cannot be found, or the
+/// program cannot be executed on the generated inputs.
+pub fn run_measure(
+    problem_text: &str,
+    program_text: &str,
+    opts: &Options,
+) -> Result<String, CliError> {
+    let goals = load_goals(problem_text, opts)?;
+    let goal = goals
+        .first()
+        .ok_or_else(|| CliError::UnknownGoal("<none>".to_string()))?;
+    let program = parse_expr(program_text).map_err(|e| CliError::Parse(e.to_string()))?;
+    let mut out = String::new();
+    for size in [4usize, 8, 16, 32] {
+        match resyn_eval::measure::cost_at(goal, &program, size) {
+            Some(cost) => {
+                let _ = writeln!(out, "n = {size:>3}: {cost} recursive calls");
+            }
+            None => {
+                return Err(CliError::CheckFailed(format!(
+                    "{} (the program could not be executed on a size-{size} input)",
+                    goal.name
+                )))
+            }
+        }
+    }
+    let class = resyn_eval::measure::classify(goal, &program);
+    let _ = writeln!(out, "fitted bound: {class}");
+    Ok(out)
+}
+
+/// Top-level usage string printed by `main` for `--help` or usage errors.
+pub const USAGE: &str = "\
+resyn — resource-guided program synthesis
+
+USAGE:
+    resyn synth <problem-file> [--mode MODE] [--timeout SECS] [--goal NAME]
+    resyn check <problem-file> <program-file> [--mode MODE] [--goal NAME]
+    resyn measure <problem-file> <program-file> [--goal NAME]
+    resyn parse <problem-file>
+
+MODES: resyn (default), synquid, eac, noinc, ct
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APPEND_PROBLEM: &str = r"
+        goal append :: xs: List a^1 -> ys: List a ->
+                       {List a | len _v == len xs + len ys}
+    ";
+
+    // Recursive calls are charged by the cost metric; no explicit ticks are
+    // needed (adding one would double-charge the call).
+    const APPEND_PROGRAM: &str = r"fix append xs. \ys.
+        match xs with
+        | Nil -> ys
+        | Cons h t -> (let r = append t ys in Cons h r)";
+
+    const APPEND_PROGRAM_WRONG: &str = r"fix append xs. \ys. ys";
+
+    #[test]
+    fn shipped_problem_files_parse() {
+        // The problem files under `examples/problems/` are part of the
+        // documented workflow; keep them valid.
+        for (name, text) in [
+            ("append.re", include_str!("../../../examples/problems/append.re")),
+            (
+                "sorted_insert.re",
+                include_str!("../../../examples/problems/sorted_insert.re"),
+            ),
+            ("range.re", include_str!("../../../examples/problems/range.re")),
+            ("compare.re", include_str!("../../../examples/problems/compare.re")),
+        ] {
+            let report = run_parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.contains("goal "), "{name} lists no goals");
+        }
+    }
+
+    #[test]
+    fn flags_are_parsed_and_validated() {
+        let args: Vec<String> = ["file.re", "--mode", "synquid", "--timeout", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert_eq!(positional, vec!["file.re".to_string()]);
+        assert_eq!(opts.mode, Mode::Synquid);
+        assert_eq!(opts.timeout, Duration::from_secs(7));
+
+        let bad: Vec<String> = ["--mode", "quantum"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
+        let bad: Vec<String> = ["--frobnicate"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn parse_command_echoes_signatures() {
+        let out = run_parse(APPEND_PROBLEM).unwrap();
+        assert!(out.contains("goal append ::"));
+        assert!(out.contains("forall a."));
+        assert!(run_parse("component only :: Int -> Int").is_err());
+    }
+
+    #[test]
+    fn check_accepts_the_linear_append_and_rejects_a_wrong_one() {
+        let opts = Options::default();
+        let report = run_check(APPEND_PROBLEM, APPEND_PROGRAM, &opts).unwrap();
+        assert!(report.starts_with("ok:"));
+        // A program that drops xs entirely fails the length refinement.
+        assert!(matches!(
+            run_check(APPEND_PROBLEM, APPEND_PROGRAM_WRONG, &opts),
+            Err(CliError::CheckFailed(_))
+        ));
+    }
+
+    #[test]
+    fn check_rejects_resource_overruns_in_resource_mode_only() {
+        // An explicit extra tick per element on top of the metric-charged
+        // recursive call overruns the 1-per-element budget.
+        let expensive = r"fix append xs. \ys.
+            match xs with
+            | Nil -> ys
+            | Cons h t -> (let r = tick(1, append t ys) in Cons h r)";
+        let opts = Options::default();
+        assert!(matches!(
+            run_check(APPEND_PROBLEM, expensive, &opts),
+            Err(CliError::CheckFailed(_))
+        ));
+        // The resource-agnostic baseline accepts it: the program is
+        // functionally correct, only too expensive.
+        let synquid = Options {
+            mode: Mode::Synquid,
+            ..Options::default()
+        };
+        assert!(run_check(APPEND_PROBLEM, expensive, &synquid).is_ok());
+    }
+
+    #[test]
+    fn measure_reports_a_linear_bound_for_append() {
+        let opts = Options::default();
+        let report = run_measure(APPEND_PROBLEM, APPEND_PROGRAM, &opts).unwrap();
+        assert!(report.contains("n =   4: 4 recursive calls"), "{report}");
+        assert!(report.trim_end().ends_with("fitted bound: O(n)"), "{report}");
+    }
+
+    #[test]
+    fn unknown_goal_is_reported() {
+        let opts = Options {
+            goal: Some("missing".to_string()),
+            ..Options::default()
+        };
+        assert!(matches!(
+            run_check(APPEND_PROBLEM, APPEND_PROGRAM, &opts),
+            Err(CliError::UnknownGoal(_))
+        ));
+    }
+
+    #[test]
+    fn synth_produces_a_parseable_program_for_a_small_goal() {
+        let problem = r"
+            goal id_list :: xs: List a -> {List a | len _v == len xs}
+        ";
+        let opts = Options {
+            timeout: Duration::from_secs(30),
+            ..Options::default()
+        };
+        let out = run_synth(problem, &opts).unwrap();
+        assert!(out.contains("-- goal id_list"));
+        // The synthesized text is itself valid surface syntax.
+        let program_line = out.lines().find(|l| !l.starts_with("--")).unwrap();
+        assert!(resyn_parse::parse_expr(program_line).is_ok());
+    }
+}

@@ -1,0 +1,67 @@
+//! Entry point for the `resyn` command-line tool; see [`resyn_cli`] for the
+//! command logic and the crate-level documentation for usage.
+
+use std::process::ExitCode;
+
+use resyn_cli::{parse_flags, run_check, run_measure, run_parse, run_synth, CliError, USAGE};
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            if matches!(err, CliError::Usage(_)) {
+                eprintln!("\n{USAGE}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing subcommand".to_string()));
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        return Ok(USAGE.to_string());
+    }
+    let (positional, opts) = parse_flags(rest)?;
+    let read = |path: &String| {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))
+    };
+    match command.as_str() {
+        "parse" => {
+            let [problem] = positional.as_slice() else {
+                return Err(CliError::Usage("parse expects one problem file".to_string()));
+            };
+            run_parse(&read(problem)?)
+        }
+        "synth" => {
+            let [problem] = positional.as_slice() else {
+                return Err(CliError::Usage("synth expects one problem file".to_string()));
+            };
+            run_synth(&read(problem)?, &opts)
+        }
+        "check" => {
+            let [problem, program] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "check expects a problem file and a program file".to_string(),
+                ));
+            };
+            run_check(&read(problem)?, &read(program)?, &opts)
+        }
+        "measure" => {
+            let [problem, program] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "measure expects a problem file and a program file".to_string(),
+                ));
+            };
+            run_measure(&read(problem)?, &read(program)?, &opts)
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerate the paper's Table 2 (case studies: T, T-NR, T-EAC, T-NInc, B,
+//! B-NR).
+//!
+//! Usage: `cargo run -p resyn-eval --bin table2 --release [timeout-seconds]
+//! [id-filter,id-filter,...]` — the optional second argument restricts the
+//! run to case studies whose id contains one of the given substrings.
+
+use std::time::Duration;
+
+use resyn_eval::{harness, suite, Harness};
+
+fn main() {
+    let timeout = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120u64);
+    let filters: Vec<String> = std::env::args()
+        .nth(2)
+        .map(|s| s.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+    let harness_cfg = Harness::with_timeout(Duration::from_secs(timeout));
+    let rows: Vec<_> = suite::table2()
+        .iter()
+        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.id.contains(f)))
+        .map(|b| {
+            eprintln!("running {} ...", b.id);
+            harness::run_benchmark(&harness_cfg, b)
+        })
+        .collect();
+    println!("{}", harness::render_table(&rows, true));
+}

@@ -1,0 +1,184 @@
+//! The evaluation harness: run benchmarks in the paper's modes and render
+//! table rows.
+
+use std::time::Duration;
+
+use resyn_synth::{Mode, SynthOutcome, Synthesizer};
+
+use crate::measure::{classify, BoundClass};
+use crate::suite::Benchmark;
+
+/// One row of an output table.
+#[derive(Debug, Clone)]
+pub struct BenchmarkRow {
+    /// Benchmark identifier.
+    pub id: String,
+    /// Benchmark group.
+    pub group: String,
+    /// Synthesized code size (AST nodes) in ReSyn mode.
+    pub code: usize,
+    /// ReSyn synthesis time (seconds); `None` means failure/timeout.
+    pub t_resyn: Option<f64>,
+    /// Synquid (resource-agnostic) synthesis time.
+    pub t_synquid: Option<f64>,
+    /// Enumerate-and-check synthesis time.
+    pub t_eac: Option<f64>,
+    /// ReSyn without incremental CEGIS.
+    pub t_noinc: Option<f64>,
+    /// Measured bound of the ReSyn-synthesized program.
+    pub bound_resyn: BoundClass,
+    /// Measured bound of the Synquid-synthesized program.
+    pub bound_synquid: BoundClass,
+}
+
+impl BenchmarkRow {
+    fn fmt_time(t: Option<f64>) -> String {
+        match t {
+            Some(s) => format!("{s:.2}"),
+            None => "TO".to_string(),
+        }
+    }
+
+    /// Render as a Table-1-style row (Code, Time, TimeNR).
+    pub fn render_table1(&self) -> String {
+        format!(
+            "{:<16} {:<14} {:>5} {:>8} {:>8}",
+            self.group,
+            self.id,
+            self.code,
+            Self::fmt_time(self.t_resyn),
+            Self::fmt_time(self.t_synquid),
+        )
+    }
+
+    /// Render as a Table-2-style row (T, T-NR, T-EAC, T-NInc, B, B-NR).
+    pub fn render_table2(&self) -> String {
+        format!(
+            "{:<18} {:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            self.group,
+            self.id,
+            Self::fmt_time(self.t_resyn),
+            Self::fmt_time(self.t_synquid),
+            Self::fmt_time(self.t_eac),
+            Self::fmt_time(self.t_noinc),
+            self.bound_resyn.to_string(),
+            self.bound_synquid.to_string(),
+        )
+    }
+}
+
+/// The harness configuration.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Per-benchmark, per-mode timeout.
+    pub timeout: Duration,
+    /// Whether to run the EAC and non-incremental ablations (Table 2 only).
+    pub ablations: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness {
+            timeout: Duration::from_secs(600),
+            ablations: true,
+        }
+    }
+}
+
+impl Harness {
+    /// A harness with a per-run timeout.
+    pub fn with_timeout(timeout: Duration) -> Harness {
+        Harness {
+            timeout,
+            ..Harness::default()
+        }
+    }
+
+    fn run_mode(&self, bench: &Benchmark, mode: Mode) -> SynthOutcome {
+        let synthesizer = Synthesizer::with_timeout(self.timeout);
+        synthesizer.synthesize(&bench.goal, mode)
+    }
+}
+
+/// Run one benchmark in the modes required for its table and produce a row.
+pub fn run_benchmark(harness: &Harness, bench: &Benchmark) -> BenchmarkRow {
+    let resyn_mode = if bench.constant_time {
+        Mode::ConstantTime
+    } else {
+        Mode::ReSyn
+    };
+    let resyn = harness.run_mode(bench, resyn_mode);
+    let synquid = harness.run_mode(bench, Mode::Synquid);
+
+    let (eac, noinc) = if bench.table == crate::suite::Table::Two && harness.ablations {
+        (
+            Some(harness.run_mode(bench, Mode::Eac)),
+            Some(harness.run_mode(bench, Mode::ReSynNoInc)),
+        )
+    } else {
+        (None, None)
+    };
+
+    let bound = |outcome: &SynthOutcome| match &outcome.program {
+        Some(p) => classify(&bench.goal, p),
+        None => BoundClass::Unknown,
+    };
+
+    let time = |outcome: &SynthOutcome| {
+        outcome
+            .program
+            .as_ref()
+            .map(|_| outcome.stats.duration.as_secs_f64())
+    };
+
+    BenchmarkRow {
+        id: bench.id.clone(),
+        group: bench.group.clone(),
+        code: resyn.code_size(),
+        t_resyn: time(&resyn),
+        t_synquid: time(&synquid),
+        t_eac: eac.as_ref().and_then(time),
+        t_noinc: noinc.as_ref().and_then(time),
+        bound_resyn: bound(&resyn),
+        bound_synquid: bound(&synquid),
+    }
+}
+
+/// Render a whole table with headers and a median-ratio summary (the §5.1
+/// headline statistic).
+pub fn render_table(rows: &[BenchmarkRow], table2: bool) -> String {
+    let mut out = String::new();
+    if table2 {
+        out.push_str(&format!(
+            "{:<18} {:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}\n",
+            "Group", "Benchmark", "T", "T-NR", "T-EAC", "T-NInc", "B", "B-NR"
+        ));
+    } else {
+        out.push_str(&format!(
+            "{:<16} {:<14} {:>5} {:>8} {:>8}\n",
+            "Group", "Benchmark", "Code", "Time", "TimeNR"
+        ));
+    }
+    let mut ratios = Vec::new();
+    for r in rows {
+        out.push_str(&if table2 {
+            r.render_table2()
+        } else {
+            r.render_table1()
+        });
+        out.push('\n');
+        if let (Some(a), Some(b)) = (r.t_resyn, r.t_synquid) {
+            if b > 0.0 {
+                ratios.push(a / b);
+            }
+        }
+    }
+    if !ratios.is_empty() {
+        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = ratios[ratios.len() / 2];
+        out.push_str(&format!(
+            "\nmedian ReSyn/Synquid time ratio: {median:.2}x (paper reports ≈2.5x)\n"
+        ));
+    }
+    out
+}

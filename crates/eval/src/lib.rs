@@ -1,0 +1,19 @@
+//! Benchmark suites and the evaluation harness reproducing the ReSyn paper's
+//! evaluation (Tables 1 and 2).
+//!
+//! The suites define synthesis [`Goal`]s — resource-annotated signatures plus
+//! component libraries — mirroring the paper's benchmarks. The harness runs
+//! them through the synthesizer in the modes the paper compares (ReSyn,
+//! Synquid, enumerate-and-check, non-incremental CEGIS, constant-resource) and
+//! measures, with the cost-semantics interpreter, the tightest empirical bound
+//! of the synthesized code (the `B`/`B-NR` columns of Table 2).
+//!
+//! Coverage relative to the paper is documented in `EXPERIMENTS.md`.
+
+pub mod components;
+pub mod harness;
+pub mod measure;
+pub mod suite;
+
+pub use harness::{run_benchmark, BenchmarkRow, Harness};
+pub use suite::{table1, table2, Benchmark};

@@ -1,0 +1,314 @@
+//! Constrained Horn clause solving by predicate abstraction (liquid type
+//! inference).
+//!
+//! Synquid-style synthesis reduces subtyping over unknown refinements to Horn
+//! constraints `ψ₁ ∧ … ∧ ψₙ ⟹ ψ₀`, where each `ψᵢ` is either a known
+//! refinement or an *unknown* predicate `U` with a pending substitution. The
+//! solver assigns each unknown a conjunction of *qualifiers* drawn from a
+//! finite [`QualifierSpace`]:
+//!
+//! * the **greatest-fixpoint** strategy (Synquid's default, used by ReSyn)
+//!   starts from the conjunction of all qualifiers and iteratively *weakens*
+//!   the unknowns appearing on the left of violated clauses;
+//! * the **least-fixpoint** strategy starts from `true` and iteratively
+//!   *strengthens* unknowns appearing on the right.
+//!
+//! The ReSyn checker in this reproduction discharges most refinements by
+//! direct validity queries (strongest-postcondition style), so the Horn solver
+//! is exercised mainly by condition abduction in the synthesizer and by its
+//! own test-suite; it is nevertheless a faithful, reusable implementation of
+//! the component the paper's §4.2 describes.
+
+use std::collections::BTreeMap;
+
+use resyn_logic::{QualifierSpace, SortingEnv, Term};
+use resyn_solver::Solver;
+
+/// A Horn constraint `body ⟹ head` (either side may contain unknowns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HornConstraint {
+    /// The antecedent (a conjunction).
+    pub body: Term,
+    /// The consequent.
+    pub head: Term,
+}
+
+impl HornConstraint {
+    /// Create a constraint.
+    pub fn new(body: Term, head: Term) -> Self {
+        HornConstraint { body, head }
+    }
+}
+
+/// The result of Horn solving.
+#[derive(Debug, Clone)]
+pub enum HornResult {
+    /// An assignment of refinements to unknowns satisfying every constraint.
+    Solved(BTreeMap<String, Term>),
+    /// No assignment within the qualifier space satisfies the constraints.
+    Unsat,
+    /// The underlying validity checks could not be decided.
+    Unknown(String),
+}
+
+impl HornResult {
+    /// Whether a solution was found.
+    pub fn is_solved(&self) -> bool {
+        matches!(self, HornResult::Solved(_))
+    }
+}
+
+/// Fixpoint direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fixpoint {
+    /// Start from the strongest assignment and weaken (Synquid's default).
+    #[default]
+    Greatest,
+    /// Start from the weakest assignment and strengthen.
+    Least,
+}
+
+/// The predicate-abstraction Horn solver.
+#[derive(Debug, Clone)]
+pub struct HornSolver {
+    env: SortingEnv,
+    qualifiers: BTreeMap<String, QualifierSpace>,
+    /// Fixpoint direction.
+    pub fixpoint: Fixpoint,
+    /// Iteration limit.
+    pub max_iterations: usize,
+}
+
+impl HornSolver {
+    /// Create a solver; `env` must declare the program variables and measures,
+    /// and `qualifiers` gives the candidate space for each unknown.
+    pub fn new(env: SortingEnv, qualifiers: BTreeMap<String, QualifierSpace>) -> HornSolver {
+        HornSolver {
+            env,
+            qualifiers,
+            fixpoint: Fixpoint::Greatest,
+            max_iterations: 1_000,
+        }
+    }
+
+    /// Solve a system of Horn constraints.
+    pub fn solve(&self, constraints: &[HornConstraint]) -> HornResult {
+        match self.fixpoint {
+            Fixpoint::Greatest => self.solve_greatest(constraints),
+            Fixpoint::Least => self.solve_least(constraints),
+        }
+    }
+
+    fn initial_greatest(&self) -> BTreeMap<String, Vec<Term>> {
+        self.qualifiers
+            .iter()
+            .map(|(u, q)| (u.clone(), q.qualifiers().to_vec()))
+            .collect()
+    }
+
+    fn assignment_terms(assignment: &BTreeMap<String, Vec<Term>>) -> BTreeMap<String, Term> {
+        assignment
+            .iter()
+            .map(|(u, qs)| (u.clone(), Term::and_all(qs.iter().cloned())))
+            .collect()
+    }
+
+    fn valid(&self, body: &Term, head: &Term) -> Option<bool> {
+        let solver = Solver::new(self.env.clone());
+        match solver.check_valid(&[body.clone()], head) {
+            resyn_solver::ValidityResult::Valid => Some(true),
+            resyn_solver::ValidityResult::Invalid(_) => Some(false),
+            resyn_solver::ValidityResult::Unknown(_) => None,
+        }
+    }
+
+    /// Greatest fixpoint: start from all qualifiers, weaken left-hand unknowns
+    /// of violated constraints by dropping qualifiers that make them too strong
+    /// is unsound — instead, weaken by removing qualifiers from *head* unknowns
+    /// cannot help either; the standard approach removes qualifiers from the
+    /// head unknown when the constraint cannot be validated.
+    fn solve_greatest(&self, constraints: &[HornConstraint]) -> HornResult {
+        let mut assignment = self.initial_greatest();
+        for _ in 0..self.max_iterations {
+            let solution = Self::assignment_terms(&assignment);
+            let mut changed = false;
+            for c in constraints {
+                let body = c.body.apply_solution(&solution).simplify();
+                // Check each head conjunct separately so we can drop exactly
+                // the offending qualifiers of head unknowns.
+                match &c.head {
+                    Term::Unknown(u, pending) => {
+                        let quals = assignment.get(u).cloned().unwrap_or_default();
+                        let mut kept = Vec::new();
+                        for q in quals {
+                            let mut map = resyn_logic::subst::Subst::new();
+                            for (x, t) in pending {
+                                map.insert(x.clone(), t.apply_solution(&solution));
+                            }
+                            let head_inst = q.subst_all(&map);
+                            match self.valid(&body, &head_inst) {
+                                Some(true) => kept.push(q),
+                                Some(false) => changed = true,
+                                None => return HornResult::Unknown("validity undecided".into()),
+                            }
+                        }
+                        assignment.insert(u.clone(), kept);
+                    }
+                    head => {
+                        let head = head.apply_solution(&solution).simplify();
+                        match self.valid(&body, &head) {
+                            Some(true) => {}
+                            Some(false) => return HornResult::Unsat,
+                            None => return HornResult::Unknown("validity undecided".into()),
+                        }
+                    }
+                }
+            }
+            if !changed {
+                return HornResult::Solved(Self::assignment_terms(&assignment));
+            }
+        }
+        HornResult::Unknown("iteration limit exceeded".into())
+    }
+
+    /// Least fixpoint: start from `true` everywhere and strengthen head
+    /// unknowns with every qualifier implied by the body; fail if a concrete
+    /// head cannot be validated.
+    fn solve_least(&self, constraints: &[HornConstraint]) -> HornResult {
+        let mut assignment: BTreeMap<String, Vec<Term>> = self
+            .qualifiers
+            .keys()
+            .map(|u| (u.clone(), Vec::new()))
+            .collect();
+        for _ in 0..self.max_iterations {
+            let solution = Self::assignment_terms(&assignment);
+            let mut changed = false;
+            for c in constraints {
+                let body = c.body.apply_solution(&solution).simplify();
+                if let Term::Unknown(u, pending) = &c.head {
+                    let space = self.qualifiers.get(u).cloned().unwrap_or_default();
+                    for q in space.qualifiers() {
+                        if assignment.get(u).map(|qs| qs.contains(q)).unwrap_or(false) {
+                            continue;
+                        }
+                        let mut map = resyn_logic::subst::Subst::new();
+                        for (x, t) in pending {
+                            map.insert(x.clone(), t.apply_solution(&solution));
+                        }
+                        let q_inst = q.subst_all(&map);
+                        match self.valid(&body, &q_inst) {
+                            Some(true) => {
+                                assignment.entry(u.clone()).or_default().push(q.clone());
+                                changed = true;
+                            }
+                            Some(false) => {}
+                            None => return HornResult::Unknown("validity undecided".into()),
+                        }
+                    }
+                }
+            }
+            if !changed {
+                // Final check of concrete heads under the inferred solution.
+                let solution = Self::assignment_terms(&assignment);
+                for c in constraints {
+                    if matches!(c.head, Term::Unknown(_, _)) {
+                        continue;
+                    }
+                    let body = c.body.apply_solution(&solution).simplify();
+                    let head = c.head.apply_solution(&solution).simplify();
+                    match self.valid(&body, &head) {
+                        Some(true) => {}
+                        Some(false) => return HornResult::Unsat,
+                        None => return HornResult::Unknown("validity undecided".into()),
+                    }
+                }
+                return HornResult::Solved(solution);
+            }
+        }
+        HornResult::Unknown("iteration limit exceeded".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_logic::Sort;
+
+    fn env() -> SortingEnv {
+        let mut e = SortingEnv::new();
+        e.bind_var("x", Sort::Int)
+            .bind_var("y", Sort::Int)
+            .bind_var(resyn_logic::VALUE_VAR, Sort::Int)
+            .declare_unknown("U0", Sort::Bool);
+        e
+    }
+
+    fn space() -> QualifierSpace {
+        let mut q = QualifierSpace::new();
+        q.add(Term::value_var().ge(Term::var("x")));
+        q.add(Term::value_var().ge(Term::int(0)));
+        q.add(Term::value_var().le(Term::var("x")));
+        q
+    }
+
+    #[test]
+    fn greatest_fixpoint_weakens_to_a_consistent_solution() {
+        // x ≥ 0 ∧ ν = x + 1 ⟹ U0(ν)  and  U0(ν) ⟹ ν ≥ 0.
+        let mut qualifiers = BTreeMap::new();
+        qualifiers.insert("U0".to_string(), space());
+        let solver = HornSolver::new(env(), qualifiers);
+        let c1 = HornConstraint::new(
+            Term::var("x")
+                .ge(Term::int(0))
+                .and(Term::value_var().eq_(Term::var("x") + Term::int(1))),
+            Term::unknown("U0"),
+        );
+        let c2 = HornConstraint::new(Term::unknown("U0"), Term::value_var().ge(Term::int(0)));
+        match solver.solve(&[c1, c2]) {
+            HornResult::Solved(sol) => {
+                let u = &sol["U0"];
+                // ν ≥ x and ν ≥ 0 survive; ν ≤ x does not.
+                assert!(u.to_string().contains(">= x"));
+                assert!(!u.to_string().contains("<= x"));
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_concrete_heads_are_unsat() {
+        let solver = HornSolver::new(env(), BTreeMap::new());
+        let c = HornConstraint::new(
+            Term::var("x").ge(Term::int(0)),
+            Term::var("x").ge(Term::int(1)),
+        );
+        assert!(matches!(solver.solve(&[c]), HornResult::Unsat));
+    }
+
+    #[test]
+    fn least_fixpoint_strengthens_from_true() {
+        let mut qualifiers = BTreeMap::new();
+        qualifiers.insert("U0".to_string(), space());
+        let mut solver = HornSolver::new(env(), qualifiers);
+        solver.fixpoint = Fixpoint::Least;
+        let c1 = HornConstraint::new(
+            Term::var("x")
+                .ge(Term::int(2))
+                .and(Term::value_var().eq_(Term::var("x"))),
+            Term::unknown("U0"),
+        );
+        match solver.solve(&[c1]) {
+            HornResult::Solved(sol) => {
+                let u = &sol["U0"];
+                assert!(u.to_string().contains("ν >= 0"));
+            }
+            other => panic!("expected solved, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_system_is_trivially_solved() {
+        let solver = HornSolver::new(env(), BTreeMap::new());
+        assert!(solver.solve(&[]).is_solved());
+    }
+}

@@ -1,0 +1,72 @@
+//! Cost metrics.
+//!
+//! The paper's `tick` expressions support arbitrary user-defined cost metrics;
+//! the synthesizer needs to know *where* to insert ticks when it builds
+//! candidate programs. A [`CostMetric`] describes that policy. The metric used
+//! throughout the paper's evaluation is [`CostMetric::RecursiveCalls`].
+
+use std::collections::BTreeMap;
+
+/// A policy describing which program operations consume resources.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum CostMetric {
+    /// Each *recursive* call (application of the function being synthesized)
+    /// costs one unit; everything else is free. This is the metric used for
+    /// every benchmark in the paper ("all benchmarks count recursive calls").
+    #[default]
+    RecursiveCalls,
+    /// Every function application costs one unit (the metric used in the
+    /// paper's formalization, Sec. 4.1 "Cost Metrics").
+    AllApplications,
+    /// Per-component costs: applying component `c` costs `costs[c]` (missing
+    /// components are free). This models the implementation's ability to
+    /// annotate arrow types with a cost `c`.
+    PerComponent(BTreeMap<String, i64>),
+}
+
+impl CostMetric {
+    /// The cost of applying the named function (where `is_recursive` indicates
+    /// an application of the function currently being synthesized).
+    pub fn application_cost(&self, component: &str, is_recursive: bool) -> i64 {
+        match self {
+            CostMetric::RecursiveCalls => i64::from(is_recursive),
+            CostMetric::AllApplications => 1,
+            CostMetric::PerComponent(costs) => {
+                if is_recursive {
+                    1
+                } else {
+                    costs.get(component).copied().unwrap_or(0)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recursive_calls_metric() {
+        let m = CostMetric::RecursiveCalls;
+        assert_eq!(m.application_cost("append", false), 0);
+        assert_eq!(m.application_cost("common", true), 1);
+    }
+
+    #[test]
+    fn all_applications_metric() {
+        let m = CostMetric::AllApplications;
+        assert_eq!(m.application_cost("append", false), 1);
+        assert_eq!(m.application_cost("common", true), 1);
+    }
+
+    #[test]
+    fn per_component_metric() {
+        let mut costs = BTreeMap::new();
+        costs.insert("expensive".to_string(), 5);
+        let m = CostMetric::PerComponent(costs);
+        assert_eq!(m.application_cost("expensive", false), 5);
+        assert_eq!(m.application_cost("cheap", false), 0);
+        assert_eq!(m.application_cost("self", true), 1);
+    }
+}

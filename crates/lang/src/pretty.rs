@@ -1,0 +1,116 @@
+//! Pretty-printing of core-calculus expressions in a Synquid-like surface
+//! syntax.
+
+use std::fmt;
+
+use crate::expr::Expr;
+
+fn indent(f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    for _ in 0..level {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+/// Format an expression at a given indentation level.
+pub fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>, level: usize) -> fmt::Result {
+    match e {
+        Expr::Var(x) => write!(f, "{x}"),
+        Expr::Bool(b) => write!(f, "{b}"),
+        Expr::Int(n) => write!(f, "{n}"),
+        Expr::Ctor(name, args) if args.is_empty() => write!(f, "{name}"),
+        Expr::Ctor(name, args) => {
+            write!(f, "({name}")?;
+            for a in args {
+                write!(f, " ")?;
+                fmt_expr(a, f, level)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Lambda(x, body) => {
+            write!(f, "\\{x} . ")?;
+            fmt_expr(body, f, level)
+        }
+        Expr::Fix(fname, x, body) => {
+            write!(f, "fix {fname} \\{x} . ")?;
+            fmt_expr(body, f, level)
+        }
+        Expr::App(func, arg) => {
+            write!(f, "(")?;
+            fmt_expr(func, f, level)?;
+            write!(f, " ")?;
+            fmt_expr(arg, f, level)?;
+            write!(f, ")")
+        }
+        Expr::Ite(c, t, els) => {
+            write!(f, "if ")?;
+            fmt_expr(c, f, level)?;
+            writeln!(f)?;
+            indent(f, level + 1)?;
+            write!(f, "then ")?;
+            fmt_expr(t, f, level + 1)?;
+            writeln!(f)?;
+            indent(f, level + 1)?;
+            write!(f, "else ")?;
+            fmt_expr(els, f, level + 1)
+        }
+        Expr::Match(s, arms) => {
+            write!(f, "match ")?;
+            fmt_expr(s, f, level)?;
+            write!(f, " with")?;
+            for arm in arms {
+                writeln!(f)?;
+                indent(f, level + 1)?;
+                write!(f, "{}", arm.ctor)?;
+                for b in &arm.binders {
+                    write!(f, " {b}")?;
+                }
+                write!(f, " -> ")?;
+                fmt_expr(&arm.body, f, level + 2)?;
+            }
+            Ok(())
+        }
+        Expr::Let(x, bound, body) => {
+            write!(f, "let {x} = ")?;
+            fmt_expr(bound, f, level)?;
+            writeln!(f, " in")?;
+            indent(f, level)?;
+            fmt_expr(body, f, level)
+        }
+        Expr::Impossible => write!(f, "impossible"),
+        Expr::Tick(c, body) => {
+            write!(f, "tick {c} ")?;
+            fmt_expr(body, f, level)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_print_compactly() {
+        assert_eq!(Expr::var("x").to_string(), "x");
+        assert_eq!(Expr::nil().to_string(), "Nil");
+        assert_eq!(
+            Expr::cons(Expr::int(1), Expr::nil()).to_string(),
+            "(Cons 1 Nil)"
+        );
+    }
+
+    #[test]
+    fn applications_and_lambdas() {
+        let e = Expr::lambda("x", Expr::app(Expr::var("f"), Expr::var("x")));
+        assert_eq!(e.to_string(), "\\x . (f x)");
+    }
+
+    #[test]
+    fn match_renders_arms_on_new_lines() {
+        let e = Expr::match_list(Expr::var("l"), Expr::nil(), "h", "t", Expr::var("t"));
+        let s = e.to_string();
+        assert!(s.contains("match l with"));
+        assert!(s.contains("Nil -> Nil"));
+        assert!(s.contains("Cons h t -> t"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the core calculus and its cost semantics.
+
+use proptest::prelude::*;
+
+use crate::expr::Expr;
+use crate::interp::{Env, Interp};
+use crate::value::Val;
+
+fn interp() -> Interp {
+    let mut i = Interp::new();
+    i.register_native("plus", 2, |args| {
+        Ok(Val::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap()))
+    });
+    i.register_native("lt", 2, |args| {
+        Ok(Val::Bool(args[0].as_int().unwrap() < args[1].as_int().unwrap()))
+    });
+    i
+}
+
+/// The recursive list-length function with one tick per element.
+fn length_program() -> Expr {
+    Expr::fix(
+        "len",
+        "l",
+        Expr::match_list(
+            Expr::var("l"),
+            Expr::int(0),
+            "h",
+            "t",
+            Expr::tick(
+                1,
+                Expr::app2(
+                    Expr::var("plus"),
+                    Expr::int(1),
+                    Expr::app(Expr::var("len"), Expr::var("t")),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Insertion into a sorted list, one tick per recursive call.
+fn insert_program() -> Expr {
+    Expr::fix(
+        "insert",
+        "x",
+        Expr::lambda(
+            "l",
+            Expr::match_list(
+                Expr::var("l"),
+                Expr::cons(Expr::var("x"), Expr::nil()),
+                "h",
+                "t",
+                Expr::ite(
+                    Expr::app2(Expr::var("lt"), Expr::var("x"), Expr::var("h")),
+                    Expr::cons(Expr::var("x"), Expr::cons(Expr::var("h"), Expr::var("t"))),
+                    Expr::tick(
+                        1,
+                        Expr::cons(
+                            Expr::var("h"),
+                            Expr::app2(Expr::var("insert"), Expr::var("x"), Expr::var("t")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The length program computes the length and costs exactly `len` ticks.
+    #[test]
+    fn length_cost_is_linear(xs in proptest::collection::vec(-20i64..20, 0..30)) {
+        let i = interp();
+        let env = Env::new().bind("plus", i.native_value("plus"));
+        let e = Expr::app(length_program(), Expr::int_list(&xs));
+        let out = i.run(&e, &env).unwrap();
+        prop_assert_eq!(out.value, Val::Int(xs.len() as i64));
+        prop_assert_eq!(out.net_cost, xs.len() as i64);
+        prop_assert_eq!(out.high_water, xs.len() as i64);
+    }
+
+    /// Insertion preserves sortedness and multiset of elements, and its cost
+    /// is bounded by the number of elements smaller than the inserted value
+    /// (the fine-grained bound of the paper's benchmark 9).
+    #[test]
+    fn insert_cost_is_number_of_smaller_elements(
+        mut xs in proptest::collection::vec(-20i64..20, 0..20),
+        x in -20i64..20,
+    ) {
+        xs.sort();
+        xs.dedup();
+        let i = interp();
+        let env = Env::new().bind("lt", i.native_value("lt"));
+        let e = Expr::app2(insert_program(), Expr::int(x), Expr::int_list(&xs));
+        let out = i.run(&e, &env).unwrap();
+        let result = out.value.as_int_list().unwrap();
+        // Elements are preserved and the result is sorted (duplicates allowed).
+        let mut expected = xs.clone();
+        expected.push(x);
+        expected.sort();
+        let mut sorted_result = result.clone();
+        sorted_result.sort();
+        prop_assert_eq!(sorted_result, expected);
+        // The program recurses past exactly the elements ≤ x (the list is
+        // strictly sorted), matching the fine-grained bound of benchmark 9.
+        let at_most_x = xs.iter().filter(|&&y| y <= x).count() as i64;
+        prop_assert!(out.net_cost <= at_most_x);
+        prop_assert!(out.high_water <= at_most_x);
+    }
+
+    /// High-water mark always dominates net cost, and both are zero for
+    /// tick-free programs.
+    #[test]
+    fn high_water_dominates_net_cost(xs in proptest::collection::vec(-5i64..5, 0..10)) {
+        let i = interp();
+        let env = Env::new().bind("plus", i.native_value("plus"));
+        let e = Expr::app(length_program(), Expr::int_list(&xs));
+        let out = i.run(&e, &env).unwrap();
+        prop_assert!(out.high_water >= out.net_cost);
+        // The same program with ticks stripped has zero cost.
+        let free = Expr::app(strip_ticks(&length_program()), Expr::int_list(&xs));
+        let out_free = i.run(&free, &env).unwrap();
+        prop_assert_eq!(out_free.net_cost, 0);
+        prop_assert_eq!(out_free.high_water, 0);
+        prop_assert_eq!(out_free.value, out.value);
+    }
+}
+
+/// Remove every tick marker from a program (costs become zero, value unchanged).
+fn strip_ticks(e: &Expr) -> Expr {
+    match e {
+        Expr::Tick(_, body) => strip_ticks(body),
+        Expr::Var(_) | Expr::Bool(_) | Expr::Int(_) | Expr::Impossible => e.clone(),
+        Expr::Ctor(name, args) => Expr::Ctor(name.clone(), args.iter().map(strip_ticks).collect()),
+        Expr::Lambda(x, b) => Expr::Lambda(x.clone(), Box::new(strip_ticks(b))),
+        Expr::Fix(f, x, b) => Expr::Fix(f.clone(), x.clone(), Box::new(strip_ticks(b))),
+        Expr::App(f, a) => Expr::App(Box::new(strip_ticks(f)), Box::new(strip_ticks(a))),
+        Expr::Ite(c, t, els) => Expr::Ite(
+            Box::new(strip_ticks(c)),
+            Box::new(strip_ticks(t)),
+            Box::new(strip_ticks(els)),
+        ),
+        Expr::Match(s, arms) => Expr::Match(
+            Box::new(strip_ticks(s)),
+            arms.iter()
+                .map(|arm| crate::expr::MatchArm {
+                    ctor: arm.ctor.clone(),
+                    binders: arm.binders.clone(),
+                    body: strip_ticks(&arm.body),
+                })
+                .collect(),
+        ),
+        Expr::Let(x, b, body) => Expr::Let(
+            x.clone(),
+            Box::new(strip_ticks(b)),
+            Box::new(strip_ticks(body)),
+        ),
+    }
+}

@@ -1,0 +1,47 @@
+//! Program size measured in AST nodes (the "Code" column of the paper's
+//! Table 1).
+
+use crate::expr::Expr;
+
+impl Expr {
+    /// The number of AST nodes in the expression.
+    ///
+    /// `tick` markers are not counted: they are inserted automatically by the
+    /// synthesizer's cost model and are not part of the surface program.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Bool(_) | Expr::Int(_) | Expr::Impossible => 1,
+            Expr::Ctor(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Lambda(_, body) => 1 + body.size(),
+            Expr::Fix(_, _, body) => 1 + body.size(),
+            Expr::App(f, a) => 1 + f.size() + a.size(),
+            Expr::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::Match(s, arms) => {
+                1 + s.size() + arms.iter().map(|arm| 1 + arm.body.size()).sum::<usize>()
+            }
+            Expr::Let(_, bound, body) => 1 + bound.size() + body.size(),
+            Expr::Tick(_, body) => body.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_nodes_but_not_ticks() {
+        assert_eq!(Expr::var("x").size(), 1);
+        assert_eq!(Expr::cons(Expr::int(1), Expr::nil()).size(), 3);
+        let app = Expr::app(Expr::var("f"), Expr::var("x"));
+        assert_eq!(app.size(), 3);
+        assert_eq!(Expr::tick(1, app).size(), 3);
+    }
+
+    #[test]
+    fn match_counts_arms() {
+        let e = Expr::match_list(Expr::var("l"), Expr::nil(), "h", "t", Expr::var("t"));
+        // match(1) + scrutinee(1) + arm(1)+Nil(1) + arm(1)+t(1) = 6
+        assert_eq!(e.size(), 6);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pretty-printing of refinement terms.
+//!
+//! The output follows the paper's surface notation where practical: the value
+//! variable prints as `ν`, set operations use `∪`, `∩`, `−`, membership uses
+//! `in`, and unknowns print as `?name[pending]`.
+
+use std::fmt;
+
+use crate::term::{BinOp, Term, UnOp, VALUE_VAR};
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "∧",
+        BinOp::Or => "∨",
+        BinOp::Implies => "⟹",
+        BinOp::Iff => "⟺",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Eq => "==",
+        BinOp::Neq => "!=",
+        BinOp::Le => "<=",
+        BinOp::Lt => "<",
+        BinOp::Ge => ">=",
+        BinOp::Gt => ">",
+        BinOp::Union => "∪",
+        BinOp::Intersect => "∩",
+        BinOp::Diff => "∖",
+        BinOp::Member => "in",
+        BinOp::Subset => "⊆",
+    }
+}
+
+/// Binding strength of each operator, used to decide parenthesisation.
+fn precedence(term: &Term) -> u8 {
+    match term {
+        Term::Var(_)
+        | Term::Bool(_)
+        | Term::Int(_)
+        | Term::EmptySet
+        | Term::SetLit(_)
+        | Term::Singleton(_)
+        | Term::App(_, _)
+        | Term::Unknown(_, _) => 100,
+        Term::Unary(_, _) | Term::Mul(_, _) => 90,
+        Term::Binary(op, _, _) => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Union | BinOp::Intersect | BinOp::Diff => 80,
+            BinOp::Le
+            | BinOp::Lt
+            | BinOp::Ge
+            | BinOp::Gt
+            | BinOp::Eq
+            | BinOp::Neq
+            | BinOp::Member
+            | BinOp::Subset => 70,
+            BinOp::And => 60,
+            BinOp::Or => 50,
+            BinOp::Implies | BinOp::Iff => 40,
+        },
+        Term::Ite(_, _, _) => 30,
+    }
+}
+
+fn fmt_child(term: &Term, parent_prec: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if precedence(term) < parent_prec {
+        write!(f, "(")?;
+        fmt_term(term, f)?;
+        write!(f, ")")
+    } else {
+        fmt_term(term, f)
+    }
+}
+
+/// Format a term (used by the `Display` impl on [`Term`]).
+pub fn fmt_term(term: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match term {
+        Term::Var(x) if x == VALUE_VAR => write!(f, "ν"),
+        Term::Var(x) => write!(f, "{x}"),
+        Term::Bool(b) => write!(f, "{b}"),
+        Term::Int(n) => write!(f, "{n}"),
+        Term::EmptySet => write!(f, "∅"),
+        Term::SetLit(s) => {
+            write!(f, "{{")?;
+            for (i, e) in s.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{e}")?;
+            }
+            write!(f, "}}")
+        }
+        Term::Singleton(t) => {
+            write!(f, "[")?;
+            fmt_term(t, f)?;
+            write!(f, "]")
+        }
+        Term::Unary(UnOp::Not, t) => {
+            write!(f, "¬")?;
+            fmt_child(t, 95, f)
+        }
+        Term::Unary(UnOp::Neg, t) => {
+            write!(f, "-")?;
+            fmt_child(t, 95, f)
+        }
+        Term::Mul(k, t) => {
+            write!(f, "{k}*")?;
+            fmt_child(t, 95, f)
+        }
+        Term::Binary(op, a, b) => {
+            let p = precedence(term);
+            fmt_child(a, p, f)?;
+            write!(f, " {} ", op_str(*op))?;
+            fmt_child(b, p + 1, f)
+        }
+        Term::Ite(c, t, e) => {
+            write!(f, "ite(")?;
+            fmt_term(c, f)?;
+            write!(f, ", ")?;
+            fmt_term(t, f)?;
+            write!(f, ", ")?;
+            fmt_term(e, f)?;
+            write!(f, ")")
+        }
+        Term::App(m, args) => {
+            write!(f, "{m}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_term(a, f)?;
+            }
+            write!(f, ")")
+        }
+        Term::Unknown(u, pending) => {
+            write!(f, "?{u}")?;
+            if !pending.is_empty() {
+                write!(f, "[")?;
+                for (i, (x, t)) in pending.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}:=")?;
+                    fmt_term(t, f)?;
+                }
+                write!(f, "]")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_var_prints_as_nu() {
+        assert_eq!(Term::value_var().to_string(), "ν");
+    }
+
+    #[test]
+    fn precedence_inserts_parentheses() {
+        let t = (Term::var("x") + Term::var("y")).times(2);
+        assert_eq!(t.to_string(), "2*(x + y)");
+        let t = Term::var("x").le(Term::var("y")).and(Term::var("p"));
+        assert_eq!(t.to_string(), "x <= y ∧ p");
+        let t = Term::var("p").and(Term::var("q")).or(Term::var("r"));
+        assert_eq!(t.to_string(), "p ∧ q ∨ r");
+        let t = Term::var("p").or(Term::var("q")).and(Term::var("r"));
+        assert_eq!(t.to_string(), "(p ∨ q) ∧ r");
+    }
+
+    #[test]
+    fn sets_and_measures_print_readably() {
+        let t = Term::app("elems", vec![Term::value_var()])
+            .eq_(Term::app("elems", vec![Term::var("xs")]).union(Term::var("x").singleton()));
+        assert_eq!(t.to_string(), "elems(ν) == elems(xs) ∪ [x]");
+    }
+
+    #[test]
+    fn unknowns_show_pending_substitution() {
+        let t = Term::unknown("U3").subst("x", &Term::int(1));
+        assert_eq!(t.to_string(), "?U3[x:=1]");
+    }
+}

@@ -1,0 +1,164 @@
+//! Qualifier spaces for predicate abstraction.
+//!
+//! The Horn-constraint solver (liquid type inference) searches for solutions
+//! to unknown boolean refinements as conjunctions of *qualifiers*: atomic
+//! predicates drawn from a finite space. Following Synquid, qualifiers are
+//! extracted from the specification (goal refinements and component types) and
+//! complemented with a small built-in family of comparisons between the value
+//! variable and the scalar variables in scope.
+
+use std::collections::BTreeSet;
+
+use crate::sort::{Sort, SortingEnv};
+use crate::term::{BinOp, Term};
+
+/// A finite set of candidate atomic predicates for one unknown.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QualifierSpace {
+    qualifiers: Vec<Term>,
+}
+
+impl QualifierSpace {
+    /// An empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a qualifier if not already present.
+    pub fn add(&mut self, q: Term) -> &mut Self {
+        if !q.is_true() && !self.qualifiers.contains(&q) {
+            self.qualifiers.push(q);
+        }
+        self
+    }
+
+    /// Add every qualifier from an iterator.
+    pub fn extend<I: IntoIterator<Item = Term>>(&mut self, qs: I) -> &mut Self {
+        for q in qs {
+            self.add(q);
+        }
+        self
+    }
+
+    /// The qualifiers in the space.
+    pub fn qualifiers(&self) -> &[Term] {
+        &self.qualifiers
+    }
+
+    /// Number of qualifiers.
+    pub fn len(&self) -> usize {
+        self.qualifiers.len()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.qualifiers.is_empty()
+    }
+
+    /// Extract atomic predicates from a specification formula: every
+    /// comparison / membership / boolean-variable leaf becomes a qualifier,
+    /// along with its negation for comparisons.
+    pub fn harvest(&mut self, spec: &Term) -> &mut Self {
+        let mut atoms = Vec::new();
+        collect_atoms(spec, &mut atoms);
+        for a in atoms {
+            self.add(a.clone());
+            if let Term::Binary(op, _, _) = &a {
+                if op.is_arith_comparison() || *op == BinOp::Eq {
+                    self.add(a.not());
+                }
+            }
+        }
+        self
+    }
+
+    /// Generate the built-in family of qualifiers comparing the value variable
+    /// with each integer-sorted variable in scope (`ν ≤ x`, `ν ≥ x`, `ν = x`,
+    /// `ν < x`, `ν > x`), plus comparisons with zero.
+    pub fn default_value_qualifiers(&mut self, env: &SortingEnv) -> &mut Self {
+        let nu = Term::value_var();
+        self.add(nu.clone().ge(Term::int(0)));
+        self.add(nu.clone().eq_(Term::int(0)));
+        let scalars: BTreeSet<String> = env
+            .vars()
+            .filter(|(name, sort)| {
+                matches!(sort, Sort::Int | Sort::Uninterp(_)) && name.as_str() != crate::VALUE_VAR
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        for x in scalars {
+            let v = Term::var(&x);
+            self.add(nu.clone().le(v.clone()));
+            self.add(nu.clone().ge(v.clone()));
+            self.add(nu.clone().lt(v.clone()));
+            self.add(nu.clone().gt(v.clone()));
+            self.add(nu.clone().eq_(v.clone()));
+        }
+        self
+    }
+}
+
+fn collect_atoms(t: &Term, out: &mut Vec<Term>) {
+    match t {
+        Term::Binary(op, a, b) => match op {
+            BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff => {
+                collect_atoms(a, out);
+                collect_atoms(b, out);
+            }
+            _ => out.push(t.clone()),
+        },
+        Term::Unary(crate::term::UnOp::Not, inner) => collect_atoms(inner, out),
+        Term::Var(_) => out.push(t.clone()),
+        Term::Ite(c, a, b) => {
+            collect_atoms(c, out);
+            collect_atoms(a, out);
+            collect_atoms(b, out);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvest_extracts_comparisons_and_negations() {
+        let spec = Term::var("x")
+            .le(Term::var("y"))
+            .and(Term::app("len", vec![Term::value_var()]).eq_(Term::int(0)));
+        let mut qs = QualifierSpace::new();
+        qs.harvest(&spec);
+        assert!(qs.qualifiers().contains(&Term::var("x").le(Term::var("y"))));
+        assert!(qs
+            .qualifiers()
+            .contains(&Term::var("x").le(Term::var("y")).not()));
+        assert!(qs.len() >= 3);
+    }
+
+    #[test]
+    fn default_qualifiers_compare_value_var_with_scalars() {
+        let mut env = SortingEnv::new();
+        env.bind_var("x", Sort::Int);
+        env.bind_var("s", Sort::Set);
+        let mut qs = QualifierSpace::new();
+        qs.default_value_qualifiers(&env);
+        assert!(qs
+            .qualifiers()
+            .contains(&Term::value_var().le(Term::var("x"))));
+        // Set-sorted variables are not compared.
+        assert!(!qs
+            .qualifiers()
+            .iter()
+            .any(|q| q.free_vars().contains("s")));
+    }
+
+    #[test]
+    fn add_deduplicates_and_drops_true() {
+        let mut qs = QualifierSpace::new();
+        qs.add(Term::tt());
+        qs.add(Term::var("p"));
+        qs.add(Term::var("p"));
+        assert_eq!(qs.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Light-weight semantic simplification of refinement terms.
+//!
+//! Simplification is used to keep constraints small before they reach the
+//! solver and to make synthesized type annotations readable. It performs
+//! constant folding, unit laws, and a few structural identities; it never
+//! changes the meaning of a term.
+
+use crate::term::{BinOp, Term, UnOp};
+
+impl Term {
+    /// Recursively simplify the term.
+    pub fn simplify(&self) -> Term {
+        match self {
+            Term::Var(_)
+            | Term::Bool(_)
+            | Term::Int(_)
+            | Term::EmptySet
+            | Term::SetLit(_)
+            | Term::Unknown(_, _) => self.clone(),
+            Term::Singleton(t) => Term::Singleton(Box::new(t.simplify())),
+            Term::Unary(UnOp::Not, t) => t.simplify().not(),
+            Term::Unary(UnOp::Neg, t) => match t.simplify() {
+                Term::Int(n) => Term::Int(-n),
+                s => Term::Unary(UnOp::Neg, Box::new(s)),
+            },
+            Term::Mul(k, t) => t.simplify().times(*k),
+            Term::Binary(op, a, b) => simplify_binary(*op, a.simplify(), b.simplify()),
+            Term::Ite(c, t, e) => {
+                let c = c.simplify();
+                let t = t.simplify();
+                let e = e.simplify();
+                if t == e {
+                    return t;
+                }
+                Term::ite(c, t, e)
+            }
+            Term::App(m, args) => {
+                Term::App(m.clone(), args.iter().map(Term::simplify).collect())
+            }
+        }
+    }
+}
+
+fn simplify_binary(op: BinOp, a: Term, b: Term) -> Term {
+    use BinOp::*;
+    match op {
+        And => a.and(b),
+        Or => a.or(b),
+        Implies => a.implies(b),
+        Iff => match (a, b) {
+            (Term::Bool(true), t) | (t, Term::Bool(true)) => t,
+            (Term::Bool(false), t) | (t, Term::Bool(false)) => t.not(),
+            (a, b) if a == b => Term::tt(),
+            (a, b) => a.iff(b),
+        },
+        Add => a + b,
+        Sub => {
+            if a == b {
+                Term::int(0)
+            } else {
+                a - b
+            }
+        }
+        Eq => match (a, b) {
+            (Term::Int(x), Term::Int(y)) => Term::Bool(x == y),
+            (Term::Bool(x), Term::Bool(y)) => Term::Bool(x == y),
+            (a, b) if a == b => Term::tt(),
+            (a, b) => a.eq_(b),
+        },
+        Neq => match (a, b) {
+            (Term::Int(x), Term::Int(y)) => Term::Bool(x != y),
+            (a, b) if a == b => Term::ff(),
+            (a, b) => a.neq(b),
+        },
+        Le => fold_cmp(a, b, |x, y| x <= y, Term::le),
+        Lt => fold_cmp(a, b, |x, y| x < y, Term::lt),
+        Ge => fold_cmp(a, b, |x, y| x >= y, Term::ge),
+        Gt => fold_cmp(a, b, |x, y| x > y, Term::gt),
+        Union => match (a, b) {
+            (Term::EmptySet, t) | (t, Term::EmptySet) => t,
+            (a, b) if a == b => a,
+            (a, b) => a.union(b),
+        },
+        Intersect => match (a, b) {
+            (Term::EmptySet, _) | (_, Term::EmptySet) => Term::EmptySet,
+            (a, b) if a == b => a,
+            (a, b) => a.intersect(b),
+        },
+        Diff => match (a, b) {
+            (Term::EmptySet, _) => Term::EmptySet,
+            (t, Term::EmptySet) => t,
+            (a, b) if a == b => Term::EmptySet,
+            (a, b) => a.diff(b),
+        },
+        Member => a.member(b),
+        Subset => match (&a, &b) {
+            (Term::EmptySet, _) => Term::tt(),
+            _ if a == b => Term::tt(),
+            _ => a.subset(b),
+        },
+    }
+}
+
+fn fold_cmp(
+    a: Term,
+    b: Term,
+    cmp: impl Fn(i64, i64) -> bool,
+    mk: impl Fn(Term, Term) -> Term,
+) -> Term {
+    match (&a, &b) {
+        (Term::Int(x), Term::Int(y)) => Term::Bool(cmp(*x, *y)),
+        _ => mk(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let t = Term::int(2) + Term::int(3);
+        assert_eq!(t.simplify(), Term::int(5));
+        let t = Term::int(2).le(Term::int(3));
+        assert_eq!(t.simplify(), Term::tt());
+        let t = Term::int(4).lt(Term::int(3));
+        assert_eq!(t.simplify(), Term::ff());
+    }
+
+    #[test]
+    fn boolean_unit_laws() {
+        let t = Term::Binary(
+            BinOp::And,
+            Box::new(Term::tt()),
+            Box::new(Term::var("p")),
+        );
+        assert_eq!(t.simplify(), Term::var("p"));
+        let t = Term::Binary(
+            BinOp::Implies,
+            Box::new(Term::var("p")),
+            Box::new(Term::tt()),
+        );
+        assert_eq!(t.simplify(), Term::tt());
+        let t = Term::var("p").iff(Term::var("p"));
+        assert_eq!(t.simplify(), Term::tt());
+    }
+
+    #[test]
+    fn self_comparison_and_difference() {
+        let x = Term::var("x");
+        assert_eq!(x.clone().eq_(x.clone()).simplify(), Term::tt());
+        assert_eq!(x.clone().neq(x.clone()).simplify(), Term::ff());
+        assert_eq!((x.clone() - x.clone()).simplify(), Term::int(0));
+    }
+
+    #[test]
+    fn set_identities() {
+        let s = Term::var("s");
+        assert_eq!(s.clone().union(Term::EmptySet).simplify(), s);
+        assert_eq!(
+            s.clone().intersect(Term::EmptySet).simplify(),
+            Term::EmptySet
+        );
+        assert_eq!(s.clone().diff(s.clone()).simplify(), Term::EmptySet);
+        assert_eq!(Term::EmptySet.subset(s.clone()).simplify(), Term::tt());
+    }
+
+    #[test]
+    fn ite_with_equal_branches_collapses() {
+        let t = Term::Ite(
+            Box::new(Term::var("c")),
+            Box::new(Term::var("x") + Term::int(0)),
+            Box::new(Term::var("x")),
+        );
+        assert_eq!(t.simplify(), Term::var("x"));
+    }
+
+    #[test]
+    fn simplification_preserves_meaning_on_sample_models() {
+        use crate::eval::{Model, Value};
+        let t = Term::var("x")
+            .le(Term::int(2) + Term::int(3))
+            .and(Term::tt())
+            .or(Term::var("x").eq_(Term::var("x")).not());
+        let s = t.simplify();
+        for x in -3..8 {
+            let mut m = Model::new();
+            m.insert("x", Value::Int(x));
+            assert_eq!(t.eval_bool(&m).unwrap(), s.eval_bool(&m).unwrap());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Capture-free substitution on refinement terms.
+//!
+//! The refinement logic is quantifier-free, so substitution is structural;
+//! "capture-free" refers only to unknowns, whose pending substitutions are
+//! composed rather than pushed inside (the unknown's eventual solution is
+//! substituted first, then the pending substitution applied).
+
+use std::collections::BTreeMap;
+
+use crate::term::Term;
+
+/// A parallel substitution from variable names to terms.
+pub type Subst = BTreeMap<String, Term>;
+
+impl Term {
+    /// Substitute `replacement` for every free occurrence of variable `var`.
+    pub fn subst(&self, var: &str, replacement: &Term) -> Term {
+        let mut map = Subst::new();
+        map.insert(var.to_string(), replacement.clone());
+        self.subst_all(&map)
+    }
+
+    /// Substitute the value variable `ν` with the given term.
+    pub fn subst_value_var(&self, replacement: &Term) -> Term {
+        self.subst(crate::term::VALUE_VAR, replacement)
+    }
+
+    /// Apply a parallel substitution.
+    pub fn subst_all(&self, map: &Subst) -> Term {
+        if map.is_empty() {
+            return self.clone();
+        }
+        match self {
+            Term::Var(x) => map.get(x).cloned().unwrap_or_else(|| self.clone()),
+            Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_) => self.clone(),
+            Term::Singleton(t) => Term::Singleton(Box::new(t.subst_all(map))),
+            Term::Unary(op, t) => Term::Unary(*op, Box::new(t.subst_all(map))),
+            Term::Mul(k, t) => Term::Mul(*k, Box::new(t.subst_all(map))),
+            Term::Binary(op, a, b) => {
+                Term::Binary(*op, Box::new(a.subst_all(map)), Box::new(b.subst_all(map)))
+            }
+            Term::Ite(c, t, e) => Term::Ite(
+                Box::new(c.subst_all(map)),
+                Box::new(t.subst_all(map)),
+                Box::new(e.subst_all(map)),
+            ),
+            Term::App(m, args) => {
+                Term::App(m.clone(), args.iter().map(|a| a.subst_all(map)).collect())
+            }
+            Term::Unknown(u, pending) => {
+                // Compose the substitution with the pending one: entries of the
+                // existing pending substitution are themselves substituted, and
+                // new entries are appended for variables not yet pending.
+                let mut composed: Vec<(String, Term)> = pending
+                    .iter()
+                    .map(|(x, t)| (x.clone(), t.subst_all(map)))
+                    .collect();
+                for (x, t) in map {
+                    if !composed.iter().any(|(y, _)| y == x) {
+                        composed.push((x.clone(), t.clone()));
+                    }
+                }
+                Term::Unknown(u.clone(), composed)
+            }
+        }
+    }
+
+    /// Replace every unknown by its solution (looked up by name) and apply the
+    /// unknown's pending substitution to the result. Unknowns without a
+    /// solution are left in place.
+    pub fn apply_solution(&self, solution: &BTreeMap<String, Term>) -> Term {
+        match self {
+            Term::Unknown(u, pending) => match solution.get(u) {
+                Some(sol) => {
+                    let mut map = Subst::new();
+                    for (x, t) in pending {
+                        map.insert(x.clone(), t.apply_solution(solution));
+                    }
+                    sol.apply_solution(solution).subst_all(&map)
+                }
+                None => {
+                    let pending = pending
+                        .iter()
+                        .map(|(x, t)| (x.clone(), t.apply_solution(solution)))
+                        .collect();
+                    Term::Unknown(u.clone(), pending)
+                }
+            },
+            Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_) => {
+                self.clone()
+            }
+            Term::Singleton(t) => Term::Singleton(Box::new(t.apply_solution(solution))),
+            Term::Unary(op, t) => Term::Unary(*op, Box::new(t.apply_solution(solution))),
+            Term::Mul(k, t) => Term::Mul(*k, Box::new(t.apply_solution(solution))),
+            Term::Binary(op, a, b) => Term::Binary(
+                *op,
+                Box::new(a.apply_solution(solution)),
+                Box::new(b.apply_solution(solution)),
+            ),
+            Term::Ite(c, t, e) => Term::Ite(
+                Box::new(c.apply_solution(solution)),
+                Box::new(t.apply_solution(solution)),
+                Box::new(e.apply_solution(solution)),
+            ),
+            Term::App(m, args) => Term::App(
+                m.clone(),
+                args.iter().map(|a| a.apply_solution(solution)).collect(),
+            ),
+        }
+    }
+
+    /// Rename a variable (a substitution by a variable term).
+    pub fn rename(&self, from: &str, to: &str) -> Term {
+        self.subst(from, &Term::var(to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitution_replaces_free_occurrences() {
+        let t = Term::var("x").le(Term::var("y") + Term::var("x"));
+        let s = t.subst("x", &Term::int(2));
+        assert_eq!(s, Term::int(2).le(Term::var("y") + Term::int(2)));
+    }
+
+    #[test]
+    fn value_var_substitution() {
+        let t = Term::value_var().eq_(Term::var("xs"));
+        let s = t.subst_value_var(&Term::var("l"));
+        assert_eq!(s, Term::var("l").eq_(Term::var("xs")));
+    }
+
+    #[test]
+    fn parallel_substitution_is_simultaneous() {
+        // [x := y, y := x] swaps variables rather than cascading.
+        let t = Term::var("x") + Term::var("y");
+        let mut map = Subst::new();
+        map.insert("x".into(), Term::var("y"));
+        map.insert("y".into(), Term::var("x"));
+        assert_eq!(t.subst_all(&map), Term::var("y") + Term::var("x"));
+    }
+
+    #[test]
+    fn substitution_goes_under_measures_and_ite() {
+        let t = Term::ite(
+            Term::var("c"),
+            Term::app("len", vec![Term::var("x")]),
+            Term::int(0),
+        );
+        let s = t.subst("x", &Term::var("z"));
+        assert_eq!(
+            s,
+            Term::ite(
+                Term::var("c"),
+                Term::app("len", vec![Term::var("z")]),
+                Term::int(0),
+            )
+        );
+    }
+
+    #[test]
+    fn unknowns_accumulate_pending_substitutions() {
+        let t = Term::unknown("U0");
+        let s = t.subst("x", &Term::int(1)).subst("y", &Term::var("z"));
+        match s {
+            Term::Unknown(name, pending) => {
+                assert_eq!(name, "U0");
+                assert_eq!(pending.len(), 2);
+            }
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn apply_solution_substitutes_pending() {
+        // U0 solved by (ν ≤ x); pending substitution [x := 3].
+        let t = Term::unknown("U0").subst("x", &Term::int(3));
+        let mut sol = BTreeMap::new();
+        sol.insert("U0".to_string(), Term::value_var().le(Term::var("x")));
+        let resolved = t.apply_solution(&sol);
+        assert_eq!(resolved, Term::value_var().le(Term::int(3)));
+    }
+
+    #[test]
+    fn apply_solution_leaves_unsolved_unknowns() {
+        let t = Term::unknown("U7").and(Term::var("p"));
+        let resolved = t.apply_solution(&BTreeMap::new());
+        assert!(resolved.has_unknowns());
+    }
+
+    #[test]
+    fn rename_is_substitution_by_variable() {
+        let t = Term::var("a").lt(Term::var("b"));
+        assert_eq!(t.rename("a", "c"), Term::var("c").lt(Term::var("b")));
+    }
+}

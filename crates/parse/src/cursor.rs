@@ -1,0 +1,191 @@
+//! A token cursor shared by all the parsers in this crate.
+
+use crate::lexer::{Spanned, Tok};
+use crate::ParseError;
+
+/// A cursor over a token stream with single- and double-token lookahead.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Wrap a token stream (as produced by [`crate::tokenize`]).
+    pub fn new(toks: Vec<Spanned>) -> Cursor {
+        assert!(
+            matches!(toks.last().map(|s| &s.tok), Some(Tok::Eof)),
+            "token stream must end with Eof"
+        );
+        Cursor { toks, pos: 0 }
+    }
+
+    fn current(&self) -> &Spanned {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    /// The current token (without consuming it).
+    pub fn peek(&self) -> &Tok {
+        &self.current().tok
+    }
+
+    /// The token after the current one.
+    pub fn peek2(&self) -> &Tok {
+        let idx = (self.pos + 1).min(self.toks.len() - 1);
+        &self.toks[idx].tok
+    }
+
+    /// Whether the current token equals `tok`.
+    pub fn at(&self, tok: &Tok) -> bool {
+        self.peek() == tok
+    }
+
+    /// Whether the cursor has consumed everything but `Eof`.
+    pub fn is_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    /// Consume and return the current token.
+    ///
+    /// Unlike [`Iterator::next`] this never yields `None`: once the cursor
+    /// reaches the end it keeps returning [`Tok::Eof`].
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Tok {
+        let tok = self.current().tok.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    /// Consume the current token if it equals `tok`; report whether it did.
+    pub fn eat(&mut self, tok: &Tok) -> bool {
+        if self.at(tok) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume the current token, requiring it to equal `tok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] naming both the expected and the found token.
+    pub fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                tok.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    /// Consume a lower-case identifier and return its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the current token is not an identifier.
+    pub fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.next();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected an identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// Consume an upper-case identifier (constructor / datatype name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the current token is not an upper-case
+    /// identifier.
+    pub fn expect_upper(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::UpperIdent(name) => {
+                self.next();
+                Ok(name)
+            }
+            other => Err(self.error(format!(
+                "expected a constructor or datatype name, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    /// Consume an integer literal.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] if the current token is not an integer.
+    pub fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match *self.peek() {
+            Tok::Int(n) => {
+                self.next();
+                Ok(n)
+            }
+            ref other => {
+                Err(self.error(format!("expected an integer, found {}", other.describe())))
+            }
+        }
+    }
+
+    /// Require that the whole input has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] pointing at the first unconsumed token.
+    pub fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.is_eof() {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected {}", self.peek().describe())))
+        }
+    }
+
+    /// A parse error at the current position.
+    pub fn error(&self, message: impl Into<String>) -> ParseError {
+        let cur = self.current();
+        ParseError::new(cur.line, cur.col, message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    #[test]
+    fn cursor_walks_and_reports_positions() {
+        let mut cur = Cursor::new(tokenize("x + 1").unwrap());
+        assert_eq!(cur.expect_ident().unwrap(), "x");
+        assert!(cur.eat(&Tok::Plus));
+        assert_eq!(cur.expect_int().unwrap(), 1);
+        assert!(cur.is_eof());
+        assert!(cur.expect_eof().is_ok());
+        // `next` at Eof stays at Eof.
+        assert_eq!(cur.next(), Tok::Eof);
+        assert_eq!(cur.next(), Tok::Eof);
+    }
+
+    #[test]
+    fn expect_reports_both_tokens() {
+        let mut cur = Cursor::new(tokenize("42").unwrap());
+        let err = cur.expect(&Tok::LParen).unwrap_err();
+        assert!(err.message.contains("expected `(`"));
+        assert!(err.message.contains("42"));
+    }
+
+    #[test]
+    fn double_lookahead() {
+        let cur = Cursor::new(tokenize("x : Int").unwrap());
+        assert_eq!(cur.peek(), &Tok::Ident("x".into()));
+        assert_eq!(cur.peek2(), &Tok::Colon);
+    }
+}

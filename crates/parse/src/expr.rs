@@ -1,0 +1,326 @@
+//! Parser for core-calculus programs (the language of Fig. 4).
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! expr ::= '\' ident '.' expr                          lambda
+//!        | 'fix' ident ident '.' expr                  recursive function
+//!        | 'let' ident '=' expr 'in' expr
+//!        | 'if' expr 'then' expr 'else' expr
+//!        | 'match' expr 'with' ('|' Ctor ident* '->' expr)+
+//!        | 'tick' '(' INT ',' expr ')'
+//!        | 'impossible'
+//!        | app
+//! app  ::= atom+            (Ctor head ⇒ saturated constructor, else application)
+//! atom ::= ident | INT | '-' INT | 'true' | 'false'
+//!        | '[' expr (',' expr)* ']'                    list literal
+//!        | '(' expr ')'
+//! ```
+//!
+//! Match arms extend to the next `|` or the end of the enclosing construct;
+//! wrap an arm body in parentheses if it is itself a `match`.
+
+use resyn_lang::{Expr, MatchArm};
+
+use crate::cursor::Cursor;
+use crate::lexer::Tok;
+use crate::ParseError;
+
+/// Parse a full expression from the cursor.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse(cur: &mut Cursor) -> Result<Expr, ParseError> {
+    match cur.peek().clone() {
+        Tok::Backslash => {
+            cur.next();
+            let param = cur.expect_ident()?;
+            cur.expect(&Tok::Dot)?;
+            let body = parse(cur)?;
+            Ok(Expr::lambda(param, body))
+        }
+        Tok::KwFix => {
+            cur.next();
+            let fname = cur.expect_ident()?;
+            let param = cur.expect_ident()?;
+            cur.expect(&Tok::Dot)?;
+            let body = parse(cur)?;
+            Ok(Expr::fix(fname, param, body))
+        }
+        Tok::KwLet => {
+            cur.next();
+            let name = cur.expect_ident()?;
+            cur.expect(&Tok::Assign)?;
+            let bound = parse(cur)?;
+            cur.expect(&Tok::KwIn)?;
+            let body = parse(cur)?;
+            Ok(Expr::let_(name, bound, body))
+        }
+        Tok::KwIf => {
+            cur.next();
+            let cond = parse(cur)?;
+            cur.expect(&Tok::KwThen)?;
+            let then = parse(cur)?;
+            cur.expect(&Tok::KwElse)?;
+            let els = parse(cur)?;
+            Ok(Expr::ite(cond, then, els))
+        }
+        Tok::KwMatch => parse_match(cur),
+        Tok::KwTick => {
+            cur.next();
+            cur.expect(&Tok::LParen)?;
+            let negative = cur.eat(&Tok::Minus);
+            let mut cost = cur.expect_int()?;
+            if negative {
+                cost = -cost;
+            }
+            cur.expect(&Tok::Comma)?;
+            let body = parse(cur)?;
+            cur.expect(&Tok::RParen)?;
+            Ok(Expr::tick(cost, body))
+        }
+        _ => parse_app(cur),
+    }
+}
+
+fn parse_match(cur: &mut Cursor) -> Result<Expr, ParseError> {
+    cur.expect(&Tok::KwMatch)?;
+    let scrutinee = parse(cur)?;
+    cur.expect(&Tok::KwWith)?;
+    let mut arms = Vec::new();
+    while cur.eat(&Tok::Bar) {
+        let ctor = cur.expect_upper()?;
+        let mut binders = Vec::new();
+        while let Tok::Ident(_) = cur.peek() {
+            binders.push(cur.expect_ident()?);
+        }
+        cur.expect(&Tok::Arrow)?;
+        let body = parse(cur)?;
+        arms.push(MatchArm {
+            ctor,
+            binders,
+            body,
+        });
+    }
+    if arms.is_empty() {
+        return Err(cur.error("a match needs at least one `| Ctor binders -> body` arm"));
+    }
+    Ok(Expr::match_(scrutinee, arms))
+}
+
+fn starts_atom(tok: &Tok) -> bool {
+    matches!(
+        tok,
+        Tok::Ident(_)
+            | Tok::UpperIdent(_)
+            | Tok::Int(_)
+            | Tok::KwTrue
+            | Tok::KwFalse
+            | Tok::KwImpossible
+            | Tok::LParen
+            | Tok::LBracket
+    )
+}
+
+fn parse_app(cur: &mut Cursor) -> Result<Expr, ParseError> {
+    // A constructor head takes all following atoms as its (saturated)
+    // arguments; any other head folds into a left-nested application chain.
+    if let Tok::UpperIdent(name) = cur.peek().clone() {
+        cur.next();
+        let mut args = Vec::new();
+        while starts_atom(cur.peek()) {
+            args.push(parse_atom(cur)?);
+        }
+        return Ok(Expr::ctor(name, args));
+    }
+    let mut head = parse_atom(cur)?;
+    while starts_atom(cur.peek()) {
+        let arg = parse_atom(cur)?;
+        head = Expr::app(head, arg);
+    }
+    Ok(head)
+}
+
+fn parse_atom(cur: &mut Cursor) -> Result<Expr, ParseError> {
+    match cur.peek().clone() {
+        Tok::Ident(name) => {
+            cur.next();
+            Ok(Expr::var(name))
+        }
+        Tok::UpperIdent(name) => {
+            cur.next();
+            Ok(Expr::ctor(name, Vec::new()))
+        }
+        Tok::Int(n) => {
+            cur.next();
+            Ok(Expr::int(n))
+        }
+        Tok::Minus => {
+            cur.next();
+            let n = cur.expect_int()?;
+            Ok(Expr::int(-n))
+        }
+        Tok::KwTrue => {
+            cur.next();
+            Ok(Expr::bool(true))
+        }
+        Tok::KwFalse => {
+            cur.next();
+            Ok(Expr::bool(false))
+        }
+        Tok::KwImpossible => {
+            cur.next();
+            Ok(Expr::Impossible)
+        }
+        Tok::LParen => {
+            cur.next();
+            let inner = parse(cur)?;
+            cur.expect(&Tok::RParen)?;
+            Ok(inner)
+        }
+        Tok::LBracket => {
+            cur.next();
+            let mut items = Vec::new();
+            if !cur.at(&Tok::RBracket) {
+                items.push(parse(cur)?);
+                while cur.eat(&Tok::Comma) {
+                    items.push(parse(cur)?);
+                }
+            }
+            cur.expect(&Tok::RBracket)?;
+            Ok(Expr::list(items))
+        }
+        other => Err(cur.error(format!(
+            "expected an expression, found {}",
+            other.describe()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_expr;
+
+    #[test]
+    fn atoms_and_applications() {
+        assert_eq!(parse_expr("x").unwrap(), Expr::var("x"));
+        assert_eq!(parse_expr("-7").unwrap(), Expr::int(-7));
+        assert_eq!(
+            parse_expr("f x y").unwrap(),
+            Expr::app2(Expr::var("f"), Expr::var("x"), Expr::var("y"))
+        );
+        assert_eq!(
+            parse_expr("member x l2").unwrap(),
+            Expr::app2(Expr::var("member"), Expr::var("x"), Expr::var("l2"))
+        );
+    }
+
+    #[test]
+    fn constructors_are_saturated() {
+        assert_eq!(parse_expr("Nil").unwrap(), Expr::nil());
+        assert_eq!(
+            parse_expr("Cons x xs").unwrap(),
+            Expr::cons(Expr::var("x"), Expr::var("xs"))
+        );
+        // Nested constructor arguments need parentheses.
+        assert_eq!(
+            parse_expr("Cons x (Cons y Nil)").unwrap(),
+            Expr::cons(Expr::var("x"), Expr::cons(Expr::var("y"), Expr::nil()))
+        );
+    }
+
+    #[test]
+    fn list_literals_desugar_to_cons_chains() {
+        assert_eq!(parse_expr("[]").unwrap(), Expr::list(vec![]));
+        assert_eq!(
+            parse_expr("[1, 2]").unwrap(),
+            Expr::int_list(&[1, 2])
+        );
+    }
+
+    #[test]
+    fn lambda_fix_let_and_tick() {
+        assert_eq!(
+            parse_expr(r"\x. f x").unwrap(),
+            Expr::lambda("x", Expr::app(Expr::var("f"), Expr::var("x")))
+        );
+        assert_eq!(
+            parse_expr("fix go n. go n").unwrap(),
+            Expr::fix("go", "n", Expr::app(Expr::var("go"), Expr::var("n")))
+        );
+        assert_eq!(
+            parse_expr("let r = f x in Cons x r").unwrap(),
+            Expr::let_(
+                "r",
+                Expr::app(Expr::var("f"), Expr::var("x")),
+                Expr::cons(Expr::var("x"), Expr::var("r"))
+            )
+        );
+        assert_eq!(
+            parse_expr("tick(1, f x)").unwrap(),
+            Expr::tick(1, Expr::app(Expr::var("f"), Expr::var("x")))
+        );
+        assert_eq!(
+            parse_expr("tick(-2, x)").unwrap(),
+            Expr::tick(-2, Expr::var("x"))
+        );
+    }
+
+    #[test]
+    fn conditionals_and_impossible() {
+        assert_eq!(
+            parse_expr("if b then x else impossible").unwrap(),
+            Expr::ite(Expr::var("b"), Expr::var("x"), Expr::Impossible)
+        );
+    }
+
+    #[test]
+    fn matches_with_several_arms() {
+        let e = parse_expr(
+            "match l1 with \
+             | Nil -> Nil \
+             | Cons x xs -> Cons x (common xs l2)",
+        )
+        .unwrap();
+        match e {
+            Expr::Match(scrutinee, arms) => {
+                assert_eq!(*scrutinee, Expr::var("l1"));
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].ctor, "Nil");
+                assert!(arms[0].binders.is_empty());
+                assert_eq!(arms[1].ctor, "Cons");
+                assert_eq!(arms[1].binders, vec!["x".to_string(), "xs".to_string()]);
+            }
+            other => panic!("expected a match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn the_paper_common_function_parses() {
+        // Fig. 1 of the paper, in surface syntax.
+        let program = r"fix common l1. \l2.
+            match l1 with
+            | Nil -> Nil
+            | Cons x xs ->
+                if not_ (member x l2)
+                then common xs l2
+                else Cons x (common xs l2)";
+        let e = parse_expr(program).unwrap();
+        assert!(matches!(e, Expr::Fix(_, _, _)));
+        assert_eq!(e.count_calls("common"), 2);
+    }
+
+    #[test]
+    fn match_requires_an_arm() {
+        assert!(parse_expr("match l with").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_at_the_problem() {
+        let err = parse_expr("let x = in y").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("expected an expression"));
+    }
+}

@@ -1,0 +1,494 @@
+//! The lexer for the surface syntax.
+//!
+//! Tokens carry their 1-based source position so parse errors can point at
+//! the offending location. Line comments start with `--` or `#` and run to
+//! the end of the line.
+
+use crate::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// A lower-case (or underscore-initial) identifier: variables, measure
+    /// names, type variables.
+    Ident(String),
+    /// An upper-case identifier: datatype names, constructors, `Bool`/`Int`.
+    UpperIdent(String),
+    /// An integer literal.
+    Int(i64),
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `:`
+    Colon,
+    /// `::`
+    ColonColon,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// `|`
+    Bar,
+    /// `^`
+    Caret,
+    /// `\`
+    Backslash,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Neq,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `==>`
+    Implies,
+    /// `<==>`
+    Iff,
+    /// `!`
+    Bang,
+
+    /// `if`
+    KwIf,
+    /// `then`
+    KwThen,
+    /// `else`
+    KwElse,
+    /// `match`
+    KwMatch,
+    /// `with`
+    KwWith,
+    /// `let`
+    KwLet,
+    /// `in` (membership in terms, `let … in …` in programs)
+    KwIn,
+    /// `fix`
+    KwFix,
+    /// `tick`
+    KwTick,
+    /// `impossible`
+    KwImpossible,
+    /// `true` / `True`
+    KwTrue,
+    /// `false` / `False`
+    KwFalse,
+    /// `not`
+    KwNot,
+    /// `union`
+    KwUnion,
+    /// `inter`
+    KwInter,
+    /// `diff`
+    KwDiff,
+    /// `subset`
+    KwSubset,
+    /// `forall`
+    KwForall,
+    /// `component`
+    KwComponent,
+    /// `goal`
+    KwGoal,
+    /// `metric`
+    KwMetric,
+    /// `cost`
+    KwCost,
+
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) | Tok::UpperIdent(s) => format!("`{s}`"),
+            Tok::Int(n) => format!("`{n}`"),
+            Tok::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::Colon => ":",
+            Tok::ColonColon => "::",
+            Tok::Semi => ";",
+            Tok::Arrow => "->",
+            Tok::Bar => "|",
+            Tok::Caret => "^",
+            Tok::Backslash => "\\",
+            Tok::Assign => "=",
+            Tok::EqEq => "==",
+            Tok::Neq => "!=",
+            Tok::Le => "<=",
+            Tok::Lt => "<",
+            Tok::Ge => ">=",
+            Tok::Gt => ">",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::AndAnd => "&&",
+            Tok::OrOr => "||",
+            Tok::Implies => "==>",
+            Tok::Iff => "<==>",
+            Tok::Bang => "!",
+            Tok::KwIf => "if",
+            Tok::KwThen => "then",
+            Tok::KwElse => "else",
+            Tok::KwMatch => "match",
+            Tok::KwWith => "with",
+            Tok::KwLet => "let",
+            Tok::KwIn => "in",
+            Tok::KwFix => "fix",
+            Tok::KwTick => "tick",
+            Tok::KwImpossible => "impossible",
+            Tok::KwTrue => "true",
+            Tok::KwFalse => "false",
+            Tok::KwNot => "not",
+            Tok::KwUnion => "union",
+            Tok::KwInter => "inter",
+            Tok::KwDiff => "diff",
+            Tok::KwSubset => "subset",
+            Tok::KwForall => "forall",
+            Tok::KwComponent => "component",
+            Tok::KwGoal => "goal",
+            Tok::KwMetric => "metric",
+            Tok::KwCost => "cost",
+            Tok::Ident(_) | Tok::UpperIdent(_) | Tok::Int(_) | Tok::Eof => "",
+        }
+    }
+}
+
+/// A token together with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "if" => Tok::KwIf,
+        "then" => Tok::KwThen,
+        "else" => Tok::KwElse,
+        "match" => Tok::KwMatch,
+        "with" => Tok::KwWith,
+        "let" => Tok::KwLet,
+        "in" => Tok::KwIn,
+        "fix" => Tok::KwFix,
+        "tick" => Tok::KwTick,
+        "impossible" => Tok::KwImpossible,
+        "true" | "True" => Tok::KwTrue,
+        "false" | "False" => Tok::KwFalse,
+        "not" => Tok::KwNot,
+        "union" => Tok::KwUnion,
+        "inter" => Tok::KwInter,
+        "diff" => Tok::KwDiff,
+        "subset" => Tok::KwSubset,
+        "forall" => Tok::KwForall,
+        "component" => Tok::KwComponent,
+        "goal" => Tok::KwGoal,
+        "metric" => Tok::KwMetric,
+        "cost" => Tok::KwCost,
+        _ => return None,
+    })
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Tokenize a source string.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unexpected characters or integer literals that
+/// do not fit in an `i64`.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, by: usize| {
+            for k in 0..by {
+                if chars[*i + k] == '\n' {
+                    *line += 1;
+                    *col = 1;
+                } else {
+                    *col += 1;
+                }
+            }
+            *i += by;
+        };
+
+        // Whitespace.
+        if c.is_whitespace() {
+            advance(&mut i, &mut line, &mut col, 1);
+            continue;
+        }
+        // Comments: `--` or `#` to end of line.
+        if c == '#' || (c == '-' && i + 1 < n && chars[i + 1] == '-') {
+            while i < n && chars[i] != '\n' {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            let word: String = chars[start..i].iter().collect();
+            let tok = keyword(&word).unwrap_or_else(|| {
+                if word.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                    Tok::UpperIdent(word)
+                } else {
+                    Tok::Ident(word)
+                }
+            });
+            out.push(Spanned {
+                tok,
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Integer literals.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && chars[i].is_ascii_digit() {
+                advance(&mut i, &mut line, &mut col, 1);
+            }
+            let digits: String = chars[start..i].iter().collect();
+            let value: i64 = digits.parse().map_err(|_| {
+                ParseError::new(tline, tcol, format!("integer literal `{digits}` overflows i64"))
+            })?;
+            out.push(Spanned {
+                tok: Tok::Int(value),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+        // Multi-character operators, longest first.
+        let rest: String = chars[i..n.min(i + 4)].iter().collect();
+        let multi: &[(&str, Tok)] = &[
+            ("<==>", Tok::Iff),
+            ("==>", Tok::Implies),
+            ("->", Tok::Arrow),
+            ("::", Tok::ColonColon),
+            ("==", Tok::EqEq),
+            ("!=", Tok::Neq),
+            ("<=", Tok::Le),
+            (">=", Tok::Ge),
+            ("&&", Tok::AndAnd),
+            ("||", Tok::OrOr),
+        ];
+        let mut matched = false;
+        for (s, tok) in multi {
+            if rest.starts_with(s) {
+                out.push(Spanned {
+                    tok: tok.clone(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance(&mut i, &mut line, &mut col, s.len());
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        // Single-character tokens.
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBracket,
+            ']' => Tok::RBracket,
+            ',' => Tok::Comma,
+            '.' => Tok::Dot,
+            ':' => Tok::Colon,
+            ';' => Tok::Semi,
+            '|' => Tok::Bar,
+            '^' => Tok::Caret,
+            '\\' => Tok::Backslash,
+            '=' => Tok::Assign,
+            '<' => Tok::Lt,
+            '>' => Tok::Gt,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '!' => Tok::Bang,
+            other => {
+                return Err(ParseError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        };
+        out.push(Spanned {
+            tok,
+            line: tline,
+            col: tcol,
+        });
+        advance(&mut i, &mut line, &mut col, 1);
+    }
+
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_keywords_and_primes() {
+        assert_eq!(
+            toks("append' xs _v True in"),
+            vec![
+                Tok::Ident("append'".into()),
+                Tok::Ident("xs".into()),
+                Tok::Ident("_v".into()),
+                Tok::KwTrue,
+                Tok::KwIn,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_upper_identifiers_as_constructors() {
+        assert_eq!(
+            toks("List SCons Bool"),
+            vec![
+                Tok::UpperIdent("List".into()),
+                Tok::UpperIdent("SCons".into()),
+                Tok::UpperIdent("Bool".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_longest_operator_first() {
+        assert_eq!(
+            toks("<==> ==> == = <= < -> - :: :"),
+            vec![
+                Tok::Iff,
+                Tok::Implies,
+                Tok::EqEq,
+                Tok::Assign,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Arrow,
+                Tok::Minus,
+                Tok::ColonColon,
+                Tok::Colon,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let spanned = tokenize("x -- a comment\n  + y").unwrap();
+        assert_eq!(spanned[0].tok, Tok::Ident("x".into()));
+        assert_eq!((spanned[0].line, spanned[0].col), (1, 1));
+        assert_eq!(spanned[1].tok, Tok::Plus);
+        assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
+        assert_eq!(spanned[2].tok, Tok::Ident("y".into()));
+        assert_eq!((spanned[2].line, spanned[2].col), (2, 5));
+    }
+
+    #[test]
+    fn hash_comments_are_supported() {
+        assert_eq!(toks("# nothing\n42"), vec![Tok::Int(42), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_unexpected_characters() {
+        let err = tokenize("x ? y").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+
+    #[test]
+    fn rejects_overflowing_integers() {
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_just_eof() {
+        assert_eq!(toks(""), vec![Tok::Eof]);
+        assert_eq!(toks("   -- only a comment"), vec![Tok::Eof]);
+    }
+}

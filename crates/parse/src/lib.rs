@@ -1,0 +1,174 @@
+//! Surface syntax for ReSyn-rs.
+//!
+//! The core library constructs refinement terms ([`resyn_logic::Term`]),
+//! Re² types ([`resyn_ty::types::Ty`] / [`Schema`](resyn_ty::types::Schema)),
+//! core-calculus programs ([`resyn_lang::Expr`]) and synthesis goals
+//! ([`resyn_synth::Goal`]) programmatically. This crate adds a small,
+//! Synquid-flavoured *surface syntax* for all four, so that goals and
+//! component libraries can be written as plain text:
+//!
+//! ```
+//! use resyn_parse::parse_problem;
+//!
+//! let problem = parse_problem(
+//!     r#"
+//!     -- The component library.
+//!     component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}
+//!     -- The synthesis goal: sorted insertion within |xs| recursive calls.
+//!     goal insert :: x: a -> xs: IList a^1 ->
+//!                    {IList a | elems _v == {x} union elems xs}
+//!     "#,
+//! )
+//! .expect("well-formed problem");
+//! let goals = problem.into_goals();
+//! assert_eq!(goals.len(), 1);
+//! assert_eq!(goals[0].name, "insert");
+//! assert_eq!(goals[0].components.len(), 1);
+//! ```
+//!
+//! # Syntax overview
+//!
+//! * **Refinement terms** — the quantifier-free logic of the paper:
+//!   `_v` is the value variable ν, `len xs` applies a measure,
+//!   `{x}`/`{}`/`{1, 2}` are set literals, `in`/`subset`/`union`/`inter`/
+//!   `diff` are the set operators, `==> <==> && || !` the connectives and
+//!   `if c then a else b` the conditional term.
+//! * **Types** — `Bool`, `Int`, type variables (lower-case), datatype
+//!   applications (`List a`, `IList {Int | _v > 0}`), refinements
+//!   `{List a | len _v == len xs}`, potential annotations `a^1`,
+//!   `Int^(_v - lo)` and dependent arrows `x: T -> U`. Schemas generalise
+//!   over the free type variables automatically, or explicitly with
+//!   `forall a b. T`.
+//! * **Programs** — the core calculus of Fig. 4: `\x. e`, `fix f x. e`,
+//!   `let x = e in e`, `if`/`then`/`else`, `match e with | C x xs -> e | ...`,
+//!   `tick(c, e)` and `impossible`.
+//! * **Problem files** — `component NAME :: TYPE` and `goal NAME :: TYPE`
+//!   declarations plus an optional `metric` directive; `--` starts a line
+//!   comment.
+//!
+//! The [`surface`] module pretty-prints all four syntactic categories back to
+//! parseable text, and the property tests in this crate round-trip random
+//! terms, types and programs through print-then-parse.
+
+pub mod cursor;
+pub mod expr;
+pub mod lexer;
+pub mod problem;
+pub mod surface;
+pub mod term;
+pub mod types;
+
+#[cfg(test)]
+mod proptests;
+
+use std::fmt;
+
+pub use cursor::Cursor;
+pub use lexer::{tokenize, Tok};
+pub use problem::{parse_problem, ParsedProblem};
+
+/// A parse error with the source position (1-based line and column) at which
+/// it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Construct an error at an explicit position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a refinement term (the logic of `{B | ψ}` refinements and potential
+/// annotations).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed term or has
+/// trailing tokens.
+pub fn parse_term(input: &str) -> Result<resyn_logic::Term, ParseError> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    let t = term::parse(&mut cur)?;
+    cur.expect_eof()?;
+    Ok(t)
+}
+
+/// Parse a Re² type (no schema generalisation).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed type or has
+/// trailing tokens.
+pub fn parse_type(input: &str) -> Result<resyn_ty::types::Ty, ParseError> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    let t = types::parse_type(&mut cur)?;
+    cur.expect_eof()?;
+    Ok(t)
+}
+
+/// Parse a type schema: an optional `forall a b.` prefix followed by a type.
+/// Without an explicit prefix, the schema generalises over every type
+/// variable that occurs free in the type, in order of first occurrence.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed schema or has
+/// trailing tokens.
+pub fn parse_schema(input: &str) -> Result<resyn_ty::types::Schema, ParseError> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    let s = types::parse_schema(&mut cur)?;
+    cur.expect_eof()?;
+    Ok(s)
+}
+
+/// Parse a core-calculus program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a well-formed expression or
+/// has trailing tokens.
+pub fn parse_expr(input: &str) -> Result<resyn_lang::Expr, ParseError> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    let e = expr::parse(&mut cur)?;
+    cur.expect_eof()?;
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_level_parsers_reject_trailing_tokens() {
+        assert!(parse_term("x + 1 )").is_err());
+        assert!(parse_type("Int Int").is_err());
+        assert!(parse_expr("x y )").is_err());
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse_term("x +\n  *").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.col >= 1);
+        assert!(!err.to_string().is_empty());
+    }
+}

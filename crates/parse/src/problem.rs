@@ -1,0 +1,251 @@
+//! Parser for synthesis *problem files*: a component library, an optional
+//! cost-metric directive and one or more goals, in the style of Synquid input
+//! files.
+//!
+//! ```text
+//! -- Components the synthesizer may call.
+//! component leq    :: x: a -> y: a -> {Bool | _v <==> x <= y}
+//! component append :: xs: List a^1 -> ys: List a ->
+//!                     {List a | len _v == len xs + len ys}
+//!
+//! -- Optional: how programs are charged ("recursive-calls" is the default).
+//! metric recursive-calls
+//! -- Per-component costs can be given instead:
+//! -- metric cost append 1 cost member 1
+//!
+//! -- The functions to synthesize.
+//! goal triple :: l: List Int^2 -> {List Int | len _v == 3 * len l}
+//! ```
+
+use std::collections::BTreeMap;
+
+use resyn_lang::CostMetric;
+use resyn_synth::Goal;
+use resyn_ty::types::Schema;
+
+use crate::cursor::Cursor;
+use crate::lexer::{tokenize, Tok};
+use crate::types;
+use crate::ParseError;
+
+/// A parsed problem file: named component schemas, named goal schemas and the
+/// cost metric shared by every goal.
+#[derive(Debug, Clone)]
+pub struct ParsedProblem {
+    /// Component signatures, in declaration order.
+    pub components: Vec<(String, Schema)>,
+    /// Goal signatures, in declaration order.
+    pub goals: Vec<(String, Schema)>,
+    /// The cost metric declared by the `metric` directive (defaults to
+    /// counting recursive calls, as in the paper's evaluation).
+    pub metric: CostMetric,
+}
+
+impl ParsedProblem {
+    /// Build one [`Goal`] per `goal` declaration, each sharing the full
+    /// component library and the declared metric.
+    pub fn into_goals(self) -> Vec<Goal> {
+        let components: Vec<(&str, Schema)> = self
+            .components
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.clone()))
+            .collect();
+        self.goals
+            .iter()
+            .map(|(name, schema)| {
+                let mut goal = Goal::new(name.clone(), schema.clone(), components.clone());
+                goal.metric = self.metric.clone();
+                goal
+            })
+            .collect()
+    }
+}
+
+/// Parse a problem file.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for syntax errors, duplicate declarations or a
+/// file with no `goal` declaration.
+pub fn parse_problem(input: &str) -> Result<ParsedProblem, ParseError> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    let mut components: Vec<(String, Schema)> = Vec::new();
+    let mut goals: Vec<(String, Schema)> = Vec::new();
+    let mut metric = CostMetric::RecursiveCalls;
+
+    while !cur.is_eof() {
+        match cur.peek().clone() {
+            Tok::KwComponent => {
+                cur.next();
+                let (name, schema) = parse_signature(&mut cur)?;
+                if components.iter().any(|(n, _)| n == &name) {
+                    return Err(cur.error(format!("component `{name}` is declared twice")));
+                }
+                components.push((name, schema));
+            }
+            Tok::KwGoal => {
+                cur.next();
+                let (name, schema) = parse_signature(&mut cur)?;
+                if goals.iter().any(|(n, _)| n == &name) {
+                    return Err(cur.error(format!("goal `{name}` is declared twice")));
+                }
+                goals.push((name, schema));
+            }
+            Tok::KwMetric => {
+                cur.next();
+                metric = parse_metric(&mut cur)?;
+            }
+            other => {
+                return Err(cur.error(format!(
+                    "expected `component`, `goal` or `metric`, found {}",
+                    other.describe()
+                )))
+            }
+        }
+    }
+
+    if goals.is_empty() {
+        return Err(cur.error("a problem file needs at least one `goal` declaration"));
+    }
+    Ok(ParsedProblem {
+        components,
+        goals,
+        metric,
+    })
+}
+
+fn parse_signature(cur: &mut Cursor) -> Result<(String, Schema), ParseError> {
+    let name = cur.expect_ident()?;
+    cur.expect(&Tok::ColonColon)?;
+    let schema = types::parse_schema(cur)?;
+    Ok((name, schema))
+}
+
+fn parse_metric(cur: &mut Cursor) -> Result<CostMetric, ParseError> {
+    match cur.peek().clone() {
+        Tok::Ident(name) if name == "recursive-calls" || name == "recursive" => {
+            cur.next();
+            // Accept the hyphenated spelling, which the lexer splits into
+            // `recursive`, `-`, `calls`.
+            if cur.at(&Tok::Minus) {
+                cur.next();
+                cur.expect_ident()?;
+            }
+            Ok(CostMetric::RecursiveCalls)
+        }
+        Tok::Ident(name) if name == "all" => {
+            cur.next();
+            if cur.at(&Tok::Minus) {
+                cur.next();
+                cur.expect_ident()?;
+            }
+            Ok(CostMetric::AllApplications)
+        }
+        Tok::KwCost => {
+            let mut costs = BTreeMap::new();
+            while cur.eat(&Tok::KwCost) {
+                let component = cur.expect_ident()?;
+                let amount = cur.expect_int()?;
+                costs.insert(component, amount);
+            }
+            Ok(CostMetric::PerComponent(costs))
+        }
+        other => Err(cur.error(format!(
+            "expected `recursive-calls`, `all-applications` or `cost NAME N`, found {}",
+            other.describe()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_logic::Term;
+    use resyn_ty::types::{BaseType, Ty};
+
+    const INSERT_PROBLEM: &str = r"
+        -- Sorted insertion within |xs| recursive calls.
+        component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}
+        goal insert :: x: a -> xs: IList a^1 ->
+                       {IList a | elems _v == {x} union elems xs}
+    ";
+
+    #[test]
+    fn parses_components_goals_and_builds_goal_values() {
+        let problem = parse_problem(INSERT_PROBLEM).unwrap();
+        assert_eq!(problem.components.len(), 1);
+        assert_eq!(problem.goals.len(), 1);
+        assert_eq!(problem.metric, CostMetric::RecursiveCalls);
+
+        let goals = problem.into_goals();
+        assert_eq!(goals.len(), 1);
+        let goal = &goals[0];
+        assert_eq!(goal.name, "insert");
+        assert!(goal.components.contains_key("leq"));
+        // The goal schema matches the programmatic construction used by the
+        // benchmark suite.
+        let expected = Schema::poly(
+            vec!["a"],
+            Ty::fun(
+                vec![
+                    ("x", Ty::tvar("a")),
+                    (
+                        "xs",
+                        Ty::data("IList", vec![Ty::tvar("a").with_potential(Term::int(1))]),
+                    ),
+                ],
+                Ty::refined(
+                    BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()])
+                        .eq_(Term::var("x").singleton().union(Term::app(
+                            "elems",
+                            vec![Term::var("xs")],
+                        ))),
+                ),
+            ),
+        );
+        assert_eq!(goal.schema, expected);
+    }
+
+    #[test]
+    fn metric_directives() {
+        let p = parse_problem(
+            "metric all-applications\n goal f :: x: Int -> {Int | _v == x}",
+        )
+        .unwrap();
+        assert_eq!(p.metric, CostMetric::AllApplications);
+
+        let p = parse_problem(
+            "metric cost append 1 cost member 2\n goal f :: x: Int -> {Int | _v == x}",
+        )
+        .unwrap();
+        match p.metric {
+            CostMetric::PerComponent(costs) => {
+                assert_eq!(costs.get("append"), Some(&1));
+                assert_eq!(costs.get("member"), Some(&2));
+            }
+            other => panic!("expected per-component costs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn several_goals_share_the_component_library() {
+        let p = parse_problem(
+            "component inc :: x: Int -> {Int | _v == x + 1}\n\
+             goal f :: x: Int -> {Int | _v == x + 1}\n\
+             goal g :: x: Int -> {Int | _v == x + 2}",
+        )
+        .unwrap();
+        let goals = p.into_goals();
+        assert_eq!(goals.len(), 2);
+        assert!(goals.iter().all(|g| g.components.contains_key("inc")));
+    }
+
+    #[test]
+    fn rejects_duplicates_missing_goals_and_junk() {
+        assert!(parse_problem("component f :: Int -> Int\ncomponent f :: Int -> Int\ngoal g :: Int -> Int").is_err());
+        assert!(parse_problem("component f :: Int -> Int").is_err());
+        assert!(parse_problem("data Foo").is_err());
+        assert!(parse_problem("goal g : Int -> Int").is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property tests: random terms, types and programs survive a round trip
+//! through the surface printer and the parser unchanged.
+
+use proptest::prelude::*;
+
+use resyn_lang::{Expr, MatchArm};
+use resyn_logic::Term;
+use resyn_ty::types::{BaseType, Ty};
+
+use crate::surface::{expr_to_surface, term_to_surface, ty_to_surface};
+use crate::{parse_expr, parse_term, parse_type};
+
+fn var_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("xs".to_string()),
+        Just("l2".to_string()),
+        Just("acc'".to_string()),
+        Just("_v".to_string()),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        var_name().prop_map(Term::var),
+        (-50i64..50).prop_map(Term::int),
+        Just(Term::tt()),
+        Just(Term::ff()),
+        Just(Term::EmptySet),
+        proptest::collection::btree_set(-20i64..20, 2..4).prop_map(Term::SetLit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq_(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.le(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.member(b)),
+            inner.clone().prop_map(Term::not),
+            inner.clone().prop_map(|t| t.singleton()),
+            (1i64..5, inner.clone()).prop_map(|(k, t)| t.times(k)),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Term::ite(c, t, e)),
+            (var_name(), proptest::collection::vec(var_name().prop_map(Term::var), 1..3))
+                .prop_map(|(m, args)| Term::app(m, args)),
+        ]
+    })
+}
+
+fn arb_base() -> impl Strategy<Value = BaseType> {
+    prop_oneof![
+        Just(BaseType::Bool),
+        Just(BaseType::Int),
+        Just(BaseType::TVar("a".to_string())),
+        Just(BaseType::TVar("b".to_string())),
+    ]
+}
+
+fn arb_ty() -> impl Strategy<Value = Ty> {
+    let scalar = (arb_base(), arb_term(), prop_oneof![
+        Just(Term::int(0)),
+        Just(Term::int(1)),
+        Just(Term::value_var()),
+        Just(Term::value_var() - Term::var("lo")),
+    ])
+    .prop_map(|(base, refinement, potential)| {
+        let ty = Ty::refined(base, refinement);
+        if potential.is_zero() {
+            ty
+        } else {
+            ty.with_potential(potential)
+        }
+    });
+    let leaf = prop_oneof![
+        Just(Ty::int()),
+        Just(Ty::bool()),
+        Just(Ty::tvar("a")),
+        scalar,
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|t| Ty::data("List", vec![t])),
+            inner.clone().prop_map(|t| Ty::data("IList", vec![t])),
+            (var_name(), inner.clone(), inner.clone())
+                .prop_map(|(x, a, b)| Ty::arrow(sanitize(&x), a, b)),
+        ]
+    })
+}
+
+/// Parameter names must not collide with the value variable `_v`.
+fn sanitize(name: &str) -> String {
+    if name == "_v" {
+        "v0".to_string()
+    } else {
+        name.to_string()
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        var_name().prop_map(|v| Expr::var(sanitize(&v))),
+        (-20i64..20).prop_map(Expr::int),
+        Just(Expr::bool(true)),
+        Just(Expr::bool(false)),
+        Just(Expr::nil()),
+        Just(Expr::Impossible),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::cons(a, b)),
+            (var_name(), inner.clone()).prop_map(|(x, b)| Expr::lambda(sanitize(&x), b)),
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| Expr::app(f, a)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+            (var_name(), inner.clone(), inner.clone())
+                .prop_map(|(x, b, e)| Expr::let_(sanitize(&x), b, e)),
+            (1i64..4, inner.clone()).prop_map(|(c, e)| Expr::tick(c, e)),
+            (inner.clone(), inner.clone(), var_name(), var_name(), inner.clone()).prop_map(
+                |(s, nil_body, h, t, cons_body)| {
+                    let (h, t) = (sanitize(&h), format!("{}t", sanitize(&t)));
+                    Expr::match_(
+                        s,
+                        vec![
+                            MatchArm {
+                                ctor: "Nil".to_string(),
+                                binders: vec![],
+                                body: nil_body,
+                            },
+                            MatchArm {
+                                ctor: "Cons".to_string(),
+                                binders: vec![h, t],
+                                body: cons_body,
+                            },
+                        ],
+                    )
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn terms_round_trip(t in arb_term()) {
+        let printed = term_to_surface(&t);
+        let reparsed = parse_term(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn types_round_trip(t in arb_ty()) {
+        let printed = ty_to_surface(&t);
+        let reparsed = parse_type(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(t, reparsed);
+    }
+
+    #[test]
+    fn exprs_round_trip(e in arb_expr()) {
+        let printed = expr_to_surface(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+        prop_assert_eq!(e, reparsed);
+    }
+
+    #[test]
+    fn printed_terms_never_panic_the_lexer(t in arb_term()) {
+        let printed = term_to_surface(&t);
+        prop_assert!(crate::tokenize(&printed).is_ok());
+    }
+}

@@ -1,0 +1,330 @@
+//! Pretty-printing back to the surface syntax.
+//!
+//! The printers in this module produce text that the parsers in this crate
+//! accept and map back to the *same* abstract syntax (verified by the
+//! round-trip property tests). To keep that guarantee simple they
+//! parenthesise generously rather than minimally.
+
+use resyn_lang::Expr;
+use resyn_logic::{BinOp, Term, UnOp};
+use resyn_ty::types::{BaseType, Schema, Ty};
+
+/// Render a refinement term in surface syntax.
+///
+/// [`Term::Unknown`] placeholders have no surface form; they are rendered as
+/// `?name`, which the parser deliberately rejects.
+pub fn term_to_surface(term: &Term) -> String {
+    match term {
+        Term::Var(x) => x.clone(),
+        Term::Bool(true) => "true".to_string(),
+        Term::Bool(false) => "false".to_string(),
+        Term::Int(n) => {
+            if *n < 0 {
+                format!("({n})")
+            } else {
+                n.to_string()
+            }
+        }
+        Term::EmptySet => "{}".to_string(),
+        Term::Singleton(t) => format!("{{{}}}", term_to_surface(t)),
+        Term::SetLit(elems) => {
+            let inner: Vec<String> = elems.iter().map(i64::to_string).collect();
+            format!("{{{}}}", inner.join(", "))
+        }
+        Term::Unary(UnOp::Not, t) => format!("(!({}))", term_to_surface(t)),
+        Term::Unary(UnOp::Neg, t) => format!("(-({}))", term_to_surface(t)),
+        Term::Binary(op, l, r) => format!(
+            "({} {} {})",
+            term_to_surface(l),
+            binop_symbol(*op),
+            term_to_surface(r)
+        ),
+        Term::Mul(k, t) => format!("({k} * {})", term_to_surface(t)),
+        Term::Ite(c, t, e) => format!(
+            "(if {} then {} else {})",
+            term_to_surface(c),
+            term_to_surface(t),
+            term_to_surface(e)
+        ),
+        Term::App(name, args) => {
+            let rendered: Vec<String> = args.iter().map(|a| atomize(term_to_surface(a))).collect();
+            format!("({name} {})", rendered.join(" "))
+        }
+        Term::Unknown(name, _) => format!("?{name}"),
+    }
+}
+
+fn atomize(s: String) -> String {
+    let already_atomic = s
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '\'')
+        || s.starts_with('(')
+        || s.starts_with('{');
+    if already_atomic {
+        s
+    } else {
+        format!("({s})")
+    }
+}
+
+fn binop_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Implies => "==>",
+        BinOp::Iff => "<==>",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Eq => "==",
+        BinOp::Neq => "!=",
+        BinOp::Le => "<=",
+        BinOp::Lt => "<",
+        BinOp::Ge => ">=",
+        BinOp::Gt => ">",
+        BinOp::Union => "union",
+        BinOp::Intersect => "inter",
+        BinOp::Diff => "diff",
+        BinOp::Member => "in",
+        BinOp::Subset => "subset",
+    }
+}
+
+/// Render a Re² type in surface syntax.
+pub fn ty_to_surface(ty: &Ty) -> String {
+    match ty {
+        Ty::Scalar {
+            base,
+            refinement,
+            potential,
+        } => {
+            let core = if refinement.is_true() {
+                base_to_surface(base)
+            } else {
+                format!(
+                    "{{{} | {}}}",
+                    base_to_surface(base),
+                    term_to_surface(refinement)
+                )
+            };
+            if potential.is_zero() {
+                core
+            } else {
+                // A refined or applied core is already atomic for `^`; plain
+                // datatype applications need parentheses so the annotation
+                // attaches to the whole type rather than the last argument.
+                let needs_parens = !core.starts_with('{') && core.contains(' ');
+                let core = if needs_parens { format!("({core})") } else { core };
+                format!("{core}^({})", term_to_surface(potential))
+            }
+        }
+        Ty::Arrow {
+            param,
+            param_ty,
+            ret,
+            ..
+        } => {
+            let lhs = if param_ty.is_arrow() {
+                format!("({})", ty_to_surface(param_ty))
+            } else {
+                ty_to_surface(param_ty)
+            };
+            format!("{param}: {lhs} -> {}", ty_to_surface(ret))
+        }
+    }
+}
+
+fn base_to_surface(base: &BaseType) -> String {
+    match base {
+        BaseType::Bool => "Bool".to_string(),
+        BaseType::Int => "Int".to_string(),
+        BaseType::TVar(a) => a.clone(),
+        BaseType::Data(name, args) => {
+            let mut out = name.clone();
+            for arg in args {
+                let rendered = ty_to_surface(arg);
+                let atomic = !rendered.contains(' ')
+                    || rendered.starts_with('{')
+                    || rendered.starts_with('(');
+                if atomic {
+                    out.push(' ');
+                    out.push_str(&rendered);
+                } else {
+                    out.push_str(&format!(" ({rendered})"));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Render a type schema, with an explicit `forall` prefix when polymorphic.
+pub fn schema_to_surface(schema: &Schema) -> String {
+    if schema.tyvars.is_empty() {
+        ty_to_surface(&schema.ty)
+    } else {
+        format!("forall {}. {}", schema.tyvars.join(" "), ty_to_surface(&schema.ty))
+    }
+}
+
+/// Render a core-calculus program in surface syntax.
+pub fn expr_to_surface(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(x) => x.clone(),
+        Expr::Bool(true) => "true".to_string(),
+        Expr::Bool(false) => "false".to_string(),
+        Expr::Int(n) => {
+            if *n < 0 {
+                format!("({n})")
+            } else {
+                n.to_string()
+            }
+        }
+        Expr::Ctor(name, args) => {
+            let mut out = name.clone();
+            for arg in args {
+                out.push(' ');
+                out.push_str(&expr_atom(arg));
+            }
+            out
+        }
+        Expr::Lambda(x, body) => format!("\\{x}. {}", expr_to_surface(body)),
+        Expr::Fix(f, x, body) => format!("fix {f} {x}. {}", expr_to_surface(body)),
+        Expr::App(_, _) => {
+            let (head, args) = uncurry_app(expr);
+            // A constructor head must be parenthesised even when nullary,
+            // otherwise `Nil z` would re-parse as the saturated constructor
+            // `Nil z` rather than an application of `Nil` to `z`.
+            let mut out = if matches!(head, Expr::Ctor(_, _)) {
+                format!("({})", expr_to_surface(head))
+            } else {
+                expr_atom(head)
+            };
+            for arg in args {
+                out.push(' ');
+                out.push_str(&expr_atom(arg));
+            }
+            out
+        }
+        Expr::Ite(c, t, e) => format!(
+            "if {} then {} else {}",
+            expr_atom(c),
+            expr_atom(t),
+            expr_atom(e)
+        ),
+        Expr::Match(scrutinee, arms) => {
+            let mut out = format!("match {} with", expr_atom(scrutinee));
+            for arm in arms {
+                out.push_str(&format!(" | {}", arm.ctor));
+                for b in &arm.binders {
+                    out.push(' ');
+                    out.push_str(b);
+                }
+                out.push_str(&format!(" -> {}", expr_atom(&arm.body)));
+            }
+            out
+        }
+        Expr::Let(x, bound, body) => format!(
+            "let {x} = {} in {}",
+            expr_atom(bound),
+            expr_to_surface(body)
+        ),
+        Expr::Impossible => "impossible".to_string(),
+        Expr::Tick(c, body) => format!("tick({c}, {})", expr_to_surface(body)),
+    }
+}
+
+fn uncurry_app(expr: &Expr) -> (&Expr, Vec<&Expr>) {
+    let mut args = Vec::new();
+    let mut head = expr;
+    while let Expr::App(f, a) = head {
+        args.push(a.as_ref());
+        head = f.as_ref();
+    }
+    args.reverse();
+    (head, args)
+}
+
+fn expr_atom(expr: &Expr) -> String {
+    match expr {
+        Expr::Var(_) | Expr::Int(_) | Expr::Bool(_) | Expr::Impossible => expr_to_surface(expr),
+        Expr::Ctor(_, args) if args.is_empty() => expr_to_surface(expr),
+        _ => format!("({})", expr_to_surface(expr)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_expr, parse_schema, parse_term, parse_type};
+
+    #[test]
+    fn terms_round_trip_through_the_printer() {
+        let samples = [
+            "len _v == len xs + len ys",
+            "elems _v == {x} union elems xs",
+            "_v <==> x <= y",
+            "numgt x xs <= 3 * len xs",
+            "if _v < x then 1 else 0",
+            "!(a && b) || c",
+            "{1, 2, 5} subset elems l",
+        ];
+        for s in samples {
+            let parsed = parse_term(s).unwrap();
+            let printed = term_to_surface(&parsed);
+            let reparsed = parse_term(&printed)
+                .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+            assert_eq!(parsed, reparsed, "term `{s}` changed through print/parse");
+        }
+    }
+
+    #[test]
+    fn types_round_trip_through_the_printer() {
+        let samples = [
+            "x: a -> xs: IList a^1 -> {IList a | elems _v == {x} union elems xs}",
+            "n: {Int | _v >= 0}^_v -> x: a -> {List a | len _v == n}",
+            "lo: Int -> hi: {Int | _v >= lo}^(_v - lo) -> {List Int | len _v == hi - lo}",
+            "f: (a -> b) -> List a -> List b",
+            "(List a)^(len _v)",
+        ];
+        for s in samples {
+            let parsed = parse_type(s).unwrap();
+            let printed = ty_to_surface(&parsed);
+            let reparsed = parse_type(&printed)
+                .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+            assert_eq!(parsed, reparsed, "type `{s}` changed through print/parse");
+        }
+    }
+
+    #[test]
+    fn schemas_print_with_forall() {
+        let s = parse_schema("x: a -> y: a -> {Bool | _v <==> x <= y}").unwrap();
+        let printed = schema_to_surface(&s);
+        assert!(printed.starts_with("forall a."));
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(s, reparsed);
+    }
+
+    #[test]
+    fn programs_round_trip_through_the_printer() {
+        let samples = [
+            r"fix insert x. \xs. match xs with | INil -> ICons x INil | ICons h t -> (if (leq x h) then (ICons x (ICons h t)) else (let r = insert x t in ICons h r))",
+            "tick(1, f x y)",
+            "let r = append l l in append l r",
+            "[1, 2, 3]",
+        ];
+        for s in samples {
+            let parsed = parse_expr(s).unwrap();
+            let printed = expr_to_surface(&parsed);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
+            assert_eq!(parsed, reparsed, "program `{s}` changed through print/parse");
+        }
+    }
+
+    #[test]
+    fn unknowns_have_no_parseable_surface_form() {
+        let t = resyn_logic::Term::unknown("U0");
+        let printed = term_to_surface(&t);
+        assert!(parse_term(&printed).is_err());
+    }
+}

@@ -1,0 +1,393 @@
+//! Parser for refinement terms.
+//!
+//! Operator precedence, loosest to tightest:
+//!
+//! 1. `<==>` (left-associative)
+//! 2. `==>` (right-associative)
+//! 3. `||`
+//! 4. `&&`
+//! 5. `!` / `not`
+//! 6. comparisons and membership: `== != <= < >= > in subset` (non-associative)
+//! 7. set operators `union`, `inter`, `diff` (left-associative)
+//! 8. `+` / `-` (left-associative)
+//! 9. `*` (one operand must be an integer literal; linear arithmetic only)
+//! 10. unary `-`
+//! 11. application of a measure to atoms (`len xs`, `numgt x xs`)
+//! 12. atoms: variables, literals, set literals `{} {x} {1, 2}`,
+//!     `if c then a else b`, parenthesised terms.
+
+use resyn_logic::Term;
+
+use crate::cursor::Cursor;
+use crate::lexer::Tok;
+use crate::ParseError;
+
+/// Parse a full term from the cursor.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse(cur: &mut Cursor) -> Result<Term, ParseError> {
+    parse_iff(cur)
+}
+
+fn parse_iff(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_implies(cur)?;
+    while cur.eat(&Tok::Iff) {
+        let rhs = parse_implies(cur)?;
+        lhs = lhs.iff(rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_implies(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let lhs = parse_or(cur)?;
+    if cur.eat(&Tok::Implies) {
+        let rhs = parse_implies(cur)?;
+        Ok(lhs.implies(rhs))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn parse_or(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_and(cur)?;
+    while cur.eat(&Tok::OrOr) {
+        let rhs = parse_and(cur)?;
+        lhs = lhs.or(rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_and(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_not(cur)?;
+    while cur.eat(&Tok::AndAnd) {
+        let rhs = parse_not(cur)?;
+        lhs = lhs.and(rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_not(cur: &mut Cursor) -> Result<Term, ParseError> {
+    if cur.eat(&Tok::Bang) || cur.eat(&Tok::KwNot) {
+        let operand = parse_not(cur)?;
+        Ok(operand.not())
+    } else {
+        parse_cmp(cur)
+    }
+}
+
+fn parse_cmp(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let lhs = parse_setop(cur)?;
+    let op = cur.peek().clone();
+    let build: Option<fn(Term, Term) -> Term> = match op {
+        Tok::EqEq | Tok::Assign => Some(Term::eq_),
+        Tok::Neq => Some(Term::neq),
+        Tok::Le => Some(Term::le),
+        Tok::Lt => Some(Term::lt),
+        Tok::Ge => Some(Term::ge),
+        Tok::Gt => Some(Term::gt),
+        Tok::KwIn => Some(Term::member),
+        Tok::KwSubset => Some(Term::subset),
+        _ => None,
+    };
+    match build {
+        Some(f) => {
+            cur.next();
+            let rhs = parse_setop(cur)?;
+            Ok(f(lhs, rhs))
+        }
+        None => Ok(lhs),
+    }
+}
+
+fn parse_setop(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_addsub(cur)?;
+    loop {
+        if cur.eat(&Tok::KwUnion) {
+            let rhs = parse_addsub(cur)?;
+            lhs = lhs.union(rhs);
+        } else if cur.eat(&Tok::KwInter) {
+            let rhs = parse_addsub(cur)?;
+            lhs = lhs.intersect(rhs);
+        } else if cur.eat(&Tok::KwDiff) {
+            let rhs = parse_addsub(cur)?;
+            lhs = lhs.diff(rhs);
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_addsub(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_mul(cur)?;
+    loop {
+        if cur.eat(&Tok::Plus) {
+            let rhs = parse_mul(cur)?;
+            lhs = lhs + rhs;
+        } else if cur.eat(&Tok::Minus) {
+            let rhs = parse_mul(cur)?;
+            lhs = lhs - rhs;
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_mul(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let mut lhs = parse_unary_minus(cur)?;
+    while cur.at(&Tok::Star) {
+        let err = cur.error(
+            "multiplication requires an integer-literal operand (linear arithmetic only)",
+        );
+        cur.next();
+        let rhs = parse_unary_minus(cur)?;
+        lhs = match (&lhs, &rhs) {
+            (Term::Int(k), _) => rhs.clone().times(*k),
+            (_, Term::Int(k)) => lhs.clone().times(*k),
+            _ => return Err(err),
+        };
+    }
+    Ok(lhs)
+}
+
+fn parse_unary_minus(cur: &mut Cursor) -> Result<Term, ParseError> {
+    if cur.eat(&Tok::Minus) {
+        let operand = parse_unary_minus(cur)?;
+        // Fold negation of literals so `-3` parses to an integer literal.
+        Ok(match operand {
+            Term::Int(n) => Term::int(-n),
+            other => other.neg(),
+        })
+    } else {
+        parse_app(cur)
+    }
+}
+
+/// Whether a token can start an atom (used to detect application arguments).
+fn starts_atom(tok: &Tok) -> bool {
+    matches!(
+        tok,
+        Tok::Ident(_) | Tok::Int(_) | Tok::KwTrue | Tok::KwFalse | Tok::LParen | Tok::LBrace
+    )
+}
+
+fn parse_app(cur: &mut Cursor) -> Result<Term, ParseError> {
+    let head_is_name = matches!(cur.peek(), Tok::Ident(_));
+    let head = parse_atom(cur)?;
+    if !head_is_name || !starts_atom(cur.peek()) {
+        return Ok(head);
+    }
+    // Measure / uninterpreted-function application: `len xs`, `numgt x xs`.
+    let name = match head {
+        Term::Var(name) => name,
+        _ => return Err(cur.error("only named measures can be applied")),
+    };
+    let mut args = Vec::new();
+    while starts_atom(cur.peek()) {
+        args.push(parse_atom(cur)?);
+    }
+    Ok(Term::app(name, args))
+}
+
+fn parse_atom(cur: &mut Cursor) -> Result<Term, ParseError> {
+    match cur.peek().clone() {
+        // Negation is also accepted in atom position (e.g. as a comparison
+        // operand), where it binds to the following atom only.
+        Tok::Bang | Tok::KwNot => {
+            cur.next();
+            let operand = parse_atom(cur)?;
+            Ok(operand.not())
+        }
+        Tok::Int(n) => {
+            cur.next();
+            Ok(Term::int(n))
+        }
+        Tok::KwTrue => {
+            cur.next();
+            Ok(Term::tt())
+        }
+        Tok::KwFalse => {
+            cur.next();
+            Ok(Term::ff())
+        }
+        Tok::Ident(name) => {
+            cur.next();
+            Ok(Term::var(name))
+        }
+        Tok::LParen => {
+            cur.next();
+            let inner = parse(cur)?;
+            cur.expect(&Tok::RParen)?;
+            Ok(inner)
+        }
+        Tok::LBrace => parse_set_literal(cur),
+        Tok::KwIf => {
+            cur.next();
+            let cond = parse(cur)?;
+            cur.expect(&Tok::KwThen)?;
+            let then = parse(cur)?;
+            cur.expect(&Tok::KwElse)?;
+            let els = parse(cur)?;
+            Ok(Term::ite(cond, then, els))
+        }
+        other => Err(cur.error(format!("expected a term, found {}", other.describe()))),
+    }
+}
+
+fn parse_set_literal(cur: &mut Cursor) -> Result<Term, ParseError> {
+    cur.expect(&Tok::LBrace)?;
+    if cur.eat(&Tok::RBrace) {
+        return Ok(Term::EmptySet);
+    }
+    let first = parse(cur)?;
+    if cur.eat(&Tok::RBrace) {
+        return Ok(first.singleton());
+    }
+    // A multi-element literal: every element must be an integer constant.
+    let mut elements = std::collections::BTreeSet::new();
+    let as_int = |t: &Term, cur: &Cursor| match t {
+        Term::Int(n) => Ok(*n),
+        _ => Err(cur.error("multi-element set literals may only contain integer constants")),
+    };
+    elements.insert(as_int(&first, cur)?);
+    while cur.eat(&Tok::Comma) {
+        let next = parse(cur)?;
+        elements.insert(as_int(&next, cur)?);
+    }
+    cur.expect(&Tok::RBrace)?;
+    Ok(Term::SetLit(elements))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_term;
+    use resyn_logic::VALUE_VAR;
+
+    #[test]
+    fn value_variable_and_comparisons() {
+        assert_eq!(
+            parse_term("_v >= 0").unwrap(),
+            Term::value_var().ge(Term::int(0))
+        );
+        assert_eq!(parse_term(VALUE_VAR).unwrap(), Term::value_var());
+    }
+
+    #[test]
+    fn measure_applications_take_atoms() {
+        assert_eq!(
+            parse_term("len _v == len xs + len ys").unwrap(),
+            Term::app("len", vec![Term::value_var()]).eq_(
+                Term::app("len", vec![Term::var("xs")]) + Term::app("len", vec![Term::var("ys")])
+            )
+        );
+        assert_eq!(
+            parse_term("numgt x xs").unwrap(),
+            Term::app("numgt", vec![Term::var("x"), Term::var("xs")])
+        );
+    }
+
+    #[test]
+    fn equality_accepts_single_and_double_equals() {
+        assert_eq!(parse_term("x = y").unwrap(), parse_term("x == y").unwrap());
+    }
+
+    #[test]
+    fn set_literals_and_operators() {
+        assert_eq!(parse_term("{}").unwrap(), Term::EmptySet);
+        assert_eq!(
+            parse_term("{x}").unwrap(),
+            Term::var("x").singleton()
+        );
+        assert_eq!(
+            parse_term("{1, 3, 2}").unwrap(),
+            Term::SetLit([1, 2, 3].into_iter().collect())
+        );
+        assert_eq!(
+            parse_term("elems _v == {x} union elems xs").unwrap(),
+            Term::app("elems", vec![Term::value_var()])
+                .eq_(Term::var("x").singleton().union(Term::app("elems", vec![Term::var("xs")])))
+        );
+        assert_eq!(
+            parse_term("x in elems l && s subset t").unwrap(),
+            Term::var("x")
+                .member(Term::app("elems", vec![Term::var("l")]))
+                .and(Term::var("s").subset(Term::var("t")))
+        );
+        assert!(parse_term("{x, y}").is_err(), "non-constant multi-element set");
+    }
+
+    #[test]
+    fn connective_precedence_and_associativity() {
+        // a ==> b ==> c is right-associative.
+        assert_eq!(
+            parse_term("a ==> b ==> c").unwrap(),
+            Term::var("a").implies(Term::var("b").implies(Term::var("c")))
+        );
+        // && binds tighter than ||, comparisons tighter than &&.
+        assert_eq!(
+            parse_term("p || q && x <= y").unwrap(),
+            Term::var("p").or(Term::var("q").and(Term::var("x").le(Term::var("y"))))
+        );
+        // <==> is looser than ==>.
+        assert_eq!(
+            parse_term("a <==> b ==> c").unwrap(),
+            Term::var("a").iff(Term::var("b").implies(Term::var("c")))
+        );
+    }
+
+    #[test]
+    fn arithmetic_precedence_and_linear_multiplication() {
+        assert_eq!(
+            parse_term("3 * len l").unwrap(),
+            Term::app("len", vec![Term::var("l")]).times(3)
+        );
+        assert_eq!(
+            parse_term("len l * 3").unwrap(),
+            Term::app("len", vec![Term::var("l")]).times(3)
+        );
+        assert_eq!(
+            parse_term("a + 2 * b - c").unwrap(),
+            Term::var("a") + Term::var("b").times(2) - Term::var("c")
+        );
+        assert!(parse_term("x * y").is_err(), "nonlinear multiplication");
+    }
+
+    #[test]
+    fn unary_minus_and_negation() {
+        assert_eq!(parse_term("-3").unwrap(), Term::int(-3));
+        assert_eq!(parse_term("-x").unwrap(), Term::var("x").neg());
+        assert_eq!(
+            parse_term("!(x == y)").unwrap(),
+            Term::var("x").eq_(Term::var("y")).not()
+        );
+        assert_eq!(
+            parse_term("not p && q").unwrap(),
+            Term::var("p").not().and(Term::var("q"))
+        );
+    }
+
+    #[test]
+    fn conditional_terms() {
+        assert_eq!(
+            parse_term("if _v < x then 1 else 0").unwrap(),
+            Term::ite(
+                Term::value_var().lt(Term::var("x")),
+                Term::int(1),
+                Term::int(0)
+            )
+        );
+    }
+
+    #[test]
+    fn comparison_is_non_associative() {
+        assert!(parse_term("a < b < c").is_err());
+    }
+
+    #[test]
+    fn error_messages_name_the_offending_token() {
+        let err = parse_term("x + then").unwrap_err();
+        assert!(err.message.contains("then"));
+    }
+}

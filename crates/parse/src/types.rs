@@ -1,0 +1,367 @@
+//! Parser for Re² types and type schemas.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! schema  ::= 'forall' ident+ '.' type        explicit generalisation
+//!           | type                             generalise free type variables
+//! type    ::= ident ':' operand '->' type      dependent arrow
+//!           | operand ('->' type)?             unnamed arrow
+//! operand ::= apptype ('^' potential)?         potential annotation
+//! apptype ::= 'Bool' | 'Int'
+//!           | UpperIdent atom*                 datatype application
+//!           | ident                            type variable
+//!           | '{' apptype '|' term '}'         refinement
+//!           | '(' type ')'
+//! atom    ::= 'Bool' | 'Int' | UpperIdent | ident
+//!           | '{' apptype '|' term '}' | '(' type ')'   -- each with '^' suffix
+//! potential ::= INT | ident | '(' term ')'
+//! ```
+//!
+//! Potential annotations on a datatype *element* are written `List a^1`
+//! (each element carries one unit, as in the paper's `L(a¹)`); potential on
+//! the list itself needs parentheses: `(List a)^(len _v)`.
+
+use resyn_logic::Term;
+use resyn_ty::types::{BaseType, Schema, Ty};
+
+use crate::cursor::Cursor;
+use crate::lexer::Tok;
+use crate::term;
+use crate::ParseError;
+
+/// Parse a type schema (see the module docs for the grammar).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_schema(cur: &mut Cursor) -> Result<Schema, ParseError> {
+    if cur.eat(&Tok::KwForall) {
+        let mut tyvars = Vec::new();
+        while let Tok::Ident(_) = cur.peek() {
+            tyvars.push(cur.expect_ident()?);
+        }
+        if tyvars.is_empty() {
+            return Err(cur.error("`forall` requires at least one type variable"));
+        }
+        cur.expect(&Tok::Dot)?;
+        let ty = parse_type(cur)?;
+        let refs: Vec<&str> = tyvars.iter().map(String::as_str).collect();
+        return Ok(Schema::poly(refs, ty));
+    }
+    let ty = parse_type(cur)?;
+    let tyvars = free_tyvars(&ty);
+    if tyvars.is_empty() {
+        Ok(Schema::mono(ty))
+    } else {
+        let refs: Vec<&str> = tyvars.iter().map(String::as_str).collect();
+        Ok(Schema::poly(refs, ty))
+    }
+}
+
+/// Parse a type (arrows, refinements, potential annotations).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending token.
+pub fn parse_type(cur: &mut Cursor) -> Result<Ty, ParseError> {
+    parse_arrow(cur, &mut 0)
+}
+
+fn parse_arrow(cur: &mut Cursor, fresh: &mut usize) -> Result<Ty, ParseError> {
+    // A named parameter: `x: T -> U`.
+    if matches!(cur.peek(), Tok::Ident(_)) && cur.peek2() == &Tok::Colon {
+        let param = cur.expect_ident()?;
+        cur.expect(&Tok::Colon)?;
+        let param_ty = parse_operand(cur, fresh)?;
+        cur.expect(&Tok::Arrow)?;
+        let ret = parse_arrow(cur, fresh)?;
+        return Ok(Ty::arrow(param, param_ty, ret));
+    }
+    let lhs = parse_operand(cur, fresh)?;
+    if cur.eat(&Tok::Arrow) {
+        let name = format!("_arg{fresh}");
+        *fresh += 1;
+        let ret = parse_arrow(cur, fresh)?;
+        Ok(Ty::arrow(name, lhs, ret))
+    } else {
+        Ok(lhs)
+    }
+}
+
+fn parse_operand(cur: &mut Cursor, fresh: &mut usize) -> Result<Ty, ParseError> {
+    let ty = parse_apptype(cur, fresh)?;
+    maybe_potential(cur, ty)
+}
+
+fn maybe_potential(cur: &mut Cursor, ty: Ty) -> Result<Ty, ParseError> {
+    if !cur.eat(&Tok::Caret) {
+        return Ok(ty);
+    }
+    if ty.is_arrow() {
+        return Err(cur.error("potential annotations apply to scalar types only"));
+    }
+    let potential = parse_potential(cur)?;
+    Ok(ty.with_potential(potential))
+}
+
+fn parse_potential(cur: &mut Cursor) -> Result<Term, ParseError> {
+    match cur.peek().clone() {
+        Tok::Int(n) => {
+            cur.next();
+            Ok(Term::int(n))
+        }
+        Tok::Ident(name) => {
+            cur.next();
+            Ok(Term::var(name))
+        }
+        Tok::LParen => {
+            cur.next();
+            let t = term::parse(cur)?;
+            cur.expect(&Tok::RParen)?;
+            Ok(t)
+        }
+        other => Err(cur.error(format!(
+            "expected a potential annotation (integer, variable or parenthesised term), found {}",
+            other.describe()
+        ))),
+    }
+}
+
+fn parse_apptype(cur: &mut Cursor, fresh: &mut usize) -> Result<Ty, ParseError> {
+    match cur.peek().clone() {
+        Tok::UpperIdent(name) => {
+            cur.next();
+            match name.as_str() {
+                "Bool" => Ok(Ty::bool()),
+                "Int" => Ok(Ty::int()),
+                _ => {
+                    let mut args = Vec::new();
+                    while starts_atom(cur.peek()) {
+                        args.push(parse_type_atom(cur, fresh)?);
+                    }
+                    Ok(Ty::data(name, args))
+                }
+            }
+        }
+        Tok::Ident(name) => {
+            cur.next();
+            Ok(Ty::tvar(name))
+        }
+        Tok::LBrace => parse_refined(cur, fresh),
+        Tok::LParen => {
+            cur.next();
+            let inner = parse_arrow(cur, fresh)?;
+            cur.expect(&Tok::RParen)?;
+            Ok(inner)
+        }
+        other => Err(cur.error(format!("expected a type, found {}", other.describe()))),
+    }
+}
+
+fn starts_atom(tok: &Tok) -> bool {
+    matches!(
+        tok,
+        Tok::UpperIdent(_) | Tok::Ident(_) | Tok::LBrace | Tok::LParen
+    )
+}
+
+/// An atomic type, usable as a datatype argument; may carry a `^` potential.
+fn parse_type_atom(cur: &mut Cursor, fresh: &mut usize) -> Result<Ty, ParseError> {
+    let ty = match cur.peek().clone() {
+        Tok::UpperIdent(name) => {
+            cur.next();
+            match name.as_str() {
+                "Bool" => Ty::bool(),
+                "Int" => Ty::int(),
+                // A bare datatype name in argument position takes no
+                // arguments; use parentheses for nested applications.
+                _ => Ty::data(name, Vec::new()),
+            }
+        }
+        Tok::Ident(name) => {
+            cur.next();
+            Ty::tvar(name)
+        }
+        Tok::LBrace => parse_refined(cur, fresh)?,
+        Tok::LParen => {
+            cur.next();
+            let inner = parse_arrow(cur, fresh)?;
+            cur.expect(&Tok::RParen)?;
+            inner
+        }
+        other => return Err(cur.error(format!("expected a type, found {}", other.describe()))),
+    };
+    maybe_potential(cur, ty)
+}
+
+fn parse_refined(cur: &mut Cursor, fresh: &mut usize) -> Result<Ty, ParseError> {
+    cur.expect(&Tok::LBrace)?;
+    let base_ty = parse_apptype(cur, fresh)?;
+    let base = scalar_base(cur, &base_ty)?;
+    cur.expect(&Tok::Bar)?;
+    let refinement = term::parse(cur)?;
+    cur.expect(&Tok::RBrace)?;
+    Ok(Ty::refined(base, refinement))
+}
+
+/// Extract the base type of an unannotated scalar (the `B` of `{B | ψ}`).
+fn scalar_base(cur: &Cursor, ty: &Ty) -> Result<BaseType, ParseError> {
+    match ty {
+        Ty::Scalar {
+            base,
+            refinement,
+            potential,
+        } if refinement.is_true() && potential.is_zero() => Ok(base.clone()),
+        _ => Err(cur.error(
+            "the base of a refinement `{B | psi}` must be a plain base type \
+             (no nested refinement or potential)",
+        )),
+    }
+}
+
+/// The free type variables of a type, in order of first occurrence.
+pub fn free_tyvars(ty: &Ty) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_tyvars(ty, &mut out);
+    out
+}
+
+fn collect_tyvars(ty: &Ty, out: &mut Vec<String>) {
+    match ty {
+        Ty::Scalar { base, .. } => collect_base(base, out),
+        Ty::Arrow { param_ty, ret, .. } => {
+            collect_tyvars(param_ty, out);
+            collect_tyvars(ret, out);
+        }
+    }
+}
+
+fn collect_base(base: &BaseType, out: &mut Vec<String>) {
+    match base {
+        BaseType::TVar(a) => {
+            if !out.contains(a) {
+                out.push(a.clone());
+            }
+        }
+        BaseType::Data(_, args) => {
+            for a in args {
+                collect_tyvars(a, out);
+            }
+        }
+        BaseType::Bool | BaseType::Int => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_schema, parse_type};
+
+    #[test]
+    fn base_types_and_type_variables() {
+        assert_eq!(parse_type("Int").unwrap(), Ty::int());
+        assert_eq!(parse_type("Bool").unwrap(), Ty::bool());
+        assert_eq!(parse_type("a").unwrap(), Ty::tvar("a"));
+    }
+
+    #[test]
+    fn datatype_applications_and_element_potential() {
+        assert_eq!(
+            parse_type("List a").unwrap(),
+            Ty::data("List", vec![Ty::tvar("a")])
+        );
+        assert_eq!(
+            parse_type("List a^1").unwrap(),
+            Ty::data("List", vec![Ty::tvar("a").with_potential(Term::int(1))])
+        );
+        assert_eq!(
+            parse_type("IList {Int | _v > 0}").unwrap(),
+            Ty::data(
+                "IList",
+                vec![Ty::refined(
+                    BaseType::Int,
+                    Term::value_var().gt(Term::int(0))
+                )]
+            )
+        );
+        // Potential on the whole list requires parentheses.
+        assert_eq!(
+            parse_type("(List a)^(len _v)").unwrap(),
+            Ty::data("List", vec![Ty::tvar("a")])
+                .with_potential(Term::app("len", vec![Term::value_var()]))
+        );
+    }
+
+    #[test]
+    fn refinements_and_dependent_potentials() {
+        assert_eq!(
+            parse_type("{Int | _v >= lo}^(_v - lo)").unwrap(),
+            Ty::refined(BaseType::Int, Term::value_var().ge(Term::var("lo")))
+                .with_potential(Term::value_var() - Term::var("lo"))
+        );
+        assert_eq!(
+            parse_type("{List a | len _v == len xs + len ys}").unwrap(),
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("len", vec![Term::value_var()]).eq_(
+                    Term::app("len", vec![Term::var("xs")])
+                        + Term::app("len", vec![Term::var("ys")])
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn refinement_base_must_be_plain() {
+        assert!(parse_type("{a^1 | _v > 0}").is_err());
+        assert!(parse_type("{{Int | _v > 0} | _v > 1}").is_err());
+    }
+
+    #[test]
+    fn dependent_arrows_and_parameter_names() {
+        let t = parse_type("x: a -> xs: IList a^1 -> IList a").unwrap();
+        let (params, ret) = t.uncurry();
+        assert_eq!(params.len(), 2);
+        assert_eq!(params[0].0, "x");
+        assert_eq!(params[1].0, "xs");
+        assert_eq!(ret, Ty::data("IList", vec![Ty::tvar("a")]));
+    }
+
+    #[test]
+    fn unnamed_arrows_get_fresh_parameter_names() {
+        let t = parse_type("Int -> Int -> Bool").unwrap();
+        let (params, ret) = t.uncurry();
+        assert_eq!(params.len(), 2);
+        assert_ne!(params[0].0, params[1].0);
+        assert_eq!(ret, Ty::bool());
+    }
+
+    #[test]
+    fn higher_order_parameters_need_parentheses() {
+        let t = parse_type("f: (a -> b) -> List a -> List b").unwrap();
+        let (params, _) = t.uncurry();
+        assert_eq!(params.len(), 2);
+        assert!(params[0].1.is_arrow());
+    }
+
+    #[test]
+    fn schemas_generalise_free_type_variables() {
+        let s = parse_schema("x: a -> y: b -> {Bool | _v <==> x <= y}").unwrap();
+        assert_eq!(s.tyvars, vec!["a".to_string(), "b".to_string()]);
+        let mono = parse_schema("Int -> Bool").unwrap();
+        assert!(mono.is_mono());
+    }
+
+    #[test]
+    fn explicit_forall_overrides_generalisation() {
+        let s = parse_schema("forall a. List a -> Int").unwrap();
+        assert_eq!(s.tyvars, vec!["a".to_string()]);
+        assert!(parse_schema("forall . Int").is_err());
+    }
+
+    #[test]
+    fn potential_on_arrow_is_rejected() {
+        assert!(parse_type("(a -> b)^1").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! ReSyn-rs: resource-guided program synthesis (PLDI 2019) in Rust.
+//!
+//! This facade crate re-exports the whole pipeline:
+//!
+//! * [`logic`] — the refinement logic (terms, sorts, models),
+//! * [`solver`] — decision procedures for the refinement logic,
+//! * [`lang`] — the Re² core calculus and its cost-semantics interpreter,
+//! * [`ty`] — the Re² type system (refinements + AARA potential annotations),
+//! * [`horn`] — Horn-constraint solving by predicate abstraction,
+//! * [`rescon`] — resource-constraint solving by (incremental) CEGIS,
+//! * [`synth`] — the resource-guided synthesizer and its baseline modes,
+//! * [`parse`] — the Synquid-style surface syntax for terms, types, programs
+//!   and synthesis problem files,
+//! * [`eval`] — the benchmark suites and harness reproducing the paper's
+//!   evaluation tables.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! architecture and the experiment index.
+
+pub use resyn_eval as eval;
+pub use resyn_horn as horn;
+pub use resyn_lang as lang;
+pub use resyn_logic as logic;
+pub use resyn_parse as parse;
+pub use resyn_rescon as rescon;
+pub use resyn_solver as solver;
+pub use resyn_synth as synth;
+pub use resyn_ty as ty;

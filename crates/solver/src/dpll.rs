@@ -1,0 +1,306 @@
+//! A small DPLL(T)-style search over the boolean structure of a formula.
+//!
+//! Rather than converting to CNF, the search operates directly on the formula:
+//! it repeatedly picks an unassigned atom, substitutes a truth value, and lets
+//! the shallow simplifications in `resyn-logic` collapse the boolean
+//! structure. When the formula collapses to `true`, the accumulated literal
+//! trail is handed to a [`Theory`] oracle; a theory conflict prunes the branch
+//! exactly like a boolean conflict. Because top-level conjuncts collapse the
+//! formula to `false` as soon as one of them is falsified, the search behaves
+//! like unit propagation on the (premise-heavy) validity queries produced by
+//! type checking.
+
+use resyn_logic::{BinOp, Term, UnOp};
+
+/// Verdict of a theory oracle on a conjunction of literals.
+#[derive(Debug, Clone)]
+pub enum TheoryResult<M> {
+    /// The literals are jointly satisfiable; `M` is a theory model.
+    Consistent(M),
+    /// The literals are jointly unsatisfiable.
+    Inconsistent,
+    /// The oracle could not decide (work limit, unsupported construct).
+    Unknown(String),
+}
+
+/// A theory oracle consulted at the leaves of the boolean search.
+pub trait Theory {
+    /// The kind of model returned on consistent assignments.
+    type Model;
+
+    /// Decide whether the conjunction of the given literals is satisfiable.
+    fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<Self::Model>;
+}
+
+/// Result of the DPLL(T) search.
+#[derive(Debug, Clone)]
+pub enum DpllResult<M> {
+    /// A satisfying assignment was found.
+    Sat {
+        /// The atom assignments on the satisfying branch.
+        assignment: Vec<(Term, bool)>,
+        /// The theory model for the arithmetic part.
+        theory_model: M,
+    },
+    /// The formula is unsatisfiable (modulo the theory).
+    Unsat,
+    /// The search gave up (work limit exceeded or theory returned unknown on
+    /// every candidate branch).
+    Unknown(String),
+}
+
+/// Configuration of the search.
+#[derive(Debug, Clone)]
+pub struct DpllConfig {
+    /// Maximum number of branching decisions before giving up.
+    pub decision_limit: usize,
+}
+
+impl Default for DpllConfig {
+    fn default() -> Self {
+        DpllConfig {
+            decision_limit: 1_000_000,
+        }
+    }
+}
+
+/// Run the search on `formula` with the given theory oracle.
+pub fn solve<T: Theory>(formula: &Term, theory: &T, config: &DpllConfig) -> DpllResult<T::Model> {
+    let mut trail = Vec::new();
+    let mut decisions = 0usize;
+    let mut saw_unknown = None;
+    let result = search(
+        formula.clone(),
+        theory,
+        &mut trail,
+        &mut decisions,
+        config.decision_limit,
+        &mut saw_unknown,
+    );
+    match result {
+        Some(res) => res,
+        None => match saw_unknown {
+            Some(msg) => DpllResult::Unknown(msg),
+            None => DpllResult::Unsat,
+        },
+    }
+}
+
+/// Returns `Some(Sat/Unknown-limit)` to stop the search, `None` to continue
+/// exploring siblings (branch exhausted).
+fn search<T: Theory>(
+    formula: Term,
+    theory: &T,
+    trail: &mut Vec<(Term, bool)>,
+    decisions: &mut usize,
+    limit: usize,
+    saw_unknown: &mut Option<String>,
+) -> Option<DpllResult<T::Model>> {
+    match &formula {
+        Term::Bool(false) => None,
+        Term::Bool(true) => match theory.check(trail) {
+            TheoryResult::Consistent(m) => Some(DpllResult::Sat {
+                assignment: trail.clone(),
+                theory_model: m,
+            }),
+            TheoryResult::Inconsistent => None,
+            TheoryResult::Unknown(msg) => {
+                *saw_unknown = Some(msg);
+                None
+            }
+        },
+        _ => {
+            let atom = match find_atom(&formula) {
+                Some(a) => a,
+                None => {
+                    // No atom but not a literal: treat as unknown.
+                    *saw_unknown = Some(format!("cannot decompose formula: {formula}"));
+                    return None;
+                }
+            };
+            for value in [true, false] {
+                *decisions += 1;
+                if *decisions > limit {
+                    return Some(DpllResult::Unknown("decision limit exceeded".into()));
+                }
+                let reduced = assign(&formula, &atom, value);
+                trail.push((atom.clone(), value));
+                let res = search(reduced, theory, trail, decisions, limit, saw_unknown);
+                trail.pop();
+                if res.is_some() {
+                    return res;
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Is this term a boolean *atom* (a leaf of the boolean structure)?
+pub fn is_atom(t: &Term) -> bool {
+    match t {
+        Term::Var(_) | Term::App(_, _) | Term::Unknown(_, _) => true,
+        Term::Binary(op, _, _) => !matches!(
+            op,
+            BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff
+        ),
+        _ => false,
+    }
+}
+
+/// Find the first atom in the boolean structure of the formula.
+pub fn find_atom(t: &Term) -> Option<Term> {
+    if is_atom(t) {
+        return Some(t.clone());
+    }
+    match t {
+        Term::Unary(UnOp::Not, inner) => find_atom(inner),
+        Term::Binary(BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff, a, b) => {
+            find_atom(a).or_else(|| find_atom(b))
+        }
+        Term::Ite(c, a, b) => find_atom(c).or_else(|| find_atom(a)).or_else(|| find_atom(b)),
+        _ => None,
+    }
+}
+
+/// Substitute a truth value for every occurrence of `atom` in the boolean
+/// structure of the formula, re-running the shallow simplifications.
+pub fn assign(t: &Term, atom: &Term, value: bool) -> Term {
+    if t == atom {
+        return Term::Bool(value);
+    }
+    match t {
+        Term::Unary(UnOp::Not, inner) => assign(inner, atom, value).not(),
+        Term::Binary(BinOp::And, a, b) => assign(a, atom, value).and(assign(b, atom, value)),
+        Term::Binary(BinOp::Or, a, b) => assign(a, atom, value).or(assign(b, atom, value)),
+        Term::Binary(BinOp::Implies, a, b) => {
+            assign(a, atom, value).implies(assign(b, atom, value))
+        }
+        Term::Binary(BinOp::Iff, a, b) => {
+            let (a, b) = (assign(a, atom, value), assign(b, atom, value));
+            match (&a, &b) {
+                (Term::Bool(x), _) => {
+                    if *x {
+                        b
+                    } else {
+                        b.not()
+                    }
+                }
+                (_, Term::Bool(y)) => {
+                    if *y {
+                        a
+                    } else {
+                        a.not()
+                    }
+                }
+                _ => a.iff(b),
+            }
+        }
+        Term::Ite(c, a, b) => Term::ite(
+            assign(c, atom, value),
+            assign(a, atom, value),
+            assign(b, atom, value),
+        ),
+        _ => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A theory that accepts every assignment (pure SAT).
+    struct TrivialTheory;
+    impl Theory for TrivialTheory {
+        type Model = ();
+        fn check(&self, _literals: &[(Term, bool)]) -> TheoryResult<()> {
+            TheoryResult::Consistent(())
+        }
+    }
+
+    /// A theory that rejects any assignment containing (`bad`, true).
+    struct RejectBad;
+    impl Theory for RejectBad {
+        type Model = ();
+        fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<()> {
+            if literals.iter().any(|(a, v)| *v && *a == Term::var("bad")) {
+                TheoryResult::Inconsistent
+            } else {
+                TheoryResult::Consistent(())
+            }
+        }
+    }
+
+    #[test]
+    fn pure_boolean_sat_and_unsat() {
+        let cfg = DpllConfig::default();
+        let p = Term::var("p");
+        let q = Term::var("q");
+        let sat = p.clone().or(q.clone()).and(p.clone().not());
+        match solve(&sat, &TrivialTheory, &cfg) {
+            DpllResult::Sat { assignment, .. } => {
+                assert!(assignment.contains(&(Term::var("q"), true)));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        let unsat = p.clone().and(p.clone().not());
+        assert!(matches!(solve(&unsat, &TrivialTheory, &cfg), DpllResult::Unsat));
+    }
+
+    #[test]
+    fn theory_conflicts_prune_branches() {
+        let cfg = DpllConfig::default();
+        // bad ∨ ok: boolean search must fall back to ok=true because the
+        // theory rejects bad=true.
+        let f = Term::var("bad").or(Term::var("ok"));
+        match solve(&f, &RejectBad, &cfg) {
+            DpllResult::Sat { assignment, .. } => {
+                assert!(assignment.contains(&(Term::var("ok"), true)));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // bad alone is unsat modulo the theory.
+        let f = Term::var("bad");
+        assert!(matches!(solve(&f, &RejectBad, &cfg), DpllResult::Unsat));
+    }
+
+    #[test]
+    fn implication_and_iff_structures() {
+        let cfg = DpllConfig::default();
+        let p = Term::var("p");
+        let q = Term::var("q");
+        // (p → q) ∧ p ∧ ¬q is unsat.
+        let f = p
+            .clone()
+            .implies(q.clone())
+            .and(p.clone())
+            .and(q.clone().not());
+        assert!(matches!(solve(&f, &TrivialTheory, &cfg), DpllResult::Unsat));
+        // (p ⟺ q) ∧ p forces q.
+        let f = p.clone().iff(q.clone()).and(p.clone());
+        match solve(&f, &TrivialTheory, &cfg) {
+            DpllResult::Sat { assignment, .. } => {
+                assert!(assignment.contains(&(Term::var("q"), true)));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn atoms_are_comparisons_variables_and_apps() {
+        assert!(is_atom(&Term::var("p")));
+        assert!(is_atom(&Term::var("x").le(Term::int(3))));
+        assert!(is_atom(&Term::app("mem", vec![Term::var("x")])));
+        assert!(!is_atom(&Term::var("p").and(Term::var("q"))));
+        assert!(!is_atom(&Term::tt()));
+    }
+
+    #[test]
+    fn assign_replaces_only_the_given_atom() {
+        let f = Term::var("x")
+            .le(Term::int(3))
+            .and(Term::var("y").le(Term::int(4)));
+        let g = assign(&f, &Term::var("x").le(Term::int(3)), true);
+        assert_eq!(g, Term::var("y").le(Term::int(4)));
+    }
+}

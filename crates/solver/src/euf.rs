@@ -1,0 +1,290 @@
+//! Ground equality reasoning for uninterpreted (measure) applications.
+//!
+//! Two facilities are provided:
+//!
+//! 1. [`congruence_axioms`] instantiates the congruence axiom
+//!    `args₁ = args₂ ⟹ f(args₁) = f(args₂)` for every pair of applications of
+//!    the same measure occurring in a formula. This mirrors the paper's §4.3:
+//!    *"to handle measure applications in resource constraints, we replace
+//!    them with fresh integer variables, and avoid spurious counter-examples
+//!    by explicitly instantiating the congruence axiom with all applications
+//!    in the constraint."* The same instantiation makes the lazy DPLL(T) loop
+//!    complete for the measure fragment of validity constraints.
+//!
+//! 2. [`CongruenceClosure`] is a small union-find–based congruence closure
+//!    over ground terms, used by tests and available for future extensions.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use resyn_logic::{Sort, SortingEnv, Term};
+
+/// Instantiate congruence axioms for every pair of same-measure applications
+/// in `formula` whose arguments could plausibly be equated by the formula.
+///
+/// Applications of different measures, or with different arities, are ignored.
+/// A pair is *relevant* when each pair of corresponding arguments is either
+/// syntactically equal or connected by an equality atom occurring in the
+/// formula; irrelevant pairs cannot give rise to congruence reasoning and
+/// instantiating them only bloats the boolean search. The equality of
+/// arguments/results uses plain `=`, which the SMT layer later normalizes per
+/// sort.
+pub fn congruence_axioms(formula: &Term, env: &SortingEnv) -> Vec<Term> {
+    let apps = formula.measure_apps();
+    let equalities = equality_pairs(formula);
+    let related = |a: &Term, b: &Term| -> bool {
+        a == b
+            || equalities
+                .iter()
+                .any(|(x, y)| (x == a && y == b) || (x == b && y == a))
+    };
+    let mut axioms = Vec::new();
+    for i in 0..apps.len() {
+        for j in (i + 1)..apps.len() {
+            let (name_a, args_a) = &apps[i];
+            let (name_b, args_b) = &apps[j];
+            if name_a != name_b || args_a.len() != args_b.len() {
+                continue;
+            }
+            if args_a == args_b {
+                continue; // syntactically identical: alias to the same variable
+            }
+            if !args_a.iter().zip(args_b.iter()).all(|(a, b)| related(a, b)) {
+                continue;
+            }
+            // Arguments must be comparable (skip set-sorted arguments).
+            let mut hyps = Vec::new();
+            let mut comparable = true;
+            for (x, y) in args_a.iter().zip(args_b.iter()) {
+                let sx = env.sort_of(x);
+                match sx {
+                    Ok(Sort::Set) => {
+                        comparable = false;
+                        break;
+                    }
+                    _ => hyps.push(x.clone().eq_(y.clone())),
+                }
+            }
+            if !comparable {
+                continue;
+            }
+            let lhs = Term::app(name_a.clone(), args_a.clone());
+            let rhs = Term::app(name_b.clone(), args_b.clone());
+            axioms.push(Term::and_all(hyps).implies(lhs.eq_(rhs)));
+        }
+    }
+    axioms
+}
+
+/// Collect the pairs of terms directly related by an equality atom anywhere in
+/// the formula (used as the relevance filter for congruence instantiation).
+fn equality_pairs(formula: &Term) -> Vec<(Term, Term)> {
+    use resyn_logic::BinOp;
+    let mut out = Vec::new();
+    fn go(t: &Term, out: &mut Vec<(Term, Term)>) {
+        match t {
+            Term::Binary(BinOp::Eq, a, b) => {
+                out.push(((**a).clone(), (**b).clone()));
+                go(a, out);
+                go(b, out);
+            }
+            Term::Binary(_, a, b) => {
+                go(a, out);
+                go(b, out);
+            }
+            Term::Unary(_, x) | Term::Singleton(x) | Term::Mul(_, x) => go(x, out),
+            Term::Ite(c, a, b) => {
+                go(c, out);
+                go(a, out);
+                go(b, out);
+            }
+            Term::App(_, args) => {
+                for a in args {
+                    go(a, out);
+                }
+            }
+            _ => {}
+        }
+    }
+    go(formula, &mut out);
+    out
+}
+
+/// A union-find–based congruence closure over ground terms.
+///
+/// Terms are interned by structural identity; merging two terms merges their
+/// equivalence classes and propagates congruence to parent applications.
+#[derive(Debug, Default, Clone)]
+pub struct CongruenceClosure {
+    ids: BTreeMap<Term, usize>,
+    terms: Vec<Term>,
+    parent: Vec<usize>,
+    /// For each class representative, the application terms that have a member
+    /// of the class as a direct argument.
+    uses: BTreeMap<usize, BTreeSet<usize>>,
+}
+
+impl CongruenceClosure {
+    /// An empty congruence closure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term (and its subterms), returning its node id.
+    pub fn intern(&mut self, t: &Term) -> usize {
+        if let Some(&id) = self.ids.get(t) {
+            return id;
+        }
+        // Intern subterms of applications so congruence can propagate.
+        if let Term::App(_, args) = t {
+            let arg_ids: Vec<usize> = args.iter().map(|a| self.intern(a)).collect();
+            let id = self.fresh_node(t.clone());
+            for a in arg_ids {
+                let rep = self.find(a);
+                self.uses.entry(rep).or_default().insert(id);
+            }
+            return id;
+        }
+        self.fresh_node(t.clone())
+    }
+
+    fn fresh_node(&mut self, t: Term) -> usize {
+        let id = self.terms.len();
+        self.ids.insert(t.clone(), id);
+        self.terms.push(t);
+        self.parent.push(id);
+        id
+    }
+
+    /// Find the representative of a node.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Assert that two terms are equal and propagate congruence.
+    pub fn merge(&mut self, a: &Term, b: &Term) {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.union(ia, ib);
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        // Merge the smaller use-list into the larger.
+        let uses_a = self.uses.remove(&ra).unwrap_or_default();
+        let uses_b = self.uses.remove(&rb).unwrap_or_default();
+        self.parent[ra] = rb;
+        let mut combined = uses_b;
+        combined.extend(uses_a.iter().copied());
+        self.uses.insert(rb, combined.clone());
+        // Congruence: any two applications in the combined use list with the
+        // same head and now-equal arguments must be merged.
+        let apps: Vec<usize> = combined.into_iter().collect();
+        for i in 0..apps.len() {
+            for j in (i + 1)..apps.len() {
+                let (ti, tj) = (self.terms[apps[i]].clone(), self.terms[apps[j]].clone());
+                if let (Term::App(f, argsi), Term::App(g, argsj)) = (&ti, &tj) {
+                    if f == g && argsi.len() == argsj.len() {
+                        let congruent = argsi.iter().zip(argsj.iter()).all(|(x, y)| {
+                            let (ix, iy) = (self.intern(x), self.intern(y));
+                            self.find(ix) == self.find(iy)
+                        });
+                        if congruent {
+                            self.union(apps[i], apps[j]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether two terms are known to be equal.
+    pub fn equal(&mut self, a: &Term, b: &Term) -> bool {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        self.find(ia) == self.find(ib)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> SortingEnv {
+        let mut e = SortingEnv::new();
+        e.bind_var("x", Sort::Int)
+            .bind_var("y", Sort::Int)
+            .bind_var("xs", Sort::Int)
+            .bind_var("ys", Sort::Int)
+            .declare_measure("len", vec![Sort::Int], Sort::Int)
+            .declare_measure("elems", vec![Sort::Int], Sort::Set);
+        e
+    }
+
+    #[test]
+    fn congruence_axioms_for_same_measure_pairs() {
+        // The formula equates xs and ys, so the len(xs)/len(ys) pair is
+        // relevant and produces an axiom (the elems app has no partner).
+        let f = Term::var("xs")
+            .eq_(Term::var("ys"))
+            .and(Term::app("len", vec![Term::var("xs")]).le(Term::app("len", vec![Term::var("ys")])))
+            .and(Term::app("elems", vec![Term::var("xs")]).eq_(Term::EmptySet));
+        let axioms = congruence_axioms(&f, &env());
+        assert_eq!(axioms.len(), 1);
+        let expected = Term::var("xs")
+            .eq_(Term::var("ys"))
+            .implies(Term::app("len", vec![Term::var("xs")]).eq_(Term::app("len", vec![Term::var("ys")])));
+        assert_eq!(axioms[0], expected);
+    }
+
+    #[test]
+    fn irrelevant_pairs_are_not_instantiated() {
+        // Without any equality connecting xs and ys, no axiom is produced.
+        let f = Term::app("len", vec![Term::var("xs")])
+            .le(Term::app("len", vec![Term::var("ys")]));
+        assert!(congruence_axioms(&f, &env()).is_empty());
+    }
+
+    #[test]
+    fn identical_applications_need_no_axiom() {
+        let f = Term::app("len", vec![Term::var("xs")])
+            .le(Term::app("len", vec![Term::var("xs")]) + Term::int(1));
+        assert!(congruence_axioms(&f, &env()).is_empty());
+    }
+
+    #[test]
+    fn closure_propagates_congruence() {
+        let mut cc = CongruenceClosure::new();
+        let fx = Term::app("f", vec![Term::var("x")]);
+        let fy = Term::app("f", vec![Term::var("y")]);
+        cc.intern(&fx);
+        cc.intern(&fy);
+        assert!(!cc.equal(&fx, &fy));
+        cc.merge(&Term::var("x"), &Term::var("y"));
+        assert!(cc.equal(&fx, &fy));
+    }
+
+    #[test]
+    fn closure_is_transitive() {
+        let mut cc = CongruenceClosure::new();
+        cc.merge(&Term::var("a"), &Term::var("b"));
+        cc.merge(&Term::var("b"), &Term::var("c"));
+        assert!(cc.equal(&Term::var("a"), &Term::var("c")));
+        assert!(!cc.equal(&Term::var("a"), &Term::var("d")));
+    }
+
+    #[test]
+    fn nested_congruence() {
+        let mut cc = CongruenceClosure::new();
+        let gfx = Term::app("g", vec![Term::app("f", vec![Term::var("x")])]);
+        let gfy = Term::app("g", vec![Term::app("f", vec![Term::var("y")])]);
+        cc.intern(&gfx);
+        cc.intern(&gfy);
+        cc.merge(&Term::var("x"), &Term::var("y"));
+        assert!(cc.equal(&gfx, &gfy));
+    }
+}

@@ -1,0 +1,470 @@
+//! Satisfiability of conjunctions of linear constraints.
+//!
+//! The workhorse is Fourier–Motzkin elimination over exact rationals with
+//! strictness tracking, followed by model reconstruction in reverse
+//! elimination order. A branch-and-bound wrapper refines rational models into
+//! *integer* models for integer-sorted variables (the refinement logic's
+//! numeric sort), which is what the CEGIS resource-constraint solver needs.
+//!
+//! The constraint sets produced by type checking and synthesis are small
+//! (tens of literals, a dozen variables), so the exponential worst case of
+//! Fourier–Motzkin is irrelevant in practice; an explicit work limit guards
+//! against pathological inputs.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::linear::LinExpr;
+use crate::rational::Rat;
+
+/// A single linear constraint `expr ≥ 0` (or `expr > 0` when `strict`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinConstraint {
+    /// The left-hand side; the constraint asserts it is (strictly) non-negative.
+    pub expr: LinExpr,
+    /// Whether the inequality is strict.
+    pub strict: bool,
+}
+
+impl LinConstraint {
+    /// A non-strict constraint `expr ≥ 0`.
+    pub fn ge0(expr: LinExpr) -> Self {
+        LinConstraint {
+            expr,
+            strict: false,
+        }
+    }
+
+    /// A strict constraint `expr > 0`.
+    pub fn gt0(expr: LinExpr) -> Self {
+        LinConstraint { expr, strict: true }
+    }
+
+    /// Whether the constraint holds under a (total) rational assignment.
+    pub fn holds(&self, assignment: &BTreeMap<String, Rat>) -> bool {
+        let v = self.expr.eval(assignment);
+        if self.strict {
+            v.is_positive()
+        } else {
+            !v.is_negative()
+        }
+    }
+}
+
+/// Result of an (integer) satisfiability query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiaResult {
+    /// Satisfiable, with a model (integer-valued on the requested variables).
+    Sat(BTreeMap<String, Rat>),
+    /// Unsatisfiable.
+    Unsat,
+    /// The work limit was exceeded before an answer was found.
+    Unknown,
+}
+
+/// Solver for conjunctions of linear constraints.
+#[derive(Debug, Clone)]
+pub struct LiaSolver {
+    /// Maximum number of branch-and-bound nodes explored per query.
+    pub branch_limit: usize,
+    /// Maximum number of derived constraints during elimination per query.
+    pub constraint_limit: usize,
+}
+
+impl Default for LiaSolver {
+    fn default() -> Self {
+        LiaSolver {
+            branch_limit: 2_000,
+            constraint_limit: 200_000,
+        }
+    }
+}
+
+impl LiaSolver {
+    /// A solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find a rational model of the constraints, or `None` if unsatisfiable,
+    /// or `Some(Err(()))`-like [`LiaResult::Unknown`] if the work limit hit.
+    pub fn solve_rational(&self, constraints: &[LinConstraint]) -> LiaResult {
+        // Quick check: constant constraints.
+        let mut work: Vec<LinConstraint> = Vec::new();
+        for c in constraints {
+            if c.expr.is_constant() {
+                let v = c.expr.constant_part();
+                let ok = if c.strict {
+                    v.is_positive()
+                } else {
+                    !v.is_negative()
+                };
+                if !ok {
+                    return LiaResult::Unsat;
+                }
+            } else {
+                work.push(c.clone());
+            }
+        }
+
+        // Choose an elimination order: fewest occurrences first.
+        let mut vars: BTreeSet<String> = BTreeSet::new();
+        for c in &work {
+            vars.extend(c.expr.vars().cloned());
+        }
+        let mut order: Vec<String> = vars.into_iter().collect();
+        order.sort_by_key(|v| {
+            work.iter()
+                .filter(|c| !c.expr.coeff(v).is_zero())
+                .count()
+        });
+
+        // Eliminate variables, remembering the constraints "live" at each step
+        // for model reconstruction.
+        let mut stages: Vec<(String, Vec<LinConstraint>)> = Vec::new();
+        let mut current = work;
+        let mut derived = 0usize;
+        for var in &order {
+            let (mentioning, mut rest): (Vec<_>, Vec<_>) = current
+                .into_iter()
+                .partition(|c| !c.expr.coeff(var).is_zero());
+            let lowers: Vec<&LinConstraint> = mentioning
+                .iter()
+                .filter(|c| c.expr.coeff(var).is_positive())
+                .collect();
+            let uppers: Vec<&LinConstraint> = mentioning
+                .iter()
+                .filter(|c| c.expr.coeff(var).is_negative())
+                .collect();
+            for lo in &lowers {
+                for up in &uppers {
+                    let a = lo.expr.coeff(var); // > 0
+                    let b = up.expr.coeff(var); // < 0
+                    // (-b)·lo + a·up eliminates `var`.
+                    let combined = lo.expr.scale(-b).add(&up.expr.scale(a));
+                    let strict = lo.strict || up.strict;
+                    if combined.is_constant() {
+                        let v = combined.constant_part();
+                        let ok = if strict {
+                            v.is_positive()
+                        } else {
+                            !v.is_negative()
+                        };
+                        if !ok {
+                            return LiaResult::Unsat;
+                        }
+                    } else {
+                        rest.push(LinConstraint {
+                            expr: combined,
+                            strict,
+                        });
+                        derived += 1;
+                        if derived > self.constraint_limit {
+                            return LiaResult::Unknown;
+                        }
+                    }
+                }
+            }
+            stages.push((var.clone(), mentioning));
+            current = rest;
+        }
+
+        // Any remaining constraints are constant (all variables eliminated).
+        for c in &current {
+            let v = c.expr.constant_part();
+            let ok = if c.strict {
+                v.is_positive()
+            } else {
+                !v.is_negative()
+            };
+            if !ok {
+                return LiaResult::Unsat;
+            }
+        }
+
+        // Reconstruct a model in reverse elimination order.
+        let mut model: BTreeMap<String, Rat> = BTreeMap::new();
+        for (var, constraints) in stages.iter().rev() {
+            let mut lower: Option<(Rat, bool)> = None; // (bound, strict)
+            let mut upper: Option<(Rat, bool)> = None;
+            for c in constraints {
+                let coeff = c.expr.coeff(var);
+                // expr = coeff·var + rest  (≥|>) 0
+                let mut rest = c.expr.clone();
+                rest = rest.subst(var, &LinExpr::zero());
+                let rest_val = rest.eval(&model);
+                let bound = -rest_val / coeff;
+                if coeff.is_positive() {
+                    // var ≥ bound (or >)
+                    let stricter = match lower {
+                        None => true,
+                        Some((b, s)) => bound > b || (bound == b && c.strict && !s),
+                    };
+                    if stricter {
+                        lower = Some((bound, c.strict));
+                    }
+                } else {
+                    let stricter = match upper {
+                        None => true,
+                        Some((b, s)) => bound < b || (bound == b && c.strict && !s),
+                    };
+                    if stricter {
+                        upper = Some((bound, c.strict));
+                    }
+                }
+            }
+            let value = choose_value(lower, upper);
+            model.insert(var.clone(), value);
+        }
+        LiaResult::Sat(model)
+    }
+
+    /// Find a model where every variable in `int_vars` takes an integer value.
+    pub fn solve_integer(
+        &self,
+        constraints: &[LinConstraint],
+        int_vars: &BTreeSet<String>,
+    ) -> LiaResult {
+        // Integer tightening: when every variable of a *strict* constraint is
+        // integer-valued and all coefficients are integers, `expr > 0` is
+        // equivalent to `expr − 1 ≥ 0`. This removes most of the need for
+        // branching and lets Fourier–Motzkin refute integer-infeasible chains
+        // such as `x < y < z < x + 2` directly.
+        let tightened: Vec<LinConstraint> = constraints
+            .iter()
+            .map(|c| {
+                let all_int_vars = c.expr.vars().all(|v| int_vars.contains(v));
+                let all_int_coeffs = c.expr.terms().all(|(_, k)| k.is_integer())
+                    && c.expr.constant_part().is_integer();
+                if c.strict && all_int_vars && all_int_coeffs {
+                    LinConstraint::ge0(c.expr.sub(&LinExpr::constant(Rat::ONE)))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        let mut budget = self.branch_limit;
+        self.branch(tightened, int_vars, &mut budget, 0)
+    }
+
+    fn branch(
+        &self,
+        constraints: Vec<LinConstraint>,
+        int_vars: &BTreeSet<String>,
+        budget: &mut usize,
+        depth: usize,
+    ) -> LiaResult {
+        if *budget == 0 || depth > 128 {
+            return LiaResult::Unknown;
+        }
+        *budget -= 1;
+        match self.solve_rational(&constraints) {
+            LiaResult::Unsat => LiaResult::Unsat,
+            LiaResult::Unknown => LiaResult::Unknown,
+            LiaResult::Sat(model) => {
+                // Find an integer-required variable with a fractional value.
+                let fractional = int_vars
+                    .iter()
+                    .filter_map(|v| model.get(v).map(|r| (v, *r)))
+                    .find(|(_, r)| !r.is_integer());
+                match fractional {
+                    None => LiaResult::Sat(model),
+                    Some((var, value)) => {
+                        // Branch var ≤ ⌊value⌋  ∨  var ≥ ⌈value⌉.
+                        let floor = Rat::int(value.floor() as i64);
+                        let ceil = Rat::int(value.ceil() as i64);
+                        let le_floor = LinConstraint::ge0(
+                            LinExpr::constant(floor).sub(&LinExpr::var(var.clone())),
+                        );
+                        let ge_ceil = LinConstraint::ge0(
+                            LinExpr::var(var.clone()).sub(&LinExpr::constant(ceil)),
+                        );
+                        let mut left = constraints.clone();
+                        left.push(le_floor);
+                        match self.branch(left, int_vars, budget, depth + 1) {
+                            LiaResult::Sat(m) => LiaResult::Sat(m),
+                            LiaResult::Unknown => LiaResult::Unknown,
+                            LiaResult::Unsat => {
+                                let mut right = constraints;
+                                right.push(ge_ceil);
+                                self.branch(right, int_vars, budget, depth + 1)
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pick a value between an optional lower and upper bound, preferring integer
+/// values where possible.
+fn choose_value(lower: Option<(Rat, bool)>, upper: Option<(Rat, bool)>) -> Rat {
+    match (lower, upper) {
+        (None, None) => Rat::ZERO,
+        (Some((lb, strict)), None) => {
+            let z = Rat::int(lb.ceil() as i64);
+            if z > lb || (z == lb && !strict) {
+                z
+            } else {
+                z + Rat::ONE
+            }
+        }
+        (None, Some((ub, strict))) => {
+            let z = Rat::int(ub.floor() as i64);
+            if z < ub || (z == ub && !strict) {
+                z
+            } else {
+                z - Rat::ONE
+            }
+        }
+        (Some((lb, sl)), Some((ub, su))) => {
+            // Try the smallest integer satisfying the lower bound.
+            let z = {
+                let c = Rat::int(lb.ceil() as i64);
+                if c > lb || (c == lb && !sl) {
+                    c
+                } else {
+                    c + Rat::ONE
+                }
+            };
+            let z_ok = z < ub || (z == ub && !su);
+            if z_ok {
+                z
+            } else if lb == ub {
+                lb
+            } else {
+                // Midpoint is always admissible when lb < ub.
+                (lb + ub) / Rat::int(2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(a: LinExpr, b: LinExpr) -> LinConstraint {
+        // a ≤ b  ⇔  b − a ≥ 0
+        LinConstraint::ge0(b.sub(&a))
+    }
+
+    fn lt(a: LinExpr, b: LinExpr) -> LinConstraint {
+        LinConstraint::gt0(b.sub(&a))
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+    fn y() -> LinExpr {
+        LinExpr::var("y")
+    }
+    fn k(n: i64) -> LinExpr {
+        LinExpr::constant(Rat::int(n))
+    }
+
+    #[test]
+    fn simple_sat_with_model() {
+        let solver = LiaSolver::new();
+        let cs = vec![le(k(3), x()), le(x(), k(10)), le(x().add(&y()), k(12))];
+        match solver.solve_rational(&cs) {
+            LiaResult::Sat(m) => {
+                for c in &cs {
+                    assert!(c.holds(&m), "constraint {c:?} violated by {m:?}");
+                }
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsat() {
+        let solver = LiaSolver::new();
+        let cs = vec![lt(x(), y()), lt(y(), x())];
+        assert_eq!(solver.solve_rational(&cs), LiaResult::Unsat);
+        let cs = vec![le(k(5), x()), le(x(), k(4))];
+        assert_eq!(solver.solve_rational(&cs), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn strictness_matters() {
+        let solver = LiaSolver::new();
+        // x ≤ 3 ∧ x ≥ 3 is sat; x < 3 ∧ x ≥ 3 is unsat.
+        let sat = vec![le(x(), k(3)), le(k(3), x())];
+        assert!(matches!(solver.solve_rational(&sat), LiaResult::Sat(_)));
+        let unsat = vec![lt(x(), k(3)), le(k(3), x())];
+        assert_eq!(solver.solve_rational(&unsat), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn equalities_via_two_inequalities() {
+        let solver = LiaSolver::new();
+        // x = 2y ∧ x ≥ 3 ∧ x ≤ 3 → x=3, y=3/2 rationally.
+        let two_y = y().scale(Rat::int(2));
+        let cs = vec![
+            le(x(), two_y.clone()),
+            le(two_y.clone(), x()),
+            le(k(3), x()),
+            le(x(), k(3)),
+        ];
+        match solver.solve_rational(&cs) {
+            LiaResult::Sat(m) => {
+                assert_eq!(m.get("x"), Some(&Rat::int(3)));
+                assert_eq!(m.get("y"), Some(&Rat::new(3, 2)));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // Integer solving must reject y = 3/2 and fail (x=2y, x=3 has no int solution).
+        let ints: BTreeSet<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(solver.solve_integer(&cs, &ints), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn branch_and_bound_finds_integer_models() {
+        let solver = LiaSolver::new();
+        // 2x ≥ 5 ∧ x ≤ 3: rational minimum 2.5, integer model x = 3.
+        let cs = vec![le(k(5), x().scale(Rat::int(2))), le(x(), k(3))];
+        let ints: BTreeSet<String> = ["x".to_string()].into_iter().collect();
+        match solver.solve_integer(&cs, &ints) {
+            LiaResult::Sat(m) => assert_eq!(m.get("x"), Some(&Rat::int(3))),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_variables_default_to_zero() {
+        let solver = LiaSolver::new();
+        let cs = vec![le(k(0), x())];
+        match solver.solve_rational(&cs) {
+            LiaResult::Sat(m) => {
+                assert_eq!(m.get("x"), Some(&Rat::ZERO));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_inequalities() {
+        let solver = LiaSolver::new();
+        // x < y ∧ y < z ∧ z < x+2 has no integer solution but a rational one.
+        let z = LinExpr::var("z");
+        let cs = vec![
+            lt(x(), y()),
+            lt(y(), z.clone()),
+            lt(z.clone(), x().add(&k(2))),
+        ];
+        assert!(matches!(solver.solve_rational(&cs), LiaResult::Sat(_)));
+        let ints: BTreeSet<String> = ["x", "y", "z"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(solver.solve_integer(&cs, &ints), LiaResult::Unsat);
+    }
+
+    #[test]
+    fn holds_checks_assignments() {
+        let c = le(x(), k(3));
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), Rat::int(2));
+        assert!(c.holds(&m));
+        m.insert("x".to_string(), Rat::int(4));
+        assert!(!c.holds(&m));
+    }
+}

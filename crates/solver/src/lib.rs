@@ -1,0 +1,58 @@
+//! From-scratch decision procedures for the ReSyn refinement logic.
+//!
+//! The paper's implementation delegates validity checking and model finding to
+//! Z3. This crate replaces Z3 with a self-contained solver for the fragment
+//! the paper actually uses (quantifier-free formulas over linear integer
+//! arithmetic, finite sets, booleans, and uninterpreted measure applications):
+//!
+//! * [`rational`] — exact rational arithmetic.
+//! * [`linear`] — linear expressions over named variables and linearization of
+//!   refinement terms (measure applications become fresh alias variables).
+//! * [`lia`] — satisfiability of conjunctions of linear constraints by
+//!   Fourier–Motzkin elimination with strictness tracking, plus a
+//!   branch-and-bound wrapper that produces *integer* models.
+//! * [`sets`] — elimination of finite-set atoms by membership expansion
+//!   (reduction to booleans + element equalities), the standard decision
+//!   procedure for this fragment.
+//! * [`euf`] — ground congruence-closure utilities and congruence-axiom
+//!   instantiation for measure applications.
+//! * [`dpll`] — a small CNF/DPLL SAT core used to enumerate boolean skeletons.
+//! * [`smt`] — the public [`Solver`] combining everything: lazy DPLL(T) with
+//!   per-assignment theory checks, blocking clauses, and model construction.
+//!
+//! The solver is sound and complete on the fragment above and produces models,
+//! which the CEGIS resource-constraint solver requires.
+//!
+//! # Example
+//!
+//! ```
+//! use resyn_logic::{Sort, SortingEnv, Term};
+//! use resyn_solver::{SatResult, Solver};
+//!
+//! let mut env = SortingEnv::new();
+//! env.bind_var("x", Sort::Int).bind_var("y", Sort::Int);
+//! let solver = Solver::new(env);
+//!
+//! // x < y ∧ y < x is unsatisfiable.
+//! let contradictory = [Term::var("x").lt(Term::var("y")), Term::var("y").lt(Term::var("x"))];
+//! assert!(matches!(solver.check_sat(&contradictory), SatResult::Unsat));
+//!
+//! // x ≤ y is not valid, and the counterexample is an integer model.
+//! assert!(!solver.is_valid(&[], &Term::var("x").le(Term::var("y"))));
+//! ```
+
+pub mod dpll;
+pub mod euf;
+pub mod lia;
+pub mod linear;
+pub mod rational;
+pub mod sets;
+pub mod smt;
+
+pub use lia::LiaSolver;
+pub use linear::{LinExpr, LinearizeError};
+pub use rational::Rat;
+pub use smt::{SatResult, Solver, ValidityResult};
+
+#[cfg(test)]
+mod proptests;

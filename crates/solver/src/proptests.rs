@@ -1,0 +1,136 @@
+//! Property-based tests for the solver.
+//!
+//! The key property is soundness of the SMT pipeline against brute-force
+//! evaluation over a small domain: whenever the solver claims a formula is
+//! unsatisfiable, no assignment over a small integer domain satisfies it, and
+//! whenever it returns a model, the model really satisfies the formula.
+
+use proptest::prelude::*;
+
+use resyn_logic::{Model, Sort, SortingEnv, Term, Value};
+
+use crate::smt::{SatResult, Solver};
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+fn env() -> SortingEnv {
+    let mut e = SortingEnv::new();
+    for v in VARS {
+        e.bind_var(v, Sort::Int);
+    }
+    e
+}
+
+fn arb_atom() -> impl Strategy<Value = Term> {
+    let operand = prop_oneof![
+        (-4i64..5).prop_map(Term::int),
+        prop_oneof![Just("x"), Just("y"), Just("z")].prop_map(Term::var),
+        (prop_oneof![Just("x"), Just("y"), Just("z")], -3i64..4)
+            .prop_map(|(v, k)| Term::var(v) + Term::int(k)),
+    ];
+    (operand.clone(), operand, 0usize..6).prop_map(|(a, b, op)| match op {
+        0 => a.le(b),
+        1 => a.lt(b),
+        2 => a.ge(b),
+        3 => a.gt(b),
+        4 => a.eq_(b),
+        _ => a.neq(b),
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Term> {
+    arb_atom().prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(Term::not),
+        ]
+    })
+}
+
+/// Brute-force satisfiability over the domain `[-2, 3]³`.
+fn brute_force_sat(f: &Term) -> bool {
+    for x in -2..=3 {
+        for y in -2..=3 {
+            for z in -2..=3 {
+                let mut m = Model::new();
+                m.insert("x", Value::Int(x))
+                    .insert("y", Value::Int(y))
+                    .insert("z", Value::Int(z));
+                if f.eval_bool(&m).unwrap_or(false) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// If the solver says UNSAT, brute force must not find a model; if the
+    /// solver returns a model, the model must satisfy the formula.
+    #[test]
+    fn solver_agrees_with_brute_force(f in arb_formula()) {
+        let solver = Solver::new(env());
+        match solver.check_sat(std::slice::from_ref(&f)) {
+            SatResult::Unsat => prop_assert!(!brute_force_sat(&f)),
+            SatResult::Sat(m) => {
+                prop_assert!(f.eval_bool(&m).unwrap(), "model {m:?} does not satisfy {f}");
+            }
+            SatResult::Unknown(_) => {} // permitted, but should not happen on this fragment
+        }
+    }
+
+    /// Validity is anti-symmetric with satisfiability of the negation.
+    #[test]
+    fn validity_iff_negation_unsat(f in arb_formula()) {
+        let solver = Solver::new(env());
+        let valid = solver.is_valid(&[], &f);
+        let neg_unsat = matches!(solver.check_sat(&[f.clone().not()]), SatResult::Unsat);
+        prop_assert_eq!(valid, neg_unsat);
+    }
+
+    /// A formula and its negation are never both valid.
+    #[test]
+    fn no_formula_and_negation_both_valid(f in arb_formula()) {
+        let solver = Solver::new(env());
+        prop_assert!(!(solver.is_valid(&[], &f) && solver.is_valid(&[], &f.clone().not())));
+    }
+
+    /// Completeness on the linear fragment: if brute force finds a model in
+    /// the small domain, the solver must report SAT (never UNSAT or Unknown).
+    #[test]
+    fn solver_is_complete_on_the_linear_fragment(f in arb_formula()) {
+        if brute_force_sat(&f) {
+            let solver = Solver::new(env());
+            prop_assert!(
+                matches!(solver.check_sat(std::slice::from_ref(&f)), SatResult::Sat(_)),
+                "brute force found a model but the solver did not report SAT for {f}"
+            );
+        }
+    }
+
+    /// Adding a conjunct can only shrink the model set: if the conjunction of
+    /// two formulas is satisfiable, each formula on its own is too.
+    #[test]
+    fn conjunction_satisfiability_is_monotone(f in arb_formula(), g in arb_formula()) {
+        let solver = Solver::new(env());
+        if matches!(solver.check_sat(&[f.clone(), g.clone()]), SatResult::Sat(_)) {
+            prop_assert!(matches!(solver.check_sat(std::slice::from_ref(&f)), SatResult::Sat(_)));
+            prop_assert!(matches!(solver.check_sat(std::slice::from_ref(&g)), SatResult::Sat(_)));
+        }
+    }
+
+    /// Weakening a valid implication keeps it valid: if `f` is valid then
+    /// `g ==> f` is valid for any `g`.
+    #[test]
+    fn valid_conclusions_survive_weakening(f in arb_formula(), g in arb_formula()) {
+        let solver = Solver::new(env());
+        if solver.is_valid(&[], &f) {
+            prop_assert!(solver.is_valid(&[], &g.implies(f)));
+        }
+    }
+}

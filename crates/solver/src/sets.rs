@@ -1,0 +1,455 @@
+//! Elimination of finite-set atoms by membership expansion.
+//!
+//! The refinement logic's set fragment (used for `elems`-style measures) is
+//! decided by the classical reduction to propositional logic over membership
+//! atoms plus element equalities:
+//!
+//! * *Negative* set equalities and subset atoms are replaced by a fresh
+//!   element *witness* that distinguishes the two sets.
+//! * *Positive* set equalities and subset atoms (universally quantified over
+//!   elements) are instantiated over the finite set `E*` of element terms that
+//!   occur anywhere in the formula (singleton arguments, membership left-hand
+//!   sides, and the witnesses).
+//! * Membership in a compound set term is expanded structurally; membership in
+//!   a base set variable `S` becomes an opaque boolean atom `In(e, S)`.
+//! * Congruence constraints `e₁ = e₂ ⟹ (In(e₁,S) ⟺ In(e₂,S))` connect element
+//!   equalities with membership atoms.
+//!
+//! The construction is sound and complete for the quantifier-free set algebra
+//! with membership used by the paper's benchmarks.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use resyn_logic::{BinOp, Sort, SortingEnv, Term, UnOp};
+
+/// The result of eliminating set atoms from a formula.
+#[derive(Debug, Clone)]
+pub struct SetElimination {
+    /// The set-free formula.
+    pub formula: Term,
+    /// For each base set variable, the membership atoms introduced for it:
+    /// `(element term, boolean atom variable name)`.
+    pub memberships: BTreeMap<String, Vec<(Term, String)>>,
+    /// Fresh element witness variables introduced for negative set atoms
+    /// (they must be bound at sort `Int` by the caller).
+    pub witnesses: Vec<String>,
+}
+
+/// Errors raised during set elimination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetError {
+    /// The formula contains a set construct outside the supported fragment.
+    Unsupported(String),
+}
+
+impl fmt::Display for SetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetError::Unsupported(t) => write!(f, "unsupported set construct: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for SetError {}
+
+/// Name of the boolean atom standing for `e ∈ S`.
+fn in_atom_name(set_var: &str, elem: &Term) -> String {
+    format!("__in${set_var}${elem}")
+}
+
+/// Equality of two element terms, expressed with `≤ ∧ ≥` so that the
+/// arithmetic theory solver only sees convex literals.
+fn elem_eq(a: &Term, b: &Term) -> Term {
+    a.clone().le(b.clone()).and(a.clone().ge(b.clone()))
+}
+
+struct Eliminator<'a> {
+    env: &'a SortingEnv,
+    memberships: BTreeMap<String, Vec<(Term, String)>>,
+    witnesses: Vec<String>,
+    element_terms: Vec<Term>,
+    fresh_counter: usize,
+    /// How many pre-allocated witnesses have been consumed during rewriting.
+    used: Option<usize>,
+}
+
+/// Does the formula mention any set-sorted atom? (Fast path check.)
+pub fn mentions_sets(formula: &Term, env: &SortingEnv) -> bool {
+    match formula {
+        Term::EmptySet | Term::SetLit(_) | Term::Singleton(_) => true,
+        Term::Var(x) => matches!(env.var_sort(x), Some(Sort::Set)),
+        Term::App(_, args) => {
+            matches!(env.sort_of(formula), Ok(Sort::Set))
+                || args.iter().any(|a| mentions_sets(a, env))
+        }
+        Term::Bool(_) | Term::Int(_) | Term::Unknown(_, _) => false,
+        Term::Unary(_, t) | Term::Mul(_, t) => mentions_sets(t, env),
+        Term::Binary(op, a, b) => {
+            matches!(
+                op,
+                BinOp::Union | BinOp::Intersect | BinOp::Diff | BinOp::Member | BinOp::Subset
+            ) || mentions_sets(a, env)
+                || mentions_sets(b, env)
+        }
+        Term::Ite(c, t, e) => {
+            mentions_sets(c, env) || mentions_sets(t, env) || mentions_sets(e, env)
+        }
+    }
+}
+
+/// Eliminate set atoms from `formula`.
+///
+/// The formula must already be free of `⟺` connectives and of set-sorted
+/// measure applications (the SMT layer aliases those to set variables first).
+///
+/// # Errors
+///
+/// Returns [`SetError::Unsupported`] for set constructs outside the fragment
+/// (e.g. conditional set terms).
+pub fn eliminate_sets(formula: &Term, env: &SortingEnv) -> Result<SetElimination, SetError> {
+    if !mentions_sets(formula, env) {
+        return Ok(SetElimination {
+            formula: formula.clone(),
+            memberships: BTreeMap::new(),
+            witnesses: Vec::new(),
+        });
+    }
+    let mut elim = Eliminator {
+        env,
+        memberships: BTreeMap::new(),
+        witnesses: Vec::new(),
+        element_terms: Vec::new(),
+        fresh_counter: 0,
+        used: None,
+    };
+
+    // Pass A: collect element terms and pre-assign witnesses for negative
+    // set-equality / subset atoms so that E* is known before expansion.
+    elim.collect_elements(formula, true)?;
+
+    // Pass B: rewrite the formula.
+    let mut rewritten = elim.rewrite(formula, true)?;
+
+    // Congruence between element equalities and membership atoms.
+    let mut congruence = Vec::new();
+    for (set_var, members) in &elim.memberships {
+        let _ = set_var;
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (ei, ni) = &members[i];
+                let (ej, nj) = &members[j];
+                congruence.push(
+                    elem_eq(ei, ej).implies(Term::var(ni.clone()).iff(Term::var(nj.clone()))),
+                );
+            }
+        }
+    }
+    for c in congruence {
+        rewritten = rewritten.and(c);
+    }
+
+    Ok(SetElimination {
+        formula: rewritten,
+        memberships: elim.memberships,
+        witnesses: elim.witnesses,
+    })
+}
+
+impl<'a> Eliminator<'a> {
+    fn is_set_sorted(&self, t: &Term) -> bool {
+        matches!(self.env.sort_of(t), Ok(Sort::Set))
+            || matches!(
+                t,
+                Term::EmptySet
+                    | Term::SetLit(_)
+                    | Term::Singleton(_)
+                    | Term::Binary(BinOp::Union | BinOp::Intersect | BinOp::Diff, _, _)
+            )
+    }
+
+    fn record_element(&mut self, e: &Term) {
+        if !self.element_terms.contains(e) {
+            self.element_terms.push(e.clone());
+        }
+    }
+
+    fn fresh_witness(&mut self) -> String {
+        let name = format!("__w{}", self.fresh_counter);
+        self.fresh_counter += 1;
+        self.witnesses.push(name.clone());
+        self.record_element(&Term::var(name.clone()));
+        name
+    }
+
+    /// Collect element terms (singleton arguments, membership left-hand sides)
+    /// and allocate witnesses for negative set equalities / subsets.
+    fn collect_elements(&mut self, t: &Term, positive: bool) -> Result<(), SetError> {
+        match t {
+            Term::Unary(UnOp::Not, inner) => self.collect_elements(inner, !positive),
+            Term::Binary(BinOp::And | BinOp::Or, a, b) => {
+                self.collect_elements(a, positive)?;
+                self.collect_elements(b, positive)
+            }
+            Term::Binary(BinOp::Implies, a, b) => {
+                self.collect_elements(a, !positive)?;
+                self.collect_elements(b, positive)
+            }
+            Term::Binary(BinOp::Member, e, s) => {
+                self.record_element(e);
+                self.collect_set_elements(s)
+            }
+            Term::Binary(BinOp::Subset, a, b) => {
+                self.collect_set_elements(a)?;
+                self.collect_set_elements(b)?;
+                if !positive {
+                    self.fresh_witness();
+                }
+                Ok(())
+            }
+            Term::Binary(BinOp::Eq, a, b) if self.is_set_sorted(a) || self.is_set_sorted(b) => {
+                self.collect_set_elements(a)?;
+                self.collect_set_elements(b)?;
+                if !positive {
+                    self.fresh_witness();
+                }
+                Ok(())
+            }
+            Term::Binary(BinOp::Neq, a, b) if self.is_set_sorted(a) || self.is_set_sorted(b) => {
+                self.collect_set_elements(a)?;
+                self.collect_set_elements(b)?;
+                if positive {
+                    self.fresh_witness();
+                }
+                Ok(())
+            }
+            Term::Binary(_, _, _)
+            | Term::Var(_)
+            | Term::Bool(_)
+            | Term::Int(_)
+            | Term::App(_, _)
+            | Term::Unknown(_, _)
+            | Term::Mul(_, _)
+            | Term::Unary(_, _) => Ok(()),
+            Term::Ite(c, a, b) => {
+                self.collect_elements(c, positive)?;
+                self.collect_elements(a, positive)?;
+                self.collect_elements(b, positive)
+            }
+            Term::EmptySet | Term::SetLit(_) | Term::Singleton(_) => Ok(()),
+        }
+    }
+
+    fn collect_set_elements(&mut self, s: &Term) -> Result<(), SetError> {
+        match s {
+            Term::Singleton(e) => {
+                self.record_element(e);
+                Ok(())
+            }
+            Term::Binary(BinOp::Union | BinOp::Intersect | BinOp::Diff, a, b) => {
+                self.collect_set_elements(a)?;
+                self.collect_set_elements(b)
+            }
+            Term::Var(_) | Term::EmptySet | Term::SetLit(_) => Ok(()),
+            other => Err(SetError::Unsupported(other.to_string())),
+        }
+    }
+
+    /// Membership atom for element `e` in base set variable `s`.
+    fn in_atom(&mut self, e: &Term, set_var: &str) -> Term {
+        let name = in_atom_name(set_var, e);
+        let entry = self.memberships.entry(set_var.to_string()).or_default();
+        if !entry.iter().any(|(_, n)| n == &name) {
+            entry.push((e.clone(), name.clone()));
+        }
+        Term::var(name)
+    }
+
+    /// Expand `e ∈ s` structurally.
+    fn expand_member(&mut self, e: &Term, s: &Term) -> Result<Term, SetError> {
+        match s {
+            Term::Var(name) => Ok(self.in_atom(e, name)),
+            Term::EmptySet => Ok(Term::ff()),
+            Term::SetLit(lits) => Ok(Term::or_all(
+                lits.iter().map(|k| elem_eq(e, &Term::Int(*k))),
+            )),
+            Term::Singleton(a) => Ok(elem_eq(e, a)),
+            Term::Binary(BinOp::Union, a, b) => {
+                Ok(self.expand_member(e, a)?.or(self.expand_member(e, b)?))
+            }
+            Term::Binary(BinOp::Intersect, a, b) => {
+                Ok(self.expand_member(e, a)?.and(self.expand_member(e, b)?))
+            }
+            Term::Binary(BinOp::Diff, a, b) => Ok(self
+                .expand_member(e, a)?
+                .and(self.expand_member(e, b)?.not())),
+            other => Err(SetError::Unsupported(other.to_string())),
+        }
+    }
+
+    /// `∀ e ∈ E*. member(e, a) → member(e, b)` (finite instantiation).
+    fn expand_subset(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {
+        let elems = self.element_terms.clone();
+        let mut conjuncts = Vec::new();
+        for e in &elems {
+            conjuncts.push(self.expand_member(e, a)?.implies(self.expand_member(e, b)?));
+        }
+        Ok(Term::and_all(conjuncts))
+    }
+
+    /// `∀ e ∈ E*. member(e, a) ⟺ member(e, b)` (finite instantiation).
+    fn expand_set_eq(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {
+        let elems = self.element_terms.clone();
+        let mut conjuncts = Vec::new();
+        for e in &elems {
+            let ma = self.expand_member(e, a)?;
+            let mb = self.expand_member(e, b)?;
+            conjuncts.push(ma.clone().implies(mb.clone()).and(mb.implies(ma)));
+        }
+        Ok(Term::and_all(conjuncts))
+    }
+
+    /// A witness that element `w` distinguishes sets `a` and `b`
+    /// (`w ∈ a ∧ w ∉ b` for subset; symmetric difference for equality).
+    fn witness_not_subset(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {
+        let w = Term::var(self.next_witness());
+        Ok(self.expand_member(&w, a)?.and(self.expand_member(&w, b)?.not()))
+    }
+
+    fn witness_not_equal(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {
+        let w = Term::var(self.next_witness());
+        let in_a = self.expand_member(&w, a)?;
+        let in_b = self.expand_member(&w, b)?;
+        Ok(in_a
+            .clone()
+            .and(in_b.clone().not())
+            .or(in_a.not().and(in_b)))
+    }
+
+    /// Witnesses were pre-allocated in pass A in traversal order; hand them
+    /// out in the same order.
+    fn next_witness(&mut self) -> String {
+        let name = self
+            .witnesses
+            .get(self.used_witnesses())
+            .cloned()
+            .unwrap_or_else(|| self.fresh_witness());
+        self.used = Some(self.used_witnesses() + 1);
+        name
+    }
+
+    fn used_witnesses(&self) -> usize {
+        self.used.unwrap_or(0)
+    }
+
+    fn rewrite(&mut self, t: &Term, positive: bool) -> Result<Term, SetError> {
+        match t {
+            Term::Unary(UnOp::Not, inner) => Ok(self.rewrite(inner, !positive)?.not()),
+            Term::Binary(BinOp::And, a, b) => {
+                Ok(self.rewrite(a, positive)?.and(self.rewrite(b, positive)?))
+            }
+            Term::Binary(BinOp::Or, a, b) => {
+                Ok(self.rewrite(a, positive)?.or(self.rewrite(b, positive)?))
+            }
+            Term::Binary(BinOp::Implies, a, b) => Ok(self
+                .rewrite(a, !positive)?
+                .implies(self.rewrite(b, positive)?)),
+            Term::Binary(BinOp::Member, e, s) => self.expand_member(e, s),
+            Term::Binary(BinOp::Subset, a, b) => {
+                if positive {
+                    self.expand_subset(a, b)
+                } else {
+                    // ¬(a ⊆ b): the enclosing negation stays in the output, so
+                    // produce ¬(witness formula)'s complement: we must return a
+                    // formula φ such that ¬φ ⟺ ¬(a ⊆ b); take φ = ¬(witness).
+                    Ok(self.witness_not_subset(a, b)?.not())
+                }
+            }
+            Term::Binary(BinOp::Eq, a, b) if self.is_set_sorted(a) || self.is_set_sorted(b) => {
+                if positive {
+                    self.expand_set_eq(a, b)
+                } else {
+                    Ok(self.witness_not_equal(a, b)?.not())
+                }
+            }
+            Term::Binary(BinOp::Neq, a, b) if self.is_set_sorted(a) || self.is_set_sorted(b) => {
+                if positive {
+                    self.witness_not_equal(a, b)
+                } else {
+                    Ok(self.expand_set_eq(a, b)?.not())
+                }
+            }
+            Term::Ite(c, a, b) => Ok(Term::ite(
+                self.rewrite(c, positive)?,
+                self.rewrite(a, positive)?,
+                self.rewrite(b, positive)?,
+            )),
+            _ => Ok(t.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_logic::Sort;
+
+    fn env() -> SortingEnv {
+        let mut e = SortingEnv::new();
+        e.bind_var("s", Sort::Set)
+            .bind_var("t", Sort::Set)
+            .bind_var("x", Sort::Int)
+            .bind_var("y", Sort::Int);
+        e
+    }
+
+    #[test]
+    fn membership_in_compound_sets_expands() {
+        let f = Term::var("x").member(Term::var("s").union(Term::var("y").singleton()));
+        let r = eliminate_sets(&f, &env()).unwrap();
+        assert!(!mentions_sets(&r.formula, &env()));
+        assert_eq!(r.memberships["s"].len(), 1);
+    }
+
+    #[test]
+    fn positive_equality_instantiates_over_elements() {
+        // elems-style: s = t ∪ {x}, with a membership mention of y to seed E*.
+        let f = Term::var("s")
+            .eq_(Term::var("t").union(Term::var("x").singleton()))
+            .and(Term::var("y").member(Term::var("s")));
+        let r = eliminate_sets(&f, &env()).unwrap();
+        assert!(!mentions_sets(&r.formula, &env()));
+        // Elements x (singleton) and y (member) both get In-atoms on s.
+        assert!(r.memberships["s"].len() >= 2);
+        assert!(r.witnesses.is_empty());
+    }
+
+    #[test]
+    fn negative_equality_introduces_witness() {
+        let f = Term::var("s").eq_(Term::var("t")).not();
+        let r = eliminate_sets(&f, &env()).unwrap();
+        assert_eq!(r.witnesses.len(), 1);
+        assert!(!mentions_sets(&r.formula, &env()));
+    }
+
+    #[test]
+    fn formula_without_sets_is_untouched() {
+        let f = Term::var("x").le(Term::var("y"));
+        let r = eliminate_sets(&f, &env()).unwrap();
+        assert_eq!(r.formula, f);
+        assert!(r.memberships.is_empty());
+    }
+
+    #[test]
+    fn unsupported_constructs_are_reported() {
+        let mut e = env();
+        e.declare_measure("weird", vec![Sort::Int], Sort::Set);
+        // A set-sorted measure application must have been aliased before
+        // elimination; if not, it is reported as unsupported.
+        let f = Term::var("x").member(Term::app("weird", vec![Term::var("x")]));
+        assert!(matches!(
+            eliminate_sets(&f, &e),
+            Err(SetError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,711 @@
+//! The public solver: satisfiability and validity for the refinement logic.
+//!
+//! [`Solver::check_sat`] decides satisfiability of a conjunction of refinement
+//! formulas and produces a [`Model`] with *integer* values; validity checking
+//! (`Γ ⊨ ψ` in the paper) is satisfiability of the negation. The pipeline is:
+//!
+//! 1. instantiate congruence axioms for measure applications ([`crate::euf`]),
+//! 2. alias measure applications to fresh variables of the appropriate sort,
+//! 3. normalize equalities per sort (`=` on integers becomes `≤ ∧ ≥`, on
+//!    booleans becomes a bi-implication, set equalities are kept),
+//! 4. case-split conditional (`ite`) sub-terms out of atoms,
+//! 5. eliminate set atoms by membership expansion ([`crate::sets`]),
+//! 6. run the DPLL(T) search ([`crate::dpll`]) with a linear-integer-arithmetic
+//!    theory oracle ([`crate::lia`]), and
+//! 7. reconstruct a model for the caller's variables (including set values and
+//!    interpretations for the aliased measure applications).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use resyn_logic::{BinOp, Model, Sort, SortingEnv, Term, UnOp, Value};
+
+use crate::dpll::{self, DpllConfig, DpllResult, Theory, TheoryResult};
+use crate::lia::{LiaResult, LiaSolver, LinConstraint};
+use crate::linear::LinExpr;
+use crate::rational::Rat;
+use crate::sets;
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone)]
+pub enum SatResult {
+    /// Satisfiable, with an integer model for the caller's variables.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// The solver could not decide (work limits or unsupported constructs).
+    Unknown(String),
+}
+
+/// Result of a validity query.
+#[derive(Debug, Clone)]
+pub enum ValidityResult {
+    /// The implication is valid.
+    Valid,
+    /// The implication is invalid; the model is a counterexample.
+    Invalid(Model),
+    /// The solver could not decide.
+    Unknown(String),
+}
+
+/// The refinement-logic solver.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    env: SortingEnv,
+    lia: LiaSolver,
+    dpll: DpllConfig,
+}
+
+impl Solver {
+    /// Create a solver for formulas whose free variables and measures are
+    /// declared in `env`.
+    pub fn new(env: SortingEnv) -> Solver {
+        Solver {
+            env,
+            lia: LiaSolver::new(),
+            dpll: DpllConfig::default(),
+        }
+    }
+
+    /// The sorting environment used by this solver.
+    pub fn env(&self) -> &SortingEnv {
+        &self.env
+    }
+
+    /// A copy of this solver with additional variable bindings.
+    pub fn with_bindings<I>(&self, bindings: I) -> Solver
+    where
+        I: IntoIterator<Item = (String, Sort)>,
+    {
+        let mut env = self.env.clone();
+        for (name, sort) in bindings {
+            env.bind_var(name, sort);
+        }
+        Solver {
+            env,
+            lia: self.lia.clone(),
+            dpll: self.dpll.clone(),
+        }
+    }
+
+    /// Decide satisfiability of the conjunction of `assumptions`.
+    pub fn check_sat(&self, assumptions: &[Term]) -> SatResult {
+        let formula = Term::and_all(assumptions.iter().cloned()).simplify();
+        if formula.is_false() {
+            return SatResult::Unsat;
+        }
+        if formula.has_unknowns() {
+            return SatResult::Unknown(
+                "formula contains unsolved unknown predicates".to_string(),
+            );
+        }
+
+        // 1. Congruence axioms for measure applications.
+        let axioms = crate::euf::congruence_axioms(&formula, &self.env);
+        let formula = axioms.into_iter().fold(formula, |acc, ax| acc.and(ax));
+
+        // 2. Alias measure applications.
+        let mut env = self.env.clone();
+        let mut aliases: BTreeMap<String, (Term, String, Sort)> = BTreeMap::new();
+        let formula = alias_apps(&formula, &self.env, &mut env, &mut aliases);
+
+        // 3. Normalize equalities and bi-implications.
+        let formula = match normalize(&formula, &env) {
+            Ok(f) => f,
+            Err(msg) => return SatResult::Unknown(msg),
+        };
+
+        // 4. Case-split conditionals out of atoms.
+        let formula = lift_ites(&formula);
+
+        // 5. Eliminate set atoms.
+        let elimination = match sets::eliminate_sets(&formula, &env) {
+            Ok(e) => e,
+            Err(err) => return SatResult::Unknown(err.to_string()),
+        };
+        for w in &elimination.witnesses {
+            env.bind_var(w.clone(), Sort::Int);
+        }
+        // Normalize the element equalities the elimination introduced.
+        let formula = lift_ites(&elimination.formula).simplify();
+
+        if formula.is_false() {
+            return SatResult::Unsat;
+        }
+
+        // 6. DPLL(T) with the LIA oracle.
+        let theory = ArithTheory { lia: &self.lia };
+        match dpll::solve(&formula, &theory, &self.dpll) {
+            DpllResult::Unsat => SatResult::Unsat,
+            DpllResult::Unknown(msg) => SatResult::Unknown(msg),
+            DpllResult::Sat {
+                assignment,
+                theory_model,
+            } => SatResult::Sat(self.build_model(
+                &assignment,
+                &theory_model,
+                &aliases,
+                &elimination.memberships,
+            )),
+        }
+    }
+
+    /// Decide validity of `premises ⟹ conclusion`.
+    pub fn check_valid(&self, premises: &[Term], conclusion: &Term) -> ValidityResult {
+        let mut assumptions: Vec<Term> = premises.to_vec();
+        assumptions.push(conclusion.clone().not());
+        match self.check_sat(&assumptions) {
+            SatResult::Unsat => ValidityResult::Valid,
+            SatResult::Sat(m) => ValidityResult::Invalid(m),
+            SatResult::Unknown(msg) => ValidityResult::Unknown(msg),
+        }
+    }
+
+    /// Convenience wrapper: `true` iff the implication is provably valid.
+    /// Unknown results are treated as "not valid" (sound for type checking).
+    pub fn is_valid(&self, premises: &[Term], conclusion: &Term) -> bool {
+        matches!(self.check_valid(premises, conclusion), ValidityResult::Valid)
+    }
+
+    /// Convenience wrapper: `true` iff the conjunction is satisfiable.
+    pub fn is_sat(&self, assumptions: &[Term]) -> bool {
+        matches!(self.check_sat(assumptions), SatResult::Sat(_))
+    }
+
+    fn build_model(
+        &self,
+        assignment: &[(Term, bool)],
+        theory_model: &BTreeMap<String, Rat>,
+        aliases: &BTreeMap<String, (Term, String, Sort)>,
+        memberships: &BTreeMap<String, Vec<(Term, String)>>,
+    ) -> Model {
+        let mut model = Model::new();
+        // Integer values for every numeric variable of the *caller's* env.
+        let mut int_model = Model::new();
+        let value_of = |name: &str| -> i64 {
+            theory_model
+                .get(name)
+                .map(|r| r.floor() as i64)
+                .unwrap_or(0)
+        };
+        for (name, sort) in self.env.vars() {
+            match sort {
+                Sort::Int | Sort::Uninterp(_) => {
+                    let v = value_of(name);
+                    model.insert(name.clone(), Value::Int(v));
+                    int_model.insert(name.clone(), Value::Int(v));
+                }
+                Sort::Bool => {
+                    let v = assignment
+                        .iter()
+                        .find(|(a, _)| *a == Term::var(name.clone()))
+                        .map(|(_, v)| *v)
+                        .unwrap_or(false);
+                    model.insert(name.clone(), Value::Bool(v));
+                }
+                Sort::Set => {}
+            }
+        }
+        // Also include values for alias variables (needed to evaluate element
+        // terms that mention measure applications).
+        for (_, (_, alias, sort)) in aliases {
+            if matches!(sort, Sort::Int | Sort::Uninterp(_)) {
+                int_model.insert(alias.clone(), Value::Int(value_of(alias)));
+            }
+        }
+
+        // Set values: collect the elements whose membership atom is true.
+        let mut set_values: BTreeMap<String, BTreeSet<i64>> = BTreeMap::new();
+        for (set_var, members) in memberships {
+            let mut elems = BTreeSet::new();
+            for (elem_term, atom_name) in members {
+                let is_member = assignment
+                    .iter()
+                    .find(|(a, _)| *a == Term::var(atom_name.clone()))
+                    .map(|(_, v)| *v)
+                    .unwrap_or(false);
+                if is_member {
+                    if let Ok(v) = elem_term.eval_int(&int_model) {
+                        elems.insert(v);
+                    }
+                }
+            }
+            set_values.insert(set_var.clone(), elems);
+        }
+        for (name, sort) in self.env.vars() {
+            if matches!(sort, Sort::Set) {
+                let elems = set_values.get(name).cloned().unwrap_or_default();
+                model.insert(name.clone(), Value::Set(elems));
+            }
+        }
+
+        // Interpretations for the aliased measure applications.
+        for (_, (app, alias, sort)) in aliases {
+            let value = match sort {
+                Sort::Int | Sort::Uninterp(_) => Value::Int(value_of(alias)),
+                Sort::Bool => Value::Bool(
+                    assignment
+                        .iter()
+                        .find(|(a, _)| *a == Term::var(alias.clone()))
+                        .map(|(_, v)| *v)
+                        .unwrap_or(false),
+                ),
+                Sort::Set => Value::Set(set_values.get(alias).cloned().unwrap_or_default()),
+            };
+            model.insert_app(app, value.clone());
+            model.insert(alias.clone(), value);
+        }
+        model
+    }
+}
+
+/// The arithmetic theory oracle: literals over comparisons are translated to
+/// linear constraints and handed to the Fourier–Motzkin / branch-and-bound
+/// solver. Boolean variables and opaque boolean applications carry no
+/// arithmetic content.
+struct ArithTheory<'a> {
+    lia: &'a LiaSolver,
+}
+
+impl<'a> Theory for ArithTheory<'a> {
+    type Model = BTreeMap<String, Rat>;
+
+    fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<Self::Model> {
+        let mut constraints: Vec<LinConstraint> = Vec::new();
+        for (atom, value) in literals {
+            match atom {
+                Term::Var(_) | Term::App(_, _) | Term::Unknown(_, _) => {}
+                Term::Binary(op, a, b) if op.is_arith_comparison() => {
+                    let (ea, eb) = match (LinExpr::from_term(a), LinExpr::from_term(b)) {
+                        (Ok(ea), Ok(eb)) => (ea, eb),
+                        _ => {
+                            return TheoryResult::Unknown(format!(
+                                "non-linear arithmetic atom: {atom}"
+                            ))
+                        }
+                    };
+                    let c = arith_constraint(*op, *value, &ea, &eb);
+                    constraints.push(c);
+                }
+                Term::Binary(BinOp::Eq, a, b) => {
+                    // Residual equalities (e.g. between uninterpreted-sorted
+                    // terms) are treated as integer equalities.
+                    let (ea, eb) = match (LinExpr::from_term(a), LinExpr::from_term(b)) {
+                        (Ok(ea), Ok(eb)) => (ea, eb),
+                        _ => {
+                            return TheoryResult::Unknown(format!(
+                                "cannot interpret equality atom: {atom}"
+                            ))
+                        }
+                    };
+                    if *value {
+                        constraints.push(LinConstraint::ge0(ea.sub(&eb)));
+                        constraints.push(LinConstraint::ge0(eb.sub(&ea)));
+                    } else {
+                        // A negated equality is non-convex; it should have
+                        // been normalized away.
+                        return TheoryResult::Unknown(format!(
+                            "unnormalized disequality atom: {atom}"
+                        ));
+                    }
+                }
+                other => {
+                    return TheoryResult::Unknown(format!("unsupported theory atom: {other}"))
+                }
+            }
+        }
+        // Every variable occurring in an arithmetic constraint is integer-sorted.
+        let mut int_vars: BTreeSet<String> = BTreeSet::new();
+        for c in &constraints {
+            int_vars.extend(c.expr.vars().cloned());
+        }
+        match self.lia.solve_integer(&constraints, &int_vars) {
+            LiaResult::Sat(m) => TheoryResult::Consistent(m),
+            LiaResult::Unsat => TheoryResult::Inconsistent,
+            LiaResult::Unknown => TheoryResult::Unknown("arithmetic work limit exceeded".into()),
+        }
+    }
+}
+
+fn arith_constraint(op: BinOp, value: bool, a: &LinExpr, b: &LinExpr) -> LinConstraint {
+    // a ≤ b  ⇔ b − a ≥ 0 ; negation: a > b ⇔ a − b > 0, etc.
+    match (op, value) {
+        (BinOp::Le, true) => LinConstraint::ge0(b.sub(a)),
+        (BinOp::Le, false) => LinConstraint::gt0(a.sub(b)),
+        (BinOp::Lt, true) => LinConstraint::gt0(b.sub(a)),
+        (BinOp::Lt, false) => LinConstraint::ge0(a.sub(b)),
+        (BinOp::Ge, true) => LinConstraint::ge0(a.sub(b)),
+        (BinOp::Ge, false) => LinConstraint::gt0(b.sub(a)),
+        (BinOp::Gt, true) => LinConstraint::gt0(a.sub(b)),
+        (BinOp::Gt, false) => LinConstraint::ge0(b.sub(a)),
+        _ => unreachable!("arith_constraint called on non-comparison"),
+    }
+}
+
+/// Replace measure applications by fresh alias variables (same application →
+/// same alias), binding the aliases in `env` and recording them in `aliases`.
+fn alias_apps(
+    t: &Term,
+    orig_env: &SortingEnv,
+    env: &mut SortingEnv,
+    aliases: &mut BTreeMap<String, (Term, String, Sort)>,
+) -> Term {
+    match t {
+        Term::App(_, args) => {
+            // Alias arguments first (nested applications).
+            let aliased_args: Vec<Term> = args
+                .iter()
+                .map(|a| alias_apps(a, orig_env, env, aliases))
+                .collect();
+            let rebuilt = match t {
+                Term::App(name, _) => Term::App(name.clone(), aliased_args),
+                _ => unreachable!(),
+            };
+            let key = rebuilt.to_string();
+            if let Some((_, alias, _)) = aliases.get(&key) {
+                return Term::var(alias.clone());
+            }
+            let sort = orig_env.sort_of(t).unwrap_or(Sort::Int);
+            let alias = format!("__m{}", aliases.len());
+            env.bind_var(alias.clone(), sort.clone());
+            aliases.insert(key, (rebuilt, alias.clone(), sort));
+            Term::var(alias)
+        }
+        Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_) => {
+            t.clone()
+        }
+        Term::Singleton(x) => Term::Singleton(Box::new(alias_apps(x, orig_env, env, aliases))),
+        Term::Unary(op, x) => Term::Unary(*op, Box::new(alias_apps(x, orig_env, env, aliases))),
+        Term::Mul(k, x) => Term::Mul(*k, Box::new(alias_apps(x, orig_env, env, aliases))),
+        Term::Binary(op, a, b) => Term::Binary(
+            *op,
+            Box::new(alias_apps(a, orig_env, env, aliases)),
+            Box::new(alias_apps(b, orig_env, env, aliases)),
+        ),
+        Term::Ite(c, a, b) => Term::Ite(
+            Box::new(alias_apps(c, orig_env, env, aliases)),
+            Box::new(alias_apps(a, orig_env, env, aliases)),
+            Box::new(alias_apps(b, orig_env, env, aliases)),
+        ),
+        Term::Unknown(_, _) => t.clone(),
+    }
+}
+
+/// Normalize equalities per sort and expand bi-implications so that later
+/// stages only see convex arithmetic atoms and implication-free booleans.
+fn normalize(t: &Term, env: &SortingEnv) -> Result<Term, String> {
+    Ok(match t {
+        Term::Binary(BinOp::Iff, a, b) => {
+            let (a, b) = (normalize(a, env)?, normalize(b, env)?);
+            a.clone().implies(b.clone()).and(b.implies(a))
+        }
+        Term::Binary(BinOp::Eq, a, b) => {
+            let sort = env.sort_of(a).or_else(|_| env.sort_of(b));
+            match sort {
+                Ok(Sort::Bool) => {
+                    let (a, b) = (normalize(a, env)?, normalize(b, env)?);
+                    a.clone().implies(b.clone()).and(b.implies(a))
+                }
+                Ok(Sort::Set) => t.clone(),
+                _ => {
+                    let (a, b) = (*a.clone(), *b.clone());
+                    a.clone().le(b.clone()).and(a.ge(b))
+                }
+            }
+        }
+        Term::Binary(BinOp::Neq, a, b) => {
+            let sort = env.sort_of(a).or_else(|_| env.sort_of(b));
+            match sort {
+                Ok(Sort::Bool) => {
+                    let (a, b) = (normalize(a, env)?, normalize(b, env)?);
+                    a.clone().implies(b.clone()).and(b.clone().implies(a)).not()
+                }
+                Ok(Sort::Set) => t.clone(),
+                _ => {
+                    let (a, b) = (*a.clone(), *b.clone());
+                    a.clone().lt(b.clone()).or(a.gt(b))
+                }
+            }
+        }
+        Term::Unary(UnOp::Not, x) => normalize(x, env)?.not(),
+        Term::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies), a, b) => Term::Binary(
+            *op,
+            Box::new(normalize(a, env)?),
+            Box::new(normalize(b, env)?),
+        ),
+        Term::Ite(c, a, b) => Term::Ite(
+            Box::new(normalize(c, env)?),
+            Box::new(normalize(a, env)?),
+            Box::new(normalize(b, env)?),
+        ),
+        _ => t.clone(),
+    })
+}
+
+/// Case-split scalar conditionals out of atoms, and turn boolean-level
+/// conditionals into disjunctions.
+fn lift_ites(t: &Term) -> Term {
+    match t {
+        Term::Unary(UnOp::Not, x) => lift_ites(x).not(),
+        Term::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff), a, b) => {
+            Term::Binary(*op, Box::new(lift_ites(a)), Box::new(lift_ites(b)))
+        }
+        Term::Ite(c, a, b) => {
+            // Boolean-level conditional.
+            let c = lift_ites(c);
+            let a = lift_ites(a);
+            let b = lift_ites(b);
+            c.clone().and(a).or(c.not().and(b))
+        }
+        _ if dpll::is_atom(t) => {
+            // Pull the first scalar conditional out of the atom, if any.
+            match find_scalar_ite(t) {
+                None => t.clone(),
+                Some((cond, then_t, else_t)) => {
+                    let then_atom = replace_first_ite(t, &then_t);
+                    let else_atom = replace_first_ite(t, &else_t);
+                    lift_ites(
+                        &cond
+                            .clone()
+                            .and(then_atom)
+                            .or(cond.not().and(else_atom)),
+                    )
+                }
+            }
+        }
+        _ => t.clone(),
+    }
+}
+
+/// Find the first scalar-position `ite` inside an atom, returning
+/// `(condition, then-branch, else-branch)`.
+fn find_scalar_ite(t: &Term) -> Option<(Term, Term, Term)> {
+    match t {
+        Term::Ite(c, a, b) => Some(((**c).clone(), (**a).clone(), (**b).clone())),
+        Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_)
+        | Term::Unknown(_, _) => None,
+        Term::Singleton(x) | Term::Unary(_, x) | Term::Mul(_, x) => find_scalar_ite(x),
+        Term::Binary(_, a, b) => find_scalar_ite(a).or_else(|| find_scalar_ite(b)),
+        Term::App(_, args) => args.iter().find_map(find_scalar_ite),
+    }
+}
+
+/// Replace the first `ite` sub-term (in the same traversal order as
+/// [`find_scalar_ite`]) by `replacement`.
+fn replace_first_ite(t: &Term, replacement: &Term) -> Term {
+    fn go(t: &Term, replacement: &Term, done: &mut bool) -> Term {
+        if *done {
+            return t.clone();
+        }
+        match t {
+            Term::Ite(_, _, _) => {
+                *done = true;
+                replacement.clone()
+            }
+            Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_)
+            | Term::Unknown(_, _) => t.clone(),
+            Term::Singleton(x) => Term::Singleton(Box::new(go(x, replacement, done))),
+            Term::Unary(op, x) => Term::Unary(*op, Box::new(go(x, replacement, done))),
+            Term::Mul(k, x) => Term::Mul(*k, Box::new(go(x, replacement, done))),
+            Term::Binary(op, a, b) => {
+                let a2 = go(a, replacement, done);
+                let b2 = go(b, replacement, done);
+                Term::Binary(*op, Box::new(a2), Box::new(b2))
+            }
+            Term::App(m, args) => Term::App(
+                m.clone(),
+                args.iter().map(|a| go(a, replacement, done)).collect(),
+            ),
+        }
+    }
+    let mut done = false;
+    go(t, replacement, &mut done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_env(vars: &[&str]) -> SortingEnv {
+        let mut env = SortingEnv::new();
+        for v in vars {
+            env.bind_var(*v, Sort::Int);
+        }
+        env
+    }
+
+    #[test]
+    fn basic_arithmetic_validity() {
+        let solver = Solver::new(int_env(&["x", "y"]));
+        // x < y ⟹ x ≤ y is valid.
+        assert!(solver.is_valid(
+            &[Term::var("x").lt(Term::var("y"))],
+            &Term::var("x").le(Term::var("y"))
+        ));
+        // x ≤ y ⟹ x < y is not; the counterexample has x = y.
+        match solver.check_valid(
+            &[Term::var("x").le(Term::var("y"))],
+            &Term::var("x").lt(Term::var("y")),
+        ) {
+            ValidityResult::Invalid(m) => {
+                assert_eq!(m.get("x"), m.get("y"));
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn integer_models_only() {
+        // 2x = 3 is satisfiable over rationals but not over integers.
+        let solver = Solver::new(int_env(&["x"]));
+        let f = Term::var("x").times(2).eq_(Term::int(3));
+        assert!(matches!(solver.check_sat(&[f]), SatResult::Unsat));
+    }
+
+    #[test]
+    fn equalities_and_disequalities() {
+        let solver = Solver::new(int_env(&["x", "y"]));
+        // x = y ∧ x ≠ y is unsat.
+        let f = [
+            Term::var("x").eq_(Term::var("y")),
+            Term::var("x").neq(Term::var("y")),
+        ];
+        assert!(matches!(solver.check_sat(&f), SatResult::Unsat));
+        // x ≠ y is sat with distinct values.
+        match solver.check_sat(&[Term::var("x").neq(Term::var("y"))]) {
+            SatResult::Sat(m) => assert_ne!(m.get("x"), m.get("y")),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn measure_applications_are_congruent() {
+        let mut env = int_env(&["xs", "ys"]);
+        env.declare_measure("len", vec![Sort::Int], Sort::Int);
+        let solver = Solver::new(env);
+        // xs = ys ∧ len xs ≠ len ys is unsat thanks to congruence.
+        let f = [
+            Term::var("xs").eq_(Term::var("ys")),
+            Term::app("len", vec![Term::var("xs")])
+                .neq(Term::app("len", vec![Term::var("ys")])),
+        ];
+        assert!(matches!(solver.check_sat(&f), SatResult::Unsat));
+        // Without the equality of arguments it is satisfiable.
+        let f = [Term::app("len", vec![Term::var("xs")])
+            .neq(Term::app("len", vec![Term::var("ys")]))];
+        assert!(matches!(solver.check_sat(&f), SatResult::Sat(_)));
+    }
+
+    #[test]
+    fn set_reasoning_validity() {
+        let mut env = SortingEnv::new();
+        env.bind_var("s", Sort::Set)
+            .bind_var("t", Sort::Set)
+            .bind_var("u", Sort::Set)
+            .bind_var("x", Sort::Int);
+        let solver = Solver::new(env);
+        // s = t ∪ {x} ⟹ x ∈ s.
+        assert!(solver.is_valid(
+            &[Term::var("s").eq_(Term::var("t").union(Term::var("x").singleton()))],
+            &Term::var("x").member(Term::var("s"))
+        ));
+        // s = t ∩ u ⟹ s ⊆ t.
+        assert!(solver.is_valid(
+            &[Term::var("s").eq_(Term::var("t").intersect(Term::var("u")))],
+            &Term::var("s").subset(Term::var("t"))
+        ));
+        // s ⊆ t does not imply t ⊆ s.
+        assert!(!solver.is_valid(
+            &[Term::var("s").subset(Term::var("t"))],
+            &Term::var("t").subset(Term::var("s"))
+        ));
+    }
+
+    #[test]
+    fn set_union_intersection_identities() {
+        let mut env = SortingEnv::new();
+        env.bind_var("a", Sort::Set)
+            .bind_var("b", Sort::Set)
+            .bind_var("c", Sort::Set);
+        let solver = Solver::new(env);
+        // a = b ∪ c ∧ b = ∅ ⟹ a = c.
+        assert!(solver.is_valid(
+            &[
+                Term::var("a").eq_(Term::var("b").union(Term::var("c"))),
+                Term::var("b").eq_(Term::EmptySet),
+            ],
+            &Term::var("a").eq_(Term::var("c"))
+        ));
+        // a = b ∪ c does not imply a = b.
+        assert!(!solver.is_valid(
+            &[Term::var("a").eq_(Term::var("b").union(Term::var("c")))],
+            &Term::var("a").eq_(Term::var("b"))
+        ));
+    }
+
+    #[test]
+    fn conditional_terms_are_case_split() {
+        let solver = Solver::new(int_env(&["x", "y"]));
+        // ite(x < 0, 0 − x, x) ≥ 0 is valid (absolute value).
+        let abs = Term::Ite(
+            Box::new(Term::var("x").lt(Term::int(0))),
+            Box::new(Term::int(0) - Term::var("x")),
+            Box::new(Term::var("x")),
+        );
+        assert!(solver.is_valid(&[], &abs.ge(Term::int(0))));
+    }
+
+    #[test]
+    fn boolean_variables_participate() {
+        let mut env = int_env(&["x"]);
+        env.bind_var("p", Sort::Bool);
+        let solver = Solver::new(env);
+        // (p ⟹ x ≥ 1) ∧ (¬p ⟹ x ≥ 2) ⟹ x ≥ 1 is valid.
+        assert!(solver.is_valid(
+            &[
+                Term::var("p").implies(Term::var("x").ge(Term::int(1))),
+                Term::var("p").not().implies(Term::var("x").ge(Term::int(2))),
+            ],
+            &Term::var("x").ge(Term::int(1))
+        ));
+        assert!(!solver.is_valid(
+            &[Term::var("p").implies(Term::var("x").ge(Term::int(1)))],
+            &Term::var("x").ge(Term::int(1))
+        ));
+    }
+
+    #[test]
+    fn models_respect_premises() {
+        let solver = Solver::new(int_env(&["n"]));
+        let premise = Term::var("n").ge(Term::int(3)).and(Term::var("n").lt(Term::int(7)));
+        match solver.check_sat(&[premise.clone()]) {
+            SatResult::Sat(m) => {
+                assert!(premise.eval_bool(&m).unwrap());
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknowns_yield_unknown_result() {
+        let solver = Solver::new(int_env(&["x"]));
+        let f = Term::unknown("U0").and(Term::var("x").ge(Term::int(0)));
+        assert!(matches!(solver.check_sat(&[f]), SatResult::Unknown(_)));
+    }
+
+    #[test]
+    fn length_style_reasoning() {
+        // The motivating subtyping check from the paper's §2.1 (simplified to
+        // lengths): len l1 = len xs + 1 ∧ len ν = len xs ⟹ len ν + 1 = len l1.
+        let mut env = int_env(&["l1", "xs", "v"]);
+        env.declare_measure("len", vec![Sort::Int], Sort::Int);
+        let solver = Solver::new(env);
+        let len = |x: &str| Term::app("len", vec![Term::var(x)]);
+        assert!(solver.is_valid(
+            &[
+                len("l1").eq_(len("xs") + Term::int(1)),
+                len("v").eq_(len("xs")),
+            ],
+            &(len("v") + Term::int(1)).eq_(len("l1"))
+        ));
+    }
+}

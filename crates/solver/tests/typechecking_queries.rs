@@ -1,0 +1,76 @@
+//! Regression tests for solver queries of the exact shape the Re² checker
+//! produces (boolean guards defined by bi-implication, measure applications,
+//! set axioms from constructors).
+
+use resyn_logic::{Sort, SortingEnv, Term};
+use resyn_solver::Solver;
+
+fn env() -> SortingEnv {
+    let mut e = SortingEnv::new();
+    e.bind_var("n", Sort::Int)
+        .bind_var("g", Sort::Bool)
+        .bind_var("x", Sort::uninterp("a"))
+        .bind_var("_ret2", Sort::Int)
+        .bind_var("l1", Sort::Int)
+        .bind_var("l2", Sort::Int)
+        .declare_measure("len", vec![Sort::Int], Sort::Int)
+        .declare_measure("elems", vec![Sort::Int], Sort::Set)
+        .declare_measure("numgt", vec![Sort::Int, Sort::Int], Sort::Int)
+        .declare_measure("numlt", vec![Sort::Int, Sort::Int], Sort::Int);
+    e
+}
+
+#[test]
+fn guard_biimplication_with_measures() {
+    // n ≥ 0 ∧ (g ⟺ n = 0) ∧ g ∧ len(r) = 0 ⟹ len(r) = n
+    let solver = Solver::new(env());
+    let len_r = Term::app("len", vec![Term::var("_ret2")]);
+    let premises = vec![
+        Term::var("n").ge(Term::int(0)),
+        Term::var("g").iff(Term::var("n").eq_(Term::int(0))),
+        Term::var("g"),
+        len_r.clone().eq_(Term::int(0)),
+        Term::app("elems", vec![Term::var("_ret2")]).eq_(Term::EmptySet),
+        Term::app("numgt", vec![Term::var("x"), Term::var("_ret2")]).eq_(Term::int(0)),
+    ];
+    let conclusion = len_r.eq_(Term::var("n"));
+    assert!(solver.is_valid(&premises, &conclusion));
+}
+
+#[test]
+fn empty_set_is_subset_of_anything() {
+    let solver = Solver::new(env());
+    let premises = vec![Term::app("elems", vec![Term::var("_ret2")]).eq_(Term::EmptySet)];
+    let conclusion = Term::app("elems", vec![Term::var("_ret2")])
+        .subset(Term::app("elems", vec![Term::var("l1")]));
+    assert!(solver.is_valid(&premises, &conclusion));
+}
+
+#[test]
+fn conditional_measure_axioms_are_handled() {
+    // The SCons arm of a match emits axioms with conditional right-hand sides:
+    // numgt(v, l) = ite(x > v, 1, 0) + numgt(v, xs).
+    let mut e = env();
+    e.bind_var("xs", Sort::Int).bind_var("y", Sort::uninterp("a"));
+    let solver = Solver::new(e);
+    let axiom = |v: &str| {
+        Term::app("numgt", vec![Term::var(v), Term::var("l1")]).eq_(
+            Term::ite(
+                Term::var("x").gt(Term::var(v)),
+                Term::int(1),
+                Term::int(0),
+            ) + Term::app("numgt", vec![Term::var(v), Term::var("xs")]),
+        )
+    };
+    let premises = vec![
+        axiom("x"),
+        axiom("y"),
+        Term::app("numgt", vec![Term::var("x"), Term::var("xs")]).ge(Term::int(0)),
+        Term::app("len", vec![Term::var("l1")])
+            .eq_(Term::app("len", vec![Term::var("xs")]) + Term::int(1)),
+    ];
+    // numgt(x, l1) ≥ numgt(x, xs)
+    let conclusion = Term::app("numgt", vec![Term::var("x"), Term::var("l1")])
+        .ge(Term::app("numgt", vec![Term::var("x"), Term::var("xs")]));
+    assert!(solver.is_valid(&premises, &conclusion));
+}

@@ -1,0 +1,65 @@
+//! Synthesis goals and modes.
+
+use std::collections::BTreeMap;
+
+use resyn_lang::CostMetric;
+use resyn_ty::types::Schema;
+
+/// A synthesis goal: the resource-annotated signature of the function to
+/// synthesize, the component library it may use, and the cost metric.
+#[derive(Debug, Clone)]
+pub struct Goal {
+    /// The name of the function being synthesized.
+    pub name: String,
+    /// The goal type (refinements + potential annotations).
+    pub schema: Schema,
+    /// The component library: names and schemas of functions the synthesized
+    /// program may call (data constructors are always available).
+    pub components: BTreeMap<String, Schema>,
+    /// The cost metric (recursive calls, by default).
+    pub metric: CostMetric,
+}
+
+impl Goal {
+    /// Create a goal with the default (recursive-calls) metric.
+    pub fn new(
+        name: impl Into<String>,
+        schema: Schema,
+        components: Vec<(&str, Schema)>,
+    ) -> Goal {
+        Goal {
+            name: name.into(),
+            schema,
+            components: components
+                .into_iter()
+                .map(|(n, s)| (n.to_string(), s))
+                .collect(),
+            metric: CostMetric::RecursiveCalls,
+        }
+    }
+}
+
+/// The synthesizer configuration compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Resource-guided synthesis (the paper's ReSyn).
+    #[default]
+    ReSyn,
+    /// The resource-agnostic Synquid baseline.
+    Synquid,
+    /// Enumerate functionally-correct programs, then check resources
+    /// (the naive combination, column `T-EAC`).
+    Eac,
+    /// Resource-guided synthesis with the non-incremental CEGIS solver
+    /// (column `T-NInc`).
+    ReSynNoInc,
+    /// Constant-resource synthesis (benchmarks 14–16).
+    ConstantTime,
+}
+
+impl Mode {
+    /// Whether this mode checks resources while enumerating.
+    pub fn resource_guided(self) -> bool {
+        matches!(self, Mode::ReSyn | Mode::ReSynNoInc | Mode::ConstantTime)
+    }
+}

@@ -1,0 +1,480 @@
+//! Program skeletons: the match/guard structure of candidate programs.
+//!
+//! A skeleton is a program body whose leaves are numbered *holes* (represented
+//! as variables `?0`, `?1`, …). Skeletons are generated from the shapes of the
+//! goal's parameters — matches on datatype arguments, optionally refined by
+//! one or two conditional guards — and the synthesizer then fills the holes
+//! left-to-right with E-terms, checking partial programs along the way.
+
+use resyn_lang::{Expr, MatchArm};
+use resyn_ty::datatypes::Datatypes;
+use resyn_ty::types::{BaseType, Ty};
+
+/// The base-type shape of a value, used to drive enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// Booleans.
+    Bool,
+    /// Integers.
+    Int,
+    /// Values of a (polymorphic element) type variable.
+    Elem,
+    /// Values of the named datatype.
+    Data(String),
+}
+
+impl Shape {
+    /// The shape of a Re² type (arrows have no shape).
+    pub fn of(ty: &Ty) -> Option<Shape> {
+        match ty.base_type()? {
+            BaseType::Bool => Some(Shape::Bool),
+            BaseType::Int => Some(Shape::Int),
+            BaseType::TVar(_) => Some(Shape::Elem),
+            BaseType::Data(name, _) => Some(Shape::Data(name.clone())),
+        }
+    }
+
+    /// Whether an argument of this shape may be passed where `param` is
+    /// expected (element-shaped parameters accept integers and vice versa,
+    /// mirroring polymorphic instantiation).
+    pub fn fits(&self, param: &Shape) -> bool {
+        match (self, param) {
+            (a, b) if a == b => true,
+            (Shape::Int, Shape::Elem) | (Shape::Elem, Shape::Int) => true,
+            (Shape::Data(_), Shape::Elem) => false,
+            _ => false,
+        }
+    }
+}
+
+/// A hole in a skeleton: its index and the extra binders in scope at the hole
+/// (match binders), with their shapes.
+#[derive(Debug, Clone)]
+pub struct Hole {
+    /// The hole's index (`?idx` in the skeleton body).
+    pub idx: usize,
+    /// Binders introduced on the path to this hole.
+    pub binders: Vec<(String, Shape)>,
+}
+
+/// A candidate program structure with holes.
+#[derive(Debug, Clone)]
+pub struct Skeleton {
+    /// The body with `?idx` placeholder variables at the leaves.
+    pub body: Expr,
+    /// The holes, in filling order.
+    pub holes: Vec<Hole>,
+    /// Guard expressions used by the skeleton (for statistics only).
+    pub guards: usize,
+}
+
+/// Placeholder variable name for hole `idx`.
+pub fn hole_var(idx: usize) -> String {
+    format!("?{idx}")
+}
+
+/// Replace hole `idx` with an expression.
+pub fn fill_hole(body: &Expr, idx: usize, replacement: &Expr) -> Expr {
+    subst_var(body, &hole_var(idx), replacement)
+}
+
+/// Replace every remaining hole with `impossible` (the checker treats these as
+/// trivially-checking holes while `allow_holes` is on).
+pub fn plug_remaining(body: &Expr, from: usize, total: usize) -> Expr {
+    let mut out = body.clone();
+    for idx in from..total {
+        out = fill_hole(&out, idx, &Expr::Impossible);
+    }
+    out
+}
+
+fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    match e {
+        Expr::Var(x) if x == var => replacement.clone(),
+        Expr::Var(_) | Expr::Bool(_) | Expr::Int(_) | Expr::Impossible => e.clone(),
+        Expr::Ctor(n, args) => Expr::Ctor(
+            n.clone(),
+            args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+        ),
+        Expr::Lambda(x, b) => Expr::Lambda(x.clone(), Box::new(subst_var(b, var, replacement))),
+        Expr::Fix(f, x, b) => Expr::Fix(
+            f.clone(),
+            x.clone(),
+            Box::new(subst_var(b, var, replacement)),
+        ),
+        Expr::App(f, a) => Expr::App(
+            Box::new(subst_var(f, var, replacement)),
+            Box::new(subst_var(a, var, replacement)),
+        ),
+        Expr::Ite(c, t, els) => Expr::Ite(
+            Box::new(subst_var(c, var, replacement)),
+            Box::new(subst_var(t, var, replacement)),
+            Box::new(subst_var(els, var, replacement)),
+        ),
+        Expr::Match(s, arms) => Expr::Match(
+            Box::new(subst_var(s, var, replacement)),
+            arms.iter()
+                .map(|arm| MatchArm {
+                    ctor: arm.ctor.clone(),
+                    binders: arm.binders.clone(),
+                    body: subst_var(&arm.body, var, replacement),
+                })
+                .collect(),
+        ),
+        Expr::Let(x, b, body) => Expr::Let(
+            x.clone(),
+            Box::new(subst_var(b, var, replacement)),
+            Box::new(subst_var(body, var, replacement)),
+        ),
+        Expr::Tick(c, b) => Expr::Tick(*c, Box::new(subst_var(b, var, replacement))),
+    }
+}
+
+/// A builder that tracks hole allocation while constructing skeletons.
+struct Builder {
+    holes: Vec<Hole>,
+}
+
+impl Builder {
+    fn hole(&mut self, binders: Vec<(String, Shape)>) -> Expr {
+        let idx = self.holes.len();
+        self.holes.push(Hole { idx, binders });
+        Expr::var(hole_var(idx))
+    }
+}
+
+/// Build a match on `var` (of datatype `dname`) whose arm bodies are produced
+/// by `leaf` (given the accumulated binders of the arm).
+fn match_on(
+    builder: &mut Builder,
+    datatypes: &Datatypes,
+    var: &str,
+    dname: &str,
+    suffix: usize,
+    mut leaf: impl FnMut(&mut Builder, Vec<(String, Shape)>) -> Expr,
+) -> Option<Expr> {
+    let decl = datatypes.get(dname)?;
+    let mut arms = Vec::new();
+    for ctor in &decl.ctors {
+        let mut binders = Vec::new();
+        let mut names = Vec::new();
+        for (i, (arg_name, arg_ty)) in ctor.args.iter().enumerate() {
+            let shape = Shape::of(arg_ty).unwrap_or(Shape::Elem);
+            let name = format!("{}{}_{}", arg_name, suffix, i);
+            binders.push((name.clone(), shape));
+            names.push(name);
+        }
+        let body = leaf(builder, binders);
+        arms.push(MatchArm {
+            ctor: ctor.name.clone(),
+            binders: names,
+            body,
+        });
+    }
+    Some(Expr::match_(Expr::var(var), arms))
+}
+
+/// Wrap a hole-producing leaf with `guards` nested conditionals. Each guard is
+/// a pre-built boolean expression (an application of a boolean component); the
+/// leaves on both sides are fresh holes.
+fn guard_split(
+    builder: &mut Builder,
+    binders: &[(String, Shape)],
+    guards: &[Expr],
+) -> Expr {
+    match guards {
+        [] => builder.hole(binders.to_vec()),
+        [g, rest @ ..] => {
+            let gname = format!("_grd{}", builder.holes.len());
+            let then_hole = builder.hole(binders.to_vec());
+            let else_part = guard_split(builder, binders, rest);
+            Expr::let_(
+                gname.clone(),
+                g.clone(),
+                Expr::ite(Expr::var(gname), then_hole, else_part),
+            )
+        }
+    }
+}
+
+/// Generate the skeletons for a goal with the given parameters, in order of
+/// increasing structural complexity. `guard_candidates` is a function from the
+/// binders in scope to the guard expressions to try.
+pub fn generate(
+    params: &[(String, Shape)],
+    datatypes: &Datatypes,
+    guard_candidates: &dyn Fn(&[(String, Shape)]) -> Vec<Expr>,
+) -> Vec<Skeleton> {
+    let mut out = Vec::new();
+
+    // 1. A single hole (straight-line programs such as `triple`).
+    {
+        let mut b = Builder { holes: Vec::new() };
+        let body = b.hole(Vec::new());
+        out.push(Skeleton {
+            body,
+            holes: b.holes,
+            guards: 0,
+        });
+    }
+
+    // 2. Guard-split at the top (integer recursion: replicate, range, …).
+    for g in guard_candidates(params) {
+        let mut b = Builder { holes: Vec::new() };
+        let body = guard_split(&mut b, &[], &[g]);
+        out.push(Skeleton {
+            body,
+            holes: b.holes,
+            guards: 1,
+        });
+    }
+
+    // 3. Match on each datatype parameter; the recursive arm may be split by
+    //    zero, one or two guards.
+    let data_params: Vec<(String, String)> = params
+        .iter()
+        .filter_map(|(n, s)| match s {
+            Shape::Data(d) => Some((n.clone(), d.clone())),
+            _ => None,
+        })
+        .collect();
+
+    for (p, d) in &data_params {
+        for depth in 0..=2usize {
+            let guard_sets: Vec<Vec<Expr>> = if depth == 0 {
+                vec![Vec::new()]
+            } else {
+                // Guard choices are computed per arm below; use a marker here.
+                vec![Vec::new()]
+            };
+            let _ = guard_sets;
+            // depth 0: plain match; depth 1/2: enumerate guard combinations.
+            if depth == 0 {
+                let mut b = Builder { holes: Vec::new() };
+                if let Some(body) = match_on(&mut b, datatypes, p, d, 1, |b, binders| {
+                    b.hole(binders)
+                }) {
+                    out.push(Skeleton {
+                        body,
+                        holes: b.holes,
+                        guards: 0,
+                    });
+                }
+            } else {
+                // Build one skeleton per guard combination in the recursive arm.
+                // The binders of the recursive arm are known from the datatype.
+                let arm_binders = recursive_arm_binders(datatypes, d, 1);
+                let mut scope = params.to_vec();
+                scope.extend(arm_binders.clone());
+                let guards = guard_candidates(&scope);
+                let combos: Vec<Vec<Expr>> = if depth == 1 {
+                    guards.iter().map(|g| vec![g.clone()]).collect()
+                } else {
+                    let mut cs = Vec::new();
+                    for g1 in &guards {
+                        for g2 in &guards {
+                            if g1 != g2 {
+                                cs.push(vec![g1.clone(), g2.clone()]);
+                            }
+                        }
+                    }
+                    cs
+                };
+                for combo in combos {
+                    let mut b = Builder { holes: Vec::new() };
+                    if let Some(body) = match_on(&mut b, datatypes, p, d, 1, |b, binders| {
+                        if binders.is_empty() {
+                            b.hole(binders)
+                        } else {
+                            guard_split(b, &binders, &combo)
+                        }
+                    }) {
+                        out.push(Skeleton {
+                            body,
+                            holes: b.holes,
+                            guards: combo.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Nested match on the first two datatype parameters, with the innermost
+    //    arm split by zero, one or two guards (common, diff, zip, compare, …).
+    if data_params.len() >= 2 {
+        let (p1, d1) = &data_params[0];
+        let (p2, d2) = &data_params[1];
+        for depth in 0..=2usize {
+            let outer_binders = recursive_arm_binders(datatypes, d1, 1);
+            let inner_binders = recursive_arm_binders(datatypes, d2, 2);
+            let mut scope = params.to_vec();
+            scope.extend(outer_binders.clone());
+            scope.extend(inner_binders.clone());
+            let guards = guard_candidates(&scope);
+            let combos: Vec<Vec<Expr>> = match depth {
+                0 => vec![Vec::new()],
+                1 => guards.iter().map(|g| vec![g.clone()]).collect(),
+                _ => {
+                    let mut cs = Vec::new();
+                    for g1 in &guards {
+                        for g2 in &guards {
+                            if g1 != g2 {
+                                cs.push(vec![g1.clone(), g2.clone()]);
+                            }
+                        }
+                    }
+                    cs
+                }
+            };
+            for combo in combos {
+                let mut b = Builder { holes: Vec::new() };
+                let p2c = p2.clone();
+                let d2c = d2.clone();
+                let combo_ref = combo.clone();
+                let body = match_on(&mut b, datatypes, p1, d1, 1, |b, outer| {
+                    // Nest the match on the second list in *every* arm of the
+                    // outer match (guards only split the recursive arm): the
+                    // base arm of e.g. `compare`/`common` still needs to
+                    // distinguish an empty from a non-empty second argument.
+                    let inner_guards: &[Expr] = if outer.is_empty() { &[] } else { &combo_ref };
+                    match match_on_inner(b, datatypes, &p2c, &d2c, 2, &outer, inner_guards) {
+                        Some(e) => e,
+                        None => b.hole(outer),
+                    }
+                });
+                if let Some(body) = body {
+                    out.push(Skeleton {
+                        body,
+                        holes: b.holes,
+                        guards: combo.len(),
+                    });
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn match_on_inner(
+    builder: &mut Builder,
+    datatypes: &Datatypes,
+    var: &str,
+    dname: &str,
+    suffix: usize,
+    outer_binders: &[(String, Shape)],
+    guards: &[Expr],
+) -> Option<Expr> {
+    match_on(builder, datatypes, var, dname, suffix, |b, inner| {
+        let mut binders = outer_binders.to_vec();
+        binders.extend(inner.clone());
+        if inner.is_empty() || guards.is_empty() {
+            b.hole(binders)
+        } else {
+            guard_split(b, &binders, guards)
+        }
+    })
+}
+
+/// The binders of the (first) recursive constructor arm of a datatype, using
+/// the same naming convention as [`match_on`].
+pub fn recursive_arm_binders(
+    datatypes: &Datatypes,
+    dname: &str,
+    suffix: usize,
+) -> Vec<(String, Shape)> {
+    let Some(decl) = datatypes.get(dname) else { return Vec::new() };
+    let recursive = decl
+        .ctors
+        .iter()
+        .find(|c| !c.args.is_empty())
+        .or(decl.ctors.first());
+    let Some(ctor) = recursive else { return Vec::new() };
+    ctor.args
+        .iter()
+        .enumerate()
+        .map(|(i, (name, ty))| {
+            (
+                format!("{name}{suffix}_{i}"),
+                Shape::of(ty).unwrap_or(Shape::Elem),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_of_types() {
+        assert_eq!(Shape::of(&Ty::int()), Some(Shape::Int));
+        assert_eq!(Shape::of(&Ty::tvar("a")), Some(Shape::Elem));
+        assert_eq!(
+            Shape::of(&Ty::list(Ty::tvar("a"))),
+            Some(Shape::Data("List".into()))
+        );
+        assert_eq!(Shape::of(&Ty::arrow("x", Ty::int(), Ty::int())), None);
+        assert!(Shape::Int.fits(&Shape::Elem));
+        assert!(!Shape::Data("List".into()).fits(&Shape::Int));
+    }
+
+    #[test]
+    fn skeleton_generation_produces_expected_structures() {
+        let datatypes = Datatypes::standard();
+        let params = vec![
+            ("xs".to_string(), Shape::Data("List".into())),
+            ("ys".to_string(), Shape::Data("List".into())),
+        ];
+        let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
+        let skeletons = generate(&params, &datatypes, &no_guards);
+        // Single hole, match-on-xs, match-on-ys, nested match (no guard sets).
+        assert!(skeletons.len() >= 4);
+        assert_eq!(skeletons[0].holes.len(), 1);
+        let nested = skeletons
+            .iter()
+            .find(|s| s.holes.len() >= 3)
+            .expect("nested match skeleton");
+        assert!(nested.body.to_string().contains("match xs"));
+    }
+
+    #[test]
+    fn nested_match_skeletons_match_the_second_list_in_every_arm() {
+        // `compare`/`common`-style goals need to distinguish an empty from a
+        // non-empty second argument even when the first argument is empty.
+        let datatypes = Datatypes::standard();
+        let params = vec![
+            ("ys".to_string(), Shape::Data("List".into())),
+            ("zs".to_string(), Shape::Data("List".into())),
+        ];
+        let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
+        let skeletons = generate(&params, &datatypes, &no_guards);
+        let nested = skeletons
+            .iter()
+            .filter(|s| s.body.to_string().matches("match zs").count() >= 2)
+            .max_by_key(|s| s.holes.len())
+            .expect("a skeleton nesting the second match in both arms");
+        // Four leaves: (Nil, Nil), (Nil, Cons), (Cons, Nil), (Cons, Cons).
+        assert_eq!(nested.holes.len(), 4);
+        // The innermost hole sees the binders of both matches.
+        let deepest = nested.holes.last().unwrap();
+        assert!(deepest.binders.len() >= 4);
+    }
+
+    #[test]
+    fn hole_filling_and_plugging() {
+        let datatypes = Datatypes::standard();
+        let params = vec![("l".to_string(), Shape::Data("List".into()))];
+        let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
+        let skeletons = generate(&params, &datatypes, &no_guards);
+        let match_skel = skeletons
+            .iter()
+            .find(|s| s.holes.len() == 2)
+            .expect("match skeleton");
+        let filled = fill_hole(&match_skel.body, 0, &Expr::nil());
+        let plugged = plug_remaining(&filled, 1, match_skel.holes.len());
+        assert!(!plugged.to_string().contains('?'));
+        assert!(plugged.to_string().contains("impossible"));
+    }
+}

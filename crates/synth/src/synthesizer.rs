@@ -1,0 +1,306 @@
+//! The synthesis engine: skeleton selection, hole filling with round-trip
+//! checking, and final acceptance.
+
+use std::time::{Duration, Instant};
+
+use resyn_lang::Expr;
+use resyn_rescon::{CegisSolver, IncrementalCegis, RcResult};
+use resyn_ty::check::{Checker, CheckerConfig, ResourceMode};
+use resyn_ty::datatypes::Datatypes;
+use resyn_ty::types::Ty;
+
+use crate::enumerate;
+use crate::goal::{Goal, Mode};
+use crate::skeleton::{self, Shape, Skeleton};
+
+/// Search statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SynthStats {
+    /// Partial or complete candidate programs submitted to the checker.
+    pub candidates_checked: usize,
+    /// Complete programs accepted functionally but re-checked for resources
+    /// (EAC mode).
+    pub resource_rechecks: usize,
+    /// Skeletons explored.
+    pub skeletons: usize,
+    /// Wall-clock time spent.
+    pub duration: Duration,
+    /// Whether the search hit the timeout.
+    pub timed_out: bool,
+}
+
+/// The result of a synthesis run.
+#[derive(Debug, Clone)]
+pub struct SynthOutcome {
+    /// The synthesized program (a `fix`/λ chain), if any.
+    pub program: Option<Expr>,
+    /// Search statistics.
+    pub stats: SynthStats,
+}
+
+impl SynthOutcome {
+    /// Size (AST nodes) of the synthesized program, if any.
+    pub fn code_size(&self) -> usize {
+        self.program.as_ref().map(Expr::size).unwrap_or(0)
+    }
+}
+
+/// The synthesizer.
+#[derive(Debug, Clone)]
+pub struct Synthesizer {
+    /// Datatype registry shared with the checker.
+    pub datatypes: Datatypes,
+    /// Wall-clock budget for one synthesis problem.
+    pub timeout: Duration,
+    /// Cap on E-term candidates per hole.
+    pub eterm_cap: usize,
+}
+
+impl Default for Synthesizer {
+    fn default() -> Self {
+        Synthesizer {
+            datatypes: Datatypes::standard(),
+            timeout: Duration::from_secs(600),
+            eterm_cap: 600,
+        }
+    }
+}
+
+impl Synthesizer {
+    /// A synthesizer with the standard datatypes and the paper's 10-minute
+    /// timeout.
+    pub fn new() -> Synthesizer {
+        Synthesizer::default()
+    }
+
+    /// A synthesizer with a custom timeout.
+    pub fn with_timeout(timeout: Duration) -> Synthesizer {
+        Synthesizer {
+            timeout,
+            ..Synthesizer::default()
+        }
+    }
+
+    fn checker(&self, goal: &Goal, mode: Mode, holes: bool) -> Checker {
+        let resource_mode = match mode {
+            Mode::ReSyn | Mode::ReSynNoInc => ResourceMode::Resource,
+            Mode::Synquid | Mode::Eac => ResourceMode::Agnostic,
+            Mode::ConstantTime => ResourceMode::ConstantResource,
+        };
+        Checker::new(
+            self.datatypes.clone(),
+            CheckerConfig {
+                mode: resource_mode,
+                metric: goal.metric.clone(),
+                allow_holes: holes,
+            },
+        )
+    }
+
+    /// Check a candidate (possibly partial) program; in resource modes the
+    /// residual CEGIS constraints must also be satisfiable.
+    fn accepts(&self, goal: &Goal, mode: Mode, program: &Expr, holes: bool) -> bool {
+        let checker = self.checker(goal, mode, holes);
+        let outcome =
+            match checker.check_function(&goal.name, program, &goal.schema, &goal.components) {
+                Ok(o) => o,
+                Err(_) => return false,
+            };
+        if outcome.constraints.is_empty() {
+            return true;
+        }
+        // Solve the residual resource constraints with CEGIS.
+        let env = resyn_logic::SortingEnv::new();
+        let solver = CegisSolver::new(env);
+        let mut cegis = IncrementalCegis::new(solver, outcome.unknowns.clone());
+        let result = if matches!(mode, Mode::ReSynNoInc) {
+            cegis.add_unknowns(&outcome.unknowns);
+            let r = cegis.add_constraints(&outcome.constraints);
+            // The non-incremental ablation re-solves the whole system from
+            // scratch, discarding the incremental state.
+            if r.is_solved() {
+                cegis.resolve_from_scratch()
+            } else {
+                r
+            }
+        } else {
+            cegis.add_constraints(&outcome.constraints)
+        };
+        matches!(result, RcResult::Solved(_))
+    }
+
+    /// The final resource check used by EAC mode once a functionally-correct
+    /// program has been found.
+    fn resource_accepts(&self, goal: &Goal, program: &Expr) -> bool {
+        self.accepts(goal, Mode::ReSyn, program, false)
+    }
+
+    /// Check a complete candidate program against a goal in the given mode:
+    /// type-check it under Re² and solve any residual resource constraints.
+    ///
+    /// This is the acceptance test the synthesizer applies to finished
+    /// candidates, exposed so external programs (for example the `resyn`
+    /// command-line tool) can verify hand-written implementations against a
+    /// resource-annotated signature.
+    pub fn check(&self, goal: &Goal, mode: Mode, program: &Expr) -> bool {
+        self.accepts(goal, mode, program, false)
+    }
+
+    /// Synthesize a program for `goal` in the given mode.
+    pub fn synthesize(&self, goal: &Goal, mode: Mode) -> SynthOutcome {
+        let start = Instant::now();
+        let mut stats = SynthStats::default();
+
+        // Parameter shapes drive skeleton generation.
+        let (params, ret_ty) = goal.schema.ty.uncurry();
+        let param_shapes: Vec<(String, Shape)> = params
+            .iter()
+            .filter_map(|(n, t, _)| Shape::of(t).map(|s| (n.clone(), s)))
+            .collect();
+        let Some(ret_shape) = Shape::of(&ret_ty) else {
+            return SynthOutcome {
+                program: None,
+                stats,
+            };
+        };
+
+        let guard_fn = |scope: &[(String, Shape)]| enumerate::guards(goal, scope);
+        let skeletons = skeleton::generate(&param_shapes, &self.datatypes, &guard_fn);
+
+        for skel in &skeletons {
+            if start.elapsed() > self.timeout {
+                stats.timed_out = true;
+                break;
+            }
+            stats.skeletons += 1;
+            if let Some(program) =
+                self.fill_skeleton(goal, mode, skel, &params, &ret_shape, &mut stats, start)
+            {
+                stats.duration = start.elapsed();
+                return SynthOutcome {
+                    program: Some(program),
+                    stats,
+                };
+            }
+        }
+        stats.duration = start.elapsed();
+        stats.timed_out = stats.timed_out || start.elapsed() > self.timeout;
+        SynthOutcome {
+            program: None,
+            stats,
+        }
+    }
+
+    /// Wrap a body into the `fix`/λ chain matching the goal parameters.
+    fn wrap(&self, goal: &Goal, params: &[(String, Ty, i64)], body: Expr) -> Expr {
+        let mut expr = body;
+        for (i, (name, _, _)) in params.iter().enumerate().rev() {
+            if i == 0 {
+                expr = Expr::fix(goal.name.clone(), name.clone(), expr);
+            } else {
+                expr = Expr::lambda(name.clone(), expr);
+            }
+        }
+        expr
+    }
+
+    /// Fill the holes of a skeleton left-to-right with backtracking.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_skeleton(
+        &self,
+        goal: &Goal,
+        mode: Mode,
+        skel: &Skeleton,
+        params: &[(String, Ty, i64)],
+        ret_shape: &Shape,
+        stats: &mut SynthStats,
+        start: Instant,
+    ) -> Option<Expr> {
+        let param_shapes: Vec<(String, Shape)> = params
+            .iter()
+            .filter_map(|(n, t, _)| Shape::of(t).map(|s| (n.clone(), s)))
+            .collect();
+
+        // Candidate lists per hole.
+        let candidates: Vec<Vec<Expr>> = skel
+            .holes
+            .iter()
+            .map(|hole| {
+                let mut scope = param_shapes.clone();
+                scope.extend(hole.binders.clone());
+                enumerate::eterms(goal, &self.datatypes, &scope, ret_shape, self.eterm_cap)
+            })
+            .collect();
+        if candidates.iter().any(Vec::is_empty) {
+            return None;
+        }
+
+        // Backtracking over candidate indices.
+        let n = skel.holes.len();
+        let mut choice = vec![0usize; n];
+        let mut level = 0usize;
+        loop {
+            if start.elapsed() > self.timeout {
+                stats.timed_out = true;
+                return None;
+            }
+            if level == n {
+                // Complete program: final acceptance.
+                let body = build_partial(skel, &candidates, &choice, n, n);
+                let program = self.wrap(goal, params, body);
+                stats.candidates_checked += 1;
+                let complete_ok = self.accepts(goal, mode, &program, false);
+                let accepted = if complete_ok && matches!(mode, Mode::Eac) {
+                    stats.resource_rechecks += 1;
+                    self.resource_accepts(goal, &program)
+                } else {
+                    complete_ok
+                };
+                if accepted {
+                    return Some(program);
+                }
+                // Backtrack: advance the deepest hole.
+                level = n - 1;
+                choice[level] += 1;
+                continue;
+            }
+            if choice[level] >= candidates[level].len() {
+                // Exhausted this hole: backtrack.
+                if level == 0 {
+                    return None;
+                }
+                choice[level] = 0;
+                level -= 1;
+                choice[level] += 1;
+                continue;
+            }
+            // Check the partial program with the current prefix of choices.
+            let body = build_partial(skel, &candidates, &choice, level + 1, n);
+            let program = self.wrap(goal, params, body);
+            stats.candidates_checked += 1;
+            if self.accepts(goal, mode, &program, true) {
+                level += 1;
+            } else {
+                choice[level] += 1;
+            }
+        }
+    }
+
+}
+
+/// Assemble the skeleton body with the first `filled` holes replaced by their
+/// chosen candidates and the rest plugged with hole markers.
+fn build_partial(
+    skel: &Skeleton,
+    candidates: &[Vec<Expr>],
+    choice: &[usize],
+    filled: usize,
+    total: usize,
+) -> Expr {
+    let mut body = skel.body.clone();
+    for (idx, &c) in choice.iter().enumerate().take(filled) {
+        let candidate = &candidates[idx][c.min(candidates[idx].len() - 1)];
+        body = skeleton::fill_hole(&body, idx, candidate);
+    }
+    skeleton::plug_remaining(&body, filled, total)
+}

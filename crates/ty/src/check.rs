@@ -1,0 +1,1172 @@
+//! The Re² type checker.
+//!
+//! [`Checker::check_function`] checks a function body (a `fix`/λ-chain in
+//! a-normal form) against a goal [`Schema`], in the presence of a component
+//! library. Refinement obligations are discharged immediately with the
+//! refinement-logic solver; resource obligations are tracked through the
+//! potential ledger (see the crate documentation) and either discharged
+//! immediately (when they contain no unknown annotations) or returned as
+//! [`ResourceConstraint`]s for the CEGIS solver.
+//!
+//! The checker implements three modes (§5 of the paper):
+//! * [`ResourceMode::Resource`] — full Re² checking (ReSyn),
+//! * [`ResourceMode::Agnostic`] — refinements only, with Synquid's structural
+//!   termination metric (the baseline),
+//! * [`ResourceMode::ConstantResource`] — Re² with exact consumption on every
+//!   path (the constant-resource extension of §3).
+
+use std::collections::BTreeMap;
+
+use resyn_lang::{CostMetric, Expr};
+use resyn_logic::{Sort, Term};
+use resyn_solver::Solver;
+
+use crate::constraints::ResourceConstraint;
+use crate::ctx::Ctx;
+use crate::datatypes::{CtorDecl, DataDecl, Datatypes};
+use crate::subtype::{self, SubtypeError, SubtypeObligations};
+use crate::types::{BaseType, Schema, Ty};
+
+/// Resource-checking mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResourceMode {
+    /// Full resource-aware checking (ReSyn).
+    #[default]
+    Resource,
+    /// Resource-agnostic checking with structural termination (Synquid).
+    Agnostic,
+    /// Constant-resource checking: consumption must be exact on every path.
+    ConstantResource,
+}
+
+/// Checker configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CheckerConfig {
+    /// The resource mode.
+    pub mode: ResourceMode,
+    /// The cost metric used to charge applications.
+    pub metric: CostMetric,
+    /// Treat `impossible` as a *hole* that trivially checks. The synthesizer
+    /// uses this for round-trip checking of partial programs (program
+    /// prefixes whose remaining branches have not been filled in yet).
+    pub allow_holes: bool,
+}
+
+/// Errors reported by the checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A refinement implication failed.
+    Refinement {
+        /// Description of where the check arose.
+        origin: String,
+        /// The failed implication goal.
+        goal: String,
+    },
+    /// A resource constraint without unknowns is violated.
+    Resource {
+        /// Description of where the constraint arose.
+        origin: String,
+        /// The violated ledger expression.
+        ledger: String,
+    },
+    /// A structural/shape error (wrong arity, incompatible types, …).
+    Shape(String),
+    /// A variable or component is unbound.
+    Unbound(String),
+    /// The structural termination check failed (Agnostic mode only).
+    Termination(String),
+    /// `impossible` was used in a reachable branch.
+    ReachableImpossible,
+    /// A construct outside the supported fragment was encountered.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Refinement { origin, goal } => {
+                write!(f, "refinement check failed at {origin}: {goal}")
+            }
+            CheckError::Resource { origin, ledger } => {
+                write!(f, "resource bound violated at {origin}: {ledger} may be negative")
+            }
+            CheckError::Shape(m) => write!(f, "type shape error: {m}"),
+            CheckError::Unbound(x) => write!(f, "unbound variable or component `{x}`"),
+            CheckError::Termination(m) => write!(f, "termination check failed: {m}"),
+            CheckError::ReachableImpossible => write!(f, "`impossible` is reachable"),
+            CheckError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// An unknown numeric annotation created during checking, together with the
+/// numeric variables its linear template may mention (empty scope = constant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownInfo {
+    /// The unknown's name.
+    pub name: String,
+    /// Variables the template may depend on.
+    pub scope: Vec<String>,
+}
+
+/// The result of a successful check.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOutcome {
+    /// Resource constraints that still contain unknown annotations; they must
+    /// be solved by the CEGIS solver for the program to be accepted.
+    pub constraints: Vec<ResourceConstraint>,
+    /// The unknown annotations appearing in those constraints.
+    pub unknowns: Vec<UnknownInfo>,
+    /// Number of refinement-validity queries issued (statistics).
+    pub refinement_queries: usize,
+    /// Number of resource constraints discharged eagerly (statistics).
+    pub eager_resource_checks: usize,
+}
+
+/// The Re² type checker.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    /// The datatype registry.
+    pub datatypes: Datatypes,
+    /// The configuration.
+    pub config: CheckerConfig,
+}
+
+struct St {
+    outcome: CheckOutcome,
+    counter: usize,
+    components: BTreeMap<String, Schema>,
+    recursive: Vec<String>,
+    goal_params: Vec<String>,
+    /// For parameterized measures (e.g. `numgt`), the parameter terms the
+    /// specification actually mentions. Measure axioms at matches and
+    /// constructor applications are instantiated only for these, keeping the
+    /// validity queries small.
+    measure_instances: BTreeMap<String, Vec<Term>>,
+}
+
+impl St {
+    fn note_measure_instances(&mut self, term: &Term) {
+        for (name, args) in term.measure_apps() {
+            if args.len() >= 2 {
+                let entry = self.measure_instances.entry(name).or_default();
+                let param = args[0].clone();
+                if !entry.contains(&param) {
+                    entry.push(param);
+                }
+            }
+        }
+    }
+}
+
+impl St {
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("_{prefix}{}", self.counter)
+    }
+}
+
+impl Checker {
+    /// Create a checker.
+    pub fn new(datatypes: Datatypes, config: CheckerConfig) -> Checker {
+        Checker { datatypes, config }
+    }
+
+    /// A checker with the standard datatypes and default (resource) config.
+    pub fn standard() -> Checker {
+        Checker::new(Datatypes::standard(), CheckerConfig::default())
+    }
+
+    /// Whether the checker tracks resources at all.
+    fn resources_on(&self) -> bool {
+        !matches!(self.config.mode, ResourceMode::Agnostic)
+    }
+
+    /// Check a function definition against a goal schema.
+    ///
+    /// `expr` must be a (possibly `fix`-wrapped) chain of lambdas in ANF; the
+    /// component library maps names to their schemas.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckError`] when the program is ill-typed. Programs whose
+    /// acceptance depends on unknown annotations return `Ok` with the residual
+    /// constraints in the [`CheckOutcome`]; the caller decides acceptance by
+    /// solving them.
+    pub fn check_function(
+        &self,
+        name: &str,
+        expr: &Expr,
+        schema: &Schema,
+        components: &BTreeMap<String, Schema>,
+    ) -> Result<CheckOutcome, CheckError> {
+        let goal_ty = if matches!(self.config.mode, ResourceMode::Agnostic) {
+            schema.ty.strip_potential()
+        } else {
+            schema.ty.clone()
+        };
+        let mut st = St {
+            outcome: CheckOutcome::default(),
+            counter: 0,
+            components: components.clone(),
+            recursive: vec![name.to_string()],
+            goal_params: Vec::new(),
+            measure_instances: BTreeMap::new(),
+        };
+        st.components
+            .insert(name.to_string(), Schema { tyvars: schema.tyvars.clone(), ty: goal_ty.clone() });
+
+        let mut ctx = Ctx::new();
+        for a in &schema.tyvars {
+            ctx.add_tyvar(a.clone());
+        }
+
+        // Peel the fix / lambda chain, aligning binders with the signature.
+        let (params, mut ret_ty) = goal_ty.uncurry();
+        let mut body = expr.clone();
+        if let Expr::Fix(f, _, _) = &body {
+            st.recursive.push(f.clone());
+            st.components.insert(
+                f.clone(),
+                Schema { tyvars: schema.tyvars.clone(), ty: goal_ty.clone() },
+            );
+        }
+        let mut remaining_params: Vec<(String, Ty, i64)> = params;
+        loop {
+            match body {
+                Expr::Fix(_, x, inner) | Expr::Lambda(x, inner) => {
+                    if remaining_params.is_empty() {
+                        return Err(CheckError::Shape(
+                            "more lambdas than parameters in the goal type".into(),
+                        ));
+                    }
+                    let (formal, mut pty, _cost) = remaining_params.remove(0);
+                    // Rename the formal parameter to the actual binder in the
+                    // remaining signature.
+                    if formal != x {
+                        let replacement = Term::var(x.clone());
+                        pty = pty.clone();
+                        remaining_params = remaining_params
+                            .into_iter()
+                            .map(|(n, t, c)| (n, t.subst_term(&formal, &replacement), c))
+                            .collect();
+                        ret_ty = ret_ty.subst_term(&formal, &replacement);
+                    }
+                    st.goal_params.push(x.clone());
+                    self.bind_with_deposit(&mut ctx, &x, &pty);
+                    body = *inner;
+                }
+                _ => break,
+            }
+        }
+        if !remaining_params.is_empty() {
+            return Err(CheckError::Shape(
+                "fewer lambdas than parameters in the goal type".into(),
+            ));
+        }
+
+        // Record which parameterized-measure instances the specification
+        // mentions (they drive axiom instantiation at matches/constructors).
+        st.note_measure_instances(ctx.ledger());
+        st.note_measure_instances(&ret_ty.refinement());
+        st.note_measure_instances(&ret_ty.potential());
+        for (_, ty) in ctx.scalar_vars() {
+            st.note_measure_instances(&ty.refinement());
+        }
+
+        self.check_expr(&mut ctx, &mut st, &body, &ret_ty)?;
+        Ok(st.outcome)
+    }
+
+    // ----------------------------------------------------------------- //
+    // Context manipulation
+    // ----------------------------------------------------------------- //
+
+    /// Bind a variable, assume its refinement, and deposit its potential.
+    fn bind_with_deposit(&self, ctx: &mut Ctx, name: &str, ty: &Ty) {
+        self.bind_no_deposit(ctx, name, ty);
+        if self.resources_on() && ty.is_scalar() {
+            if let Ok(p) = subtype::total_potential(ty, &Term::var(name), &self.datatypes) {
+                ctx.deposit(p);
+            }
+        }
+    }
+
+    /// Bind a variable and assume its refinement without depositing potential
+    /// (used for match binders and aliases, whose potential is already
+    /// accounted for through the value they came from).
+    fn bind_no_deposit(&self, ctx: &mut Ctx, name: &str, ty: &Ty) {
+        ctx.bind_raw(name, ty.clone());
+        if ty.is_scalar() {
+            let fact = ty.refinement().subst_value_var(&Term::var(name));
+            ctx.assume(fact);
+            // Sizes of inductive values are non-negative.
+            if let Some(BaseType::Data(_, _)) = ty.base_type() {
+                if let Some(base) = ty.base_type() {
+                    if let Some(measure) = base.primary_measure(&self.datatypes) {
+                        ctx.assume(
+                            Term::app(measure, vec![Term::var(name)]).ge(Term::int(0)),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Emit a withdrawal of `amount` from the ledger, discharging or recording
+    /// the non-negativity constraint.
+    fn withdraw(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        amount: Term,
+        exact: bool,
+        origin: &str,
+    ) -> Result<(), CheckError> {
+        if !self.resources_on() {
+            return Ok(());
+        }
+        let amount = amount.simplify();
+        if amount.is_zero() && !exact {
+            return Ok(());
+        }
+        ctx.withdraw(amount);
+        let constraint = ResourceConstraint {
+            premise: ctx.path_condition(),
+            potential: ctx.ledger().clone(),
+            exact,
+            origin: origin.to_string(),
+            env: ctx.sorting_env(&self.datatypes),
+        };
+        let mentions_products = !constraint.potential.measure_apps().iter().all(|(n, _)| n != crate::constraints::PROD)
+            || constraint.has_unknowns();
+        if mentions_products {
+            st.outcome.constraints.push(constraint);
+            return Ok(());
+        }
+        // Discharge eagerly.
+        st.outcome.eager_resource_checks += 1;
+        let solver = self.solver(ctx);
+        let ok_lower = solver.is_valid(
+            &[constraint.premise.clone()],
+            &constraint.potential.clone().ge(Term::int(0)),
+        );
+        let ok = if exact {
+            ok_lower
+                && solver.is_valid(
+                    &[constraint.premise.clone()],
+                    &constraint.potential.clone().le(Term::int(0)),
+                )
+        } else {
+            ok_lower
+        };
+        if ok {
+            Ok(())
+        } else {
+            if std::env::var_os("RESYN_DEBUG").is_some() {
+                eprintln!("--- resource check failed at {origin}");
+                eprintln!("    premise: {}", constraint.premise);
+                eprintln!("    ledger:  {}", constraint.potential);
+                eprintln!(
+                    "    verdict: {:?}",
+                    solver.check_valid(
+                        &[constraint.premise.clone()],
+                        &constraint.potential.clone().ge(Term::int(0))
+                    )
+                );
+            }
+            Err(CheckError::Resource {
+                origin: origin.to_string(),
+                ledger: constraint.potential.to_string(),
+            })
+        }
+    }
+
+    fn solver(&self, ctx: &Ctx) -> Solver {
+        let env = ctx.sorting_env(&self.datatypes);
+        Solver::new(env).with_bindings([("_elem".to_string(), Sort::Int)])
+    }
+
+    /// Require a refinement implication to be valid under the path condition.
+    fn require_valid(
+        &self,
+        ctx: &Ctx,
+        st: &mut St,
+        extra_premise: Term,
+        goal: Term,
+        origin: &str,
+    ) -> Result<(), CheckError> {
+        if goal.is_true() {
+            return Ok(());
+        }
+        st.outcome.refinement_queries += 1;
+        let solver = self.solver(ctx);
+        let premises = vec![ctx.path_condition(), extra_premise];
+        if solver.is_valid(&premises, &goal) {
+            Ok(())
+        } else {
+            if std::env::var_os("RESYN_DEBUG").is_some() {
+                eprintln!("--- refinement check failed at {origin}");
+                eprintln!("    premise: {}", premises[0]);
+                eprintln!("    extra:   {}", premises[1]);
+                eprintln!("    goal:    {goal}");
+                eprintln!("    verdict: {:?}", solver.check_valid(&premises, &goal));
+            }
+            Err(CheckError::Refinement {
+                origin: origin.to_string(),
+                goal: goal.to_string(),
+            })
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Expression checking
+    // ----------------------------------------------------------------- //
+
+    fn check_expr(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        expr: &Expr,
+        expected: &Ty,
+    ) -> Result<(), CheckError> {
+        match expr {
+            Expr::Let(x, bound, body) => {
+                self.infer_bound(ctx, st, x, bound, None)?;
+                self.check_expr(ctx, st, body, expected)
+            }
+            Expr::Ite(c, t, e) => {
+                let guard = self.atom_interp(ctx, st, c)?;
+                let mut then_ctx = ctx.clone();
+                then_ctx.assume(guard.clone());
+                self.check_expr(&mut then_ctx, st, t, expected)?;
+                let mut else_ctx = ctx.clone();
+                else_ctx.assume(guard.not());
+                self.check_expr(&mut else_ctx, st, e, expected)
+            }
+            Expr::Match(s, arms) => {
+                let scrut = match &**s {
+                    Expr::Var(v) => v.clone(),
+                    other => {
+                        return Err(CheckError::Unsupported(format!(
+                            "match scrutinee must be a variable, got {other}"
+                        )))
+                    }
+                };
+                let scrut_ty = ctx
+                    .lookup(&scrut)
+                    .cloned()
+                    .ok_or_else(|| CheckError::Unbound(scrut.clone()))?;
+                let (decl, elem) = self.datatype_of(&scrut_ty)?;
+                for arm in arms {
+                    let ctor = decl
+                        .ctor(&arm.ctor)
+                        .ok_or_else(|| CheckError::Shape(format!("unknown constructor {}", arm.ctor)))?
+                        .clone();
+                    if ctor.args.len() != arm.binders.len() {
+                        return Err(CheckError::Shape(format!(
+                            "constructor {} expects {} binders",
+                            arm.ctor,
+                            ctor.args.len()
+                        )));
+                    }
+                    let mut arm_ctx = ctx.clone();
+                    self.open_ctor(
+                        &mut arm_ctx,
+                        st,
+                        &decl,
+                        &ctor,
+                        &elem,
+                        &Term::var(scrut.clone()),
+                        &arm.binders,
+                    );
+                    for b in &arm.binders {
+                        arm_ctx.set_parent(b.clone(), scrut.clone());
+                    }
+                    self.check_expr(&mut arm_ctx, st, &arm.body, expected)?;
+                }
+                Ok(())
+            }
+            Expr::Tick(c, body) => {
+                self.withdraw(ctx, st, Term::int(*c), false, "tick")?;
+                self.check_expr(ctx, st, body, expected)
+            }
+            Expr::Impossible => {
+                if self.config.allow_holes {
+                    return Ok(());
+                }
+                // The branch must be unreachable: the path condition implies false.
+                self.require_valid(ctx, st, Term::tt(), Term::ff(), "impossible")
+                    .map_err(|_| CheckError::ReachableImpossible)
+            }
+            // Tail position: infer and check against the expected type.
+            _ => {
+                let ret = st.fresh("ret");
+                let inferred = self.infer_bound(ctx, st, &ret, expr, Some(expected))?;
+                let obligations = subtype::subtype(
+                    &inferred,
+                    expected,
+                    &Term::var(ret.clone()),
+                    ctx,
+                    &self.datatypes,
+                )
+                .map_err(|e| self.shape_err(e))?;
+                self.discharge(ctx, st, obligations, "return value")?;
+                if matches!(self.config.mode, ResourceMode::ConstantResource) {
+                    // Exact consumption: the ledger must be exactly empty here.
+                    self.withdraw(ctx, st, Term::int(0), true, "constant-resource exit")?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn discharge(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        obligations: SubtypeObligations,
+        origin: &str,
+    ) -> Result<(), CheckError> {
+        for (premise, goal) in obligations.implications {
+            self.require_valid(ctx, st, premise, goal, origin)?;
+        }
+        self.withdraw(ctx, st, obligations.required_potential, false, origin)
+    }
+
+    fn shape_err(&self, e: SubtypeError) -> CheckError {
+        match e {
+            SubtypeError::Shape(m) => CheckError::Shape(m),
+            SubtypeError::UnsupportedPotential(m) => CheckError::Unsupported(m),
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Inference of let-bound / tail expressions
+    // ----------------------------------------------------------------- //
+
+    /// Infer the type of `expr`, bind it under `dest` in the context (with its
+    /// describing facts assumed and result potential deposited), and return
+    /// the type.
+    fn infer_bound(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        dest: &str,
+        expr: &Expr,
+        expected: Option<&Ty>,
+    ) -> Result<Ty, CheckError> {
+        match expr {
+            Expr::Tick(c, inner) => {
+                self.withdraw(ctx, st, Term::int(*c), false, "tick")?;
+                self.infer_bound(ctx, st, dest, inner, expected)
+            }
+            Expr::Var(x) => {
+                let ty = ctx
+                    .lookup(x)
+                    .cloned()
+                    .ok_or_else(|| CheckError::Unbound(x.clone()))?;
+                if ty.is_scalar() {
+                    self.bind_alias(ctx, dest, &ty, &Term::var(x.clone()));
+                } else {
+                    ctx.bind_raw(dest, ty.clone());
+                }
+                Ok(ty)
+            }
+            Expr::Int(n) => {
+                let ty = Ty::refined(BaseType::Int, Term::value_var().eq_(Term::int(*n)));
+                self.bind_no_deposit(ctx, dest, &ty);
+                Ok(ty)
+            }
+            Expr::Bool(b) => {
+                let ty = Ty::refined(BaseType::Bool, Term::value_var().eq_(Term::Bool(*b)));
+                self.bind_no_deposit(ctx, dest, &ty);
+                Ok(ty)
+            }
+            Expr::Ctor(name, args) => self.infer_ctor(ctx, st, dest, name, args, expected),
+            Expr::App(_, _) => self.infer_app(ctx, st, dest, expr, expected),
+            Expr::Lambda(_, _) | Expr::Fix(_, _, _) => Err(CheckError::Unsupported(
+                "local function definitions are not part of the synthesis fragment".into(),
+            )),
+            other => Err(CheckError::Unsupported(format!(
+                "unsupported let-bound expression: {other}"
+            ))),
+        }
+    }
+
+    /// Bind `dest` as an alias of an existing value denoted by `value`.
+    fn bind_alias(&self, ctx: &mut Ctx, dest: &str, ty: &Ty, value: &Term) {
+        ctx.bind_raw(dest, ty.clone());
+        match ty.base_type() {
+            Some(BaseType::Data(dname, _)) => {
+                // Equate all parameter-free measures.
+                if let Some(decl) = self.datatypes.get(dname) {
+                    for m in &decl.measures {
+                        if m.params.is_empty() {
+                            let lhs = Term::app(m.name.clone(), vec![Term::var(dest)]);
+                            let rhs = Term::app(m.name.clone(), vec![value.clone()]);
+                            ctx.assume(lhs.eq_(rhs));
+                        }
+                    }
+                }
+                ctx.assume(ty.refinement().subst_value_var(&Term::var(dest)));
+            }
+            Some(_) => {
+                ctx.assume(Term::var(dest).eq_(value.clone()));
+                ctx.assume(ty.refinement().subst_value_var(&Term::var(dest)));
+            }
+            None => {}
+        }
+    }
+
+    /// The logic-level interpretation of an atom (`I(a)` in the paper).
+    /// Constructor atoms are bound to a fresh ghost variable first.
+    fn atom_interp(&self, ctx: &mut Ctx, st: &mut St, atom: &Expr) -> Result<Term, CheckError> {
+        match atom {
+            Expr::Var(x) => {
+                if ctx.lookup(x).is_none() {
+                    return Err(CheckError::Unbound(x.clone()));
+                }
+                Ok(Term::var(x.clone()))
+            }
+            Expr::Int(n) => Ok(Term::int(*n)),
+            Expr::Bool(b) => Ok(Term::Bool(*b)),
+            Expr::Ctor(_, _) => {
+                let ghost = st.fresh("g");
+                self.infer_bound(ctx, st, &ghost, atom, None)?;
+                Ok(Term::var(ghost))
+            }
+            other => Err(CheckError::Unsupported(format!(
+                "expected an atom, got {other}"
+            ))),
+        }
+    }
+
+    fn datatype_of(&self, ty: &Ty) -> Result<(DataDecl, Ty), CheckError> {
+        match ty.base_type() {
+            Some(BaseType::Data(name, args)) => {
+                let decl = self
+                    .datatypes
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| CheckError::Shape(format!("unknown datatype {name}")))?;
+                let elem = args.first().cloned().unwrap_or_else(|| Ty::tvar("a"));
+                Ok((decl, elem))
+            }
+            _ => Err(CheckError::Shape(format!(
+                "expected a datatype, got {ty}"
+            ))),
+        }
+    }
+
+    /// Open a constructor: bind the given binders at the instantiated
+    /// argument types and assume the measure axioms for the subject value.
+    fn open_ctor(
+        &self,
+        ctx: &mut Ctx,
+        st: &St,
+        decl: &DataDecl,
+        ctor: &CtorDecl,
+        elem: &Ty,
+        subject: &Term,
+        binders: &[String],
+    ) {
+        // Instantiate argument types: datatype element variable := elem,
+        // declared binder names := actual binder names.
+        let mut rename: BTreeMap<String, Term> = BTreeMap::new();
+        for ((declared, _), actual) in ctor.args.iter().zip(binders) {
+            rename.insert(declared.clone(), Term::var(actual.clone()));
+        }
+        for (i, (declared, declared_ty)) in ctor.args.iter().enumerate() {
+            let _ = declared;
+            let actual = &binders[i];
+            let mut ty = declared_ty.clone();
+            if let Some(param) = &decl.param {
+                ty = ty.subst_tvar(param, elem);
+            }
+            for (d, r) in &rename {
+                ty = ty.subst_term(d, r);
+            }
+            self.bind_no_deposit(ctx, actual, &ty);
+        }
+        // Measure axioms for the subject.
+        for axiom in self.measure_axioms(st, decl, ctor, subject, &rename) {
+            ctx.assume(axiom);
+        }
+    }
+
+    fn measure_axioms(
+        &self,
+        st: &St,
+        decl: &DataDecl,
+        ctor: &CtorDecl,
+        subject: &Term,
+        binder_map: &BTreeMap<String, Term>,
+    ) -> Vec<Term> {
+        let mut axioms = Vec::new();
+        for m in &decl.measures {
+            let Some(case) = m.cases.get(&ctor.name) else { continue };
+            if m.params.is_empty() {
+                let rhs = case.subst_all(binder_map);
+                axioms.push(Term::app(m.name.clone(), vec![subject.clone()]).eq_(rhs));
+            } else {
+                // Parameterized measures (numgt, numlt, …): instantiate the
+                // parameters only for the instances the specification mentions,
+                // keeping validity queries small.
+                let Some(instances) = st.measure_instances.get(&m.name) else { continue };
+                for candidate in instances {
+                    let mut map = binder_map.clone();
+                    for (p, _) in &m.params {
+                        map.insert(p.clone(), candidate.clone());
+                    }
+                    let rhs = case.subst_all(&map);
+                    let lhs = Term::app(m.name.clone(), vec![candidate.clone(), subject.clone()]);
+                    axioms.push(lhs.eq_(rhs));
+                }
+            }
+        }
+        axioms
+    }
+
+    fn infer_ctor(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        dest: &str,
+        name: &str,
+        args: &[Expr],
+        expected: Option<&Ty>,
+    ) -> Result<Ty, CheckError> {
+        let decl = self
+            .datatypes
+            .owner_of_ctor(name)
+            .cloned()
+            .ok_or_else(|| CheckError::Shape(format!("unknown constructor {name}")))?;
+        let ctor = decl.ctor(name).cloned().expect("ctor exists in owner");
+        if ctor.args.len() != args.len() {
+            return Err(CheckError::Shape(format!(
+                "constructor {name} applied to {} arguments, expects {}",
+                args.len(),
+                ctor.args.len()
+            )));
+        }
+        // Element instantiation: prefer the expected type, else infer from the
+        // first argument whose declared type is a datatype or the element
+        // variable itself.
+        let elem = self
+            .ctor_element_from_expected(&decl, expected)
+            .or_else(|| self.ctor_element_from_args(ctx, &decl, &ctor, args))
+            .unwrap_or_else(|| Ty::tvar(decl.param.clone().unwrap_or_else(|| "a".into())));
+
+        // Interpret the arguments.
+        let mut interps = Vec::new();
+        for a in args {
+            interps.push(self.atom_interp(ctx, st, a)?);
+        }
+        // Check each argument against its (instantiated, dependent) declared type.
+        let mut rename: BTreeMap<String, Term> = BTreeMap::new();
+        for ((declared, _), interp) in ctor.args.iter().zip(&interps) {
+            rename.insert(declared.clone(), interp.clone());
+        }
+        for (i, (declared, declared_ty)) in ctor.args.iter().enumerate() {
+            let _ = declared;
+            let mut required = declared_ty.clone();
+            if let Some(param) = &decl.param {
+                required = required.subst_tvar(param, &elem);
+            }
+            for (d, r) in &rename {
+                required = required.subst_term(d, r);
+            }
+            // Constructing a value moves potential around without consuming
+            // it, so only the refinements of the required type matter here.
+            let required = required.strip_potential();
+            let actual = self.type_of_interp(ctx, &interps[i]);
+            let obligations = subtype::subtype(&actual, &required, &interps[i], ctx, &self.datatypes)
+                .map_err(|e| self.shape_err(e))?;
+            for (premise, goal) in obligations.implications {
+                self.require_valid(ctx, st, premise, goal, &format!("argument of {name}"))?;
+            }
+        }
+        // Bind the destination and assume the measure axioms.
+        let result_ty = Ty::data(decl.name.clone(), vec![elem.clone()]);
+        ctx.bind_raw(dest, result_ty.clone());
+        for axiom in self.measure_axioms(st, &decl, &ctor, &Term::var(dest), &rename) {
+            ctx.assume(axiom);
+        }
+        Ok(result_ty)
+    }
+
+    fn ctor_element_from_expected(&self, decl: &DataDecl, expected: Option<&Ty>) -> Option<Ty> {
+        match expected?.base_type()? {
+            BaseType::Data(name, args) if *name == decl.name => args.first().cloned(),
+            _ => None,
+        }
+    }
+
+    fn ctor_element_from_args(
+        &self,
+        ctx: &Ctx,
+        decl: &DataDecl,
+        ctor: &CtorDecl,
+        args: &[Expr],
+    ) -> Option<Ty> {
+        let param = decl.param.clone()?;
+        for ((_, declared_ty), actual) in ctor.args.iter().zip(args) {
+            let Expr::Var(v) = actual else { continue };
+            let actual_ty = ctx.lookup(v)?;
+            match (declared_ty.base_type(), actual_ty.base_type()) {
+                // Declared type is the element variable itself.
+                (Some(BaseType::TVar(a)), Some(_)) if *a == param => {
+                    return Some(actual_ty.clone().with_refinement(Term::tt()));
+                }
+                // Declared type is a recursive occurrence of the datatype.
+                (Some(BaseType::Data(dn, _)), Some(BaseType::Data(an, aargs)))
+                    if *dn == decl.name && *an == decl.name =>
+                {
+                    return aargs.first().cloned();
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// The type of a logic-level interpretation term: for variables their
+    /// declared type, for literals a singleton type.
+    fn type_of_interp(&self, ctx: &Ctx, interp: &Term) -> Ty {
+        match interp {
+            Term::Var(x) => ctx
+                .lookup(x)
+                .cloned()
+                .unwrap_or_else(|| Ty::refined(BaseType::Int, Term::value_var().eq_(interp.clone()))),
+            Term::Int(_) => Ty::refined(BaseType::Int, Term::value_var().eq_(interp.clone())),
+            Term::Bool(_) => Ty::refined(BaseType::Bool, Term::value_var().eq_(interp.clone())),
+            _ => Ty::int(),
+        }
+    }
+
+    // ----------------------------------------------------------------- //
+    // Applications
+    // ----------------------------------------------------------------- //
+
+    fn infer_app(
+        &self,
+        ctx: &mut Ctx,
+        st: &mut St,
+        dest: &str,
+        expr: &Expr,
+        expected: Option<&Ty>,
+    ) -> Result<Ty, CheckError> {
+        // Flatten the application spine.
+        let mut args = Vec::new();
+        let mut head = expr;
+        while let Expr::App(f, a) = head {
+            args.push((**a).clone());
+            head = f;
+        }
+        args.reverse();
+        let fname = match head {
+            Expr::Var(x) => x.clone(),
+            other => {
+                return Err(CheckError::Unsupported(format!(
+                    "application head must be a variable, got {other}"
+                )))
+            }
+        };
+        let is_recursive = st.recursive.contains(&fname);
+
+        // Resolve the callee type.
+        let fun_ty = if let Some(schema) = st.components.get(&fname).cloned() {
+            self.instantiate(ctx, st, &schema, &args, expected, is_recursive)
+        } else if let Some(ty) = ctx.lookup(&fname).cloned() {
+            if ty.is_arrow() {
+                ty
+            } else {
+                return Err(CheckError::Shape(format!("`{fname}` is not a function")));
+            }
+        } else {
+            return Err(CheckError::Unbound(fname.clone()));
+        };
+
+        // Structural termination check for the resource-agnostic baseline.
+        if is_recursive && matches!(self.config.mode, ResourceMode::Agnostic) {
+            self.check_termination(ctx, st, &fname, &args)?;
+        }
+
+        // Process the arguments left to right.
+        let mut remaining = fun_ty;
+        let mut declared_cost = 0i64;
+        for arg in &args {
+            let Ty::Arrow {
+                param,
+                param_ty,
+                ret,
+                cost,
+            } = remaining
+            else {
+                return Err(CheckError::Shape(format!(
+                    "too many arguments in application of `{fname}`"
+                )));
+            };
+            declared_cost += cost;
+            let mut rest = *ret;
+            if param_ty.is_scalar() {
+                let interp = self.atom_interp(ctx, st, arg)?;
+                let actual = self.type_of_interp(ctx, &interp);
+                let obligations =
+                    subtype::subtype(&actual, &param_ty, &interp, ctx, &self.datatypes)
+                        .map_err(|e| self.shape_err(e))?;
+                self.discharge(ctx, st, obligations, &format!("argument of `{fname}`"))?;
+                rest = rest.subst_term(&param, &interp);
+            } else {
+                // Higher-order argument: accept variables bound to arrows.
+                match arg {
+                    Expr::Var(v) => {
+                        let ok = ctx.lookup(v).map(Ty::is_arrow).unwrap_or(false)
+                            || st.components.contains_key(v);
+                        if !ok {
+                            return Err(CheckError::Shape(format!(
+                                "higher-order argument `{v}` of `{fname}` is not a function"
+                            )));
+                        }
+                    }
+                    Expr::Lambda(_, _) | Expr::Fix(_, _, _) => {}
+                    other => {
+                        return Err(CheckError::Unsupported(format!(
+                            "unsupported higher-order argument {other}"
+                        )))
+                    }
+                }
+            }
+            remaining = rest;
+        }
+
+        // Charge the application cost.
+        let metric_cost = self
+            .config
+            .metric
+            .application_cost(&fname, is_recursive);
+        let total_cost = declared_cost + metric_cost;
+        self.withdraw(
+            ctx,
+            st,
+            Term::int(total_cost),
+            false,
+            &format!("call to `{fname}`"),
+        )?;
+
+        // Bind the result.
+        if remaining.is_scalar() {
+            self.bind_no_deposit(ctx, dest, &remaining);
+            if self.resources_on() {
+                if let Ok(p) =
+                    subtype::total_potential(&remaining, &Term::var(dest), &self.datatypes)
+                {
+                    ctx.deposit(p);
+                }
+            }
+        } else {
+            ctx.bind_raw(dest, remaining.clone());
+        }
+        Ok(remaining)
+    }
+
+    fn check_termination(
+        &self,
+        ctx: &Ctx,
+        st: &St,
+        fname: &str,
+        args: &[Expr],
+    ) -> Result<(), CheckError> {
+        // Synquid's termination metric is the tuple of arguments: a recursive
+        // call is allowed when some argument decreases — structurally for
+        // datatypes, or as a provably smaller non-negative integer.
+        let decreasing = args.iter().enumerate().any(|(i, a)| match a {
+            Expr::Var(v) => {
+                let Some(p) = st.goal_params.get(i) else { return false };
+                if ctx.is_structurally_smaller(v, p) {
+                    return true;
+                }
+                // Integer arguments: v < p ∧ p ≥ 0 under the path condition.
+                let param_is_int = ctx
+                    .lookup(p)
+                    .and_then(|t| t.base_type().cloned())
+                    .map(|b| matches!(b, BaseType::Int))
+                    .unwrap_or(false);
+                if !param_is_int || v == p {
+                    return false;
+                }
+                let solver = self.solver(ctx);
+                solver.is_valid(
+                    &[ctx.path_condition()],
+                    &Term::var(v.clone())
+                        .lt(Term::var(p.clone()))
+                        .and(Term::var(p.clone()).ge(Term::int(0))),
+                )
+            }
+            _ => false,
+        });
+        if decreasing {
+            Ok(())
+        } else {
+            Err(CheckError::Termination(format!(
+                "recursive call to `{fname}` has no structurally decreasing argument"
+            )))
+        }
+    }
+
+    /// Instantiate a (possibly polymorphic) component schema for a call site.
+    /// Recursive self-calls keep the potential annotations of the goal
+    /// signature (potential-monomorphic recursion), so no instantiation
+    /// unknowns are created for them.
+    fn instantiate(
+        &self,
+        ctx: &Ctx,
+        st: &mut St,
+        schema: &Schema,
+        args: &[Expr],
+        expected: Option<&Ty>,
+        is_recursive: bool,
+    ) -> Ty {
+        if schema.is_mono() {
+            return schema.ty.clone();
+        }
+        if is_recursive {
+            // Recursive self-calls are checked with *rigid* type variables
+            // (monomorphic recursion): the function must work for the caller's
+            // choice of the element type, so it cannot re-instantiate its own
+            // type variables with concrete types such as `Int`.
+            return schema.ty.clone();
+        }
+        let (params, ret) = schema.ty.uncurry();
+        let mut ty = schema.ty.clone();
+        for alpha in &schema.tyvars {
+            let binding = self
+                .instantiate_from_expected(alpha, &ret, expected)
+                .or_else(|| self.instantiate_from_args(ctx, alpha, &params, args))
+                .unwrap_or_else(|| Ty::tvar(alpha.clone()));
+            // Potential polymorphism: in resource mode, allow the instantiation
+            // to carry an unknown amount of extra potential per value, solved
+            // by the CEGIS solver (cf. the `triple`/`tripleSlow` example).
+            // The unknown is only useful when potential can flow *out* through
+            // the component's result (the result type mentions the variable);
+            // otherwise the best instantiation is always zero and we avoid the
+            // unknown so that resource violations are detected eagerly.
+            let binding = if matches!(self.config.mode, ResourceMode::Resource)
+                && !is_recursive
+                && self.schema_has_tvar_potential(schema, alpha)
+                && self.result_mentions_tvar(&ret, alpha)
+            {
+                let name = format!("_inst{}", st.counter);
+                st.counter += 1;
+                st.outcome.unknowns.push(UnknownInfo {
+                    name: name.clone(),
+                    scope: Vec::new(),
+                });
+                let pot = (binding.potential() + Term::unknown(name)).simplify();
+                binding.with_potential(pot)
+            } else {
+                binding
+            };
+            ty = ty.subst_tvar(alpha, &binding);
+        }
+        ty
+    }
+
+    fn result_mentions_tvar(&self, ret: &Ty, alpha: &str) -> bool {
+        fn go(ty: &Ty, alpha: &str) -> bool {
+            match ty {
+                Ty::Scalar { base, .. } => match base {
+                    BaseType::TVar(a) => a == alpha,
+                    BaseType::Data(_, args) => args.iter().any(|t| go(t, alpha)),
+                    _ => false,
+                },
+                Ty::Arrow { param_ty, ret, .. } => go(param_ty, alpha) || go(ret, alpha),
+            }
+        }
+        go(ret, alpha)
+    }
+
+    fn schema_has_tvar_potential(&self, schema: &Schema, alpha: &str) -> bool {
+        fn go(ty: &Ty, alpha: &str) -> bool {
+            match ty {
+                Ty::Scalar {
+                    base, potential, ..
+                } => {
+                    let here = matches!(base, BaseType::TVar(a) if a == alpha)
+                        && !potential.is_zero();
+                    let nested = match base {
+                        BaseType::Data(_, args) => args.iter().any(|t| go(t, alpha)),
+                        _ => false,
+                    };
+                    here || nested
+                }
+                Ty::Arrow { param_ty, ret, .. } => go(param_ty, alpha) || go(ret, alpha),
+            }
+        }
+        go(&schema.ty, alpha)
+    }
+
+    fn instantiate_from_expected(
+        &self,
+        alpha: &str,
+        ret: &Ty,
+        expected: Option<&Ty>,
+    ) -> Option<Ty> {
+        let expected = expected?;
+        match (ret.base_type()?, expected.base_type()?) {
+            (BaseType::TVar(a), _) if a == alpha => Some(expected.clone().with_potential(Term::int(0))),
+            (BaseType::Data(dn, dargs), BaseType::Data(en, eargs)) if dn == en => {
+                match (dargs.first().and_then(Ty::base_type), eargs.first()) {
+                    (Some(BaseType::TVar(a)), Some(e)) if a == alpha => Some(e.clone()),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn instantiate_from_args(
+        &self,
+        ctx: &Ctx,
+        alpha: &str,
+        params: &[(String, Ty, i64)],
+        args: &[Expr],
+    ) -> Option<Ty> {
+        for ((_, pty, _), arg) in params.iter().zip(args) {
+            let Expr::Var(v) = arg else { continue };
+            let aty = ctx.lookup(v)?;
+            // Only the base shape is taken from arguments; the refinement is
+            // dropped (the weakest instantiation), because strengthening it
+            // would impose the argument's element refinement on every other
+            // occurrence of the variable. Refined instantiations only come
+            // from the expected (return) type, cf. round-trip checking.
+            match (pty.base_type(), aty.base_type()) {
+                (Some(BaseType::TVar(a)), Some(_)) if a == alpha => {
+                    return Some(
+                        aty.clone()
+                            .with_potential(Term::int(0))
+                            .with_refinement(Term::tt()),
+                    );
+                }
+                (Some(BaseType::Data(dn, dargs)), Some(BaseType::Data(an, aargs))) if dn == an => {
+                    if let (Some(BaseType::TVar(a)), Some(e)) =
+                        (dargs.first().and_then(Ty::base_type), aargs.first())
+                    {
+                        if a == alpha {
+                            return Some(
+                                e.clone()
+                                    .with_potential(Term::int(0))
+                                    .with_refinement(Term::tt()),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}

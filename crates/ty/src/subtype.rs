@@ -1,0 +1,367 @@
+//! Subtyping obligations.
+//!
+//! Subtyping in Re² (Fig. 6, rules `Sub-*`) decomposes into (a) refinement
+//! implications checked by the refinement-logic solver and (b) potential
+//! inequalities handled through the checker's ledger. This module computes
+//! the obligations for a given pair of types and the logic-level term standing
+//! for the value being checked; the checker discharges them.
+
+use resyn_logic::Term;
+
+use crate::constraints::prod;
+use crate::ctx::Ctx;
+use crate::datatypes::Datatypes;
+use crate::types::{BaseType, Ty};
+
+/// The obligations produced by a subtype check `T_sub <: T_sup` for a value
+/// denoted by `value` in the refinement logic.
+#[derive(Debug, Clone)]
+pub struct SubtypeObligations {
+    /// Implications `premise ⟹ goal` that must be valid under the current
+    /// path condition.
+    pub implications: Vec<(Term, Term)>,
+    /// The total potential promised by the supertype (to be withdrawn from
+    /// the ledger by the checker).
+    pub required_potential: Term,
+}
+
+/// Errors raised while decomposing a subtype check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubtypeError {
+    /// The base types are structurally incompatible.
+    Shape(String),
+    /// A potential annotation falls outside the supported (linear) fragment.
+    UnsupportedPotential(String),
+}
+
+impl std::fmt::Display for SubtypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubtypeError::Shape(m) => write!(f, "incompatible types: {m}"),
+            SubtypeError::UnsupportedPotential(m) => {
+                write!(f, "unsupported potential annotation: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubtypeError {}
+
+/// The parameter-free set-valued "content" measure of a datatype (`elems` for
+/// lists, `telems` for trees), if any.
+pub fn content_measure(datatype: &str, datatypes: &Datatypes) -> Option<String> {
+    datatypes.get(datatype).and_then(|d| {
+        d.measures
+            .iter()
+            .find(|m| m.params.is_empty() && m.result == resyn_logic::Sort::Set)
+            .map(|m| m.name.clone())
+    })
+}
+
+/// Element-refinement coupling facts for every datatype binding in scope: if
+/// `y : D {a | ψ(ν)}` then every member of `content(y)` satisfies `ψ`,
+/// instantiated at the given element term.
+pub fn coupling_facts(ctx: &Ctx, elem: &Term, datatypes: &Datatypes) -> Term {
+    let mut facts = Vec::new();
+    for (name, ty) in ctx.bindings() {
+        if let Some(BaseType::Data(dn, args)) = ty.base_type() {
+            let Some(elem_ty) = args.first() else { continue };
+            let refinement = elem_ty.refinement();
+            if refinement.is_true() {
+                continue;
+            }
+            let Some(content) = content_measure(dn, datatypes) else { continue };
+            facts.push(
+                elem.clone()
+                    .member(Term::app(content, vec![Term::var(name.clone())]))
+                    .implies(refinement.subst_value_var(elem)),
+            );
+        }
+    }
+    Term::and_all(facts)
+}
+
+/// The total potential stored in a value `value` of a type with element
+/// potential `elem_pot` (per element) and top-level potential `own_pot`,
+/// expressed as a refinement term. Lists use `len`/`numgt`/`numlt`; other
+/// datatypes use their primary numeric measure.
+pub fn total_potential(
+    ty: &Ty,
+    value: &Term,
+    datatypes: &Datatypes,
+) -> Result<Term, SubtypeError> {
+    let own = ty.potential().subst_value_var(value).simplify();
+    let elem = match ty.base_type() {
+        Some(BaseType::Data(name, args)) if !args.is_empty() => {
+            let elem_ty = &args[0];
+            element_total(&elem_ty.potential(), value, name, datatypes)?
+        }
+        _ => Term::int(0),
+    };
+    Ok((own + elem).simplify())
+}
+
+/// Total potential contributed by per-element annotation `elem_pot` over the
+/// elements of `value`.
+fn element_total(
+    elem_pot: &Term,
+    value: &Term,
+    datatype: &str,
+    datatypes: &Datatypes,
+) -> Result<Term, SubtypeError> {
+    let pot = elem_pot.simplify();
+    if pot.is_zero() {
+        return Ok(Term::int(0));
+    }
+    let length_measure = datatypes
+        .get(datatype)
+        .and_then(|d| {
+            d.measures
+                .iter()
+                .find(|m| m.params.is_empty() && m.result == resyn_logic::Sort::Int)
+        })
+        .map(|m| m.name.clone())
+        .ok_or_else(|| {
+            SubtypeError::UnsupportedPotential(format!("datatype {datatype} has no size measure"))
+        })?;
+    let length = Term::app(length_measure, vec![value.clone()]);
+    element_total_rec(&pot, value, &length, datatype)
+}
+
+fn element_total_rec(
+    pot: &Term,
+    value: &Term,
+    length: &Term,
+    datatype: &str,
+) -> Result<Term, SubtypeError> {
+    match pot {
+        Term::Int(k) => Ok(length.clone().times(*k)),
+        Term::Unknown(_, _) => Ok(prod(pot.clone(), length.clone())),
+        Term::Binary(resyn_logic::BinOp::Add, a, b) => Ok((element_total_rec(a, value, length, datatype)?
+            + element_total_rec(b, value, length, datatype)?)
+        .simplify()),
+        Term::Mul(k, inner) => {
+            Ok(element_total_rec(inner, value, length, datatype)?.times(*k))
+        }
+        // Conditional per-element potential: ite(a ⋈ ν, k, 0) counts the
+        // elements on one side of a threshold; lists provide the matching
+        // counting measures.
+        Term::Ite(cond, then_t, else_t) if else_t.is_zero() => {
+            let k = match &**then_t {
+                Term::Int(k) => *k,
+                other => {
+                    return Err(SubtypeError::UnsupportedPotential(format!(
+                        "conditional potential with non-constant branch: {other}"
+                    )))
+                }
+            };
+            let counting = conditional_count(cond, value)?;
+            Ok(counting.times(k))
+        }
+        other => Err(SubtypeError::UnsupportedPotential(other.to_string())),
+    }
+}
+
+/// Translate a per-element condition into a counting measure application:
+/// `x > ν` / `ν < x` count elements below `x` (`numlt`), `x < ν` / `ν > x`
+/// count elements above `x` (`numgt`).
+fn conditional_count(cond: &Term, value: &Term) -> Result<Term, SubtypeError> {
+    use resyn_logic::BinOp::*;
+    let nu = Term::value_var();
+    if let Term::Binary(op, a, b) = cond {
+        let (threshold, counts_smaller) = if **b == nu {
+            match op {
+                Gt => (a.clone(), true),  // x > ν : elements smaller than x
+                Lt => (a.clone(), false), // x < ν : elements greater than x
+                _ => return Err(SubtypeError::UnsupportedPotential(cond.to_string())),
+            }
+        } else if **a == nu {
+            match op {
+                Lt => (b.clone(), true),  // ν < x
+                Gt => (b.clone(), false), // ν > x
+                _ => return Err(SubtypeError::UnsupportedPotential(cond.to_string())),
+            }
+        } else {
+            return Err(SubtypeError::UnsupportedPotential(cond.to_string()));
+        };
+        let measure = if counts_smaller { "numlt" } else { "numgt" };
+        Ok(Term::app(measure, vec![(*threshold).clone(), value.clone()]))
+    } else {
+        Err(SubtypeError::UnsupportedPotential(cond.to_string()))
+    }
+}
+
+/// Decompose `sub <: sup` for a value denoted by `value`.
+///
+/// The returned obligations contain the element-refinement implications (with
+/// a fresh variable standing for an arbitrary element) and the potential the
+/// supertype requires. The subtype's own refinement is assumed to already be
+/// part of the checker's path condition (it was added when the value was
+/// bound), so only the supertype's refinement appears as a goal.
+pub fn subtype(
+    sub: &Ty,
+    sup: &Ty,
+    value: &Term,
+    ctx: &Ctx,
+    datatypes: &Datatypes,
+) -> Result<SubtypeObligations, SubtypeError> {
+    let _ = ctx;
+    let mut out = SubtypeObligations {
+        implications: Vec::new(),
+        required_potential: Term::int(0),
+    };
+    match (sub, sup) {
+        (Ty::Scalar { base: b1, refinement: r1, .. }, Ty::Scalar { base: b2, refinement: r2, .. }) => {
+            // Value-level refinement implication.
+            if !r2.is_true() {
+                out.implications.push((
+                    r1.subst_value_var(value),
+                    r2.subst_value_var(value),
+                ));
+            }
+            // Structural compatibility + element obligations.
+            match (b1, b2) {
+                (BaseType::Bool, BaseType::Bool)
+                | (BaseType::Int, BaseType::Int)
+                | (BaseType::TVar(_), BaseType::Int)
+                | (BaseType::TVar(_), BaseType::TVar(_)) => {}
+                // An integer cannot be used where a (still polymorphic) type
+                // variable is expected: the caller of a polymorphic function
+                // chooses the instantiation, so supplying a concrete integer
+                // would not be parametric (this is what forces `replicate` to
+                // build its result from `x` rather than from `n`).
+                (BaseType::Int, BaseType::TVar(_)) => {
+                    return Err(SubtypeError::Shape("Int vs type variable".into()));
+                }
+                (BaseType::Data(n1, args1), BaseType::Data(n2, args2)) => {
+                    if n1 != n2 {
+                        return Err(SubtypeError::Shape(format!("{n1} vs {n2}")));
+                    }
+                    // Covariant element subtyping: the refinement implication
+                    // ranges over an arbitrary *element of the value*
+                    // (`_elem ∈ elems(value)`), and the premises include the
+                    // element-refinement coupling facts for every datatype
+                    // binding in scope — the semantic content of refined
+                    // element types, which is what lets sorted-list programs
+                    // re-assemble their inputs (see DESIGN.md).
+                    for (e1, e2) in args1.iter().zip(args2.iter()) {
+                        let elem_goal = e2.refinement();
+                        if !elem_goal.is_true() {
+                            let elem_var = Term::var("_elem");
+                            let mut premise = e1.refinement().subst_value_var(&elem_var);
+                            if let Some(content) = content_measure(n1, datatypes) {
+                                premise = premise.and(
+                                    elem_var
+                                        .clone()
+                                        .member(Term::app(content, vec![value.clone()])),
+                                );
+                                premise = premise.and(coupling_facts(ctx, &elem_var, datatypes));
+                            }
+                            out.implications.push((
+                                premise,
+                                elem_goal.subst_value_var(&elem_var),
+                            ));
+                        }
+                    }
+                }
+                (a, b) => {
+                    return Err(SubtypeError::Shape(format!("{a} vs {b}")));
+                }
+            }
+            out.required_potential = total_potential(sup, value, datatypes)?;
+            Ok(out)
+        }
+        (Ty::Arrow { .. }, Ty::Arrow { .. }) => {
+            // Higher-order arguments: shapes are checked nominally by the
+            // checker; no refinement or potential obligations are generated
+            // here (the paper's well-formedness keeps functions potential-free).
+            Ok(out)
+        }
+        (a, b) => Err(SubtypeError::Shape(format!("{a} vs {b}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dt() -> Datatypes {
+        Datatypes::standard()
+    }
+
+    #[test]
+    fn constant_element_potential_scales_length() {
+        let ty = Ty::list(Ty::tvar("a").with_potential(Term::int(2)));
+        let total = total_potential(&ty, &Term::var("l"), &dt()).unwrap();
+        assert_eq!(total, Term::app("len", vec![Term::var("l")]).times(2));
+    }
+
+    #[test]
+    fn dependent_own_potential_substitutes_value() {
+        // {Int | ν ≥ a}^{ν − a}: total potential of value `b` is b − a.
+        let ty = Ty::refined(BaseType::Int, Term::value_var().ge(Term::var("a")))
+            .with_potential(Term::value_var() - Term::var("a"));
+        let total = total_potential(&ty, &Term::var("b"), &dt()).unwrap();
+        assert_eq!(total, Term::var("b") - Term::var("a"));
+    }
+
+    #[test]
+    fn conditional_element_potential_uses_counting_measures() {
+        // SList α^{ite(x > ν, 1, 0)}: potential is numlt(x, l).
+        let elem = Ty::tvar("a").with_potential(Term::ite(
+            Term::var("x").gt(Term::value_var()),
+            Term::int(1),
+            Term::int(0),
+        ));
+        let ty = Ty::slist(elem);
+        let total = total_potential(&ty, &Term::var("l"), &dt()).unwrap();
+        assert_eq!(total, Term::app("numlt", vec![Term::var("x"), Term::var("l")]));
+    }
+
+    #[test]
+    fn unknown_element_potential_becomes_a_product() {
+        let elem = Ty::tvar("a").with_potential(Term::unknown("P0"));
+        let ty = Ty::list(elem);
+        let total = total_potential(&ty, &Term::var("l"), &dt()).unwrap();
+        assert_eq!(
+            total,
+            Term::app(
+                crate::constraints::PROD,
+                vec![Term::unknown("P0"), Term::app("len", vec![Term::var("l")])]
+            )
+        );
+    }
+
+    #[test]
+    fn subtype_produces_element_implications() {
+        let sub = Ty::list(Ty::tvar("a").with_refinement(Term::var("h").le(Term::value_var())));
+        let sup = Ty::list(Ty::tvar("a").with_refinement(Term::var("x").le(Term::value_var())));
+        let ob = subtype(&sub, &sup, &Term::var("t"), &Ctx::new(), &dt()).unwrap();
+        assert_eq!(ob.implications.len(), 1);
+        let (premise, goal) = &ob.implications[0];
+        // The premise couples the element refinement of the subtype with
+        // membership in the value being checked.
+        assert_eq!(
+            *premise,
+            Term::var("h")
+                .le(Term::var("_elem"))
+                .and(Term::var("_elem").member(Term::app("elems", vec![Term::var("t")])))
+        );
+        assert_eq!(*goal, Term::var("x").le(Term::var("_elem")));
+    }
+
+    #[test]
+    fn mismatched_datatypes_are_rejected() {
+        let sub = Ty::list(Ty::tvar("a"));
+        let sup = Ty::slist(Ty::tvar("a"));
+        assert!(matches!(
+            subtype(&sub, &sup, &Term::var("t"), &Ctx::new(), &dt()),
+            Err(SubtypeError::Shape(_))
+        ));
+        let sup = Ty::int();
+        assert!(matches!(
+            subtype(&sub, &sup, &Term::var("t"), &Ctx::new(), &dt()),
+            Err(SubtypeError::Shape(_))
+        ));
+    }
+}

@@ -1,0 +1,536 @@
+//! End-to-end tests of the Re² checker on the paper's motivating scenarios:
+//! the efficient `common'` (Fig. 2) satisfies the linear bound while the
+//! `member`-based variant (Fig. 1) does not; sorted-list insertion checks both
+//! functionally and for resources, including the fine-grained dependent bound;
+//! `replicate` exercises dependent potential on an integer argument.
+
+use std::collections::BTreeMap;
+
+use resyn_lang::{CostMetric, Expr};
+use resyn_logic::Term;
+use resyn_ty::check::{CheckError, Checker, CheckerConfig, ResourceMode};
+use resyn_ty::datatypes::Datatypes;
+use resyn_ty::types::{BaseType, Schema, Ty};
+
+fn checker(mode: ResourceMode) -> Checker {
+    Checker::new(
+        Datatypes::standard(),
+        CheckerConfig {
+            mode,
+            metric: CostMetric::RecursiveCalls,
+            allow_holes: false,
+        },
+    )
+}
+
+/// `lt :: x:a → y:a → {Bool | ν = (x < y)}`
+fn lt_schema() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![("x", Ty::tvar("a")), ("y", Ty::tvar("a"))],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var().iff(Term::var("x").lt(Term::var("y"))),
+            ),
+        ),
+    )
+}
+
+/// `eq :: x:Int → y:Int → {Bool | ν = (x = y)}`
+fn eq_schema() -> Schema {
+    Schema::mono(Ty::fun(
+        vec![("x", Ty::int()), ("y", Ty::int())],
+        Ty::refined(
+            BaseType::Bool,
+            Term::value_var().iff(Term::var("x").eq_(Term::var("y"))),
+        ),
+    ))
+}
+
+/// `dec :: x:Int → {Int | ν = x − 1}`
+fn dec_schema() -> Schema {
+    Schema::mono(Ty::arrow(
+        "x",
+        Ty::int(),
+        Ty::refined(
+            BaseType::Int,
+            Term::value_var().eq_(Term::var("x") - Term::int(1)),
+        ),
+    ))
+}
+
+/// `member :: x:a → l:SList a^1 → {Bool | ν = (x ∈ elems l)}`
+fn member_schema() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("x", Ty::tvar("a")),
+                ("l", Ty::slist(Ty::tvar("a").with_potential(Term::int(1)))),
+            ],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var().iff(
+                    Term::var("x").member(Term::app("elems", vec![Term::var("l")])),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Goal signature of `common'`: both sorted-list arguments carry one unit of
+/// potential per element; the functional refinement here only constrains the
+/// result's elements to come from the first argument (the full
+/// intersection spec needs quantified element coupling, see DESIGN.md).
+fn common_goal() -> Schema {
+    let elem_pot = Ty::tvar("a").with_potential(Term::int(1));
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("l1", Ty::slist(elem_pot.clone())),
+                ("l2", Ty::slist(elem_pot)),
+            ],
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("elems", vec![Term::value_var()])
+                    .subset(Term::app("elems", vec![Term::var("l1")])),
+            ),
+        ),
+    )
+}
+
+/// The efficient implementation from Fig. 2 (parallel scan).
+fn common_efficient() -> Expr {
+    let inner = Expr::match_(
+        Expr::var("l2"),
+        vec![
+            arm("SNil", vec![], Expr::nil()),
+            arm(
+                "SCons",
+                vec!["y", "ys"],
+                Expr::let_(
+                    "g1",
+                    Expr::app2(Expr::var("lt"), Expr::var("x"), Expr::var("y")),
+                    Expr::ite(
+                        Expr::var("g1"),
+                        Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                        Expr::let_(
+                            "g2",
+                            Expr::app2(Expr::var("lt"), Expr::var("y"), Expr::var("x")),
+                            Expr::ite(
+                                Expr::var("g2"),
+                                Expr::app2(Expr::var("common"), Expr::var("l1"), Expr::var("ys")),
+                                Expr::let_(
+                                    "r",
+                                    Expr::app2(
+                                        Expr::var("common"),
+                                        Expr::var("xs"),
+                                        Expr::var("ys"),
+                                    ),
+                                    Expr::cons(Expr::var("x"), Expr::var("r")),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ],
+    );
+    Expr::fix(
+        "common",
+        "l1",
+        Expr::lambda(
+            "l2",
+            Expr::match_(
+                Expr::var("l1"),
+                vec![arm("SNil", vec![], Expr::nil()), arm("SCons", vec!["x", "xs"], inner)],
+            ),
+        ),
+    )
+}
+
+/// The inefficient implementation in the style of Fig. 1: it calls `member`
+/// (a linear scan of `l2`) for every element of `l1`.
+fn common_inefficient() -> Expr {
+    let cons_arm_body = Expr::let_(
+        "g",
+        Expr::app2(Expr::var("member"), Expr::var("x"), Expr::var("l2")),
+        Expr::ite(
+            Expr::var("g"),
+            Expr::let_(
+                "r",
+                Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                Expr::cons(Expr::var("x"), Expr::var("r")),
+            ),
+            Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+        ),
+    );
+    Expr::fix(
+        "common",
+        "l1",
+        Expr::lambda(
+            "l2",
+            Expr::match_(
+                Expr::var("l1"),
+                vec![
+                    arm("SNil", vec![], Expr::nil()),
+                    arm("SCons", vec!["x", "xs"], cons_arm_body),
+                ],
+            ),
+        ),
+    )
+}
+
+fn arm(ctor: &str, binders: Vec<&str>, body: Expr) -> resyn_lang::MatchArm {
+    resyn_lang::MatchArm {
+        ctor: ctor.into(),
+        binders: binders.into_iter().map(String::from).collect(),
+        body,
+    }
+}
+
+#[test]
+fn efficient_common_satisfies_linear_bound() {
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt_schema());
+    let out = checker(ResourceMode::Resource)
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect("the efficient implementation must type-check");
+    assert!(
+        out.constraints.is_empty(),
+        "no unknown-bearing constraints expected: {:?}",
+        out.constraints
+    );
+}
+
+#[test]
+fn inefficient_common_violates_linear_bound() {
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt_schema());
+    components.insert("member".to_string(), member_schema());
+    let err = checker(ResourceMode::Resource)
+        .check_function("common", &common_inefficient(), &common_goal(), &components)
+        .expect_err("the member-based implementation must be rejected");
+    assert!(
+        matches!(err, CheckError::Resource { .. }),
+        "expected a resource violation, got {err:?}"
+    );
+}
+
+#[test]
+fn inefficient_common_is_accepted_by_the_resource_agnostic_baseline() {
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt_schema());
+    components.insert("member".to_string(), member_schema());
+    checker(ResourceMode::Agnostic)
+        .check_function("common", &common_inefficient(), &common_goal(), &components)
+        .expect("Synquid mode ignores resource annotations");
+}
+
+/// Goal for sorted-list insertion with the linear bound of benchmark 7:
+/// `insert :: x:a → xs:IList a^1 → {IList a | elems ν = [x] ∪ elems xs}`.
+fn insert_goal(elem_potential: Term) -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("x", Ty::tvar("a")),
+                ("xs", Ty::data("IList", vec![Ty::tvar("a").with_potential(elem_potential)])),
+            ],
+            Ty::refined(
+                BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                Term::app("elems", vec![Term::value_var()]).eq_(
+                    Term::var("x")
+                        .singleton()
+                        .union(Term::app("elems", vec![Term::var("xs")])),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The standard insertion program.
+fn insert_program() -> Expr {
+    Expr::fix(
+        "insert",
+        "x",
+        Expr::lambda(
+            "xs",
+            Expr::match_(
+                Expr::var("xs"),
+                vec![
+                    arm(
+                        "INil",
+                        vec![],
+                        Expr::ctor("ICons", vec![Expr::var("x"), Expr::ctor("INil", vec![])]),
+                    ),
+                    arm(
+                        "ICons",
+                        vec!["h", "t"],
+                        Expr::let_(
+                            "g",
+                            Expr::app2(Expr::var("leq"), Expr::var("x"), Expr::var("h")),
+                            Expr::ite(
+                                Expr::var("g"),
+                                Expr::ctor(
+                                    "ICons",
+                                    vec![
+                                        Expr::var("x"),
+                                        Expr::ctor("ICons", vec![Expr::var("h"), Expr::var("t")]),
+                                    ],
+                                ),
+                                Expr::let_(
+                                    "r",
+                                    Expr::app2(Expr::var("insert"), Expr::var("x"), Expr::var("t")),
+                                    Expr::ctor("ICons", vec![Expr::var("h"), Expr::var("r")]),
+                                ),
+                            ),
+                        ),
+                    ),
+                ],
+            ),
+        ),
+    )
+}
+
+/// `leq :: x:a → y:a → {Bool | ν = (x ≤ y)}`
+fn leq_schema() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![("x", Ty::tvar("a")), ("y", Ty::tvar("a"))],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var().iff(Term::var("x").le(Term::var("y"))),
+            ),
+        ),
+    )
+}
+
+#[test]
+fn insert_checks_functionally_and_for_resources() {
+    let mut components = BTreeMap::new();
+    components.insert("leq".to_string(), leq_schema());
+    let out = checker(ResourceMode::Resource)
+        .check_function("insert", &insert_program(), &insert_goal(Term::int(1)), &components)
+        .expect("insert must type-check with one unit per element");
+    assert!(out.constraints.is_empty());
+}
+
+#[test]
+fn insert_with_fine_grained_bound_checks() {
+    // Benchmark 9: only elements smaller than x carry potential
+    // (`ite(x > ν, 1, 0)`), still enough because the scan stops at the first
+    // element ≥ x... in the weak-ordering case the recursion continues past
+    // equal elements, so the sound fine-grained bound counts elements ≤ x,
+    // i.e. potential ite(ν ≤ x, 1, 0) ≡ ite(x ≥ ν, 1, 0). We express it with
+    // the strict counterpart on the reversed comparison.
+    let pot = Term::ite(
+        Term::value_var().lt(Term::var("x") + Term::int(1)),
+        Term::int(1),
+        Term::int(0),
+    );
+    let mut components = BTreeMap::new();
+    components.insert("leq".to_string(), leq_schema());
+    let out = checker(ResourceMode::Resource)
+        .check_function("insert", &insert_program(), &insert_goal(pot), &components)
+        .expect("insert must type-check with the dependent bound");
+    assert!(out.constraints.is_empty());
+}
+
+#[test]
+fn insert_without_potential_is_rejected() {
+    let mut components = BTreeMap::new();
+    components.insert("leq".to_string(), leq_schema());
+    let err = checker(ResourceMode::Resource)
+        .check_function("insert", &insert_program(), &insert_goal(Term::int(0)), &components)
+        .expect_err("no potential, no recursive calls");
+    assert!(matches!(err, CheckError::Resource { .. }));
+}
+
+#[test]
+fn insert_that_loses_elements_is_rejected() {
+    // A wrong program: the INil branch drops the inserted element.
+    let wrong = Expr::fix(
+        "insert",
+        "x",
+        Expr::lambda(
+            "xs",
+            Expr::match_(
+                Expr::var("xs"),
+                vec![
+                    arm("INil", vec![], Expr::ctor("INil", vec![])),
+                    arm(
+                        "ICons",
+                        vec!["h", "t"],
+                        Expr::ctor("ICons", vec![Expr::var("h"), Expr::var("t")]),
+                    ),
+                ],
+            ),
+        ),
+    );
+    let mut components = BTreeMap::new();
+    components.insert("leq".to_string(), leq_schema());
+    let err = checker(ResourceMode::Resource)
+        .check_function("insert", &wrong, &insert_goal(Term::int(1)), &components)
+        .expect_err("dropping the element must be a refinement error");
+    assert!(matches!(err, CheckError::Refinement { .. }), "got {err:?}");
+}
+
+/// `replicate :: n:{Int | ν ≥ 0}^ν → x:a → {List a | len ν = n}` — dependent
+/// potential on an integer argument (benchmark 10).
+fn replicate_goal() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                (
+                    "n",
+                    Ty::refined(BaseType::Int, Term::value_var().ge(Term::int(0)))
+                        .with_potential(Term::value_var()),
+                ),
+                ("x", Ty::tvar("a")),
+            ],
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("len", vec![Term::value_var()]).eq_(Term::var("n")),
+            ),
+        ),
+    )
+}
+
+fn replicate_program() -> Expr {
+    Expr::fix(
+        "replicate",
+        "n",
+        Expr::lambda(
+            "x",
+            Expr::let_(
+                "g",
+                Expr::app2(Expr::var("eq"), Expr::var("n"), Expr::int(0)),
+                Expr::ite(
+                    Expr::var("g"),
+                    Expr::nil(),
+                    Expr::let_(
+                        "m",
+                        Expr::app(Expr::var("dec"), Expr::var("n")),
+                        Expr::let_(
+                            "r",
+                            Expr::app2(Expr::var("replicate"), Expr::var("m"), Expr::var("x")),
+                            Expr::cons(Expr::var("x"), Expr::var("r")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[test]
+fn replicate_with_dependent_potential_checks() {
+    let mut components = BTreeMap::new();
+    components.insert("eq".to_string(), eq_schema());
+    components.insert("dec".to_string(), dec_schema());
+    let out = checker(ResourceMode::Resource)
+        .check_function("replicate", &replicate_program(), &replicate_goal(), &components)
+        .expect("replicate must type-check with potential ν on n");
+    assert!(out.constraints.is_empty());
+}
+
+#[test]
+fn replicate_is_rejected_without_enough_potential() {
+    // Give n only a constant amount of potential: the recursion depth is n, so
+    // constant potential cannot pay for it.
+    let goal = Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                (
+                    "n",
+                    Ty::refined(BaseType::Int, Term::value_var().ge(Term::int(0)))
+                        .with_potential(Term::int(1)),
+                ),
+                ("x", Ty::tvar("a")),
+            ],
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("len", vec![Term::value_var()]).eq_(Term::var("n")),
+            ),
+        ),
+    );
+    let mut components = BTreeMap::new();
+    components.insert("eq".to_string(), eq_schema());
+    components.insert("dec".to_string(), dec_schema());
+    let err = checker(ResourceMode::Resource)
+        .check_function("replicate", &replicate_program(), &goal, &components)
+        .expect_err("constant potential cannot cover n recursive calls");
+    assert!(matches!(err, CheckError::Resource { .. }));
+}
+
+#[test]
+fn agnostic_mode_requires_structural_termination() {
+    // `range`-style recursion (decreasing an integer difference) has no
+    // structurally smaller argument, so the Synquid baseline rejects it while
+    // the resource-aware mode accepts it (Sec. 2.4 "Termination Checking").
+    let goal = Schema::mono(Ty::fun(
+        vec![
+            ("lo", Ty::int()),
+            (
+                "hi",
+                Ty::refined(BaseType::Int, Term::value_var().ge(Term::var("lo")))
+                    .with_potential(Term::value_var() - Term::var("lo")),
+            ),
+        ],
+        Ty::refined(
+            BaseType::Data("List".into(), vec![Ty::int()]),
+            Term::app("len", vec![Term::value_var()]).eq_(Term::var("hi") - Term::var("lo")),
+        ),
+    ));
+    let program = Expr::fix(
+        "range",
+        "lo",
+        Expr::lambda(
+            "hi",
+            Expr::let_(
+                "g",
+                Expr::app2(Expr::var("eq"), Expr::var("lo"), Expr::var("hi")),
+                Expr::ite(
+                    Expr::var("g"),
+                    Expr::nil(),
+                    Expr::let_(
+                        "lo2",
+                        Expr::app(Expr::var("inc"), Expr::var("lo")),
+                        Expr::let_(
+                            "r",
+                            Expr::app2(Expr::var("range"), Expr::var("lo2"), Expr::var("hi")),
+                            Expr::cons(Expr::var("lo"), Expr::var("r")),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let inc = Schema::mono(Ty::arrow(
+        "x",
+        Ty::int(),
+        Ty::refined(
+            BaseType::Int,
+            Term::value_var().eq_(Term::var("x") + Term::int(1)),
+        ),
+    ));
+    let mut components = BTreeMap::new();
+    components.insert("eq".to_string(), eq_schema());
+    components.insert("inc".to_string(), inc);
+
+    // ReSyn mode: accepted (potential hi − lo pays for the recursion).
+    checker(ResourceMode::Resource)
+        .check_function("range", &program, &goal, &components)
+        .expect("range must check in resource mode");
+    // Synquid mode: rejected by the termination metric.
+    let err = checker(ResourceMode::Agnostic)
+        .check_function("range", &program, &goal, &components)
+        .expect_err("range must fail the structural termination check");
+    assert!(matches!(err, CheckError::Termination(_)));
+}

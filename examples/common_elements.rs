@@ -1,0 +1,161 @@
+//! The paper's motivating example (Figs. 1 and 2): checking the efficient and
+//! the inefficient `common` against the linear resource bound, and measuring
+//! their actual cost.
+//!
+//! Run with: `cargo run -p resyn --example common_elements --release`
+
+use std::collections::BTreeMap;
+
+use resyn::lang::{CostMetric, Expr, MatchArm};
+use resyn::logic::Term;
+use resyn::ty::check::{Checker, CheckerConfig, ResourceMode};
+use resyn::ty::datatypes::Datatypes;
+use resyn::ty::types::{BaseType, Schema, Ty};
+
+fn arm(ctor: &str, binders: Vec<&str>, body: Expr) -> MatchArm {
+    MatchArm {
+        ctor: ctor.into(),
+        binders: binders.into_iter().map(String::from).collect(),
+        body,
+    }
+}
+
+fn main() {
+    let elem = Ty::tvar("a").with_potential(Term::int(1));
+    let goal = Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![("l1", Ty::slist(elem.clone())), ("l2", Ty::slist(elem))],
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("elems", vec![Term::value_var()])
+                    .subset(Term::app("elems", vec![Term::var("l1")])),
+            ),
+        ),
+    );
+    let lt = Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![("x", Ty::tvar("a")), ("y", Ty::tvar("a"))],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var().iff(Term::var("x").lt(Term::var("y"))),
+            ),
+        ),
+    );
+    let member = Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("x", Ty::tvar("a")),
+                ("l", Ty::slist(Ty::tvar("a").with_potential(Term::int(1)))),
+            ],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var()
+                    .iff(Term::var("x").member(Term::app("elems", vec![Term::var("l")]))),
+            ),
+        ),
+    );
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt);
+    components.insert("member".to_string(), member);
+
+    // Fig. 2: parallel scan.
+    let efficient = {
+        let inner = Expr::match_(
+            Expr::var("l2"),
+            vec![
+                arm("SNil", vec![], Expr::nil()),
+                arm(
+                    "SCons",
+                    vec!["y", "ys"],
+                    Expr::let_(
+                        "g1",
+                        Expr::app2(Expr::var("lt"), Expr::var("x"), Expr::var("y")),
+                        Expr::ite(
+                            Expr::var("g1"),
+                            Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                            Expr::let_(
+                                "g2",
+                                Expr::app2(Expr::var("lt"), Expr::var("y"), Expr::var("x")),
+                                Expr::ite(
+                                    Expr::var("g2"),
+                                    Expr::app2(Expr::var("common"), Expr::var("l1"), Expr::var("ys")),
+                                    Expr::let_(
+                                        "r",
+                                        Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("ys")),
+                                        Expr::cons(Expr::var("x"), Expr::var("r")),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ],
+        );
+        Expr::fix(
+            "common",
+            "l1",
+            Expr::lambda(
+                "l2",
+                Expr::match_(
+                    Expr::var("l1"),
+                    vec![arm("SNil", vec![], Expr::nil()), arm("SCons", vec!["x", "xs"], inner)],
+                ),
+            ),
+        )
+    };
+
+    // Fig. 1: member-based scan.
+    let inefficient = Expr::fix(
+        "common",
+        "l1",
+        Expr::lambda(
+            "l2",
+            Expr::match_(
+                Expr::var("l1"),
+                vec![
+                    arm("SNil", vec![], Expr::nil()),
+                    arm(
+                        "SCons",
+                        vec!["x", "xs"],
+                        Expr::let_(
+                            "g",
+                            Expr::app2(Expr::var("member"), Expr::var("x"), Expr::var("l2")),
+                            Expr::ite(
+                                Expr::var("g"),
+                                Expr::let_(
+                                    "r",
+                                    Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                                    Expr::cons(Expr::var("x"), Expr::var("r")),
+                                ),
+                                Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                            ),
+                        ),
+                    ),
+                ],
+            ),
+        ),
+    );
+
+    for (name, program, mode) in [
+        ("Fig. 2 (efficient), ReSyn mode", &efficient, ResourceMode::Resource),
+        ("Fig. 1 (inefficient), ReSyn mode", &inefficient, ResourceMode::Resource),
+        ("Fig. 1 (inefficient), Synquid mode", &inefficient, ResourceMode::Agnostic),
+    ] {
+        let checker = Checker::new(
+            Datatypes::standard(),
+            CheckerConfig {
+                mode,
+                metric: CostMetric::RecursiveCalls,
+                allow_holes: false,
+            },
+        );
+        let verdict = checker.check_function("common", program, &goal, &components);
+        println!("{name}: {}", match verdict {
+            Ok(_) => "accepted".to_string(),
+            Err(e) => format!("rejected ({e})"),
+        });
+    }
+}

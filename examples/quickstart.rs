@@ -1,0 +1,58 @@
+//! Quickstart: declare a resource-annotated goal, synthesize a program with
+//! ReSyn, and run it with the cost-semantics interpreter.
+//!
+//! Run with: `cargo run -p resyn --example quickstart --release`
+
+use std::time::Duration;
+
+use resyn::eval::components;
+use resyn::lang::{Expr, Interp};
+use resyn::logic::Term;
+use resyn::synth::{Goal, Mode, Synthesizer};
+use resyn::ty::types::{BaseType, Schema, Ty};
+
+fn main() {
+    // replicate :: n:{Int | ν ≥ 0}^ν → x:a → {List a | len ν = n}
+    // The potential annotation `ν` on `n` allows exactly n recursive calls.
+    let goal = Goal::new(
+        "replicate",
+        Schema::poly(
+            vec!["a"],
+            Ty::fun(
+                vec![
+                    (
+                        "n",
+                        Ty::refined(BaseType::Int, Term::value_var().ge(Term::int(0)))
+                            .with_potential(Term::value_var()),
+                    ),
+                    ("x", Ty::tvar("a")),
+                ],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    Term::app("len", vec![Term::value_var()]).eq_(Term::var("n")),
+                ),
+            ),
+        ),
+        vec![("eq", components::eq()), ("dec", components::dec())],
+    );
+
+    println!("synthesizing `replicate` with a linear resource bound ...");
+    let outcome = Synthesizer::with_timeout(Duration::from_secs(120)).synthesize(&goal, Mode::ReSyn);
+    match outcome.program {
+        Some(program) => {
+            println!(
+                "found a program ({} AST nodes, {} candidates, {:.2}s):\n\n{program}\n",
+                program.size(),
+                outcome.stats.candidates_checked,
+                outcome.stats.duration.as_secs_f64()
+            );
+            // Run it.
+            let mut interp = Interp::new();
+            let env = resyn::lang::interp::Env::from_bindings(components::register_natives(&mut interp));
+            let call = Expr::app2(program, Expr::int(5), Expr::int(42));
+            let result = interp.run(&call, &env).expect("program runs");
+            println!("replicate 5 42 = {}", result.value);
+        }
+        None => println!("synthesis did not finish within the timeout"),
+    }
+}

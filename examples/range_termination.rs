@@ -1,0 +1,50 @@
+//! The `range` case study (Table 2, row 13): dependent potential annotations
+//! double as a termination argument.
+//!
+//! `range lo hi` must make `hi - lo` recursive calls, a metric Synquid's
+//! structural termination check cannot express — the baseline therefore fails
+//! on this goal, while ReSyn synthesizes it from the `^(_v - lo)` annotation.
+//!
+//! Run with: `cargo run -p resyn --example range_termination --release`
+
+use std::time::Duration;
+
+use resyn::parse::parse_problem;
+use resyn::parse::surface::expr_to_surface;
+use resyn::synth::{Mode, Synthesizer};
+
+const PROBLEM: &str = include_str!("problems/range.re");
+
+fn main() {
+    let problem = parse_problem(PROBLEM).expect("the problem file is well-formed");
+    let goal = problem.into_goals().remove(0);
+
+    // ReSyn: the potential annotation `hi - lo` pays for every recursive call,
+    // so no separate termination metric is needed.
+    let resyn = Synthesizer::with_timeout(Duration::from_secs(120));
+    let outcome = resyn.synthesize(&goal, Mode::ReSyn);
+    match &outcome.program {
+        Some(program) => println!(
+            "ReSyn synthesized `range` in {:.2}s:\n{}\n",
+            outcome.stats.duration.as_secs_f64(),
+            expr_to_surface(program)
+        ),
+        None => println!("ReSyn failed unexpectedly"),
+    }
+
+    // Synquid baseline: the structural metric (the tuple of arguments) never
+    // decreases on the recursive call `range (inc lo) hi`, so the baseline
+    // cannot accept any correct candidate. A short timeout keeps the demo
+    // snappy; longer budgets do not change the outcome.
+    let synquid = Synthesizer::with_timeout(Duration::from_secs(10));
+    let baseline = synquid.synthesize(&goal, Mode::Synquid);
+    match &baseline.program {
+        Some(_) => println!("unexpected: the baseline accepted a program"),
+        None => println!(
+            "Synquid baseline found no terminating candidate (as in the paper): \
+             searched {} candidates in {:.2}s",
+            baseline.stats.candidates_checked,
+            baseline.stats.duration.as_secs_f64()
+        ),
+    }
+}

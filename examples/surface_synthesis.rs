@@ -1,0 +1,60 @@
+//! Synthesis from the textual surface syntax: parse a Synquid-style problem
+//! file, synthesize the goal with ReSyn, print the program back in surface
+//! syntax and run it in the cost-semantics interpreter.
+//!
+//! Run with: `cargo run -p resyn --example surface_synthesis --release`
+
+use std::time::Duration;
+
+use resyn::eval::components;
+use resyn::lang::{interp::Env, Expr, Interp};
+use resyn::parse::surface::expr_to_surface;
+use resyn::parse::parse_problem;
+use resyn::synth::{Mode, Synthesizer};
+
+const PROBLEM: &str = include_str!("problems/sorted_insert.re");
+
+fn main() {
+    println!("problem file:\n{PROBLEM}");
+
+    let problem = parse_problem(PROBLEM).expect("the problem file is well-formed");
+    let goal = problem.into_goals().remove(0);
+
+    let synthesizer = Synthesizer::with_timeout(Duration::from_secs(120));
+    let outcome = synthesizer.synthesize(&goal, Mode::ReSyn);
+    let program = outcome.program.expect("insert is synthesizable");
+
+    println!(
+        "synthesized `{}` in {:.2}s ({} candidates checked):\n",
+        goal.name,
+        outcome.stats.duration.as_secs_f64(),
+        outcome.stats.candidates_checked
+    );
+    println!("{}\n", expr_to_surface(&program));
+
+    // Run the synthesized function: insert 3 into [1, 2, 5].
+    let mut interp = Interp::new();
+    let env = Env::from_bindings(components::register_natives(&mut interp));
+    let input = Expr::ctor(
+        "ICons",
+        vec![
+            Expr::int(1),
+            Expr::ctor(
+                "ICons",
+                vec![
+                    Expr::int(2),
+                    Expr::ctor(
+                        "ICons",
+                        vec![Expr::int(5), Expr::ctor("INil", vec![])],
+                    ),
+                ],
+            ),
+        ],
+    );
+    let call = Expr::app2(program, Expr::int(3), input);
+    let result = interp.run(&call, &env).expect("the program runs");
+    println!(
+        "insert 3 [1, 2, 5] = {:?}",
+        result.value.as_int_list().expect("a list result")
+    );
+}

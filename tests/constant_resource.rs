@@ -1,0 +1,192 @@
+//! Constant-resource checking (§3 "Constant Resource", benchmarks 14–16):
+//! in constant-resource mode the checker rejects implementations whose
+//! consumption depends on the secret input and accepts ones that always
+//! consume the full budget.
+
+use std::collections::BTreeMap;
+
+use resyn::lang::{CostMetric, Expr, MatchArm};
+use resyn::logic::Term;
+use resyn::ty::check::{Checker, CheckerConfig, ResourceMode};
+use resyn::ty::datatypes::Datatypes;
+use resyn::ty::types::{BaseType, Schema, Ty};
+
+fn arm(ctor: &str, binders: Vec<&str>, body: Expr) -> MatchArm {
+    MatchArm {
+        ctor: ctor.into(),
+        binders: binders.into_iter().map(String::from).collect(),
+        body,
+    }
+}
+
+fn checker(mode: ResourceMode) -> Checker {
+    Checker::new(
+        Datatypes::standard(),
+        CheckerConfig {
+            mode,
+            metric: CostMetric::RecursiveCalls,
+            allow_holes: false,
+        },
+    )
+}
+
+/// `compare :: ys:List a¹ → zs:List a → {Bool | ν = (len ys = len zs)}`
+/// (benchmark 15/16: `ys` is public, `zs` is secret, so only `ys` carries
+/// potential).
+fn goal() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                (
+                    "ys",
+                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
+                ),
+                ("zs", Ty::list(Ty::tvar("a"))),
+            ],
+            Ty::refined(
+                BaseType::Bool,
+                Term::value_var().iff(
+                    Term::app("len", vec![Term::var("ys")])
+                        .eq_(Term::app("len", vec![Term::var("zs")])),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The constant-resource implementation: always recurses through all of `ys`,
+/// so the consumption is `len ys` on every path and reveals nothing about
+/// `zs`.
+fn constant_time_compare() -> Expr {
+    Expr::fix(
+        "compare",
+        "ys",
+        Expr::lambda(
+            "zs",
+            Expr::match_(
+                Expr::var("ys"),
+                vec![
+                    arm(
+                        "Nil",
+                        vec![],
+                        Expr::match_list(Expr::var("zs"), Expr::bool(true), "z", "zt", Expr::bool(false)),
+                    ),
+                    arm(
+                        "Cons",
+                        vec!["y", "yt"],
+                        Expr::match_(
+                            Expr::var("zs"),
+                            vec![
+                                // Secret list exhausted: still traverse the rest
+                                // of the public list so the cost stays len ys.
+                                arm(
+                                    "Nil",
+                                    vec![],
+                                    Expr::let_(
+                                        "r",
+                                        Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zs")),
+                                        Expr::bool(false),
+                                    ),
+                                ),
+                                arm(
+                                    "Cons",
+                                    vec!["z", "zt"],
+                                    Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zt")),
+                                ),
+                            ],
+                        ),
+                    ),
+                ],
+            ),
+        ),
+    )
+}
+
+/// The early-exit implementation: stops as soon as the secret list is
+/// exhausted, leaking its length through the running time.
+fn early_exit_compare() -> Expr {
+    Expr::fix(
+        "compare",
+        "ys",
+        Expr::lambda(
+            "zs",
+            Expr::match_(
+                Expr::var("ys"),
+                vec![
+                    arm(
+                        "Nil",
+                        vec![],
+                        Expr::match_list(Expr::var("zs"), Expr::bool(true), "z", "zt", Expr::bool(false)),
+                    ),
+                    arm(
+                        "Cons",
+                        vec!["y", "yt"],
+                        Expr::match_(
+                            Expr::var("zs"),
+                            vec![
+                                arm("Nil", vec![], Expr::bool(false)),
+                                arm(
+                                    "Cons",
+                                    vec!["z", "zt"],
+                                    Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zt")),
+                                ),
+                            ],
+                        ),
+                    ),
+                ],
+            ),
+        ),
+    )
+}
+
+fn components() -> BTreeMap<String, Schema> {
+    BTreeMap::new()
+}
+
+#[test]
+fn both_versions_satisfy_the_upper_bound() {
+    for program in [constant_time_compare(), early_exit_compare()] {
+        checker(ResourceMode::Resource)
+            .check_function("compare", &program, &goal(), &components())
+            .expect("both versions are within len ys");
+    }
+}
+
+#[test]
+fn constant_resource_mode_accepts_only_the_full_scan() {
+    checker(ResourceMode::ConstantResource)
+        .check_function("compare", &constant_time_compare(), &goal(), &components())
+        .expect("the constant-time version consumes exactly len ys on every path");
+    assert!(
+        checker(ResourceMode::ConstantResource)
+            .check_function("compare", &early_exit_compare(), &goal(), &components())
+            .is_err(),
+        "the early-exit version must be rejected in constant-resource mode"
+    );
+}
+
+#[test]
+fn measured_cost_of_the_constant_time_version_ignores_the_secret() {
+    use resyn::eval::measure::instrument;
+    use resyn::lang::Interp;
+    let interp = Interp::new();
+    let env = resyn::lang::interp::Env::new();
+    let program = instrument(&constant_time_compare(), "compare");
+    let cost = |ys: &[i64], zs: &[i64]| {
+        let call = Expr::app2(program.clone(), Expr::int_list(ys), Expr::int_list(zs));
+        interp.run(&call, &env).unwrap().high_water
+    };
+    // Same public list, different secret lists: identical cost.
+    assert_eq!(cost(&[1, 2, 3, 4], &[1]), cost(&[1, 2, 3, 4], &[1, 2, 3, 4, 5]));
+    // The early-exit version leaks: costs differ.
+    let leaky = instrument(&early_exit_compare(), "compare");
+    let leaky_cost = |ys: &[i64], zs: &[i64]| {
+        let call = Expr::app2(leaky.clone(), Expr::int_list(ys), Expr::int_list(zs));
+        interp.run(&call, &env).unwrap().high_water
+    };
+    assert_ne!(
+        leaky_cost(&[1, 2, 3, 4], &[1]),
+        leaky_cost(&[1, 2, 3, 4], &[1, 2, 3, 4, 5])
+    );
+}

@@ -1,0 +1,77 @@
+//! End-to-end synthesis: the synthesizer produces programs that are accepted
+//! by the Re² checker and compute the right results when executed.
+
+use std::time::Duration;
+
+use resyn::eval::components::register_natives;
+use resyn::eval::suite;
+use resyn::lang::{Expr, Interp};
+use resyn::synth::{Mode, Synthesizer};
+
+fn synthesizer() -> Synthesizer {
+    Synthesizer::with_timeout(Duration::from_secs(120))
+}
+
+fn run_int_list(program: &Expr, args: Vec<Expr>) -> resyn::lang::Val {
+    let mut interp = Interp::new();
+    let bindings = register_natives(&mut interp);
+    let env = resyn::lang::interp::Env::from_bindings(bindings);
+    let mut call = program.clone();
+    for a in args {
+        call = Expr::app(call, a);
+    }
+    interp.run(&call, &env).expect("synthesized program must run").value
+}
+
+#[test]
+fn synthesizes_is_empty() {
+    let bench = suite::table1()
+        .into_iter()
+        .find(|b| b.id == "list-is-empty")
+        .unwrap();
+    let out = synthesizer().synthesize(&bench.goal, Mode::ReSyn);
+    let program = out.program.expect("isEmpty must be synthesized");
+    assert_eq!(
+        run_int_list(&program, vec![Expr::int_list(&[])]),
+        resyn::lang::Val::Bool(true)
+    );
+    assert_eq!(
+        run_int_list(&program, vec![Expr::int_list(&[1, 2])]),
+        resyn::lang::Val::Bool(false)
+    );
+}
+
+#[test]
+fn synthesizes_replicate_with_dependent_potential() {
+    let bench = suite::table1()
+        .into_iter()
+        .find(|b| b.id == "list-replicate")
+        .unwrap();
+    let out = synthesizer().synthesize(&bench.goal, Mode::ReSyn);
+    let program = out.program.expect("replicate must be synthesized");
+    eprintln!("synthesized replicate:\n{program}");
+    let result = run_int_list(&program, vec![Expr::int(4), Expr::int(7)]);
+    assert_eq!(result.as_int_list(), Some(vec![7, 7, 7, 7]));
+    // The resource-agnostic baseline cannot synthesize it at all or produces
+    // the same program; in either case ReSyn is at least as capable.
+    let agnostic = synthesizer().synthesize(&bench.goal, Mode::Synquid);
+    if let Some(p) = agnostic.program {
+        let r = run_int_list(&p, vec![Expr::int(3), Expr::int(1)]);
+        assert_eq!(r.as_int_list(), Some(vec![1, 1, 1]));
+    }
+}
+
+#[test]
+fn synthesizes_append_within_the_linear_bound() {
+    let bench = suite::table1()
+        .into_iter()
+        .find(|b| b.id == "list-append")
+        .unwrap();
+    let out = synthesizer().synthesize(&bench.goal, Mode::ReSyn);
+    let program = out.program.expect("append must be synthesized");
+    let result = run_int_list(
+        &program,
+        vec![Expr::int_list(&[1, 2]), Expr::int_list(&[3, 4, 5])],
+    );
+    assert_eq!(result.list_len(), Some(5));
+}
