@@ -9,10 +9,15 @@ use resyn_synth::{Mode, Synthesizer};
 
 fn table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     // Keep the bench fast: the quick benchmarks of the suite.
     let quick = ["list-is-empty", "list-append", "list-replicate"];
-    for bench in suite::table1().into_iter().filter(|b| quick.contains(&b.id.as_str())) {
+    for bench in suite::table1()
+        .into_iter()
+        .filter(|b| quick.contains(&b.id.as_str()))
+    {
         for (mode_name, mode) in [("resyn", Mode::ReSyn), ("synquid", Mode::Synquid)] {
             group.bench_with_input(
                 BenchmarkId::new(mode_name, &bench.id),

@@ -9,9 +9,14 @@ use resyn_synth::{Mode, Synthesizer};
 
 fn table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
-    group.sample_size(10).measurement_time(Duration::from_secs(20));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(20));
     let quick = ["cs10-replicate", "cs16-compare"];
-    for bench in suite::table2().into_iter().filter(|b| quick.contains(&b.id.as_str())) {
+    for bench in suite::table2()
+        .into_iter()
+        .filter(|b| quick.contains(&b.id.as_str()))
+    {
         for (mode_name, mode) in [
             ("T", Mode::ReSyn),
             ("T-NR", Mode::Synquid),

@@ -45,7 +45,10 @@ impl std::fmt::Display for CliError {
             CliError::Parse(msg) => write!(f, "parse error: {msg}"),
             CliError::UnknownGoal(name) => write!(f, "no goal named `{name}` in the problem file"),
             CliError::SynthesisFailed(name) => {
-                write!(f, "synthesis failed for goal `{name}` (timeout or no solution)")
+                write!(
+                    f,
+                    "synthesis failed for goal `{name}` (timeout or no solution)"
+                )
             }
             CliError::CheckFailed(name) => {
                 write!(f, "program does not satisfy the signature of goal `{name}`")
@@ -130,10 +133,7 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
     Ok((positional, opts))
 }
 
-fn load_goals(
-    problem_text: &str,
-    opts: &Options,
-) -> Result<Vec<resyn_synth::Goal>, CliError> {
+fn load_goals(problem_text: &str, opts: &Options) -> Result<Vec<resyn_synth::Goal>, CliError> {
     let problem = parse_problem(problem_text).map_err(|e| CliError::Parse(e.to_string()))?;
     let goals = problem.into_goals();
     match &opts.goal {
@@ -297,13 +297,22 @@ mod tests {
         // The problem files under `examples/problems/` are part of the
         // documented workflow; keep them valid.
         for (name, text) in [
-            ("append.re", include_str!("../../../examples/problems/append.re")),
+            (
+                "append.re",
+                include_str!("../../../examples/problems/append.re"),
+            ),
             (
                 "sorted_insert.re",
                 include_str!("../../../examples/problems/sorted_insert.re"),
             ),
-            ("range.re", include_str!("../../../examples/problems/range.re")),
-            ("compare.re", include_str!("../../../examples/problems/compare.re")),
+            (
+                "range.re",
+                include_str!("../../../examples/problems/range.re"),
+            ),
+            (
+                "compare.re",
+                include_str!("../../../examples/problems/compare.re"),
+            ),
         ] {
             let report = run_parse(text).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(report.contains("goal "), "{name} lists no goals");
@@ -321,7 +330,10 @@ mod tests {
         assert_eq!(opts.mode, Mode::Synquid);
         assert_eq!(opts.timeout, Duration::from_secs(7));
 
-        let bad: Vec<String> = ["--mode", "quantum"].iter().map(|s| s.to_string()).collect();
+        let bad: Vec<String> = ["--mode", "quantum"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
         let bad: Vec<String> = ["--frobnicate"].iter().map(|s| s.to_string()).collect();
         assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
@@ -374,7 +386,10 @@ mod tests {
         let opts = Options::default();
         let report = run_measure(APPEND_PROBLEM, APPEND_PROGRAM, &opts).unwrap();
         assert!(report.contains("n =   4: 4 recursive calls"), "{report}");
-        assert!(report.trim_end().ends_with("fitted bound: O(n)"), "{report}");
+        assert!(
+            report.trim_end().ends_with("fitted bound: O(n)"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -36,13 +36,17 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
     match command.as_str() {
         "parse" => {
             let [problem] = positional.as_slice() else {
-                return Err(CliError::Usage("parse expects one problem file".to_string()));
+                return Err(CliError::Usage(
+                    "parse expects one problem file".to_string(),
+                ));
             };
             run_parse(&read(problem)?)
         }
         "synth" => {
             let [problem] = positional.as_slice() else {
-                return Err(CliError::Usage("synth expects one problem file".to_string()));
+                return Err(CliError::Usage(
+                    "synth expects one problem file".to_string(),
+                ));
             };
             run_synth(&read(problem)?, &opts)
         }

@@ -1,0 +1,319 @@
+//! A tiny, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so the real `criterion` cannot be fetched. This crate implements
+//! the API subset used by the benches in `crates/bench/benches/`:
+//!
+//! * [`Criterion`] with [`Criterion::bench_function`] and
+//!   [`Criterion::benchmark_group`],
+//! * [`BenchmarkGroup`] with `sample_size`, `measurement_time`,
+//!   `bench_function`, `bench_with_input` and `finish`,
+//! * [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] /
+//!   [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: after one warm-up call, each benchmark
+//! runs until either `sample_size` timed iterations have completed or
+//! `measurement_time` has elapsed, and the mean wall-clock time per iteration
+//! is printed. There are no statistics, plots, or saved baselines. Command
+//! line arguments that look like filters (non-flag arguments) select
+//! benchmarks by substring match, so `cargo bench -p resyn-bench solver`
+//! works as expected; flags such as `--bench` are ignored.
+//!
+//! To switch back to the upstream crate when a registry is reachable, replace
+//! the `criterion` entry in the root `Cargo.toml`'s
+//! `[workspace.dependencies]` with `criterion = "0.5"`.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver. One instance is threaded through every registered
+/// benchmark function by [`criterion_main!`].
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    /// A driver with 20 samples and a 2-second budget per benchmark, with
+    /// benchmark filters taken from the command line.
+    fn default() -> Self {
+        Criterion {
+            filters: filters_from_args(std::env::args().skip(1)),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Extract benchmark name filters from the command line: positional
+/// arguments, minus flags and the values of value-taking flags (so
+/// `--sample-size 10` does not turn `10` into a filter that silently skips
+/// every benchmark). Unknown value-taking flags are accepted but ignored.
+fn filters_from_args(args: impl Iterator<Item = String>) -> Vec<String> {
+    // Upstream criterion flags that take their value as a separate argument.
+    // Unknown flags are assumed valueless so they can never swallow a
+    // positional filter (mistaking a filter for a flag value is worse than
+    // mistaking a flag value for a filter: the former silently *widens* the
+    // run to every benchmark).
+    const VALUE_TAKING: [&str; 10] = [
+        "--baseline",
+        "--color",
+        "--load-baseline",
+        "--measurement-time",
+        "--noise-threshold",
+        "--profile-time",
+        "--sample-size",
+        "--save-baseline",
+        "--significance-level",
+        "--warm-up-time",
+    ];
+    let mut filters = Vec::new();
+    let mut skip_value = false;
+    for arg in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if arg.starts_with('-') {
+            // `--flag=value` carries its value inline.
+            skip_value = VALUE_TAKING.contains(&arg.as_str());
+            continue;
+        }
+        filters.push(arg);
+    }
+    filters
+}
+
+impl Criterion {
+    /// Run `f` as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            &self.filters,
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Open a named group of benchmarks sharing sample/time settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A group of related benchmarks, reported under a common `group/` prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Cap the wall-clock budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run `f` as a benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            &self.criterion.filters,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            f,
+        );
+        self
+    }
+
+    /// Run `f` with `input` as a benchmark identified by `id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(&id.0, |b| f(b, input))
+    }
+
+    /// Close the group. (Upstream criterion emits summary reports here; the
+    /// shim prints per-benchmark lines as it goes, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into an identifier.
+    pub fn new<S1: Display, S2: Display>(function_name: S1, parameter: S2) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Passed to every benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine` (one warm-up call, then up to the
+    /// configured sample count or time budget).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let deadline = Instant::now() + self.measurement_time;
+        let mut iterations = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while iterations < self.sample_size as u64 && Instant::now() < deadline {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            iterations += 1;
+        }
+        self.iterations = iterations;
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    filters: &[String],
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if !filters.is_empty() && !filters.iter().any(|needle| id.contains(needle.as_str())) {
+        return;
+    }
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{id:<40} no iterations completed within the time budget");
+        return;
+    }
+    let per_iter = bencher.elapsed / bencher.iterations as u32;
+    println!(
+        "{id:<40} time: {per_iter:>12.3?}  ({} iterations)",
+        bencher.iterations
+    );
+}
+
+/// Collect benchmark functions into a runnable group, mirroring upstream
+/// criterion's macro of the same name (the `config = ..` form is not
+/// supported).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given [`criterion_group!`]s. The bench
+/// target must set `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_iterations() {
+        let mut c = Criterion {
+            filters: vec![],
+            sample_size: 5,
+            measurement_time: Duration::from_millis(200),
+        };
+        let mut calls = 0u32;
+        c.bench_function("shim/self-test", |b| b.iter(|| calls += 1));
+        // One warm-up call plus at least one timed iteration.
+        assert!(calls >= 2);
+    }
+
+    #[test]
+    fn flag_values_are_not_mistaken_for_filters() {
+        let args = [
+            "--bench",
+            "--noplot",
+            "--sample-size",
+            "10",
+            "--save-baseline=main",
+            "solver",
+        ];
+        let filters = filters_from_args(args.iter().map(|s| s.to_string()));
+        assert_eq!(filters, vec!["solver".to_string()]);
+        assert!(filters_from_args(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn groups_honour_their_overrides_and_filters() {
+        let mut c = Criterion {
+            filters: vec!["matched".to_string()],
+            sample_size: 3,
+            measurement_time: Duration::from_millis(200),
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(50));
+        let mut matched = 0u32;
+        let mut skipped = 0u32;
+        group.bench_with_input(BenchmarkId::new("matched", 1), &(), |b, _| {
+            b.iter(|| matched += 1)
+        });
+        group.bench_function("filtered-out", |b| b.iter(|| skipped += 1));
+        group.finish();
+        assert!(matched >= 2);
+        assert_eq!(skipped, 0);
+    }
+}

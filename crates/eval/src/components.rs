@@ -92,10 +92,7 @@ pub fn append() -> Schema {
         vec!["a"],
         Ty::fun(
             vec![
-                (
-                    "xs",
-                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
-                ),
+                ("xs", Ty::list(Ty::tvar("a").with_potential(Term::int(1)))),
                 ("ys", Ty::list(Ty::tvar("a"))),
             ],
             Ty::refined(
@@ -118,10 +115,7 @@ pub fn append_snd() -> Schema {
         Ty::fun(
             vec![
                 ("xs", Ty::list(Ty::tvar("a"))),
-                (
-                    "ys",
-                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
-                ),
+                ("ys", Ty::list(Ty::tvar("a").with_potential(Term::int(1)))),
             ],
             Ty::refined(
                 BaseType::Data("List".into(), vec![Ty::tvar("a")]),

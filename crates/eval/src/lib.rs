@@ -1,7 +1,7 @@
 //! Benchmark suites and the evaluation harness reproducing the ReSyn paper's
 //! evaluation (Tables 1 and 2).
 //!
-//! The suites define synthesis [`Goal`]s — resource-annotated signatures plus
+//! The suites define synthesis [`Goal`](resyn_synth::Goal)s — resource-annotated signatures plus
 //! component libraries — mirroring the paper's benchmarks. The harness runs
 //! them through the synthesizer in the modes the paper compares (ReSyn,
 //! Synquid, enumerate-and-check, non-incremental CEGIS, constant-resource) and

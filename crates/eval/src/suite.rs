@@ -214,7 +214,8 @@ pub fn table1() -> Vec<Benchmark> {
                     ),
                     (
                         "xs",
-                        list(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).ge(Term::var("n"))),
+                        list(elem(0))
+                            .and_refinement(len(resyn_logic::VALUE_VAR).ge(Term::var("n"))),
                     ),
                 ],
                 Ty::refined(
@@ -242,7 +243,8 @@ pub fn table1() -> Vec<Benchmark> {
                     ),
                     (
                         "xs",
-                        list(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).ge(Term::var("n"))),
+                        list(elem(0))
+                            .and_refinement(len(resyn_logic::VALUE_VAR).ge(Term::var("n"))),
                     ),
                 ],
                 Ty::refined(
@@ -307,10 +309,7 @@ pub fn table2() -> Vec<Benchmark> {
         Goal::new(
             "triple",
             Schema::mono(Ty::fun(
-                vec![(
-                    "l",
-                    Ty::list(Ty::int().with_potential(Term::int(2))),
-                )],
+                vec![("l", Ty::list(Ty::int().with_potential(Term::int(2))))],
                 Ty::refined(
                     BaseType::Data("List".into(), vec![Ty::int()]),
                     len(resyn_logic::VALUE_VAR).eq_(len("l") + len("l") + len("l")),
@@ -329,10 +328,7 @@ pub fn table2() -> Vec<Benchmark> {
         Goal::new(
             "triple'",
             Schema::mono(Ty::fun(
-                vec![(
-                    "l",
-                    Ty::list(Ty::int().with_potential(Term::int(2))),
-                )],
+                vec![("l", Ty::list(Ty::int().with_potential(Term::int(2))))],
                 Ty::refined(
                     BaseType::Data("List".into(), vec![Ty::int()]),
                     len(resyn_logic::VALUE_VAR).eq_(len("l") + len("l") + len("l")),

@@ -182,9 +182,11 @@ impl Expr {
     /// lambda or fix)?
     pub fn is_atom(&self) -> bool {
         match self {
-            Expr::Var(_) | Expr::Bool(_) | Expr::Int(_) | Expr::Lambda(_, _) | Expr::Fix(_, _, _) => {
-                true
-            }
+            Expr::Var(_)
+            | Expr::Bool(_)
+            | Expr::Int(_)
+            | Expr::Lambda(_, _)
+            | Expr::Fix(_, _, _) => true,
             Expr::Ctor(_, args) => args.iter().all(Expr::is_atom),
             _ => false,
         }
@@ -373,10 +375,7 @@ mod tests {
         let body = Expr::ite(
             Expr::var("b"),
             Expr::app(Expr::var("f"), Expr::var("x")),
-            Expr::app(
-                Expr::var("g"),
-                Expr::app(Expr::var("f"), Expr::var("y")),
-            ),
+            Expr::app(Expr::var("g"), Expr::app(Expr::var("f"), Expr::var("y"))),
         );
         assert_eq!(body.count_calls("f"), 2);
         assert_eq!(body.count_calls("g"), 1);
@@ -386,15 +385,16 @@ mod tests {
     #[test]
     fn lets_nests_in_order() {
         let e = Expr::lets(
-            vec![
-                ("a".into(), Expr::int(1)),
-                ("b".into(), Expr::var("a")),
-            ],
+            vec![("a".into(), Expr::int(1)), ("b".into(), Expr::var("a"))],
             Expr::var("b"),
         );
         assert_eq!(
             e,
-            Expr::let_("a", Expr::int(1), Expr::let_("b", Expr::var("a"), Expr::var("b")))
+            Expr::let_(
+                "a",
+                Expr::int(1),
+                Expr::let_("b", Expr::var("a"), Expr::var("b"))
+            )
         );
     }
 }

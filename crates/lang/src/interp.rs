@@ -302,13 +302,16 @@ impl Interp {
                 let env = Env(env).bind(fname, recursive).bind(param, arg);
                 self.eval(&body, &env, state)
             }
-            Val::Native { name, arity, mut args } => {
+            Val::Native {
+                name,
+                arity,
+                mut args,
+            } => {
                 args.push(arg);
                 if args.len() == arity {
-                    let (_, func) = self
-                        .natives
-                        .get(&name)
-                        .ok_or_else(|| RuntimeError::Native(format!("unregistered native `{name}`")))?;
+                    let (_, func) = self.natives.get(&name).ok_or_else(|| {
+                        RuntimeError::Native(format!("unregistered native `{name}`"))
+                    })?;
                     func(&args).map_err(RuntimeError::Native)
                 } else {
                     Ok(Val::Native { name, arity, args })
@@ -326,10 +329,14 @@ mod tests {
     fn interp() -> Interp {
         let mut i = Interp::new();
         i.register_native("plus", 2, |args| {
-            Ok(Val::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap()))
+            Ok(Val::Int(
+                args[0].as_int().unwrap() + args[1].as_int().unwrap(),
+            ))
         });
         i.register_native("leq", 2, |args| {
-            Ok(Val::Bool(args[0].as_int().unwrap() <= args[1].as_int().unwrap()))
+            Ok(Val::Bool(
+                args[0].as_int().unwrap() <= args[1].as_int().unwrap(),
+            ))
         });
         i
     }

@@ -9,10 +9,14 @@ use crate::value::Val;
 fn interp() -> Interp {
     let mut i = Interp::new();
     i.register_native("plus", 2, |args| {
-        Ok(Val::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap()))
+        Ok(Val::Int(
+            args[0].as_int().unwrap() + args[1].as_int().unwrap(),
+        ))
     });
     i.register_native("lt", 2, |args| {
-        Ok(Val::Bool(args[0].as_int().unwrap() < args[1].as_int().unwrap()))
+        Ok(Val::Bool(
+            args[0].as_int().unwrap() < args[1].as_int().unwrap(),
+        ))
     });
     i
 }

@@ -337,10 +337,7 @@ mod tests {
     fn applications_use_model_interpretation() {
         let mut m = model();
         let app = Term::app("len", vec![Term::var("xs")]);
-        assert!(matches!(
-            app.eval(&m),
-            Err(EvalError::UninterpretedApp(_))
-        ));
+        assert!(matches!(app.eval(&m), Err(EvalError::UninterpretedApp(_))));
         m.insert_app(&app, Value::Int(7));
         assert_eq!(app.eval_int(&m).unwrap(), 7);
     }

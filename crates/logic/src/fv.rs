@@ -66,10 +66,7 @@ mod tests {
             .le(Term::var("y") + Term::int(1))
             .and(Term::app("len", vec![Term::var("zs")]).eq_(Term::int(0)));
         let fv = t.free_vars();
-        assert_eq!(
-            fv,
-            ["x", "y", "zs"].iter().map(|s| s.to_string()).collect()
-        );
+        assert_eq!(fv, ["x", "y", "zs"].iter().map(|s| s.to_string()).collect());
     }
 
     #[test]

@@ -147,10 +147,7 @@ mod tests {
             .qualifiers()
             .contains(&Term::value_var().le(Term::var("x"))));
         // Set-sorted variables are not compared.
-        assert!(!qs
-            .qualifiers()
-            .iter()
-            .any(|q| q.free_vars().contains("s")));
+        assert!(!qs.qualifiers().iter().any(|q| q.free_vars().contains("s")));
     }
 
     #[test]

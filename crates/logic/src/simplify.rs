@@ -34,9 +34,7 @@ impl Term {
                 }
                 Term::ite(c, t, e)
             }
-            Term::App(m, args) => {
-                Term::App(m.clone(), args.iter().map(Term::simplify).collect())
-            }
+            Term::App(m, args) => Term::App(m.clone(), args.iter().map(Term::simplify).collect()),
         }
     }
 }
@@ -129,11 +127,7 @@ mod tests {
 
     #[test]
     fn boolean_unit_laws() {
-        let t = Term::Binary(
-            BinOp::And,
-            Box::new(Term::tt()),
-            Box::new(Term::var("p")),
-        );
+        let t = Term::Binary(BinOp::And, Box::new(Term::tt()), Box::new(Term::var("p")));
         assert_eq!(t.simplify(), Term::var("p"));
         let t = Term::Binary(
             BinOp::Implies,

@@ -99,12 +99,18 @@ impl fmt::Display for SortError {
                 term,
                 expected,
                 found,
-            } => write!(f, "sort mismatch for `{term}`: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "sort mismatch for `{term}`: expected {expected}, found {found}"
+            ),
             SortError::Arity {
                 measure,
                 expected,
                 found,
-            } => write!(f, "measure `{measure}` applied to {found} arguments, expects {expected}"),
+            } => write!(
+                f,
+                "measure `{measure}` applied to {found} arguments, expects {expected}"
+            ),
         }
     }
 }
@@ -130,7 +136,8 @@ impl SortingEnv {
         args: Vec<Sort>,
         result: Sort,
     ) -> &mut Self {
-        self.measures.insert(name.into(), MeasureSig { args, result });
+        self.measures
+            .insert(name.into(), MeasureSig { args, result });
         self
     }
 
@@ -166,7 +173,9 @@ impl SortingEnv {
             self.vars.entry(v.clone()).or_insert_with(|| s.clone());
         }
         for (m, sig) in &other.measures {
-            self.measures.entry(m.clone()).or_insert_with(|| sig.clone());
+            self.measures
+                .entry(m.clone())
+                .or_insert_with(|| sig.clone());
         }
         for (u, s) in &other.unknowns {
             self.unknowns.entry(u.clone()).or_insert_with(|| s.clone());
@@ -332,7 +341,8 @@ impl SortingEnv {
         let compatible = found == *expected
             || matches!(
                 (&found, expected),
-                (Sort::Uninterp(_), Sort::Int) | (Sort::Int, Sort::Uninterp(_))
+                (Sort::Uninterp(_), Sort::Int)
+                    | (Sort::Int, Sort::Uninterp(_))
                     | (Sort::Uninterp(_), Sort::Uninterp(_))
             );
         if compatible {

@@ -84,10 +84,7 @@ impl BinOp {
 
     /// Whether the operator is a comparison between two integer terms.
     pub fn is_arith_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt
-        )
+        matches!(self, BinOp::Le | BinOp::Lt | BinOp::Ge | BinOp::Gt)
     }
 }
 

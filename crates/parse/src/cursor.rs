@@ -96,7 +96,10 @@ impl Cursor {
                 self.next();
                 Ok(name)
             }
-            other => Err(self.error(format!("expected an identifier, found {}", other.describe()))),
+            other => Err(self.error(format!(
+                "expected an identifier, found {}",
+                other.describe()
+            ))),
         }
     }
 

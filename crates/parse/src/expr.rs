@@ -234,10 +234,7 @@ mod tests {
     #[test]
     fn list_literals_desugar_to_cons_chains() {
         assert_eq!(parse_expr("[]").unwrap(), Expr::list(vec![]));
-        assert_eq!(
-            parse_expr("[1, 2]").unwrap(),
-            Expr::int_list(&[1, 2])
-        );
+        assert_eq!(parse_expr("[1, 2]").unwrap(), Expr::int_list(&[1, 2]));
     }
 
     #[test]

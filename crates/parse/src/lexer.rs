@@ -314,7 +314,11 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             let digits: String = chars[start..i].iter().collect();
             let value: i64 = digits.parse().map_err(|_| {
-                ParseError::new(tline, tcol, format!("integer literal `{digits}` overflows i64"))
+                ParseError::new(
+                    tline,
+                    tcol,
+                    format!("integer literal `{digits}` overflows i64"),
+                )
             })?;
             out.push(Spanned {
                 tok: Tok::Int(value),

@@ -196,11 +196,11 @@ mod tests {
                 ],
                 Ty::refined(
                     BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
-                    Term::app("elems", vec![Term::value_var()])
-                        .eq_(Term::var("x").singleton().union(Term::app(
-                            "elems",
-                            vec![Term::var("xs")],
-                        ))),
+                    Term::app("elems", vec![Term::value_var()]).eq_(
+                        Term::var("x")
+                            .singleton()
+                            .union(Term::app("elems", vec![Term::var("xs")])),
+                    ),
                 ),
             ),
         );
@@ -209,10 +209,8 @@ mod tests {
 
     #[test]
     fn metric_directives() {
-        let p = parse_problem(
-            "metric all-applications\n goal f :: x: Int -> {Int | _v == x}",
-        )
-        .unwrap();
+        let p =
+            parse_problem("metric all-applications\n goal f :: x: Int -> {Int | _v == x}").unwrap();
         assert_eq!(p.metric, CostMetric::AllApplications);
 
         let p = parse_problem(
@@ -243,7 +241,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_missing_goals_and_junk() {
-        assert!(parse_problem("component f :: Int -> Int\ncomponent f :: Int -> Int\ngoal g :: Int -> Int").is_err());
+        assert!(parse_problem(
+            "component f :: Int -> Int\ncomponent f :: Int -> Int\ngoal g :: Int -> Int"
+        )
+        .is_err());
         assert!(parse_problem("component f :: Int -> Int").is_err());
         assert!(parse_problem("data Foo").is_err());
         assert!(parse_problem("goal g : Int -> Int").is_err());

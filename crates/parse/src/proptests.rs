@@ -45,7 +45,10 @@ fn arb_term() -> impl Strategy<Value = Term> {
             inner.clone().prop_map(|t| t.singleton()),
             (1i64..5, inner.clone()).prop_map(|(k, t)| t.times(k)),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, t, e)| Term::ite(c, t, e)),
-            (var_name(), proptest::collection::vec(var_name().prop_map(Term::var), 1..3))
+            (
+                var_name(),
+                proptest::collection::vec(var_name().prop_map(Term::var), 1..3)
+            )
                 .prop_map(|(m, args)| Term::app(m, args)),
         ]
     })
@@ -61,20 +64,24 @@ fn arb_base() -> impl Strategy<Value = BaseType> {
 }
 
 fn arb_ty() -> impl Strategy<Value = Ty> {
-    let scalar = (arb_base(), arb_term(), prop_oneof![
-        Just(Term::int(0)),
-        Just(Term::int(1)),
-        Just(Term::value_var()),
-        Just(Term::value_var() - Term::var("lo")),
-    ])
-    .prop_map(|(base, refinement, potential)| {
-        let ty = Ty::refined(base, refinement);
-        if potential.is_zero() {
-            ty
-        } else {
-            ty.with_potential(potential)
-        }
-    });
+    let scalar = (
+        arb_base(),
+        arb_term(),
+        prop_oneof![
+            Just(Term::int(0)),
+            Just(Term::int(1)),
+            Just(Term::value_var()),
+            Just(Term::value_var() - Term::var("lo")),
+        ],
+    )
+        .prop_map(|(base, refinement, potential)| {
+            let ty = Ty::refined(base, refinement);
+            if potential.is_zero() {
+                ty
+            } else {
+                ty.with_potential(potential)
+            }
+        });
     let leaf = prop_oneof![
         Just(Ty::int()),
         Just(Ty::bool()),
@@ -85,8 +92,11 @@ fn arb_ty() -> impl Strategy<Value = Ty> {
         prop_oneof![
             inner.clone().prop_map(|t| Ty::data("List", vec![t])),
             inner.clone().prop_map(|t| Ty::data("IList", vec![t])),
-            (var_name(), inner.clone(), inner.clone())
-                .prop_map(|(x, a, b)| Ty::arrow(sanitize(&x), a, b)),
+            (var_name(), inner.clone(), inner.clone()).prop_map(|(x, a, b)| Ty::arrow(
+                sanitize(&x),
+                a,
+                b
+            )),
         ]
     })
 }
@@ -114,13 +124,21 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::cons(a, b)),
             (var_name(), inner.clone()).prop_map(|(x, b)| Expr::lambda(sanitize(&x), b)),
             (inner.clone(), inner.clone()).prop_map(|(f, a)| Expr::app(f, a)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| Expr::ite(c, t, e)),
-            (var_name(), inner.clone(), inner.clone())
-                .prop_map(|(x, b, e)| Expr::let_(sanitize(&x), b, e)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| Expr::ite(c, t, e)),
+            (var_name(), inner.clone(), inner.clone()).prop_map(|(x, b, e)| Expr::let_(
+                sanitize(&x),
+                b,
+                e
+            )),
             (1i64..4, inner.clone()).prop_map(|(c, e)| Expr::tick(c, e)),
-            (inner.clone(), inner.clone(), var_name(), var_name(), inner.clone()).prop_map(
-                |(s, nil_body, h, t, cons_body)| {
+            (
+                inner.clone(),
+                inner.clone(),
+                var_name(),
+                var_name(),
+                inner.clone()
+            )
+                .prop_map(|(s, nil_body, h, t, cons_body)| {
                     let (h, t) = (sanitize(&h), format!("{}t", sanitize(&t)));
                     Expr::match_(
                         s,
@@ -137,8 +155,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                             },
                         ],
                     )
-                }
-            ),
+                }),
         ]
     })
 }

@@ -113,7 +113,11 @@ pub fn ty_to_surface(ty: &Ty) -> String {
                 // datatype applications need parentheses so the annotation
                 // attaches to the whole type rather than the last argument.
                 let needs_parens = !core.starts_with('{') && core.contains(' ');
-                let core = if needs_parens { format!("({core})") } else { core };
+                let core = if needs_parens {
+                    format!("({core})")
+                } else {
+                    core
+                };
                 format!("{core}^({})", term_to_surface(potential))
             }
         }
@@ -162,7 +166,11 @@ pub fn schema_to_surface(schema: &Schema) -> String {
     if schema.tyvars.is_empty() {
         ty_to_surface(&schema.ty)
     } else {
-        format!("forall {}. {}", schema.tyvars.join(" "), ty_to_surface(&schema.ty))
+        format!(
+            "forall {}. {}",
+            schema.tyvars.join(" "),
+            ty_to_surface(&schema.ty)
+        )
     }
 }
 
@@ -317,7 +325,10 @@ mod tests {
             let printed = expr_to_surface(&parsed);
             let reparsed = parse_expr(&printed)
                 .unwrap_or_else(|e| panic!("`{printed}` failed to reparse: {e}"));
-            assert_eq!(parsed, reparsed, "program `{s}` changed through print/parse");
+            assert_eq!(
+                parsed, reparsed,
+                "program `{s}` changed through print/parse"
+            );
         }
     }
 

@@ -137,9 +137,8 @@ fn parse_addsub(cur: &mut Cursor) -> Result<Term, ParseError> {
 fn parse_mul(cur: &mut Cursor) -> Result<Term, ParseError> {
     let mut lhs = parse_unary_minus(cur)?;
     while cur.at(&Tok::Star) {
-        let err = cur.error(
-            "multiplication requires an integer-literal operand (linear arithmetic only)",
-        );
+        let err = cur
+            .error("multiplication requires an integer-literal operand (linear arithmetic only)");
         cur.next();
         let rhs = parse_unary_minus(cur)?;
         lhs = match (&lhs, &rhs) {
@@ -296,18 +295,18 @@ mod tests {
     #[test]
     fn set_literals_and_operators() {
         assert_eq!(parse_term("{}").unwrap(), Term::EmptySet);
-        assert_eq!(
-            parse_term("{x}").unwrap(),
-            Term::var("x").singleton()
-        );
+        assert_eq!(parse_term("{x}").unwrap(), Term::var("x").singleton());
         assert_eq!(
             parse_term("{1, 3, 2}").unwrap(),
             Term::SetLit([1, 2, 3].into_iter().collect())
         );
         assert_eq!(
             parse_term("elems _v == {x} union elems xs").unwrap(),
-            Term::app("elems", vec![Term::value_var()])
-                .eq_(Term::var("x").singleton().union(Term::app("elems", vec![Term::var("xs")])))
+            Term::app("elems", vec![Term::value_var()]).eq_(
+                Term::var("x")
+                    .singleton()
+                    .union(Term::app("elems", vec![Term::var("xs")]))
+            )
         );
         assert_eq!(
             parse_term("x in elems l && s subset t").unwrap(),
@@ -315,7 +314,10 @@ mod tests {
                 .member(Term::app("elems", vec![Term::var("l")]))
                 .and(Term::var("s").subset(Term::var("t")))
         );
-        assert!(parse_term("{x, y}").is_err(), "non-constant multi-element set");
+        assert!(
+            parse_term("{x, y}").is_err(),
+            "non-constant multi-element set"
+        );
     }
 
     #[test]

@@ -1,0 +1,442 @@
+//! A tiny, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this repository has no access to a cargo
+//! registry, so the real `proptest` cannot be fetched. This crate implements
+//! the (small) API subset the workspace's four `proptests.rs` modules use, so
+//! the property tests still *run* — with random generation but without
+//! shrinking:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with
+//!   [`prop_map`](strategy::Strategy::prop_map) and
+//!   [`prop_recursive`](strategy::Strategy::prop_recursive),
+//! * [`BoxedStrategy`](strategy::BoxedStrategy) (cloneable, for recursive
+//!   strategies),
+//! * strategies for integer/`usize` ranges, [`Just`](strategy::Just), tuples
+//!   up to arity 6,
+//! * [`collection::vec`] and [`collection::btree_set`],
+//! * the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros, and [`test_runner::ProptestConfig`].
+//!
+//! Semantics deliberately differ from upstream in two ways: failures panic
+//! immediately (no shrinking, no case replay file), and generation is seeded
+//! deterministically from the test's module path and name so runs are
+//! reproducible. Set `PROPTEST_SEED=<u64>` to perturb the seed.
+//!
+//! To switch back to the upstream crate when a registry is reachable, replace
+//! the `proptest` entry in the root `Cargo.toml`'s `[workspace.dependencies]`
+//! with `proptest = "1"`.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod test_runner {
+    //! The test runner: a deterministic RNG and the configuration type.
+
+    /// Configuration accepted by the [`proptest!`](crate::proptest) macro's
+    /// `#![proptest_config(..)]` attribute. Only `cases` is supported.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A small deterministic RNG (SplitMix64) seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seed the RNG from a test identifier (FNV-1a over the name), plus
+        /// an optional `PROPTEST_SEED` environment perturbation.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            if let Some(extra) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                h = h.wrapping_add(extra);
+            }
+            TestRng(h | 1)
+        }
+
+        /// Seed the RNG from a raw 64-bit seed (for callers outside the
+        /// [`proptest!`](crate::proptest) macro that want a fixed sequence).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(seed | 1)
+        }
+
+        /// The next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, n)`. Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "TestRng::below(0)");
+            self.next_u64() % n
+        }
+
+        /// A uniform `i64` in `[lo, hi)`. Panics if the range is empty.
+        pub fn int_in(&mut self, lo: i64, hi: i64) -> i64 {
+            assert!(lo < hi, "empty range {lo}..{hi}");
+            lo.wrapping_add(self.below(hi.wrapping_sub(lo) as u64) as i64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and their combinators.
+
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of type [`Strategy::Value`].
+    ///
+    /// Unlike upstream proptest there is no shrinking: a strategy is just a
+    /// sampling function.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+        }
+
+        /// Build a recursive strategy: `self` generates the leaves and `f`
+        /// wraps an inner strategy into one more layer of structure, up to
+        /// `depth` layers. The `_desired_size` and `_expected_branch` hints
+        /// of upstream proptest are accepted but ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let recursive = f(current).boxed();
+                let leaf = leaf.clone();
+                // At each layer, fall back to a leaf one time in four so the
+                // generated structures vary in depth.
+                current = BoxedStrategy::from_fn(move |rng| {
+                    if rng.below(4) == 0 {
+                        leaf.sample(rng)
+                    } else {
+                        recursive.sample(rng)
+                    }
+                });
+            }
+            current
+        }
+    }
+
+    /// A cloneable, type-erased [`Strategy`].
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> BoxedStrategy<T> {
+        /// Wrap a sampling function.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+            BoxedStrategy(Rc::new(f))
+        }
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Choose uniformly among the given strategies. Backs [`prop_oneof!`](crate::prop_oneof).
+    pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        BoxedStrategy::from_fn(move |rng| {
+            let index = rng.below(options.len() as u64) as usize;
+            options[index].sample(rng)
+        })
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.int_in(self.start as i64, self.end as i64) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.sample(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+
+    /// A `Vec` whose length is drawn from `size` and whose elements are drawn
+    /// from `element`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let n = rng.int_in(size.start as i64, size.end as i64) as usize;
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+
+    /// A `BTreeSet` with a number of elements drawn from `size` (best-effort:
+    /// if the element domain is too small to reach the drawn size, the set is
+    /// returned smaller).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BoxedStrategy<BTreeSet<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: Ord + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let n = rng.int_in(size.start as i64, size.end as i64) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < n && attempts < 16 * (n + 1) {
+                set.insert(element.sample(rng));
+                attempts += 1;
+            }
+            set
+        })
+    }
+}
+
+pub mod prelude {
+    //! The usual `use proptest::prelude::*;` import surface.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Run each enclosed `#[test]` function over many randomly generated inputs.
+///
+/// Supports the same surface as upstream proptest for the cases used in this
+/// workspace: an optional `#![proptest_config(..)]` header and functions of
+/// the form `fn name(pat in strategy, ...) { body }`. Failures panic with the
+/// offending assertion; there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($s,)+);
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _ in 0..config.cases {
+                    let ($($p,)+) = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Choose uniformly among several strategies producing the same value type.
+/// The weighted `weight => strategy` form of upstream proptest is not
+/// supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Assert a condition inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::deterministic("tests::x");
+        let mut b = TestRng::deterministic("tests::x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("tests::ranges");
+        for _ in 0..1000 {
+            let v = (-7i64..9).sample(&mut rng);
+            assert!((-7..9).contains(&v));
+            let u = (0usize..4).sample(&mut rng);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn collections_respect_requested_sizes() {
+        let mut rng = TestRng::deterministic("tests::collections");
+        for _ in 0..200 {
+            let xs = crate::collection::vec(0i64..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            let set = crate::collection::btree_set(0i64..100, 3..4).sample(&mut rng);
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0i64..10).prop_map(|n| n.to_string());
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+        });
+        let mut rng = TestRng::deterministic("tests::recursive");
+        for _ in 0..200 {
+            let s = strat.sample(&mut rng);
+            assert!(s.matches('(').count() <= 2usize.pow(3));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_runs_and_binds_patterns(mut x in 0i64..5, (y, z) in (0i64..5, 0i64..5)) {
+            x += 1;
+            prop_assert!(x >= 1 && y < 5);
+            prop_assert_eq!(z - z, 0, "z was {}", z);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_also_parses(v in prop_oneof![Just(1i64), 2i64..4]) {
+            prop_assert!((1..4).contains(&v));
+        }
+    }
+}

@@ -274,9 +274,7 @@ impl IncrementalCegis {
         // small (the paper's solutions are small integers).
         for coeff in &self.coefficients {
             clauses.push(Term::var(coeff.clone()).le(Term::int(self.solver.coefficient_bound)));
-            clauses.push(
-                Term::var(coeff.clone()).ge(Term::int(-self.solver.coefficient_bound)),
-            );
+            clauses.push(Term::var(coeff.clone()).ge(Term::int(-self.solver.coefficient_bound)));
         }
         match solver.check_sat(&clauses) {
             SatResult::Sat(model) => {
@@ -328,7 +326,12 @@ impl IncrementalCegis {
         let templated = self.apply_templates(&c.potential);
         let grounded = self.ground_term(&templated, example)?;
         if c.exact {
-            Some(grounded.clone().ge(Term::int(0)).and(grounded.le(Term::int(0))))
+            Some(
+                grounded
+                    .clone()
+                    .ge(Term::int(0))
+                    .and(grounded.le(Term::int(0))),
+            )
         } else {
             Some(grounded.ge(Term::int(0)))
         }
@@ -410,11 +413,7 @@ fn expand_products(t: &Term) -> Term {
         ),
         Term::Unary(op, x) => Term::Unary(*op, Box::new(expand_products(x))),
         Term::Mul(k, x) => expand_products(x).times(*k),
-        Term::Ite(c, a, b) => Term::ite(
-            expand_products(c),
-            expand_products(a),
-            expand_products(b),
-        ),
+        Term::Ite(c, a, b) => Term::ite(expand_products(c), expand_products(a), expand_products(b)),
         Term::Singleton(x) => Term::Singleton(Box::new(expand_products(x))),
         _ => t.clone(),
     }
@@ -431,7 +430,10 @@ fn ground(t: &Term, example: &Example) -> Term {
             None => t.clone(),
         },
         Term::App(name, args) if name != PROD => {
-            let rebuilt = Term::App(name.clone(), args.iter().map(|a| ground(a, example)).collect());
+            let rebuilt = Term::App(
+                name.clone(),
+                args.iter().map(|a| ground(a, example)).collect(),
+            );
             // Measure applications take their value from the example model.
             let original = Term::App(name.clone(), args.clone());
             if let Ok(v) = original.eval(example) {

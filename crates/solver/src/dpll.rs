@@ -140,10 +140,9 @@ fn search<T: Theory>(
 pub fn is_atom(t: &Term) -> bool {
     match t {
         Term::Var(_) | Term::App(_, _) | Term::Unknown(_, _) => true,
-        Term::Binary(op, _, _) => !matches!(
-            op,
-            BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff
-        ),
+        Term::Binary(op, _, _) => {
+            !matches!(op, BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff)
+        }
         _ => false,
     }
 }
@@ -158,7 +157,9 @@ pub fn find_atom(t: &Term) -> Option<Term> {
         Term::Binary(BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff, a, b) => {
             find_atom(a).or_else(|| find_atom(b))
         }
-        Term::Ite(c, a, b) => find_atom(c).or_else(|| find_atom(a)).or_else(|| find_atom(b)),
+        Term::Ite(c, a, b) => find_atom(c)
+            .or_else(|| find_atom(a))
+            .or_else(|| find_atom(b)),
         _ => None,
     }
 }
@@ -244,7 +245,10 @@ mod tests {
             other => panic!("expected sat, got {other:?}"),
         }
         let unsat = p.clone().and(p.clone().not());
-        assert!(matches!(solve(&unsat, &TrivialTheory, &cfg), DpllResult::Unsat));
+        assert!(matches!(
+            solve(&unsat, &TrivialTheory, &cfg),
+            DpllResult::Unsat
+        ));
     }
 
     #[test]

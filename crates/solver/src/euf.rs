@@ -231,21 +231,22 @@ mod tests {
         // relevant and produces an axiom (the elems app has no partner).
         let f = Term::var("xs")
             .eq_(Term::var("ys"))
-            .and(Term::app("len", vec![Term::var("xs")]).le(Term::app("len", vec![Term::var("ys")])))
+            .and(
+                Term::app("len", vec![Term::var("xs")]).le(Term::app("len", vec![Term::var("ys")])),
+            )
             .and(Term::app("elems", vec![Term::var("xs")]).eq_(Term::EmptySet));
         let axioms = congruence_axioms(&f, &env());
         assert_eq!(axioms.len(), 1);
-        let expected = Term::var("xs")
-            .eq_(Term::var("ys"))
-            .implies(Term::app("len", vec![Term::var("xs")]).eq_(Term::app("len", vec![Term::var("ys")])));
+        let expected = Term::var("xs").eq_(Term::var("ys")).implies(
+            Term::app("len", vec![Term::var("xs")]).eq_(Term::app("len", vec![Term::var("ys")])),
+        );
         assert_eq!(axioms[0], expected);
     }
 
     #[test]
     fn irrelevant_pairs_are_not_instantiated() {
         // Without any equality connecting xs and ys, no axiom is produced.
-        let f = Term::app("len", vec![Term::var("xs")])
-            .le(Term::app("len", vec![Term::var("ys")]));
+        let f = Term::app("len", vec![Term::var("xs")]).le(Term::app("len", vec![Term::var("ys")]));
         assert!(congruence_axioms(&f, &env()).is_empty());
     }
 

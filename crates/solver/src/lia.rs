@@ -112,11 +112,7 @@ impl LiaSolver {
             vars.extend(c.expr.vars().cloned());
         }
         let mut order: Vec<String> = vars.into_iter().collect();
-        order.sort_by_key(|v| {
-            work.iter()
-                .filter(|c| !c.expr.coeff(v).is_zero())
-                .count()
-        });
+        order.sort_by_key(|v| work.iter().filter(|c| !c.expr.coeff(v).is_zero()).count());
 
         // Eliminate variables, remembering the constraints "live" at each step
         // for model reconstruction.
@@ -139,7 +135,7 @@ impl LiaSolver {
                 for up in &uppers {
                     let a = lo.expr.coeff(var); // > 0
                     let b = up.expr.coeff(var); // < 0
-                    // (-b)·lo + a·up eliminates `var`.
+                                                // (-b)·lo + a·up eliminates `var`.
                     let combined = lo.expr.scale(-b).add(&up.expr.scale(a));
                     let strict = lo.strict || up.strict;
                     if combined.is_constant() {

@@ -116,7 +116,11 @@ impl LinExpr {
             return LinExpr::zero();
         }
         LinExpr {
-            coeffs: self.coeffs.iter().map(|(v, c)| (v.clone(), *c * k)).collect(),
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(v, c)| (v.clone(), *c * k))
+                .collect(),
             constant: self.constant * k,
         }
     }

@@ -313,7 +313,9 @@ impl<'a> Eliminator<'a> {
     /// (`w ∈ a ∧ w ∉ b` for subset; symmetric difference for equality).
     fn witness_not_subset(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {
         let w = Term::var(self.next_witness());
-        Ok(self.expand_member(&w, a)?.and(self.expand_member(&w, b)?.not()))
+        Ok(self
+            .expand_member(&w, a)?
+            .and(self.expand_member(&w, b)?.not()))
     }
 
     fn witness_not_equal(&mut self, a: &Term, b: &Term) -> Result<Term, SetError> {

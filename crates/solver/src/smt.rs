@@ -94,9 +94,7 @@ impl Solver {
             return SatResult::Unsat;
         }
         if formula.has_unknowns() {
-            return SatResult::Unknown(
-                "formula contains unsolved unknown predicates".to_string(),
-            );
+            return SatResult::Unknown("formula contains unsolved unknown predicates".to_string());
         }
 
         // 1. Congruence axioms for measure applications.
@@ -163,7 +161,10 @@ impl Solver {
     /// Convenience wrapper: `true` iff the implication is provably valid.
     /// Unknown results are treated as "not valid" (sound for type checking).
     pub fn is_valid(&self, premises: &[Term], conclusion: &Term) -> bool {
-        matches!(self.check_valid(premises, conclusion), ValidityResult::Valid)
+        matches!(
+            self.check_valid(premises, conclusion),
+            ValidityResult::Valid
+        )
     }
 
     /// Convenience wrapper: `true` iff the conjunction is satisfiable.
@@ -308,9 +309,7 @@ impl<'a> Theory for ArithTheory<'a> {
                         ));
                     }
                 }
-                other => {
-                    return TheoryResult::Unknown(format!("unsupported theory atom: {other}"))
-                }
+                other => return TheoryResult::Unknown(format!("unsupported theory atom: {other}")),
             }
         }
         // Every variable occurring in an arithmetic constraint is integer-sorted.
@@ -370,9 +369,7 @@ fn alias_apps(
             aliases.insert(key, (rebuilt, alias.clone(), sort));
             Term::var(alias)
         }
-        Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_) => {
-            t.clone()
-        }
+        Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_) => t.clone(),
         Term::Singleton(x) => Term::Singleton(Box::new(alias_apps(x, orig_env, env, aliases))),
         Term::Unary(op, x) => Term::Unary(*op, Box::new(alias_apps(x, orig_env, env, aliases))),
         Term::Mul(k, x) => Term::Mul(*k, Box::new(alias_apps(x, orig_env, env, aliases))),
@@ -463,12 +460,7 @@ fn lift_ites(t: &Term) -> Term {
                 Some((cond, then_t, else_t)) => {
                     let then_atom = replace_first_ite(t, &then_t);
                     let else_atom = replace_first_ite(t, &else_t);
-                    lift_ites(
-                        &cond
-                            .clone()
-                            .and(then_atom)
-                            .or(cond.not().and(else_atom)),
-                    )
+                    lift_ites(&cond.clone().and(then_atom).or(cond.not().and(else_atom)))
                 }
             }
         }
@@ -481,7 +473,11 @@ fn lift_ites(t: &Term) -> Term {
 fn find_scalar_ite(t: &Term) -> Option<(Term, Term, Term)> {
     match t {
         Term::Ite(c, a, b) => Some(((**c).clone(), (**a).clone(), (**b).clone())),
-        Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_)
+        Term::Var(_)
+        | Term::Bool(_)
+        | Term::Int(_)
+        | Term::EmptySet
+        | Term::SetLit(_)
         | Term::Unknown(_, _) => None,
         Term::Singleton(x) | Term::Unary(_, x) | Term::Mul(_, x) => find_scalar_ite(x),
         Term::Binary(_, a, b) => find_scalar_ite(a).or_else(|| find_scalar_ite(b)),
@@ -501,7 +497,11 @@ fn replace_first_ite(t: &Term, replacement: &Term) -> Term {
                 *done = true;
                 replacement.clone()
             }
-            Term::Var(_) | Term::Bool(_) | Term::Int(_) | Term::EmptySet | Term::SetLit(_)
+            Term::Var(_)
+            | Term::Bool(_)
+            | Term::Int(_)
+            | Term::EmptySet
+            | Term::SetLit(_)
             | Term::Unknown(_, _) => t.clone(),
             Term::Singleton(x) => Term::Singleton(Box::new(go(x, replacement, done))),
             Term::Unary(op, x) => Term::Unary(*op, Box::new(go(x, replacement, done))),
@@ -585,13 +585,13 @@ mod tests {
         // xs = ys ∧ len xs ≠ len ys is unsat thanks to congruence.
         let f = [
             Term::var("xs").eq_(Term::var("ys")),
-            Term::app("len", vec![Term::var("xs")])
-                .neq(Term::app("len", vec![Term::var("ys")])),
+            Term::app("len", vec![Term::var("xs")]).neq(Term::app("len", vec![Term::var("ys")])),
         ];
         assert!(matches!(solver.check_sat(&f), SatResult::Unsat));
         // Without the equality of arguments it is satisfiable.
-        let f = [Term::app("len", vec![Term::var("xs")])
-            .neq(Term::app("len", vec![Term::var("ys")]))];
+        let f = [
+            Term::app("len", vec![Term::var("xs")]).neq(Term::app("len", vec![Term::var("ys")]))
+        ];
         assert!(matches!(solver.check_sat(&f), SatResult::Sat(_)));
     }
 
@@ -663,7 +663,9 @@ mod tests {
         assert!(solver.is_valid(
             &[
                 Term::var("p").implies(Term::var("x").ge(Term::int(1))),
-                Term::var("p").not().implies(Term::var("x").ge(Term::int(2))),
+                Term::var("p")
+                    .not()
+                    .implies(Term::var("x").ge(Term::int(2))),
             ],
             &Term::var("x").ge(Term::int(1))
         ));
@@ -676,7 +678,9 @@ mod tests {
     #[test]
     fn models_respect_premises() {
         let solver = Solver::new(int_env(&["n"]));
-        let premise = Term::var("n").ge(Term::int(3)).and(Term::var("n").lt(Term::int(7)));
+        let premise = Term::var("n")
+            .ge(Term::int(3))
+            .and(Term::var("n").lt(Term::int(7)));
         match solver.check_sat(&[premise.clone()]) {
             SatResult::Sat(m) => {
                 assert!(premise.eval_bool(&m).unwrap());

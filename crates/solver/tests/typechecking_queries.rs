@@ -51,15 +51,13 @@ fn conditional_measure_axioms_are_handled() {
     // The SCons arm of a match emits axioms with conditional right-hand sides:
     // numgt(v, l) = ite(x > v, 1, 0) + numgt(v, xs).
     let mut e = env();
-    e.bind_var("xs", Sort::Int).bind_var("y", Sort::uninterp("a"));
+    e.bind_var("xs", Sort::Int)
+        .bind_var("y", Sort::uninterp("a"));
     let solver = Solver::new(e);
     let axiom = |v: &str| {
         Term::app("numgt", vec![Term::var(v), Term::var("l1")]).eq_(
-            Term::ite(
-                Term::var("x").gt(Term::var(v)),
-                Term::int(1),
-                Term::int(0),
-            ) + Term::app("numgt", vec![Term::var(v), Term::var("xs")]),
+            Term::ite(Term::var("x").gt(Term::var(v)), Term::int(1), Term::int(0))
+                + Term::app("numgt", vec![Term::var(v), Term::var("xs")]),
         )
     };
     let premises = vec![

@@ -198,7 +198,9 @@ pub fn eterms(
     //      (needed for replicate, range, take, drop, …).
     let unary_int: Vec<Callable> = callables(goal)
         .into_iter()
-        .filter(|c| c.params.len() == 1 && matches!(c.params[0], Shape::Int) && matches!(c.ret, Shape::Int))
+        .filter(|c| {
+            c.params.len() == 1 && matches!(c.params[0], Shape::Int) && matches!(c.ret, Shape::Int)
+        })
         .collect();
     if !unary_int.is_empty() {
         let rec: Vec<Callable> = callables(goal)
@@ -278,7 +280,9 @@ pub fn eterms(
         .iter()
         .filter(|c| c.ret.fits(ret) && !c.params.is_empty())
     {
-        let Some(last_shape) = outer.params.last() else { continue };
+        let Some(last_shape) = outer.params.last() else {
+            continue;
+        };
         for inner in &calls {
             // Extend the scope with the inner result bound to `_t`.
             let mut ext = scope.to_vec();
@@ -296,11 +300,7 @@ pub fn eterms(
                 partials = next;
             }
             for f in partials {
-                let e = Expr::let_(
-                    "_t",
-                    inner.clone(),
-                    Expr::app(f.clone(), Expr::var("_t")),
-                );
+                let e = Expr::let_("_t", inner.clone(), Expr::app(f.clone(), Expr::var("_t")));
                 push(e, &mut out);
             }
         }
@@ -316,10 +316,7 @@ pub fn eterms(
     {
         for inner in &calls {
             let suffix_params = &outer.params[1..];
-            let mut partials = vec![Expr::app(
-                Expr::var(outer.name.clone()),
-                Expr::var("_t"),
-            )];
+            let mut partials = vec![Expr::app(Expr::var(outer.name.clone()), Expr::var("_t"))];
             for p in suffix_params {
                 let opts = atoms(scope, p);
                 let mut next = Vec::new();
@@ -342,12 +339,10 @@ pub fn eterms(
 
 /// Constructor applications of a datatype to scope atoms (including nested
 /// two-level constructions such as `ICons x (ICons h t)`).
-fn ctor_applications(
-    datatypes: &Datatypes,
-    dname: &str,
-    scope: &[(String, Shape)],
-) -> Vec<Expr> {
-    let Some(decl) = datatypes.get(dname) else { return Vec::new() };
+fn ctor_applications(datatypes: &Datatypes, dname: &str, scope: &[(String, Shape)]) -> Vec<Expr> {
+    let Some(decl) = datatypes.get(dname) else {
+        return Vec::new();
+    };
     let mut out = Vec::new();
     let mut simple = Vec::new();
     for ctor in &decl.ctors {
@@ -464,9 +459,17 @@ mod tests {
             ("h".to_string(), Shape::Elem),
         ];
         let gs = guards(&goal, &scope);
-        assert!(gs.contains(&Expr::app2(Expr::var("leq"), Expr::var("x"), Expr::var("h"))));
+        assert!(gs.contains(&Expr::app2(
+            Expr::var("leq"),
+            Expr::var("x"),
+            Expr::var("h")
+        )));
         // No self-comparisons.
-        assert!(!gs.contains(&Expr::app2(Expr::var("leq"), Expr::var("x"), Expr::var("x"))));
+        assert!(!gs.contains(&Expr::app2(
+            Expr::var("leq"),
+            Expr::var("x"),
+            Expr::var("x")
+        )));
     }
 
     #[test]
@@ -506,8 +509,14 @@ mod tests {
             inner,
             Expr::app2(Expr::var("append"), Expr::var("_t"), Expr::var("l")),
         );
-        assert!(es.contains(&right_assoc), "missing inner-call-last composition");
-        assert!(es.contains(&left_assoc), "missing inner-call-first composition");
+        assert!(
+            es.contains(&right_assoc),
+            "missing inner-call-last composition"
+        );
+        assert!(
+            es.contains(&left_assoc),
+            "missing inner-call-first composition"
+        );
     }
 
     #[test]

@@ -22,11 +22,7 @@ pub struct Goal {
 
 impl Goal {
     /// Create a goal with the default (recursive-calls) metric.
-    pub fn new(
-        name: impl Into<String>,
-        schema: Schema,
-        components: Vec<(&str, Schema)>,
-    ) -> Goal {
+    pub fn new(name: impl Into<String>, schema: Schema, components: Vec<(&str, Schema)>) -> Goal {
         Goal {
             name: name.into(),
             schema,

@@ -94,7 +94,9 @@ fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
         Expr::Var(_) | Expr::Bool(_) | Expr::Int(_) | Expr::Impossible => e.clone(),
         Expr::Ctor(n, args) => Expr::Ctor(
             n.clone(),
-            args.iter().map(|a| subst_var(a, var, replacement)).collect(),
+            args.iter()
+                .map(|a| subst_var(a, var, replacement))
+                .collect(),
         ),
         Expr::Lambda(x, b) => Expr::Lambda(x.clone(), Box::new(subst_var(b, var, replacement))),
         Expr::Fix(f, x, b) => Expr::Fix(
@@ -177,11 +179,7 @@ fn match_on(
 /// Wrap a hole-producing leaf with `guards` nested conditionals. Each guard is
 /// a pre-built boolean expression (an application of a boolean component); the
 /// leaves on both sides are fresh holes.
-fn guard_split(
-    builder: &mut Builder,
-    binders: &[(String, Shape)],
-    guards: &[Expr],
-) -> Expr {
+fn guard_split(builder: &mut Builder, binders: &[(String, Shape)], guards: &[Expr]) -> Expr {
     match guards {
         [] => builder.hole(binders.to_vec()),
         [g, rest @ ..] => {
@@ -251,9 +249,9 @@ pub fn generate(
             // depth 0: plain match; depth 1/2: enumerate guard combinations.
             if depth == 0 {
                 let mut b = Builder { holes: Vec::new() };
-                if let Some(body) = match_on(&mut b, datatypes, p, d, 1, |b, binders| {
-                    b.hole(binders)
-                }) {
+                if let Some(body) =
+                    match_on(&mut b, datatypes, p, d, 1, |b, binders| b.hole(binders))
+                {
                     out.push(Skeleton {
                         body,
                         holes: b.holes,
@@ -378,19 +376,23 @@ fn match_on_inner(
 }
 
 /// The binders of the (first) recursive constructor arm of a datatype, using
-/// the same naming convention as [`match_on`].
+/// the same naming convention as `match_on`.
 pub fn recursive_arm_binders(
     datatypes: &Datatypes,
     dname: &str,
     suffix: usize,
 ) -> Vec<(String, Shape)> {
-    let Some(decl) = datatypes.get(dname) else { return Vec::new() };
+    let Some(decl) = datatypes.get(dname) else {
+        return Vec::new();
+    };
     let recursive = decl
         .ctors
         .iter()
         .find(|c| !c.args.is_empty())
         .or(decl.ctors.first());
-    let Some(ctor) = recursive else { return Vec::new() };
+    let Some(ctor) = recursive else {
+        return Vec::new();
+    };
     ctor.args
         .iter()
         .enumerate()

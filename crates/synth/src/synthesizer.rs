@@ -285,7 +285,6 @@ impl Synthesizer {
             }
         }
     }
-
 }
 
 /// Assemble the skeleton body with the first `filled` holes replaced by their

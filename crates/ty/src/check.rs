@@ -88,7 +88,10 @@ impl std::fmt::Display for CheckError {
                 write!(f, "refinement check failed at {origin}: {goal}")
             }
             CheckError::Resource { origin, ledger } => {
-                write!(f, "resource bound violated at {origin}: {ledger} may be negative")
+                write!(
+                    f,
+                    "resource bound violated at {origin}: {ledger} may be negative"
+                )
             }
             CheckError::Shape(m) => write!(f, "type shape error: {m}"),
             CheckError::Unbound(x) => write!(f, "unbound variable or component `{x}`"),
@@ -215,8 +218,13 @@ impl Checker {
             goal_params: Vec::new(),
             measure_instances: BTreeMap::new(),
         };
-        st.components
-            .insert(name.to_string(), Schema { tyvars: schema.tyvars.clone(), ty: goal_ty.clone() });
+        st.components.insert(
+            name.to_string(),
+            Schema {
+                tyvars: schema.tyvars.clone(),
+                ty: goal_ty.clone(),
+            },
+        );
 
         let mut ctx = Ctx::new();
         for a in &schema.tyvars {
@@ -230,7 +238,10 @@ impl Checker {
             st.recursive.push(f.clone());
             st.components.insert(
                 f.clone(),
-                Schema { tyvars: schema.tyvars.clone(), ty: goal_ty.clone() },
+                Schema {
+                    tyvars: schema.tyvars.clone(),
+                    ty: goal_ty.clone(),
+                },
             );
         }
         let mut remaining_params: Vec<(String, Ty, i64)> = params;
@@ -306,9 +317,7 @@ impl Checker {
             if let Some(BaseType::Data(_, _)) = ty.base_type() {
                 if let Some(base) = ty.base_type() {
                     if let Some(measure) = base.primary_measure(&self.datatypes) {
-                        ctx.assume(
-                            Term::app(measure, vec![Term::var(name)]).ge(Term::int(0)),
-                        );
+                        ctx.assume(Term::app(measure, vec![Term::var(name)]).ge(Term::int(0)));
                     }
                 }
             }
@@ -340,7 +349,11 @@ impl Checker {
             origin: origin.to_string(),
             env: ctx.sorting_env(&self.datatypes),
         };
-        let mentions_products = !constraint.potential.measure_apps().iter().all(|(n, _)| n != crate::constraints::PROD)
+        let mentions_products = !constraint
+            .potential
+            .measure_apps()
+            .iter()
+            .all(|(n, _)| n != crate::constraints::PROD)
             || constraint.has_unknowns();
         if mentions_products {
             st.outcome.constraints.push(constraint);
@@ -463,7 +476,9 @@ impl Checker {
                 for arm in arms {
                     let ctor = decl
                         .ctor(&arm.ctor)
-                        .ok_or_else(|| CheckError::Shape(format!("unknown constructor {}", arm.ctor)))?
+                        .ok_or_else(|| {
+                            CheckError::Shape(format!("unknown constructor {}", arm.ctor))
+                        })?
                         .clone();
                     if ctor.args.len() != arm.binders.len() {
                         return Err(CheckError::Shape(format!(
@@ -655,9 +670,7 @@ impl Checker {
                 let elem = args.first().cloned().unwrap_or_else(|| Ty::tvar("a"));
                 Ok((decl, elem))
             }
-            _ => Err(CheckError::Shape(format!(
-                "expected a datatype, got {ty}"
-            ))),
+            _ => Err(CheckError::Shape(format!("expected a datatype, got {ty}"))),
         }
     }
 
@@ -707,7 +720,9 @@ impl Checker {
     ) -> Vec<Term> {
         let mut axioms = Vec::new();
         for m in &decl.measures {
-            let Some(case) = m.cases.get(&ctor.name) else { continue };
+            let Some(case) = m.cases.get(&ctor.name) else {
+                continue;
+            };
             if m.params.is_empty() {
                 let rhs = case.subst_all(binder_map);
                 axioms.push(Term::app(m.name.clone(), vec![subject.clone()]).eq_(rhs));
@@ -715,7 +730,9 @@ impl Checker {
                 // Parameterized measures (numgt, numlt, …): instantiate the
                 // parameters only for the instances the specification mentions,
                 // keeping validity queries small.
-                let Some(instances) = st.measure_instances.get(&m.name) else { continue };
+                let Some(instances) = st.measure_instances.get(&m.name) else {
+                    continue;
+                };
                 for candidate in instances {
                     let mut map = binder_map.clone();
                     for (p, _) in &m.params {
@@ -783,8 +800,9 @@ impl Checker {
             // it, so only the refinements of the required type matter here.
             let required = required.strip_potential();
             let actual = self.type_of_interp(ctx, &interps[i]);
-            let obligations = subtype::subtype(&actual, &required, &interps[i], ctx, &self.datatypes)
-                .map_err(|e| self.shape_err(e))?;
+            let obligations =
+                subtype::subtype(&actual, &required, &interps[i], ctx, &self.datatypes)
+                    .map_err(|e| self.shape_err(e))?;
             for (premise, goal) in obligations.implications {
                 self.require_valid(ctx, st, premise, goal, &format!("argument of {name}"))?;
             }
@@ -837,10 +855,9 @@ impl Checker {
     /// declared type, for literals a singleton type.
     fn type_of_interp(&self, ctx: &Ctx, interp: &Term) -> Ty {
         match interp {
-            Term::Var(x) => ctx
-                .lookup(x)
-                .cloned()
-                .unwrap_or_else(|| Ty::refined(BaseType::Int, Term::value_var().eq_(interp.clone()))),
+            Term::Var(x) => ctx.lookup(x).cloned().unwrap_or_else(|| {
+                Ty::refined(BaseType::Int, Term::value_var().eq_(interp.clone()))
+            }),
             Term::Int(_) => Ty::refined(BaseType::Int, Term::value_var().eq_(interp.clone())),
             Term::Bool(_) => Ty::refined(BaseType::Bool, Term::value_var().eq_(interp.clone())),
             _ => Ty::int(),
@@ -944,10 +961,7 @@ impl Checker {
         }
 
         // Charge the application cost.
-        let metric_cost = self
-            .config
-            .metric
-            .application_cost(&fname, is_recursive);
+        let metric_cost = self.config.metric.application_cost(&fname, is_recursive);
         let total_cost = declared_cost + metric_cost;
         self.withdraw(
             ctx,
@@ -985,7 +999,9 @@ impl Checker {
         // datatypes, or as a provably smaller non-negative integer.
         let decreasing = args.iter().enumerate().any(|(i, a)| match a {
             Expr::Var(v) => {
-                let Some(p) = st.goal_params.get(i) else { return false };
+                let Some(p) = st.goal_params.get(i) else {
+                    return false;
+                };
                 if ctx.is_structurally_smaller(v, p) {
                     return true;
                 }
@@ -1095,8 +1111,8 @@ impl Checker {
                 Ty::Scalar {
                     base, potential, ..
                 } => {
-                    let here = matches!(base, BaseType::TVar(a) if a == alpha)
-                        && !potential.is_zero();
+                    let here =
+                        matches!(base, BaseType::TVar(a) if a == alpha) && !potential.is_zero();
                     let nested = match base {
                         BaseType::Data(_, args) => args.iter().any(|t| go(t, alpha)),
                         _ => false,
@@ -1117,7 +1133,9 @@ impl Checker {
     ) -> Option<Ty> {
         let expected = expected?;
         match (ret.base_type()?, expected.base_type()?) {
-            (BaseType::TVar(a), _) if a == alpha => Some(expected.clone().with_potential(Term::int(0))),
+            (BaseType::TVar(a), _) if a == alpha => {
+                Some(expected.clone().with_potential(Term::int(0)))
+            }
             (BaseType::Data(dn, dargs), BaseType::Data(en, eargs)) if dn == en => {
                 match (dargs.first().and_then(Ty::base_type), eargs.first()) {
                     (Some(BaseType::TVar(a)), Some(e)) if a == alpha => Some(e.clone()),

@@ -136,12 +136,7 @@ impl Ctx {
     pub fn numeric_vars(&self) -> Vec<String> {
         self.vars
             .iter()
-            .filter(|(_, t)| {
-                matches!(
-                    t.base_type(),
-                    Some(BaseType::Int) | Some(BaseType::TVar(_))
-                )
-            })
+            .filter(|(_, t)| matches!(t.base_type(), Some(BaseType::Int) | Some(BaseType::TVar(_))))
             .map(|(n, _)| n.clone())
             .collect()
     }

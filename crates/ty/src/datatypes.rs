@@ -433,10 +433,7 @@ mod tests {
         match tail_ty.base_type().unwrap() {
             BaseType::Data(name, args) => {
                 assert_eq!(name, "SList");
-                assert_eq!(
-                    args[0].refinement(),
-                    Term::var("x").lt(Term::value_var())
-                );
+                assert_eq!(args[0].refinement(), Term::var("x").lt(Term::value_var()));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -461,6 +458,9 @@ mod tests {
         let d = Datatypes::standard();
         let numgt = d.get("List").unwrap().measure("numgt").unwrap();
         let app = numgt.apply(vec![Term::var("v")], Term::var("xs"));
-        assert_eq!(app, Term::app("numgt", vec![Term::var("v"), Term::var("xs")]));
+        assert_eq!(
+            app,
+            Term::app("numgt", vec![Term::var("v"), Term::var("xs")])
+        );
     }
 }

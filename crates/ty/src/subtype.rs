@@ -65,12 +65,16 @@ pub fn coupling_facts(ctx: &Ctx, elem: &Term, datatypes: &Datatypes) -> Term {
     let mut facts = Vec::new();
     for (name, ty) in ctx.bindings() {
         if let Some(BaseType::Data(dn, args)) = ty.base_type() {
-            let Some(elem_ty) = args.first() else { continue };
+            let Some(elem_ty) = args.first() else {
+                continue;
+            };
             let refinement = elem_ty.refinement();
             if refinement.is_true() {
                 continue;
             }
-            let Some(content) = content_measure(dn, datatypes) else { continue };
+            let Some(content) = content_measure(dn, datatypes) else {
+                continue;
+            };
             facts.push(
                 elem.clone()
                     .member(Term::app(content, vec![Term::var(name.clone())]))
@@ -85,11 +89,7 @@ pub fn coupling_facts(ctx: &Ctx, elem: &Term, datatypes: &Datatypes) -> Term {
 /// potential `elem_pot` (per element) and top-level potential `own_pot`,
 /// expressed as a refinement term. Lists use `len`/`numgt`/`numlt`; other
 /// datatypes use their primary numeric measure.
-pub fn total_potential(
-    ty: &Ty,
-    value: &Term,
-    datatypes: &Datatypes,
-) -> Result<Term, SubtypeError> {
+pub fn total_potential(ty: &Ty, value: &Term, datatypes: &Datatypes) -> Result<Term, SubtypeError> {
     let own = ty.potential().subst_value_var(value).simplify();
     let elem = match ty.base_type() {
         Some(BaseType::Data(name, args)) if !args.is_empty() => {
@@ -137,12 +137,12 @@ fn element_total_rec(
     match pot {
         Term::Int(k) => Ok(length.clone().times(*k)),
         Term::Unknown(_, _) => Ok(prod(pot.clone(), length.clone())),
-        Term::Binary(resyn_logic::BinOp::Add, a, b) => Ok((element_total_rec(a, value, length, datatype)?
-            + element_total_rec(b, value, length, datatype)?)
-        .simplify()),
-        Term::Mul(k, inner) => {
-            Ok(element_total_rec(inner, value, length, datatype)?.times(*k))
+        Term::Binary(resyn_logic::BinOp::Add, a, b) => {
+            Ok((element_total_rec(a, value, length, datatype)?
+                + element_total_rec(b, value, length, datatype)?)
+            .simplify())
         }
+        Term::Mul(k, inner) => Ok(element_total_rec(inner, value, length, datatype)?.times(*k)),
         // Conditional per-element potential: ite(a ⋈ ν, k, 0) counts the
         // elements on one side of a threshold; lists provide the matching
         // counting measures.
@@ -185,7 +185,10 @@ fn conditional_count(cond: &Term, value: &Term) -> Result<Term, SubtypeError> {
             return Err(SubtypeError::UnsupportedPotential(cond.to_string()));
         };
         let measure = if counts_smaller { "numlt" } else { "numgt" };
-        Ok(Term::app(measure, vec![(*threshold).clone(), value.clone()]))
+        Ok(Term::app(
+            measure,
+            vec![(*threshold).clone(), value.clone()],
+        ))
     } else {
         Err(SubtypeError::UnsupportedPotential(cond.to_string()))
     }
@@ -211,13 +214,22 @@ pub fn subtype(
         required_potential: Term::int(0),
     };
     match (sub, sup) {
-        (Ty::Scalar { base: b1, refinement: r1, .. }, Ty::Scalar { base: b2, refinement: r2, .. }) => {
+        (
+            Ty::Scalar {
+                base: b1,
+                refinement: r1,
+                ..
+            },
+            Ty::Scalar {
+                base: b2,
+                refinement: r2,
+                ..
+            },
+        ) => {
             // Value-level refinement implication.
             if !r2.is_true() {
-                out.implications.push((
-                    r1.subst_value_var(value),
-                    r2.subst_value_var(value),
-                ));
+                out.implications
+                    .push((r1.subst_value_var(value), r2.subst_value_var(value)));
             }
             // Structural compatibility + element obligations.
             match (b1, b2) {
@@ -257,10 +269,8 @@ pub fn subtype(
                                 );
                                 premise = premise.and(coupling_facts(ctx, &elem_var, datatypes));
                             }
-                            out.implications.push((
-                                premise,
-                                elem_goal.subst_value_var(&elem_var),
-                            ));
+                            out.implications
+                                .push((premise, elem_goal.subst_value_var(&elem_var)));
                         }
                     }
                 }
@@ -315,7 +325,10 @@ mod tests {
         ));
         let ty = Ty::slist(elem);
         let total = total_potential(&ty, &Term::var("l"), &dt()).unwrap();
-        assert_eq!(total, Term::app("numlt", vec![Term::var("x"), Term::var("l")]));
+        assert_eq!(
+            total,
+            Term::app("numlt", vec![Term::var("x"), Term::var("l")])
+        );
     }
 
     #[test]

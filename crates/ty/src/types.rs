@@ -124,7 +124,9 @@ impl Ty {
     /// Attach (replace) a refinement.
     pub fn with_refinement(self, refinement: Term) -> Ty {
         match self {
-            Ty::Scalar { base, potential, .. } => Ty::Scalar {
+            Ty::Scalar {
+                base, potential, ..
+            } => Ty::Scalar {
                 base,
                 refinement,
                 potential,
@@ -332,10 +334,9 @@ impl Ty {
                 potential: _,
             } => Ty::Scalar {
                 base: match base {
-                    BaseType::Data(name, args) => BaseType::Data(
-                        name.clone(),
-                        args.iter().map(Ty::strip_potential).collect(),
-                    ),
+                    BaseType::Data(name, args) => {
+                        BaseType::Data(name.clone(), args.iter().map(Ty::strip_potential).collect())
+                    }
                     other => other.clone(),
                 },
                 refinement: refinement.clone(),
@@ -361,7 +362,9 @@ impl BaseType {
         match self {
             BaseType::Data(name, args) => BaseType::Data(
                 name.clone(),
-                args.iter().map(|t| t.subst_term(var, replacement)).collect(),
+                args.iter()
+                    .map(|t| t.subst_term(var, replacement))
+                    .collect(),
             ),
             other => other.clone(),
         }
@@ -371,7 +374,9 @@ impl BaseType {
         match self {
             BaseType::Data(name, args) => BaseType::Data(
                 name.clone(),
-                args.iter().map(|t| t.subst_tvar(alpha, replacement)).collect(),
+                args.iter()
+                    .map(|t| t.subst_tvar(alpha, replacement))
+                    .collect(),
             ),
             other => other.clone(),
         }
@@ -503,11 +508,8 @@ mod tests {
 
     #[test]
     fn dependent_substitution() {
-        let t = Ty::refined(
-            BaseType::Int,
-            Term::value_var().le(Term::var("n")),
-        )
-        .with_potential(Term::var("n"));
+        let t = Ty::refined(BaseType::Int, Term::value_var().le(Term::var("n")))
+            .with_potential(Term::var("n"));
         let s = t.subst_term("n", &Term::int(5));
         assert_eq!(s.refinement(), Term::value_var().le(Term::int(5)));
         assert_eq!(s.potential(), Term::int(5));

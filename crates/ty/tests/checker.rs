@@ -71,9 +71,8 @@ fn member_schema() -> Schema {
             ],
             Ty::refined(
                 BaseType::Bool,
-                Term::value_var().iff(
-                    Term::var("x").member(Term::app("elems", vec![Term::var("l")])),
-                ),
+                Term::value_var()
+                    .iff(Term::var("x").member(Term::app("elems", vec![Term::var("l")]))),
             ),
         ),
     )
@@ -145,7 +144,10 @@ fn common_efficient() -> Expr {
             "l2",
             Expr::match_(
                 Expr::var("l1"),
-                vec![arm("SNil", vec![], Expr::nil()), arm("SCons", vec!["x", "xs"], inner)],
+                vec![
+                    arm("SNil", vec![], Expr::nil()),
+                    arm("SCons", vec!["x", "xs"], inner),
+                ],
             ),
         ),
     )
@@ -237,7 +239,10 @@ fn insert_goal(elem_potential: Term) -> Schema {
         Ty::fun(
             vec![
                 ("x", Ty::tvar("a")),
-                ("xs", Ty::data("IList", vec![Ty::tvar("a").with_potential(elem_potential)])),
+                (
+                    "xs",
+                    Ty::data("IList", vec![Ty::tvar("a").with_potential(elem_potential)]),
+                ),
             ],
             Ty::refined(
                 BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
@@ -314,7 +319,12 @@ fn insert_checks_functionally_and_for_resources() {
     let mut components = BTreeMap::new();
     components.insert("leq".to_string(), leq_schema());
     let out = checker(ResourceMode::Resource)
-        .check_function("insert", &insert_program(), &insert_goal(Term::int(1)), &components)
+        .check_function(
+            "insert",
+            &insert_program(),
+            &insert_goal(Term::int(1)),
+            &components,
+        )
         .expect("insert must type-check with one unit per element");
     assert!(out.constraints.is_empty());
 }
@@ -345,7 +355,12 @@ fn insert_without_potential_is_rejected() {
     let mut components = BTreeMap::new();
     components.insert("leq".to_string(), leq_schema());
     let err = checker(ResourceMode::Resource)
-        .check_function("insert", &insert_program(), &insert_goal(Term::int(0)), &components)
+        .check_function(
+            "insert",
+            &insert_program(),
+            &insert_goal(Term::int(0)),
+            &components,
+        )
         .expect_err("no potential, no recursive calls");
     assert!(matches!(err, CheckError::Resource { .. }));
 }
@@ -434,7 +449,12 @@ fn replicate_with_dependent_potential_checks() {
     components.insert("eq".to_string(), eq_schema());
     components.insert("dec".to_string(), dec_schema());
     let out = checker(ResourceMode::Resource)
-        .check_function("replicate", &replicate_program(), &replicate_goal(), &components)
+        .check_function(
+            "replicate",
+            &replicate_program(),
+            &replicate_goal(),
+            &components,
+        )
         .expect("replicate must type-check with potential ν on n");
     assert!(out.constraints.is_empty());
 }

@@ -81,10 +81,18 @@ fn main() {
                                 Expr::app2(Expr::var("lt"), Expr::var("y"), Expr::var("x")),
                                 Expr::ite(
                                     Expr::var("g2"),
-                                    Expr::app2(Expr::var("common"), Expr::var("l1"), Expr::var("ys")),
+                                    Expr::app2(
+                                        Expr::var("common"),
+                                        Expr::var("l1"),
+                                        Expr::var("ys"),
+                                    ),
                                     Expr::let_(
                                         "r",
-                                        Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("ys")),
+                                        Expr::app2(
+                                            Expr::var("common"),
+                                            Expr::var("xs"),
+                                            Expr::var("ys"),
+                                        ),
                                         Expr::cons(Expr::var("x"), Expr::var("r")),
                                     ),
                                 ),
@@ -101,7 +109,10 @@ fn main() {
                 "l2",
                 Expr::match_(
                     Expr::var("l1"),
-                    vec![arm("SNil", vec![], Expr::nil()), arm("SCons", vec!["x", "xs"], inner)],
+                    vec![
+                        arm("SNil", vec![], Expr::nil()),
+                        arm("SCons", vec!["x", "xs"], inner),
+                    ],
                 ),
             ),
         )
@@ -127,7 +138,11 @@ fn main() {
                                 Expr::var("g"),
                                 Expr::let_(
                                     "r",
-                                    Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
+                                    Expr::app2(
+                                        Expr::var("common"),
+                                        Expr::var("xs"),
+                                        Expr::var("l2"),
+                                    ),
                                     Expr::cons(Expr::var("x"), Expr::var("r")),
                                 ),
                                 Expr::app2(Expr::var("common"), Expr::var("xs"), Expr::var("l2")),
@@ -140,9 +155,21 @@ fn main() {
     );
 
     for (name, program, mode) in [
-        ("Fig. 2 (efficient), ReSyn mode", &efficient, ResourceMode::Resource),
-        ("Fig. 1 (inefficient), ReSyn mode", &inefficient, ResourceMode::Resource),
-        ("Fig. 1 (inefficient), Synquid mode", &inefficient, ResourceMode::Agnostic),
+        (
+            "Fig. 2 (efficient), ReSyn mode",
+            &efficient,
+            ResourceMode::Resource,
+        ),
+        (
+            "Fig. 1 (inefficient), ReSyn mode",
+            &inefficient,
+            ResourceMode::Resource,
+        ),
+        (
+            "Fig. 1 (inefficient), Synquid mode",
+            &inefficient,
+            ResourceMode::Agnostic,
+        ),
     ] {
         let checker = Checker::new(
             Datatypes::standard(),
@@ -153,9 +180,12 @@ fn main() {
             },
         );
         let verdict = checker.check_function("common", program, &goal, &components);
-        println!("{name}: {}", match verdict {
-            Ok(_) => "accepted".to_string(),
-            Err(e) => format!("rejected ({e})"),
-        });
+        println!(
+            "{name}: {}",
+            match verdict {
+                Ok(_) => "accepted".to_string(),
+                Err(e) => format!("rejected ({e})"),
+            }
+        );
     }
 }

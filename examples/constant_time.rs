@@ -42,7 +42,13 @@ fn compare(full_scan: bool) -> Expr {
                     arm(
                         "Nil",
                         vec![],
-                        Expr::match_list(Expr::var("zs"), Expr::bool(true), "z", "zt", Expr::bool(false)),
+                        Expr::match_list(
+                            Expr::var("zs"),
+                            Expr::bool(true),
+                            "z",
+                            "zt",
+                            Expr::bool(false),
+                        ),
                     ),
                     arm(
                         "Cons",
@@ -54,7 +60,11 @@ fn compare(full_scan: bool) -> Expr {
                                 arm(
                                     "Cons",
                                     vec!["z", "zt"],
-                                    Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zt")),
+                                    Expr::app2(
+                                        Expr::var("compare"),
+                                        Expr::var("yt"),
+                                        Expr::var("zt"),
+                                    ),
                                 ),
                             ],
                         ),
@@ -96,7 +106,11 @@ fn main() {
         let verdict = ct_checker.check_function("compare", &program, &goal, &comps);
         println!(
             "constant-resource check, {name}: {}",
-            if verdict.is_ok() { "accepted" } else { "rejected" }
+            if verdict.is_ok() {
+                "accepted"
+            } else {
+                "rejected"
+            }
         );
 
         // Measure the cost with secrets of different lengths.
@@ -111,7 +125,10 @@ fn main() {
                 Expr::int_list(&secret),
             );
             let out = interp.run(&call, &env).unwrap();
-            println!("  public length 4, secret length {secret_len}: cost {}", out.high_water);
+            println!(
+                "  public length 4, secret length {secret_len}: cost {}",
+                out.high_water
+            );
         }
     }
 }

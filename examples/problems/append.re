@@ -1,0 +1,6 @@
+-- Append two lists within one recursive call per element of `xs`
+-- (Table 1, "List / append"). The `^1` places one unit of potential on
+-- every element of `xs`; recursive calls are charged by the default
+-- `recursive-calls` metric.
+goal append :: xs: List a^1 -> ys: List a ->
+               {List a | len _v == len xs + len ys}

@@ -1,0 +1,6 @@
+-- Compare the lengths of a public list `ys` and a secret list `zs`
+-- (Table 2, case studies 15/16). Only the public list carries potential;
+-- in constant-resource mode the checker additionally demands that the
+-- consumption never depends on `zs`.
+goal compare :: ys: List a^1 -> zs: List a ->
+                {Bool | _v <==> len ys == len zs}

@@ -1,0 +1,9 @@
+-- Build the list [lo, lo+1, ..., hi-1] (Table 2, case study 13).
+-- The *dependent* potential `_v - lo` on `hi` pays for exactly `hi - lo`
+-- recursive calls, which doubles as the termination argument Synquid's
+-- structural check cannot express.
+component eq  :: x: a -> y: a -> {Bool | _v <==> x == y}
+component inc :: x: Int -> {Int | _v == x + 1}
+
+goal range :: lo: Int -> hi: {Int | _v >= lo}^(_v - lo) ->
+              {List Int | len _v == hi - lo}

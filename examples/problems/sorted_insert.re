@@ -1,0 +1,6 @@
+-- Insert into a sorted list within |xs| recursive calls
+-- (Table 1, "Sorted list / insert"; Table 2, case study 7).
+component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}
+
+goal insert :: x: a -> xs: IList a^1 ->
+               {IList a | elems _v == {x} union elems xs}

@@ -37,7 +37,8 @@ fn main() {
     );
 
     println!("synthesizing `replicate` with a linear resource bound ...");
-    let outcome = Synthesizer::with_timeout(Duration::from_secs(120)).synthesize(&goal, Mode::ReSyn);
+    let outcome =
+        Synthesizer::with_timeout(Duration::from_secs(120)).synthesize(&goal, Mode::ReSyn);
     match outcome.program {
         Some(program) => {
             println!(
@@ -48,7 +49,8 @@ fn main() {
             );
             // Run it.
             let mut interp = Interp::new();
-            let env = resyn::lang::interp::Env::from_bindings(components::register_natives(&mut interp));
+            let env =
+                resyn::lang::interp::Env::from_bindings(components::register_natives(&mut interp));
             let call = Expr::app2(program, Expr::int(5), Expr::int(42));
             let result = interp.run(&call, &env).expect("program runs");
             println!("replicate 5 42 = {}", result.value);

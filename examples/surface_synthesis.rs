@@ -8,8 +8,8 @@ use std::time::Duration;
 
 use resyn::eval::components;
 use resyn::lang::{interp::Env, Expr, Interp};
-use resyn::parse::surface::expr_to_surface;
 use resyn::parse::parse_problem;
+use resyn::parse::surface::expr_to_surface;
 use resyn::synth::{Mode, Synthesizer};
 
 const PROBLEM: &str = include_str!("problems/sorted_insert.re");
@@ -43,10 +43,7 @@ fn main() {
                 "ICons",
                 vec![
                     Expr::int(2),
-                    Expr::ctor(
-                        "ICons",
-                        vec![Expr::int(5), Expr::ctor("INil", vec![])],
-                    ),
+                    Expr::ctor("ICons", vec![Expr::int(5), Expr::ctor("INil", vec![])]),
                 ],
             ),
         ],

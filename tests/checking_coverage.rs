@@ -20,10 +20,7 @@ fn duplicate_goal() -> Goal {
         Schema::poly(
             vec!["a"],
             Ty::fun(
-                vec![(
-                    "xs",
-                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
-                )],
+                vec![("xs", Ty::list(Ty::tvar("a").with_potential(Term::int(1))))],
                 Ty::refined(
                     BaseType::Data("List".into(), vec![Ty::tvar("a")]),
                     Term::app("len", vec![Term::value_var()]).eq_(len("xs") + len("xs")),
@@ -42,14 +39,8 @@ fn length_goal() -> Goal {
         Schema::poly(
             vec!["a"],
             Ty::fun(
-                vec![(
-                    "xs",
-                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
-                )],
-                Ty::refined(
-                    BaseType::Int,
-                    Term::value_var().eq_(len("xs")),
-                ),
+                vec![("xs", Ty::list(Ty::tvar("a").with_potential(Term::int(1))))],
+                Ty::refined(BaseType::Int, Term::value_var().eq_(len("xs"))),
             ),
         ),
         vec![("inc", resyn::eval::components::inc())],

@@ -38,10 +38,7 @@ fn goal() -> Schema {
         vec!["a"],
         Ty::fun(
             vec![
-                (
-                    "ys",
-                    Ty::list(Ty::tvar("a").with_potential(Term::int(1))),
-                ),
+                ("ys", Ty::list(Ty::tvar("a").with_potential(Term::int(1)))),
                 ("zs", Ty::list(Ty::tvar("a"))),
             ],
             Ty::refined(
@@ -70,7 +67,13 @@ fn constant_time_compare() -> Expr {
                     arm(
                         "Nil",
                         vec![],
-                        Expr::match_list(Expr::var("zs"), Expr::bool(true), "z", "zt", Expr::bool(false)),
+                        Expr::match_list(
+                            Expr::var("zs"),
+                            Expr::bool(true),
+                            "z",
+                            "zt",
+                            Expr::bool(false),
+                        ),
                     ),
                     arm(
                         "Cons",
@@ -85,14 +88,22 @@ fn constant_time_compare() -> Expr {
                                     vec![],
                                     Expr::let_(
                                         "r",
-                                        Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zs")),
+                                        Expr::app2(
+                                            Expr::var("compare"),
+                                            Expr::var("yt"),
+                                            Expr::var("zs"),
+                                        ),
                                         Expr::bool(false),
                                     ),
                                 ),
                                 arm(
                                     "Cons",
                                     vec!["z", "zt"],
-                                    Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zt")),
+                                    Expr::app2(
+                                        Expr::var("compare"),
+                                        Expr::var("yt"),
+                                        Expr::var("zt"),
+                                    ),
                                 ),
                             ],
                         ),
@@ -117,7 +128,13 @@ fn early_exit_compare() -> Expr {
                     arm(
                         "Nil",
                         vec![],
-                        Expr::match_list(Expr::var("zs"), Expr::bool(true), "z", "zt", Expr::bool(false)),
+                        Expr::match_list(
+                            Expr::var("zs"),
+                            Expr::bool(true),
+                            "z",
+                            "zt",
+                            Expr::bool(false),
+                        ),
                     ),
                     arm(
                         "Cons",
@@ -129,7 +146,11 @@ fn early_exit_compare() -> Expr {
                                 arm(
                                     "Cons",
                                     vec!["z", "zt"],
-                                    Expr::app2(Expr::var("compare"), Expr::var("yt"), Expr::var("zt")),
+                                    Expr::app2(
+                                        Expr::var("compare"),
+                                        Expr::var("yt"),
+                                        Expr::var("zt"),
+                                    ),
                                 ),
                             ],
                         ),
@@ -178,7 +199,10 @@ fn measured_cost_of_the_constant_time_version_ignores_the_secret() {
         interp.run(&call, &env).unwrap().high_water
     };
     // Same public list, different secret lists: identical cost.
-    assert_eq!(cost(&[1, 2, 3, 4], &[1]), cost(&[1, 2, 3, 4], &[1, 2, 3, 4, 5]));
+    assert_eq!(
+        cost(&[1, 2, 3, 4], &[1]),
+        cost(&[1, 2, 3, 4], &[1, 2, 3, 4, 5])
+    );
     // The early-exit version leaks: costs differ.
     let leaky = instrument(&early_exit_compare(), "compare");
     let leaky_cost = |ys: &[i64], zs: &[i64]| {

@@ -4,7 +4,7 @@
 
 use std::time::Duration;
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use proptest::test_runner::TestRng;
 use resyn::eval::components::register_natives;
 use resyn::eval::measure::instrument;
 use resyn::eval::suite;
@@ -17,8 +17,8 @@ fn synthesized_insert_respects_its_declared_bound() {
         .into_iter()
         .find(|b| b.id == "sorted-insert")
         .unwrap();
-    let out = Synthesizer::with_timeout(Duration::from_secs(180))
-        .synthesize(&bench.goal, Mode::ReSyn);
+    let out =
+        Synthesizer::with_timeout(Duration::from_secs(180)).synthesize(&bench.goal, Mode::ReSyn);
     let Some(program) = out.program else {
         // Synthesis timed out on this machine; the checker-level tests in
         // `resyn-ty` still cover the bound, so skip the empirical part.
@@ -31,13 +31,13 @@ fn synthesized_insert_respects_its_declared_bound() {
     let bindings = register_natives(&mut interp);
     let env = resyn::lang::interp::Env::from_bindings(bindings);
 
-    let mut rng = StdRng::seed_from_u64(0x5e51);
+    let mut rng = TestRng::from_seed(0x5e51);
     for _ in 0..25 {
-        let n = rng.gen_range(0..12usize);
-        let mut xs: Vec<i64> = (0..n).map(|_| rng.gen_range(-20..20)).collect();
+        let n = rng.below(12) as usize;
+        let mut xs: Vec<i64> = (0..n).map(|_| rng.int_in(-20, 20)).collect();
         xs.sort();
         xs.dedup();
-        let x = rng.gen_range(-20..20);
+        let x = rng.int_in(-20, 20);
         let call = Expr::app2(
             instrumented.clone(),
             Expr::int(x),

@@ -25,7 +25,10 @@ fn parsed_append_goal_synthesizes_and_runs_correctly() {
     // The synthesized program is expressible (and re-parseable) in the
     // surface syntax.
     let printed = expr_to_surface(&program);
-    assert_eq!(parse_expr(&printed).expect("printed program reparses"), program);
+    assert_eq!(
+        parse_expr(&printed).expect("printed program reparses"),
+        program
+    );
 
     // And it is functionally correct on a concrete input.
     let mut interp = Interp::new();
@@ -43,15 +46,16 @@ fn parsed_append_goal_synthesizes_and_runs_correctly() {
 fn parsed_signatures_match_the_programmatic_component_library() {
     // The textual signature of `append` denotes exactly the schema the
     // benchmark suite constructs programmatically.
-    let parsed = parse_schema(
-        "xs: List a^1 -> ys: List a -> {List a | len _v == len xs + len ys}",
-    )
-    .expect("the signature parses");
+    let parsed = parse_schema("xs: List a^1 -> ys: List a -> {List a | len _v == len xs + len ys}")
+        .expect("the signature parses");
     assert_eq!(parsed, components::append());
 
     // And printing it produces text that parses back to the same schema.
     let printed = schema_to_surface(&components::append());
-    assert_eq!(parse_schema(&printed).expect("printed schema reparses"), parsed);
+    assert_eq!(
+        parse_schema(&printed).expect("printed schema reparses"),
+        parsed
+    );
 }
 
 #[test]

@@ -20,7 +20,10 @@ fn run_int_list(program: &Expr, args: Vec<Expr>) -> resyn::lang::Val {
     for a in args {
         call = Expr::app(call, a);
     }
-    interp.run(&call, &env).expect("synthesized program must run").value
+    interp
+        .run(&call, &env)
+        .expect("synthesized program must run")
+        .value
 }
 
 #[test]
