@@ -1,0 +1,95 @@
+//! Bench: validity-query throughput of the checking pipeline on the Table-1
+//! constraint corpus, with the hash-consed solver query cache on vs. off.
+//!
+//! The corpus is the set of refinement and resource obligations the Re²
+//! checker generates while verifying reference implementations of Table-1
+//! goals (append, duplicate, length) — the same `check_valid` queries the
+//! synthesizer's round-robin search re-proves for every candidate. The
+//! `uncached` variant runs each round with a fresh solver pipeline; the
+//! `cached` variant shares one [`SolverCache`] across rounds, so after the
+//! first round every query is answered from the cache. The measured gap is
+//! recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resyn_lang::Expr;
+use resyn_parse::{parse_expr, parse_problem};
+use resyn_solver::SolverCache;
+use resyn_synth::Goal;
+use resyn_ty::check::Checker;
+
+/// Reference implementations of three Table-1 goals (the programs the paper's
+/// synthesizer produces), paired with their resource-annotated signatures.
+fn corpus() -> Vec<(Goal, Expr)> {
+    let sources = [
+        (
+            "goal append :: xs: List a^1 -> ys: List a ->
+                 {List a | len _v == len xs + len ys}",
+            r"fix append xs. \ys.
+                 match xs with
+                 | Nil -> ys
+                 | Cons h t -> (let r = append t ys in Cons h r)",
+        ),
+        (
+            "goal duplicate :: xs: List a^1 ->
+                 {List a | len _v == len xs + len xs}",
+            r"fix duplicate xs.
+                 match xs with
+                 | Nil -> Nil
+                 | Cons h t -> (let r = duplicate t in Cons h (Cons h r))",
+        ),
+        (
+            "component inc :: x: Int -> {Int | _v == x + 1}
+             goal length :: xs: List a^1 -> {Int | _v == len xs}",
+            r"fix length xs.
+                 match xs with
+                 | Nil -> 0
+                 | Cons h t -> (let r = length t in inc r)",
+        ),
+    ];
+    sources
+        .into_iter()
+        .flat_map(|(problem, program)| {
+            let goals = parse_problem(problem)
+                .expect("corpus problem parses")
+                .into_goals();
+            let program = parse_expr(program).expect("corpus program parses");
+            goals.into_iter().map(move |g| (g, program.clone()))
+        })
+        .collect()
+}
+
+/// Discharge every obligation of every corpus program with the given checker
+/// factory (one checker per program, as the synthesizer does).
+fn check_corpus(corpus: &[(Goal, Expr)], mk_checker: impl Fn() -> Checker) {
+    for (goal, program) in corpus {
+        let checker = mk_checker();
+        let outcome = checker
+            .check_function(&goal.name, program, &goal.schema, &goal.components)
+            .expect("corpus programs are well-typed");
+        assert!(
+            outcome.constraints.is_empty(),
+            "corpus obligations are discharged eagerly"
+        );
+    }
+}
+
+fn interning(c: &mut Criterion) {
+    let corpus = corpus();
+    let mut group = c.benchmark_group("interning");
+
+    group.bench_function("check-valid-uncached", |b| {
+        b.iter(|| check_corpus(&corpus, Checker::standard));
+    });
+
+    group.bench_function("check-valid-cached", |b| {
+        // One cache shared across every round (and every checker), exactly as
+        // the synthesizer shares it across candidate checks.
+        let cache = SolverCache::new();
+        b.iter(|| check_corpus(&corpus, || Checker::standard().with_cache(cache.clone())));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, interning);
+criterion_main!(benches);

@@ -68,6 +68,8 @@ pub struct Options {
     pub timeout: Duration,
     /// Restrict `synth`/`check` to the goal with this name.
     pub goal: Option<String>,
+    /// Report search and solver-cache statistics (`--stats`).
+    pub stats: bool,
 }
 
 impl Default for Options {
@@ -76,6 +78,7 @@ impl Default for Options {
             mode: Mode::ReSyn,
             timeout: Duration::from_secs(120),
             goal: None,
+            stats: false,
         }
     }
 }
@@ -123,6 +126,9 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .next()
                     .ok_or_else(|| CliError::Usage("--goal needs a value".to_string()))?;
                 opts.goal = Some(value.clone());
+            }
+            "--stats" => {
+                opts.stats = true;
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
@@ -190,6 +196,15 @@ pub fn run_synth(problem_text: &str, opts: &Options) -> Result<String, CliError>
             outcome.stats.duration.as_secs_f64(),
             program.size()
         );
+        if opts.stats {
+            let _ = writeln!(
+                out,
+                "-- solver cache: {} hits, {} misses; interner: {} new terms",
+                outcome.stats.solver_cache_hits,
+                outcome.stats.solver_cache_misses,
+                outcome.stats.interned_terms
+            );
+        }
         let _ = writeln!(out, "{}", expr_to_surface(&program));
     }
     Ok(out)
@@ -266,12 +281,15 @@ pub const USAGE: &str = "\
 resyn — resource-guided program synthesis
 
 USAGE:
-    resyn synth <problem-file> [--mode MODE] [--timeout SECS] [--goal NAME]
+    resyn synth <problem-file> [--mode MODE] [--timeout SECS] [--goal NAME] [--stats]
     resyn check <problem-file> <program-file> [--mode MODE] [--goal NAME]
     resyn measure <problem-file> <program-file> [--goal NAME]
     resyn parse <problem-file>
 
 MODES: resyn (default), synquid, eac, noinc, ct
+
+`--stats` additionally reports, per goal, the solver query-cache hit/miss
+counters and the size of the term intern table.
 ";
 
 #[cfg(test)]
@@ -390,6 +408,51 @@ mod tests {
             report.trim_end().ends_with("fitted bound: O(n)"),
             "{report}"
         );
+    }
+
+    #[test]
+    fn stats_flag_reports_nonzero_cache_hits_on_synthesis() {
+        // End-to-end: synthesizing a goal issues many structurally equal
+        // solver queries (candidate prefixes are re-checked), so the shared
+        // query cache must record hits — and `--stats` must surface them.
+        let problem = r"
+            goal id_list :: xs: List a -> {List a | len _v == len xs}
+        ";
+        let opts = Options {
+            timeout: Duration::from_secs(30),
+            stats: true,
+            ..Options::default()
+        };
+        let out = run_synth(problem, &opts).unwrap();
+        let stats_line = out
+            .lines()
+            .find(|l| l.starts_with("-- solver cache:"))
+            .expect("--stats must print a solver-cache line");
+        // "-- solver cache: N hits, M misses; interner: K new terms"
+        let hits: u64 = stats_line
+            .split_whitespace()
+            .nth(3)
+            .and_then(|n| n.parse().ok())
+            .expect("hit counter parses");
+        assert!(hits > 0, "expected nonzero solver-cache hits: {stats_line}");
+        let terms: u64 = stats_line
+            .split_whitespace()
+            .nth(8)
+            .and_then(|n| n.parse().ok())
+            .expect("interner counter parses");
+        assert!(terms > 0, "expected a populated intern table: {stats_line}");
+    }
+
+    #[test]
+    fn stats_flag_is_parsed() {
+        let args: Vec<String> = ["file.re", "--stats"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert_eq!(positional, vec!["file.re".to_string()]);
+        assert!(opts.stats);
+        assert!(!Options::default().stats);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::collections::BTreeMap;
 
 use resyn_logic::{QualifierSpace, SortingEnv, Term};
-use resyn_solver::Solver;
+use resyn_solver::{Solver, SolverCache};
 
 /// A Horn constraint `body ⟹ head` (either side may contain unknowns).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -73,6 +73,7 @@ pub enum Fixpoint {
 pub struct HornSolver {
     env: SortingEnv,
     qualifiers: BTreeMap<String, QualifierSpace>,
+    cache: Option<SolverCache>,
     /// Fixpoint direction.
     pub fixpoint: Fixpoint,
     /// Iteration limit.
@@ -86,9 +87,18 @@ impl HornSolver {
         HornSolver {
             env,
             qualifiers,
+            cache: None,
             fixpoint: Fixpoint::Greatest,
             max_iterations: 1_000,
         }
+    }
+
+    /// Attach a shared solver query cache: the validity checks issued by the
+    /// fixpoint iteration are memoized in it, so re-examined clauses (each
+    /// weakening round re-checks every constraint) cost one lookup.
+    pub fn with_cache(mut self, cache: SolverCache) -> HornSolver {
+        self.cache = Some(cache);
+        self
     }
 
     /// Solve a system of Horn constraints.
@@ -114,8 +124,11 @@ impl HornSolver {
     }
 
     fn valid(&self, body: &Term, head: &Term) -> Option<bool> {
-        let solver = Solver::new(self.env.clone());
-        match solver.check_valid(&[body.clone()], head) {
+        let mut solver = Solver::new(self.env.clone());
+        if let Some(cache) = &self.cache {
+            solver = solver.with_cache(cache.clone());
+        }
+        match solver.check_valid(std::slice::from_ref(body), head) {
             resyn_solver::ValidityResult::Valid => Some(true),
             resyn_solver::ValidityResult::Invalid(_) => Some(false),
             resyn_solver::ValidityResult::Unknown(_) => None,
@@ -310,5 +323,32 @@ mod tests {
     fn empty_system_is_trivially_solved() {
         let solver = HornSolver::new(env(), BTreeMap::new());
         assert!(solver.solve(&[]).is_solved());
+    }
+
+    #[test]
+    fn shared_cache_answers_repeated_fixpoint_queries() {
+        let mut qualifiers = BTreeMap::new();
+        qualifiers.insert("U0".to_string(), space());
+        let cache = resyn_solver::SolverCache::new();
+        let solver = HornSolver::new(env(), qualifiers).with_cache(cache.clone());
+        let constraints = [
+            HornConstraint::new(
+                Term::var("x")
+                    .ge(Term::int(0))
+                    .and(Term::value_var().eq_(Term::var("x") + Term::int(1))),
+                Term::unknown("U0"),
+            ),
+            HornConstraint::new(Term::unknown("U0"), Term::value_var().ge(Term::int(0))),
+        ];
+        let first = solver.solve(&constraints);
+        assert!(first.is_solved());
+        let after_first = cache.stats();
+        assert!(after_first.misses > 0);
+        // Solving the identical system again is answered entirely by lookup.
+        let second = solver.solve(&constraints);
+        assert!(second.is_solved());
+        let after_second = cache.stats();
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
     }
 }

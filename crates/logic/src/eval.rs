@@ -144,6 +144,12 @@ impl Model {
         self.vars.is_empty()
     }
 
+    /// Look up the interpretation of a measure application by its printed
+    /// form (the key under which [`Model::insert_app`] stores it).
+    pub(crate) fn app_interpretation(&self, printed: &str) -> Option<&Value> {
+        self.apps.get(printed)
+    }
+
     /// Merge another model into this one (bindings in `other` win).
     pub fn extend(&mut self, other: &Model) {
         for (k, v) in &other.vars {
@@ -229,12 +235,12 @@ impl Term {
     }
 }
 
-fn boolean(v: Value) -> Result<bool, EvalError> {
+pub(crate) fn boolean(v: Value) -> Result<bool, EvalError> {
     v.as_bool()
         .ok_or_else(|| EvalError::TypeError(format!("expected boolean, got {v}")))
 }
 
-fn int(v: Value) -> Result<i64, EvalError> {
+pub(crate) fn int(v: Value) -> Result<i64, EvalError> {
     v.as_int()
         .ok_or_else(|| EvalError::TypeError(format!("expected integer, got {v}")))
 }
@@ -246,7 +252,7 @@ fn set(v: Value) -> Result<BTreeSet<i64>, EvalError> {
     }
 }
 
-fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+pub(crate) fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
     use BinOp::*;
     Ok(match op {
         And => Value::Bool(boolean(a)? && boolean(b)?),

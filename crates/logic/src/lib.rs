@@ -15,7 +15,10 @@
 //!
 //! The crate also provides sorting (type checking of refinements),
 //! substitution, free-variable computation, evaluation under a [`Model`],
-//! simplification, and qualifier generation for predicate abstraction.
+//! simplification, and qualifier generation for predicate abstraction. The
+//! [`intern`] module adds a hash-consing [`TermArena`]: copyable [`TermId`]
+//! handles with O(1) equality, cached free-variable sets, and memoized
+//! id-based versions of the logic passes.
 //!
 //! # Example
 //!
@@ -32,6 +35,7 @@
 
 pub mod eval;
 pub mod fv;
+pub mod intern;
 pub mod pretty;
 pub mod qualifiers;
 pub mod simplify;
@@ -40,6 +44,7 @@ pub mod subst;
 pub mod term;
 
 pub use eval::{EvalError, Model, Value};
+pub use intern::{InternStats, TermArena, TermId};
 pub use qualifiers::QualifierSpace;
 pub use sort::{Sort, SortError, SortingEnv};
 pub use term::{BinOp, Term, UnOp, VALUE_VAR};

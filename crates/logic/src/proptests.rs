@@ -3,6 +3,8 @@
 use proptest::prelude::*;
 
 use crate::eval::{Model, Value};
+use crate::intern::TermArena;
+use crate::subst::Subst;
 use crate::term::Term;
 
 /// A strategy producing integer-sorted terms over variables `x`, `y`, `z`.
@@ -36,6 +38,25 @@ fn arb_bool_term() -> impl Strategy<Value = Term> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.clone().prop_map(Term::not),
+        ]
+    })
+}
+
+/// A strategy producing boolean terms that also exercise measure
+/// applications and unknowns with pending substitutions (the constructs the
+/// solver pipeline and the interner must agree on even though they cannot be
+/// evaluated under a plain model).
+fn arb_symbolic_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        arb_bool_term(),
+        arb_int_term().prop_map(|t| Term::app("len", vec![t]).ge(Term::int(0))),
+        prop_oneof![Just("U0"), Just("U1")].prop_map(Term::unknown),
+    ];
+    leaf.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             inner.clone().prop_map(Term::not),
         ]
     })
@@ -134,5 +155,79 @@ proptest! {
             t.clone().times(k).eval_int(&m).unwrap(),
             k * t.eval_int(&m).unwrap()
         );
+    }
+
+    /// Simplification is idempotent: a second pass is the identity.
+    #[test]
+    fn simplify_is_idempotent(t in arb_bool_term()) {
+        let once = t.simplify();
+        prop_assert_eq!(once.simplify(), once);
+    }
+
+    /// Simplification is idempotent on terms with measure applications and
+    /// unknowns as well.
+    #[test]
+    fn simplify_is_idempotent_on_symbolic_terms(t in arb_symbolic_term()) {
+        let once = t.simplify();
+        prop_assert_eq!(once.simplify(), once);
+    }
+
+    /// Interning a term and reconstructing it is the identity, and the cached
+    /// free-variable and unknown metadata match the tree computations.
+    #[test]
+    fn interned_roundtrip_and_metadata_agree(t in arb_symbolic_term()) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        prop_assert_eq!(arena.term(id), t.clone());
+        prop_assert_eq!(arena.free_vars(id).clone(), t.free_vars());
+        prop_assert_eq!(arena.has_unknowns(id), t.has_unknowns());
+    }
+
+    /// The interned simplification pass agrees with the tree implementation.
+    #[test]
+    fn interned_simplify_agrees(t in arb_symbolic_term()) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        let s = arena.simplify_id(id);
+        prop_assert_eq!(arena.term(s), t.simplify());
+    }
+
+    /// The interned substitution pass agrees with the tree implementation
+    /// (including composition with the pending substitutions of unknowns).
+    #[test]
+    fn interned_subst_agrees(t in arb_symbolic_term(), k in -5i64..5) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        let mut map = Subst::new();
+        map.insert("x".to_string(), Term::int(k));
+        map.insert("y".to_string(), Term::var("z") + Term::int(1));
+        let s = arena.subst_all_id(id, &map);
+        prop_assert_eq!(arena.term(s), t.subst_all(&map));
+    }
+
+    /// The interned evaluation pass agrees with the tree implementation, on
+    /// both values and errors.
+    #[test]
+    fn interned_eval_agrees(t in arb_bool_term(), x in -5i64..5, y in -5i64..5, z in -5i64..5) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        let m = model(x, y, z);
+        prop_assert_eq!(arena.eval_id(id, &m), t.eval(&m));
+        // A model missing bindings must produce the same error.
+        let partial = model(x, y, z); // fresh model without `w`… x/y/z present
+        let t2 = t.clone().and(Term::var("unbound_w").le(Term::int(0)));
+        let id2 = arena.intern(&t2);
+        prop_assert_eq!(arena.eval_id(id2, &partial), t2.eval(&partial));
+    }
+
+    /// Interned simplification of an already-simplified term is a fixpoint
+    /// (the id-level counterpart of idempotence).
+    #[test]
+    fn interned_simplify_is_idempotent(t in arb_symbolic_term()) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(&t);
+        let once = arena.simplify_id(id);
+        let twice = arena.simplify_id(once);
+        prop_assert_eq!(once, twice);
     }
 }

@@ -5,6 +5,8 @@
 //! constant folding, unit laws, and a few structural identities; it never
 //! changes the meaning of a term.
 
+use std::collections::HashSet;
+
 use crate::term::{BinOp, Term, UnOp};
 
 impl Term {
@@ -24,6 +26,12 @@ impl Term {
                 s => Term::Unary(UnOp::Neg, Box::new(s)),
             },
             Term::Mul(k, t) => t.simplify().times(*k),
+            // Conjunction/disjunction spines are flattened once from the
+            // spine root (each inner `And`/`Or` node would otherwise re-clone
+            // and re-dedupe its whole subtree, an O(n²) tax on the solver's
+            // premise-heavy queries).
+            Term::Binary(BinOp::And, _, _) => simplify_and(self.conjuncts()),
+            Term::Binary(BinOp::Or, _, _) => simplify_or(self.disjuncts()),
             Term::Binary(op, a, b) => simplify_binary(*op, a.simplify(), b.simplify()),
             Term::Ite(c, t, e) => {
                 let c = c.simplify();
@@ -39,11 +47,52 @@ impl Term {
     }
 }
 
+/// Simplify a conjunction, given the (not yet simplified) conjuncts of its
+/// whole spine: each conjunct is simplified, conjunctions exposed by that
+/// simplification are flattened, and repeated conjuncts are dropped — making
+/// simplification idempotent.
+fn simplify_and<I: IntoIterator<Item = Term>>(conjuncts: I) -> Term {
+    let mut seen: HashSet<Term> = HashSet::new();
+    let mut kept: Vec<Term> = Vec::new();
+    for c in conjuncts {
+        for cc in c.simplify().conjuncts() {
+            if cc.is_false() {
+                return Term::ff();
+            }
+            if cc.is_true() || !seen.insert(cc.clone()) {
+                continue;
+            }
+            kept.push(cc);
+        }
+    }
+    Term::and_all(kept)
+}
+
+/// Disjunctive counterpart of [`simplify_and`].
+fn simplify_or<I: IntoIterator<Item = Term>>(disjuncts: I) -> Term {
+    let mut seen: HashSet<Term> = HashSet::new();
+    let mut kept: Vec<Term> = Vec::new();
+    for d in disjuncts {
+        for dd in d.simplify().disjuncts() {
+            if dd.is_true() {
+                return Term::tt();
+            }
+            if dd.is_false() || !seen.insert(dd.clone()) {
+                continue;
+            }
+            kept.push(dd);
+        }
+    }
+    Term::or_all(kept)
+}
+
 fn simplify_binary(op: BinOp, a: Term, b: Term) -> Term {
     use BinOp::*;
     match op {
-        And => a.and(b),
-        Or => a.or(b),
+        // Unreachable from `simplify` (which dispatches spines to
+        // `simplify_and`/`simplify_or` directly), kept for exhaustiveness.
+        And => simplify_and([a, b]),
+        Or => simplify_or([a, b]),
         Implies => a.implies(b),
         Iff => match (a, b) {
             (Term::Bool(true), t) | (t, Term::Bool(true)) => t,
@@ -167,6 +216,43 @@ mod tests {
             Box::new(Term::var("x")),
         );
         assert_eq!(t.simplify(), Term::var("x"));
+    }
+
+    #[test]
+    fn repeated_conjuncts_and_disjuncts_are_deduplicated() {
+        let p = Term::var("p");
+        let q = Term::var("q");
+        let t = Term::Binary(
+            BinOp::And,
+            Box::new(p.clone()),
+            Box::new(Term::Binary(
+                BinOp::And,
+                Box::new(q.clone()),
+                Box::new(p.clone()),
+            )),
+        );
+        assert_eq!(t.simplify(), p.clone().and(q.clone()));
+        let t = Term::Binary(
+            BinOp::Or,
+            Box::new(Term::Binary(
+                BinOp::Or,
+                Box::new(p.clone()),
+                Box::new(p.clone()),
+            )),
+            Box::new(q.clone()),
+        );
+        assert_eq!(t.simplify(), p.clone().or(q.clone()));
+    }
+
+    #[test]
+    fn nested_and_or_spines_are_flattened_once() {
+        // ((p ∧ q) ∧ (q ∧ r)) simplifies to the deduplicated chain p ∧ q ∧ r,
+        // and simplifying again is a no-op (idempotence).
+        let (p, q, r) = (Term::var("p"), Term::var("q"), Term::var("r"));
+        let t = p.clone().and(q.clone()).and(q.clone().and(r.clone()));
+        let s = t.simplify();
+        assert_eq!(s, p.and(q).and(r));
+        assert_eq!(s.simplify(), s);
     }
 
     #[test]

@@ -167,6 +167,11 @@ impl SortingEnv {
         self.measures.iter()
     }
 
+    /// Iterate over the declared unknowns and their sorts.
+    pub fn unknowns(&self) -> impl Iterator<Item = (&String, &Sort)> {
+        self.unknowns.iter()
+    }
+
     /// Import every binding, measure and unknown declared in `other`.
     pub fn absorb(&mut self, other: &SortingEnv) -> &mut Self {
         for (v, s) in &other.vars {

@@ -164,6 +164,9 @@ impl Term {
     }
 
     /// Boolean negation (with shallow simplification of literals).
+    // Not an `ops::Not` impl: this is the established builder API alongside
+    // `and`/`or`/`implies`, and it simplifies rather than merely wrapping.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Term {
         match self {
             Term::Bool(b) => Term::Bool(!b),
@@ -173,6 +176,8 @@ impl Term {
     }
 
     /// Integer negation.
+    // See `not` above for why this is not an `ops::Neg` impl.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Term {
         match self {
             Term::Int(n) => Term::Int(-n),
@@ -338,6 +343,20 @@ impl Term {
             Term::Binary(BinOp::And, a, b) => {
                 let mut v = a.conjuncts();
                 v.extend(b.conjuncts());
+                v
+            }
+            t => vec![t.clone()],
+        }
+    }
+
+    /// Flatten a disjunction into its disjuncts (a non-disjunction is a
+    /// singleton list; `false` is the empty list).
+    pub fn disjuncts(&self) -> Vec<Term> {
+        match self {
+            Term::Bool(false) => vec![],
+            Term::Binary(BinOp::Or, a, b) => {
+                let mut v = a.disjuncts();
+                v.extend(b.disjuncts());
                 v
             }
             t => vec![t.clone()],

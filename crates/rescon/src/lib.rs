@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use resyn_logic::{Model, Sort, SortingEnv, Term, Value};
-use resyn_solver::{SatResult, Solver};
+use resyn_solver::{SatResult, Solver, SolverCache};
 use resyn_ty::check::UnknownInfo;
 use resyn_ty::constraints::{ResourceConstraint, PROD};
 
@@ -65,6 +65,7 @@ type Example = Model;
 #[derive(Debug, Clone)]
 pub struct CegisSolver {
     env: SortingEnv,
+    cache: Option<SolverCache>,
     /// Maximum CEGIS iterations before giving up.
     pub max_iterations: usize,
     /// Bound on the absolute value of template coefficients.
@@ -77,8 +78,25 @@ impl CegisSolver {
     pub fn new(env: SortingEnv) -> CegisSolver {
         CegisSolver {
             env,
+            cache: None,
             max_iterations: 64,
             coefficient_bound: 16,
+        }
+    }
+
+    /// Attach a shared solver query cache: verification and synthesis queries
+    /// are memoized in it, so identical constraint systems arriving from
+    /// re-checked candidate programs are decided by lookup.
+    pub fn with_cache(mut self, cache: SolverCache) -> CegisSolver {
+        self.cache = Some(cache);
+        self
+    }
+
+    fn smt(&self, env: SortingEnv) -> Solver {
+        let solver = Solver::new(env);
+        match &self.cache {
+            Some(cache) => solver.with_cache(cache.clone()),
+            None => solver,
         }
     }
 
@@ -223,7 +241,7 @@ impl IncrementalCegis {
     /// violating assignment of the program variables.
     fn find_counterexample(&mut self) -> Result<Option<Example>, String> {
         self.stats.verification_queries += 1;
-        let solver = Solver::new(self.env_with_coefficients());
+        let solver = self.solver.smt(self.env_with_coefficients());
         let mut violations = Vec::new();
         for c in &self.constraints {
             let potential = self.apply_solution(&c.potential);
@@ -250,7 +268,7 @@ impl IncrementalCegis {
     /// Solve for coefficients over the collected examples.
     fn synthesize(&mut self, full: bool) -> Result<bool, String> {
         self.stats.synthesis_queries += 1;
-        let solver = Solver::new(self.coefficient_env());
+        let solver = self.solver.smt(self.coefficient_env());
         let mut clauses = Vec::new();
         let newest = self.examples.last().cloned();
         for example in &self.examples {

@@ -1,0 +1,290 @@
+//! A validity/satisfiability query cache over hash-consed terms.
+//!
+//! The synthesizer's round-robin search discharges thousands of near-identical
+//! subtyping and resource obligations: candidate programs share long prefixes,
+//! so the same `Γ ⊨ ψ` query is re-proved over and over. A [`SolverCache`]
+//! interns every query into a shared [`TermArena`] and memoizes the solver's
+//! verdict keyed on the interned ids, so a structurally equal query issued by
+//! any later candidate — from the type checker, the Horn solver's fixpoint
+//! iteration, or the CEGIS loop — is answered without touching the decision
+//! procedures.
+//!
+//! # Invariants
+//!
+//! * **Keys carry the environment and the solver configuration.** A verdict
+//!   depends on the sorting environment (e.g. `a = b` normalizes differently
+//!   at sort `Bool` than at `Int`, and the model built for a `Sat` answer
+//!   assigns every environment variable) and on the solver's work limits
+//!   (a raised decision limit can turn `Unknown` into a verdict), so every
+//!   key includes a fingerprint of the *entire* environment — variables,
+//!   measure signatures, unknown declarations — plus a caller-supplied
+//!   configuration fingerprint. Identical formulas under different
+//!   environments or limits never alias.
+//! * **Entries never need invalidation.** The solver is a pure function of
+//!   (environment, configuration, query): nothing outside the key can change
+//!   a verdict, so the cache is append-only and shared freely across solver
+//!   instances, checker runs and CEGIS iterations.
+//! * **Premise order is canonicalized.** Validity keys sort and deduplicate
+//!   the premise ids (conjunction is order-insensitive), so permuted premise
+//!   lists hit the same entry.
+//!
+//! The cache is cheaply cloneable (an [`Arc`]) and internally synchronized;
+//! clones share one arena and one table.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
+
+use resyn_logic::{SortingEnv, Term, TermArena, TermId};
+
+use crate::smt::{SatResult, ValidityResult};
+
+/// Counters describing a cache (see [`SolverCache::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the solver.
+    pub misses: u64,
+    /// Distinct terms in the shared intern arena.
+    pub interned_terms: usize,
+    /// Cached validity verdicts.
+    pub validity_entries: usize,
+    /// Cached satisfiability verdicts.
+    pub sat_entries: usize,
+}
+
+/// Opaque key for a pending validity query (returned by a miss, consumed by
+/// [`SolverCache::store_valid`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ValidityKey {
+    env_fp: u64,
+    config_fp: u64,
+    premises: Vec<TermId>,
+    conclusion: TermId,
+}
+
+/// Opaque key for a pending satisfiability query (returned by a miss,
+/// consumed by [`SolverCache::store_sat`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SatKey {
+    env_fp: u64,
+    config_fp: u64,
+    assumptions: Vec<TermId>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    arena: TermArena,
+    valid: HashMap<ValidityKey, ValidityResult>,
+    sat: HashMap<SatKey, SatResult>,
+    hits: u64,
+    misses: u64,
+}
+
+/// A shared, append-only cache of solver verdicts keyed on interned queries.
+#[derive(Debug, Clone, Default)]
+pub struct SolverCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SolverCache {
+    /// An empty cache.
+    pub fn new() -> SolverCache {
+        SolverCache::default()
+    }
+
+    /// Look up a validity query. On a hit the cached verdict is returned; on a
+    /// miss the interned key is returned so the caller can solve the query and
+    /// [`store_valid`](SolverCache::store_valid) the verdict.
+    ///
+    /// # Errors
+    ///
+    /// The `Err` variant is the cache-miss key, not a failure.
+    pub fn lookup_valid(
+        &self,
+        env: &SortingEnv,
+        config_fp: u64,
+        premises: &[Term],
+        conclusion: &Term,
+    ) -> Result<ValidityResult, ValidityKey> {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        let env_fp = fingerprint_env(env);
+        let mut premise_ids: Vec<TermId> = premises.iter().map(|p| inner.arena.intern(p)).collect();
+        premise_ids.sort_unstable();
+        premise_ids.dedup();
+        let key = ValidityKey {
+            env_fp,
+            config_fp,
+            premises: premise_ids,
+            conclusion: inner.arena.intern(conclusion),
+        };
+        match inner.valid.get(&key).cloned() {
+            Some(hit) => {
+                inner.hits += 1;
+                Ok(hit)
+            }
+            None => {
+                inner.misses += 1;
+                Err(key)
+            }
+        }
+    }
+
+    /// Record the verdict for a previously missed validity query.
+    pub fn store_valid(&self, key: ValidityKey, result: &ValidityResult) {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        inner.valid.insert(key, result.clone());
+    }
+
+    /// Look up a satisfiability query; see [`lookup_valid`](Self::lookup_valid).
+    ///
+    /// # Errors
+    ///
+    /// The `Err` variant is the cache-miss key, not a failure.
+    pub fn lookup_sat(
+        &self,
+        env: &SortingEnv,
+        config_fp: u64,
+        assumptions: &[Term],
+    ) -> Result<SatResult, SatKey> {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        let env_fp = fingerprint_env(env);
+        let mut ids: Vec<TermId> = assumptions.iter().map(|a| inner.arena.intern(a)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let key = SatKey {
+            env_fp,
+            config_fp,
+            assumptions: ids,
+        };
+        match inner.sat.get(&key).cloned() {
+            Some(hit) => {
+                inner.hits += 1;
+                Ok(hit)
+            }
+            None => {
+                inner.misses += 1;
+                Err(key)
+            }
+        }
+    }
+
+    /// Record the verdict for a previously missed satisfiability query.
+    pub fn store_sat(&self, key: SatKey, result: &SatResult) {
+        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        inner.sat.insert(key, result.clone());
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("solver cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            interned_terms: inner.arena.len(),
+            validity_entries: inner.valid.len(),
+            sat_entries: inner.sat.len(),
+        }
+    }
+}
+
+/// Fingerprint an entire sorting environment: variable sorts, measure
+/// signatures and unknown declarations. Two environments with the same
+/// fingerprint produce identical solver behavior for every query (modulo hash
+/// collisions over the full 64-bit space).
+fn fingerprint_env(env: &SortingEnv) -> u64 {
+    let mut h = DefaultHasher::new();
+    for (name, sort) in env.vars() {
+        "v".hash(&mut h);
+        name.hash(&mut h);
+        sort.hash(&mut h);
+    }
+    for (name, sig) in env.measures() {
+        "m".hash(&mut h);
+        name.hash(&mut h);
+        sig.args.hash(&mut h);
+        sig.result.hash(&mut h);
+    }
+    for (name, sort) in env.unknowns() {
+        "u".hash(&mut h);
+        name.hash(&mut h);
+        sort.hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_logic::{Sort, Term};
+
+    fn env() -> SortingEnv {
+        let mut e = SortingEnv::new();
+        e.bind_var("x", Sort::Int).bind_var("y", Sort::Int);
+        e
+    }
+
+    #[test]
+    fn miss_then_store_then_hit() {
+        let cache = SolverCache::new();
+        let premises = [Term::var("x").lt(Term::var("y"))];
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = match cache.lookup_valid(&env(), 0, &premises, &goal) {
+            Err(key) => key,
+            Ok(_) => panic!("empty cache cannot hit"),
+        };
+        cache.store_valid(key, &ValidityResult::Valid);
+        assert!(matches!(
+            cache.lookup_valid(&env(), 0, &premises, &goal),
+            Ok(ValidityResult::Valid)
+        ));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.validity_entries, 1);
+        assert!(stats.interned_terms > 0);
+    }
+
+    #[test]
+    fn premise_order_is_canonicalized() {
+        let cache = SolverCache::new();
+        let p1 = Term::var("x").ge(Term::int(0));
+        let p2 = Term::var("y").ge(Term::int(1));
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = cache
+            .lookup_valid(&env(), 0, &[p1.clone(), p2.clone()], &goal)
+            .unwrap_err();
+        cache.store_valid(key, &ValidityResult::Valid);
+        // Permuted (and duplicated) premises hit the same entry.
+        assert!(cache
+            .lookup_valid(&env(), 0, &[p2.clone(), p1.clone(), p2], &goal)
+            .is_ok());
+    }
+
+    #[test]
+    fn different_environments_do_not_alias() {
+        let cache = SolverCache::new();
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = cache.lookup_valid(&env(), 0, &[], &goal).unwrap_err();
+        cache.store_valid(key, &ValidityResult::Valid);
+        let mut other = env();
+        other.bind_var("x", Sort::Bool);
+        assert!(cache.lookup_valid(&other, 0, &[], &goal).is_err());
+    }
+
+    #[test]
+    fn clones_share_the_same_table() {
+        let cache = SolverCache::new();
+        let clone = cache.clone();
+        let goal = Term::var("x").ge(Term::int(0));
+        let key = cache
+            .lookup_sat(&env(), 0, std::slice::from_ref(&goal))
+            .unwrap_err();
+        cache.store_sat(key, &SatResult::Unsat);
+        assert!(matches!(
+            clone.lookup_sat(&env(), 0, &[goal]),
+            Ok(SatResult::Unsat)
+        ));
+    }
+}

@@ -1,16 +1,23 @@
 //! A small DPLL(T)-style search over the boolean structure of a formula.
 //!
-//! Rather than converting to CNF, the search operates directly on the formula:
-//! it repeatedly picks an unassigned atom, substitutes a truth value, and lets
-//! the shallow simplifications in `resyn-logic` collapse the boolean
-//! structure. When the formula collapses to `true`, the accumulated literal
-//! trail is handed to a [`Theory`] oracle; a theory conflict prunes the branch
-//! exactly like a boolean conflict. Because top-level conjuncts collapse the
-//! formula to `false` as soon as one of them is falsified, the search behaves
-//! like unit propagation on the (premise-heavy) validity queries produced by
-//! type checking.
+//! The search operates on *hash-consed* formulas ([`TermId`]s in a
+//! [`TermArena`]): rather than converting to CNF, it repeatedly picks an
+//! unassigned atom, substitutes a truth value, and lets the shallow id-level
+//! simplifications collapse the boolean structure. Because terms are interned,
+//! "is this subterm the decided atom?" is a single id comparison, structurally
+//! equal atoms reached through different candidate branches are recognized for
+//! free, and every partially-assigned formula is shared with its ancestors
+//! instead of deep-cloned. When the formula collapses to `true`, the
+//! accumulated literal trail is handed to a [`Theory`] oracle; a theory
+//! conflict prunes the branch exactly like a boolean conflict. Because
+//! top-level conjuncts collapse the formula to `false` as soon as one of them
+//! is falsified, the search behaves like unit propagation on the
+//! (premise-heavy) validity queries produced by type checking.
 
-use resyn_logic::{BinOp, Term, UnOp};
+use std::collections::HashMap;
+
+use resyn_logic::intern::Node;
+use resyn_logic::{BinOp, TermArena, TermId, UnOp};
 
 /// Verdict of a theory oracle on a conjunction of literals.
 #[derive(Debug, Clone)]
@@ -28,8 +35,9 @@ pub trait Theory {
     /// The kind of model returned on consistent assignments.
     type Model;
 
-    /// Decide whether the conjunction of the given literals is satisfiable.
-    fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<Self::Model>;
+    /// Decide whether the conjunction of the given literals (atom ids into
+    /// `arena`, paired with their decided truth values) is satisfiable.
+    fn check(&self, arena: &TermArena, literals: &[(TermId, bool)]) -> TheoryResult<Self::Model>;
 }
 
 /// Result of the DPLL(T) search.
@@ -38,7 +46,7 @@ pub enum DpllResult<M> {
     /// A satisfying assignment was found.
     Sat {
         /// The atom assignments on the satisfying branch.
-        assignment: Vec<(Term, bool)>,
+        assignment: Vec<(TermId, bool)>,
         /// The theory model for the arithmetic part.
         theory_model: M,
     },
@@ -64,13 +72,19 @@ impl Default for DpllConfig {
     }
 }
 
-/// Run the search on `formula` with the given theory oracle.
-pub fn solve<T: Theory>(formula: &Term, theory: &T, config: &DpllConfig) -> DpllResult<T::Model> {
+/// Run the search on the interned `formula` with the given theory oracle.
+pub fn solve<T: Theory>(
+    arena: &mut TermArena,
+    formula: TermId,
+    theory: &T,
+    config: &DpllConfig,
+) -> DpllResult<T::Model> {
     let mut trail = Vec::new();
     let mut decisions = 0usize;
     let mut saw_unknown = None;
     let result = search(
-        formula.clone(),
+        arena,
+        formula,
         theory,
         &mut trail,
         &mut decisions,
@@ -89,16 +103,19 @@ pub fn solve<T: Theory>(formula: &Term, theory: &T, config: &DpllConfig) -> Dpll
 /// Returns `Some(Sat/Unknown-limit)` to stop the search, `None` to continue
 /// exploring siblings (branch exhausted).
 fn search<T: Theory>(
-    formula: Term,
+    arena: &mut TermArena,
+    formula: TermId,
     theory: &T,
-    trail: &mut Vec<(Term, bool)>,
+    trail: &mut Vec<(TermId, bool)>,
     decisions: &mut usize,
     limit: usize,
     saw_unknown: &mut Option<String>,
 ) -> Option<DpllResult<T::Model>> {
-    match &formula {
-        Term::Bool(false) => None,
-        Term::Bool(true) => match theory.check(trail) {
+    if arena.is_false(formula) {
+        return None;
+    }
+    if arena.is_true(formula) {
+        return match theory.check(arena, trail) {
             TheoryResult::Consistent(m) => Some(DpllResult::Sat {
                 assignment: trail.clone(),
                 theory_model: m,
@@ -108,39 +125,37 @@ fn search<T: Theory>(
                 *saw_unknown = Some(msg);
                 None
             }
-        },
-        _ => {
-            let atom = match find_atom(&formula) {
-                Some(a) => a,
-                None => {
-                    // No atom but not a literal: treat as unknown.
-                    *saw_unknown = Some(format!("cannot decompose formula: {formula}"));
-                    return None;
-                }
-            };
-            for value in [true, false] {
-                *decisions += 1;
-                if *decisions > limit {
-                    return Some(DpllResult::Unknown("decision limit exceeded".into()));
-                }
-                let reduced = assign(&formula, &atom, value);
-                trail.push((atom.clone(), value));
-                let res = search(reduced, theory, trail, decisions, limit, saw_unknown);
-                trail.pop();
-                if res.is_some() {
-                    return res;
-                }
-            }
-            None
+        };
+    }
+    let atom = match find_atom(arena, formula) {
+        Some(a) => a,
+        None => {
+            // No atom but not a literal: treat as unknown.
+            *saw_unknown = Some(format!("cannot decompose formula: {}", arena.term(formula)));
+            return None;
+        }
+    };
+    for value in [true, false] {
+        *decisions += 1;
+        if *decisions > limit {
+            return Some(DpllResult::Unknown("decision limit exceeded".into()));
+        }
+        let reduced = assign(arena, formula, atom, value);
+        trail.push((atom, value));
+        let res = search(arena, reduced, theory, trail, decisions, limit, saw_unknown);
+        trail.pop();
+        if res.is_some() {
+            return res;
         }
     }
+    None
 }
 
-/// Is this term a boolean *atom* (a leaf of the boolean structure)?
-pub fn is_atom(t: &Term) -> bool {
-    match t {
-        Term::Var(_) | Term::App(_, _) | Term::Unknown(_, _) => true,
-        Term::Binary(op, _, _) => {
+/// Is this interned term a boolean *atom* (a leaf of the boolean structure)?
+pub fn is_atom(arena: &TermArena, id: TermId) -> bool {
+    match arena.node(id) {
+        Node::Var(_) | Node::App(_, _) | Node::Unknown(_, _) => true,
+        Node::Binary(op, _, _) => {
             !matches!(op, BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff)
         }
         _ => false,
@@ -148,73 +163,113 @@ pub fn is_atom(t: &Term) -> bool {
 }
 
 /// Find the first atom in the boolean structure of the formula.
-pub fn find_atom(t: &Term) -> Option<Term> {
-    if is_atom(t) {
-        return Some(t.clone());
+pub fn find_atom(arena: &TermArena, id: TermId) -> Option<TermId> {
+    if is_atom(arena, id) {
+        return Some(id);
     }
-    match t {
-        Term::Unary(UnOp::Not, inner) => find_atom(inner),
-        Term::Binary(BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff, a, b) => {
-            find_atom(a).or_else(|| find_atom(b))
+    match arena.node(id) {
+        Node::Unary(UnOp::Not, inner) => find_atom(arena, *inner),
+        Node::Binary(BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff, a, b) => {
+            find_atom(arena, *a).or_else(|| find_atom(arena, *b))
         }
-        Term::Ite(c, a, b) => find_atom(c)
-            .or_else(|| find_atom(a))
-            .or_else(|| find_atom(b)),
+        Node::Ite(c, a, b) => {
+            let (c, a, b) = (*c, *a, *b);
+            find_atom(arena, c)
+                .or_else(|| find_atom(arena, a))
+                .or_else(|| find_atom(arena, b))
+        }
         _ => None,
     }
 }
 
 /// Substitute a truth value for every occurrence of `atom` in the boolean
-/// structure of the formula, re-running the shallow simplifications.
-pub fn assign(t: &Term, atom: &Term, value: bool) -> Term {
+/// structure of the formula, re-running the shallow simplifications. Shared
+/// subformulas are processed once (memoized per call).
+pub fn assign(arena: &mut TermArena, t: TermId, atom: TermId, value: bool) -> TermId {
+    let mut memo = HashMap::new();
+    assign_rec(arena, t, atom, value, &mut memo)
+}
+
+fn assign_rec(
+    arena: &mut TermArena,
+    t: TermId,
+    atom: TermId,
+    value: bool,
+    memo: &mut HashMap<TermId, TermId>,
+) -> TermId {
     if t == atom {
-        return Term::Bool(value);
+        return if value { arena.tt_id() } else { arena.ff_id() };
     }
-    match t {
-        Term::Unary(UnOp::Not, inner) => assign(inner, atom, value).not(),
-        Term::Binary(BinOp::And, a, b) => assign(a, atom, value).and(assign(b, atom, value)),
-        Term::Binary(BinOp::Or, a, b) => assign(a, atom, value).or(assign(b, atom, value)),
-        Term::Binary(BinOp::Implies, a, b) => {
-            assign(a, atom, value).implies(assign(b, atom, value))
+    if let Some(&r) = memo.get(&t) {
+        return r;
+    }
+    let out = match arena.node(t).clone() {
+        Node::Unary(UnOp::Not, inner) => {
+            let inner = assign_rec(arena, inner, atom, value, memo);
+            arena.not_id(inner)
         }
-        Term::Binary(BinOp::Iff, a, b) => {
-            let (a, b) = (assign(a, atom, value), assign(b, atom, value));
-            match (&a, &b) {
-                (Term::Bool(x), _) => {
-                    if *x {
+        Node::Binary(BinOp::And, a, b) => {
+            let a = assign_rec(arena, a, atom, value, memo);
+            let b = assign_rec(arena, b, atom, value, memo);
+            arena.and_id(a, b)
+        }
+        Node::Binary(BinOp::Or, a, b) => {
+            let a = assign_rec(arena, a, atom, value, memo);
+            let b = assign_rec(arena, b, atom, value, memo);
+            arena.or_id(a, b)
+        }
+        Node::Binary(BinOp::Implies, a, b) => {
+            let a = assign_rec(arena, a, atom, value, memo);
+            let b = assign_rec(arena, b, atom, value, memo);
+            arena.implies_id(a, b)
+        }
+        Node::Binary(BinOp::Iff, a, b) => {
+            let a = assign_rec(arena, a, atom, value, memo);
+            let b = assign_rec(arena, b, atom, value, memo);
+            let as_bool = |arena: &TermArena, id: TermId| match arena.node(id) {
+                Node::Bool(x) => Some(*x),
+                _ => None,
+            };
+            match (as_bool(arena, a), as_bool(arena, b)) {
+                (Some(x), _) => {
+                    if x {
                         b
                     } else {
-                        b.not()
+                        arena.not_id(b)
                     }
                 }
-                (_, Term::Bool(y)) => {
-                    if *y {
+                (_, Some(y)) => {
+                    if y {
                         a
                     } else {
-                        a.not()
+                        arena.not_id(a)
                     }
                 }
-                _ => a.iff(b),
+                _ => arena.binary_id(BinOp::Iff, a, b),
             }
         }
-        Term::Ite(c, a, b) => Term::ite(
-            assign(c, atom, value),
-            assign(a, atom, value),
-            assign(b, atom, value),
-        ),
-        _ => t.clone(),
-    }
+        Node::Ite(c, a, b) => {
+            let c = assign_rec(arena, c, atom, value, memo);
+            let a = assign_rec(arena, a, atom, value, memo);
+            let b = assign_rec(arena, b, atom, value, memo);
+            arena.ite_id(c, a, b)
+        }
+        _ => t,
+    };
+    memo.insert(t, out);
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use resyn_logic::Term;
 
     /// A theory that accepts every assignment (pure SAT).
     struct TrivialTheory;
     impl Theory for TrivialTheory {
         type Model = ();
-        fn check(&self, _literals: &[(Term, bool)]) -> TheoryResult<()> {
+        fn check(&self, _arena: &TermArena, _literals: &[(TermId, bool)]) -> TheoryResult<()> {
             TheoryResult::Consistent(())
         }
     }
@@ -223,8 +278,11 @@ mod tests {
     struct RejectBad;
     impl Theory for RejectBad {
         type Model = ();
-        fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<()> {
-            if literals.iter().any(|(a, v)| *v && *a == Term::var("bad")) {
+        fn check(&self, arena: &TermArena, literals: &[(TermId, bool)]) -> TheoryResult<()> {
+            if literals
+                .iter()
+                .any(|(a, v)| *v && arena.term(*a) == Term::var("bad"))
+            {
                 TheoryResult::Inconsistent
             } else {
                 TheoryResult::Consistent(())
@@ -232,45 +290,65 @@ mod tests {
         }
     }
 
+    fn solve_term<T: Theory>(t: &Term, theory: &T) -> (TermArena, DpllResult<T::Model>) {
+        let mut arena = TermArena::new();
+        let id = arena.intern(t);
+        let result = solve(&mut arena, id, theory, &DpllConfig::default());
+        (arena, result)
+    }
+
+    fn assignment_contains(
+        arena: &TermArena,
+        assignment: &[(TermId, bool)],
+        atom: &Term,
+        value: bool,
+    ) -> bool {
+        assignment
+            .iter()
+            .any(|(a, v)| *v == value && arena.term(*a) == *atom)
+    }
+
     #[test]
     fn pure_boolean_sat_and_unsat() {
-        let cfg = DpllConfig::default();
         let p = Term::var("p");
         let q = Term::var("q");
         let sat = p.clone().or(q.clone()).and(p.clone().not());
-        match solve(&sat, &TrivialTheory, &cfg) {
-            DpllResult::Sat { assignment, .. } => {
-                assert!(assignment.contains(&(Term::var("q"), true)));
+        match solve_term(&sat, &TrivialTheory) {
+            (arena, DpllResult::Sat { assignment, .. }) => {
+                assert!(assignment_contains(&arena, &assignment, &q, true));
             }
-            other => panic!("expected sat, got {other:?}"),
+            (_, other) => panic!("expected sat, got {other:?}"),
         }
         let unsat = p.clone().and(p.clone().not());
         assert!(matches!(
-            solve(&unsat, &TrivialTheory, &cfg),
+            solve_term(&unsat, &TrivialTheory).1,
             DpllResult::Unsat
         ));
     }
 
     #[test]
     fn theory_conflicts_prune_branches() {
-        let cfg = DpllConfig::default();
         // bad ∨ ok: boolean search must fall back to ok=true because the
         // theory rejects bad=true.
         let f = Term::var("bad").or(Term::var("ok"));
-        match solve(&f, &RejectBad, &cfg) {
-            DpllResult::Sat { assignment, .. } => {
-                assert!(assignment.contains(&(Term::var("ok"), true)));
+        match solve_term(&f, &RejectBad) {
+            (arena, DpllResult::Sat { assignment, .. }) => {
+                assert!(assignment_contains(
+                    &arena,
+                    &assignment,
+                    &Term::var("ok"),
+                    true
+                ));
             }
-            other => panic!("expected sat, got {other:?}"),
+            (_, other) => panic!("expected sat, got {other:?}"),
         }
         // bad alone is unsat modulo the theory.
         let f = Term::var("bad");
-        assert!(matches!(solve(&f, &RejectBad, &cfg), DpllResult::Unsat));
+        assert!(matches!(solve_term(&f, &RejectBad).1, DpllResult::Unsat));
     }
 
     #[test]
     fn implication_and_iff_structures() {
-        let cfg = DpllConfig::default();
         let p = Term::var("p");
         let q = Term::var("q");
         // (p → q) ∧ p ∧ ¬q is unsat.
@@ -279,32 +357,61 @@ mod tests {
             .implies(q.clone())
             .and(p.clone())
             .and(q.clone().not());
-        assert!(matches!(solve(&f, &TrivialTheory, &cfg), DpllResult::Unsat));
+        assert!(matches!(
+            solve_term(&f, &TrivialTheory).1,
+            DpllResult::Unsat
+        ));
         // (p ⟺ q) ∧ p forces q.
         let f = p.clone().iff(q.clone()).and(p.clone());
-        match solve(&f, &TrivialTheory, &cfg) {
-            DpllResult::Sat { assignment, .. } => {
-                assert!(assignment.contains(&(Term::var("q"), true)));
+        match solve_term(&f, &TrivialTheory) {
+            (arena, DpllResult::Sat { assignment, .. }) => {
+                assert!(assignment_contains(&arena, &assignment, &q, true));
             }
-            other => panic!("expected sat, got {other:?}"),
+            (_, other) => panic!("expected sat, got {other:?}"),
         }
     }
 
     #[test]
     fn atoms_are_comparisons_variables_and_apps() {
-        assert!(is_atom(&Term::var("p")));
-        assert!(is_atom(&Term::var("x").le(Term::int(3))));
-        assert!(is_atom(&Term::app("mem", vec![Term::var("x")])));
-        assert!(!is_atom(&Term::var("p").and(Term::var("q"))));
-        assert!(!is_atom(&Term::tt()));
+        let mut arena = TermArena::new();
+        let atoms = [
+            Term::var("p"),
+            Term::var("x").le(Term::int(3)),
+            Term::app("mem", vec![Term::var("x")]),
+        ];
+        for t in &atoms {
+            let id = arena.intern(t);
+            assert!(is_atom(&arena, id), "{t} should be an atom");
+        }
+        let non_atoms = [Term::var("p").and(Term::var("q")), Term::tt()];
+        for t in &non_atoms {
+            let id = arena.intern(t);
+            assert!(!is_atom(&arena, id), "{t} should not be an atom");
+        }
     }
 
     #[test]
     fn assign_replaces_only_the_given_atom() {
+        let mut arena = TermArena::new();
         let f = Term::var("x")
             .le(Term::int(3))
             .and(Term::var("y").le(Term::int(4)));
-        let g = assign(&f, &Term::var("x").le(Term::int(3)), true);
-        assert_eq!(g, Term::var("y").le(Term::int(4)));
+        let fid = arena.intern(&f);
+        let atom = arena.intern(&Term::var("x").le(Term::int(3)));
+        let g = assign(&mut arena, fid, atom, true);
+        assert_eq!(arena.term(g), Term::var("y").le(Term::int(4)));
+    }
+
+    #[test]
+    fn shared_atoms_are_recognized_by_id() {
+        // The same atom reached through two different subformulas is a single
+        // id: one decision assigns both occurrences.
+        let mut arena = TermArena::new();
+        let atom = Term::var("x").le(Term::int(0));
+        let f = atom.clone().or(Term::var("p")).and(atom.clone().not());
+        let fid = arena.intern(&f);
+        let aid = arena.intern(&atom);
+        let reduced = assign(&mut arena, fid, aid, true);
+        assert!(arena.is_false(reduced));
     }
 }

@@ -16,9 +16,12 @@
 //!   procedure for this fragment.
 //! * [`euf`] — ground congruence-closure utilities and congruence-axiom
 //!   instantiation for measure applications.
-//! * [`dpll`] — a small CNF/DPLL SAT core used to enumerate boolean skeletons.
+//! * [`dpll`] — a small DPLL(T) search over hash-consed formulas.
 //! * [`smt`] — the public [`Solver`] combining everything: lazy DPLL(T) with
 //!   per-assignment theory checks, blocking clauses, and model construction.
+//! * [`cache`] — a shared validity/SAT query cache over interned terms
+//!   ([`SolverCache`]), threaded through the checking pipeline so repeated
+//!   obligations are answered by lookup.
 //!
 //! The solver is sound and complete on the fragment above and produces models,
 //! which the CEGIS resource-constraint solver requires.
@@ -41,6 +44,7 @@
 //! assert!(!solver.is_valid(&[], &Term::var("x").le(Term::var("y"))));
 //! ```
 
+pub mod cache;
 pub mod dpll;
 pub mod euf;
 pub mod lia;
@@ -49,6 +53,7 @@ pub mod rational;
 pub mod sets;
 pub mod smt;
 
+pub use cache::{CacheStats, SolverCache};
 pub use lia::LiaSolver;
 pub use linear::{LinExpr, LinearizeError};
 pub use rational::Rat;

@@ -6,19 +6,30 @@
 //!
 //! 1. instantiate congruence axioms for measure applications ([`crate::euf`]),
 //! 2. alias measure applications to fresh variables of the appropriate sort,
-//! 3. normalize equalities per sort (`=` on integers becomes `≤ ∧ ≥`, on
+//! 3. intern the formula into a hash-consing [`TermArena`] — every later
+//!    stage runs over interned ids, so structurally equal subformulas are
+//!    processed once and atom comparisons are O(1),
+//! 4. normalize equalities per sort (`=` on integers becomes `≤ ∧ ≥`, on
 //!    booleans becomes a bi-implication, set equalities are kept),
-//! 4. case-split conditional (`ite`) sub-terms out of atoms,
-//! 5. eliminate set atoms by membership expansion ([`crate::sets`]),
-//! 6. run the DPLL(T) search ([`crate::dpll`]) with a linear-integer-arithmetic
+//! 5. case-split conditional (`ite`) sub-terms out of atoms,
+//! 6. eliminate set atoms by membership expansion ([`crate::sets`]),
+//! 7. run the DPLL(T) search ([`crate::dpll`]) with a linear-integer-arithmetic
 //!    theory oracle ([`crate::lia`]), and
-//! 7. reconstruct a model for the caller's variables (including set values and
+//! 8. reconstruct a model for the caller's variables (including set values and
 //!    interpretations for the aliased measure applications).
+//!
+//! A solver can additionally carry a shared [`SolverCache`]
+//! ([`Solver::with_cache`]): the public [`Solver::check_sat`] /
+//! [`Solver::check_valid`] entry points then memoize verdicts keyed on the
+//! interned query, so the checking pipeline never re-proves a structurally
+//! equal obligation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use resyn_logic::{BinOp, Model, Sort, SortingEnv, Term, UnOp, Value};
+use resyn_logic::intern::Node;
+use resyn_logic::{BinOp, Model, Sort, SortingEnv, Term, TermArena, TermId, UnOp, Value};
 
+use crate::cache::SolverCache;
 use crate::dpll::{self, DpllConfig, DpllResult, Theory, TheoryResult};
 use crate::lia::{LiaResult, LiaSolver, LinConstraint};
 use crate::linear::LinExpr;
@@ -53,6 +64,7 @@ pub struct Solver {
     env: SortingEnv,
     lia: LiaSolver,
     dpll: DpllConfig,
+    cache: Option<SolverCache>,
 }
 
 impl Solver {
@@ -63,6 +75,7 @@ impl Solver {
             env,
             lia: LiaSolver::new(),
             dpll: DpllConfig::default(),
+            cache: None,
         }
     }
 
@@ -71,7 +84,21 @@ impl Solver {
         &self.env
     }
 
-    /// A copy of this solver with additional variable bindings.
+    /// Attach a shared query cache: every [`Solver::check_sat`] /
+    /// [`Solver::check_valid`] verdict is memoized in (and answered from) the
+    /// cache, keyed on the interned query and the environment fingerprint.
+    pub fn with_cache(mut self, cache: SolverCache) -> Solver {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached query cache, if any.
+    pub fn cache(&self) -> Option<&SolverCache> {
+        self.cache.as_ref()
+    }
+
+    /// A copy of this solver with additional variable bindings (the query
+    /// cache, if any, is carried over).
     pub fn with_bindings<I>(&self, bindings: I) -> Solver
     where
         I: IntoIterator<Item = (String, Sort)>,
@@ -84,11 +111,38 @@ impl Solver {
             env,
             lia: self.lia.clone(),
             dpll: self.dpll.clone(),
+            cache: self.cache.clone(),
         }
+    }
+
+    /// Fingerprint of the work limits a verdict may depend on (a raised
+    /// limit can turn `Unknown` into a definite answer, so solvers with
+    /// different limits must not alias in a shared cache).
+    fn config_fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.dpll.decision_limit.hash(&mut h);
+        self.lia.branch_limit.hash(&mut h);
+        self.lia.constraint_limit.hash(&mut h);
+        h.finish()
     }
 
     /// Decide satisfiability of the conjunction of `assumptions`.
     pub fn check_sat(&self, assumptions: &[Term]) -> SatResult {
+        if let Some(cache) = &self.cache {
+            match cache.lookup_sat(&self.env, self.config_fingerprint(), assumptions) {
+                Ok(hit) => return hit,
+                Err(key) => {
+                    let result = self.check_sat_inner(assumptions);
+                    cache.store_sat(key, &result);
+                    return result;
+                }
+            }
+        }
+        self.check_sat_inner(assumptions)
+    }
+
+    fn check_sat_inner(&self, assumptions: &[Term]) -> SatResult {
         let formula = Term::and_all(assumptions.iter().cloned()).simplify();
         if formula.is_false() {
             return SatResult::Unsat;
@@ -106,17 +160,24 @@ impl Solver {
         let mut aliases: BTreeMap<String, (Term, String, Sort)> = BTreeMap::new();
         let formula = alias_apps(&formula, &self.env, &mut env, &mut aliases);
 
-        // 3. Normalize equalities and bi-implications.
-        let formula = match normalize(&formula, &env) {
+        // 3. Intern: the rest of the pipeline runs over hash-consed ids.
+        let mut arena = TermArena::new();
+        let formula = arena.intern(&formula);
+
+        // 4. Normalize equalities and bi-implications.
+        let mut memo = HashMap::new();
+        let formula = match normalize(&mut arena, formula, &env, &mut memo) {
             Ok(f) => f,
             Err(msg) => return SatResult::Unknown(msg),
         };
 
-        // 4. Case-split conditionals out of atoms.
-        let formula = lift_ites(&formula);
+        // 5. Case-split conditionals out of atoms.
+        let mut lift_memo = HashMap::new();
+        let formula = lift_ites(&mut arena, formula, &mut lift_memo);
 
-        // 5. Eliminate set atoms.
-        let elimination = match sets::eliminate_sets(&formula, &env) {
+        // 6. Eliminate set atoms (tree-based; the membership expansion
+        //    rewrites the formula wholesale, so there is nothing to share).
+        let elimination = match sets::eliminate_sets(&arena.term(formula), &env) {
             Ok(e) => e,
             Err(err) => return SatResult::Unknown(err.to_string()),
         };
@@ -124,34 +185,62 @@ impl Solver {
             env.bind_var(w.clone(), Sort::Int);
         }
         // Normalize the element equalities the elimination introduced.
-        let formula = lift_ites(&elimination.formula).simplify();
+        let formula = arena.intern(&elimination.formula);
+        let formula = lift_ites(&mut arena, formula, &mut lift_memo);
+        let formula = arena.simplify_id(formula);
 
-        if formula.is_false() {
+        if arena.is_false(formula) {
             return SatResult::Unsat;
         }
 
-        // 6. DPLL(T) with the LIA oracle.
-        let theory = ArithTheory { lia: &self.lia };
-        match dpll::solve(&formula, &theory, &self.dpll) {
+        // 7. DPLL(T) with the LIA oracle, over interned atoms.
+        let theory = ArithTheory {
+            lia: &self.lia,
+            lin_cache: std::cell::RefCell::new(HashMap::new()),
+        };
+        match dpll::solve(&mut arena, formula, &theory, &self.dpll) {
             DpllResult::Unsat => SatResult::Unsat,
             DpllResult::Unknown(msg) => SatResult::Unknown(msg),
             DpllResult::Sat {
                 assignment,
                 theory_model,
-            } => SatResult::Sat(self.build_model(
-                &assignment,
-                &theory_model,
-                &aliases,
-                &elimination.memberships,
-            )),
+            } => {
+                let assignment: Vec<(Term, bool)> = assignment
+                    .iter()
+                    .map(|(id, v)| (arena.term(*id), *v))
+                    .collect();
+                SatResult::Sat(self.build_model(
+                    &assignment,
+                    &theory_model,
+                    &aliases,
+                    &elimination.memberships,
+                ))
+            }
         }
     }
 
     /// Decide validity of `premises ⟹ conclusion`.
     pub fn check_valid(&self, premises: &[Term], conclusion: &Term) -> ValidityResult {
+        if let Some(cache) = &self.cache {
+            match cache.lookup_valid(&self.env, self.config_fingerprint(), premises, conclusion) {
+                Ok(hit) => return hit,
+                Err(key) => {
+                    let result = self.check_valid_inner(premises, conclusion);
+                    cache.store_valid(key, &result);
+                    return result;
+                }
+            }
+        }
+        self.check_valid_inner(premises, conclusion)
+    }
+
+    fn check_valid_inner(&self, premises: &[Term], conclusion: &Term) -> ValidityResult {
         let mut assumptions: Vec<Term> = premises.to_vec();
         assumptions.push(conclusion.clone().not());
-        match self.check_sat(&assumptions) {
+        // Bypass the satisfiability cache: the validity verdict is cached
+        // under its own (premises, conclusion) key, so going through the
+        // public `check_sat` would double-count every query.
+        match self.check_sat_inner(&assumptions) {
             SatResult::Unsat => ValidityResult::Valid,
             SatResult::Sat(m) => ValidityResult::Invalid(m),
             SatResult::Unknown(msg) => ValidityResult::Unknown(msg),
@@ -208,7 +297,7 @@ impl Solver {
         }
         // Also include values for alias variables (needed to evaluate element
         // terms that mention measure applications).
-        for (_, (_, alias, sort)) in aliases {
+        for (_, alias, sort) in aliases.values() {
             if matches!(sort, Sort::Int | Sort::Uninterp(_)) {
                 int_model.insert(alias.clone(), Value::Int(value_of(alias)));
             }
@@ -240,7 +329,7 @@ impl Solver {
         }
 
         // Interpretations for the aliased measure applications.
-        for (_, (app, alias, sort)) in aliases {
+        for (app, alias, sort) in aliases.values() {
             let value = match sort {
                 Sort::Int | Sort::Uninterp(_) => Value::Int(value_of(alias)),
                 Sort::Bool => Value::Bool(
@@ -265,36 +354,57 @@ impl Solver {
 /// arithmetic content.
 struct ArithTheory<'a> {
     lia: &'a LiaSolver,
+    /// Per-query memo of operand linearizations (`None` = non-linear).
+    lin_cache: std::cell::RefCell<HashMap<TermId, Option<LinExpr>>>,
+}
+
+impl ArithTheory<'_> {
+    /// Linearize an interned operand, memoized per id: DPLL consults the
+    /// theory once per candidate assignment, and the same atoms reappear on
+    /// every trail, so each operand is converted (and its tree reconstructed)
+    /// at most once per query. `None` marks a non-linearizable operand.
+    fn linearize(&self, arena: &TermArena, id: TermId) -> Option<LinExpr> {
+        if let Some(r) = self.lin_cache.borrow().get(&id) {
+            return r.clone();
+        }
+        let r = LinExpr::from_term(&arena.term(id)).ok();
+        self.lin_cache.borrow_mut().insert(id, r.clone());
+        r
+    }
 }
 
 impl<'a> Theory for ArithTheory<'a> {
     type Model = BTreeMap<String, Rat>;
 
-    fn check(&self, literals: &[(Term, bool)]) -> TheoryResult<Self::Model> {
+    fn check(&self, arena: &TermArena, literals: &[(TermId, bool)]) -> TheoryResult<Self::Model> {
         let mut constraints: Vec<LinConstraint> = Vec::new();
-        for (atom, value) in literals {
-            match atom {
-                Term::Var(_) | Term::App(_, _) | Term::Unknown(_, _) => {}
-                Term::Binary(op, a, b) if op.is_arith_comparison() => {
-                    let (ea, eb) = match (LinExpr::from_term(a), LinExpr::from_term(b)) {
-                        (Ok(ea), Ok(eb)) => (ea, eb),
+        for (atom_id, value) in literals {
+            match arena.node(*atom_id) {
+                Node::Var(_) | Node::App(_, _) | Node::Unknown(_, _) => {}
+                Node::Binary(op, a, b) if op.is_arith_comparison() => {
+                    let (op, a, b) = (*op, *a, *b);
+                    let (ea, eb) = match (self.linearize(arena, a), self.linearize(arena, b)) {
+                        (Some(ea), Some(eb)) => (ea, eb),
                         _ => {
                             return TheoryResult::Unknown(format!(
-                                "non-linear arithmetic atom: {atom}"
+                                "non-linear arithmetic atom: {}",
+                                arena.term(*atom_id)
                             ))
                         }
                     };
-                    let c = arith_constraint(*op, *value, &ea, &eb);
+                    let c = arith_constraint(op, *value, &ea, &eb);
                     constraints.push(c);
                 }
-                Term::Binary(BinOp::Eq, a, b) => {
+                Node::Binary(BinOp::Eq, a, b) => {
                     // Residual equalities (e.g. between uninterpreted-sorted
                     // terms) are treated as integer equalities.
-                    let (ea, eb) = match (LinExpr::from_term(a), LinExpr::from_term(b)) {
-                        (Ok(ea), Ok(eb)) => (ea, eb),
+                    let (a, b) = (*a, *b);
+                    let (ea, eb) = match (self.linearize(arena, a), self.linearize(arena, b)) {
+                        (Some(ea), Some(eb)) => (ea, eb),
                         _ => {
                             return TheoryResult::Unknown(format!(
-                                "cannot interpret equality atom: {atom}"
+                                "cannot interpret equality atom: {}",
+                                arena.term(*atom_id)
                             ))
                         }
                     };
@@ -305,11 +415,17 @@ impl<'a> Theory for ArithTheory<'a> {
                         // A negated equality is non-convex; it should have
                         // been normalized away.
                         return TheoryResult::Unknown(format!(
-                            "unnormalized disequality atom: {atom}"
+                            "unnormalized disequality atom: {}",
+                            arena.term(*atom_id)
                         ));
                     }
                 }
-                other => return TheoryResult::Unknown(format!("unsupported theory atom: {other}")),
+                _ => {
+                    return TheoryResult::Unknown(format!(
+                        "unsupported theory atom: {}",
+                        arena.term(*atom_id)
+                    ))
+                }
             }
         }
         // Every variable occurring in an arithmetic constraint is integer-sorted.
@@ -389,136 +505,216 @@ fn alias_apps(
 
 /// Normalize equalities per sort and expand bi-implications so that later
 /// stages only see convex arithmetic atoms and implication-free booleans.
-fn normalize(t: &Term, env: &SortingEnv) -> Result<Term, String> {
-    Ok(match t {
-        Term::Binary(BinOp::Iff, a, b) => {
-            let (a, b) = (normalize(a, env)?, normalize(b, env)?);
-            a.clone().implies(b.clone()).and(b.implies(a))
+/// Runs over interned ids, memoized per id: shared subformulas (which the
+/// premise-heavy validity queries of type checking are full of) are
+/// normalized once.
+fn normalize(
+    arena: &mut TermArena,
+    id: TermId,
+    env: &SortingEnv,
+    memo: &mut HashMap<TermId, Result<TermId, String>>,
+) -> Result<TermId, String> {
+    if let Some(r) = memo.get(&id) {
+        return r.clone();
+    }
+    let out = normalize_uncached(arena, id, env, memo);
+    memo.insert(id, out.clone());
+    out
+}
+
+fn normalize_uncached(
+    arena: &mut TermArena,
+    id: TermId,
+    env: &SortingEnv,
+    memo: &mut HashMap<TermId, Result<TermId, String>>,
+) -> Result<TermId, String> {
+    Ok(match arena.node(id).clone() {
+        Node::Binary(BinOp::Iff, a, b) => {
+            let (a, b) = (
+                normalize(arena, a, env, memo)?,
+                normalize(arena, b, env, memo)?,
+            );
+            let fwd = arena.implies_id(a, b);
+            let bwd = arena.implies_id(b, a);
+            arena.and_id(fwd, bwd)
         }
-        Term::Binary(BinOp::Eq, a, b) => {
-            let sort = env.sort_of(a).or_else(|_| env.sort_of(b));
+        Node::Binary(BinOp::Eq, a, b) => {
+            let sort = arena
+                .sort_of_id(a, env, 0)
+                .or_else(|_| arena.sort_of_id(b, env, 0));
             match sort {
                 Ok(Sort::Bool) => {
-                    let (a, b) = (normalize(a, env)?, normalize(b, env)?);
-                    a.clone().implies(b.clone()).and(b.implies(a))
+                    let (a, b) = (
+                        normalize(arena, a, env, memo)?,
+                        normalize(arena, b, env, memo)?,
+                    );
+                    let fwd = arena.implies_id(a, b);
+                    let bwd = arena.implies_id(b, a);
+                    arena.and_id(fwd, bwd)
                 }
-                Ok(Sort::Set) => t.clone(),
+                Ok(Sort::Set) => id,
                 _ => {
-                    let (a, b) = (*a.clone(), *b.clone());
-                    a.clone().le(b.clone()).and(a.ge(b))
+                    let le = arena.binary_id(BinOp::Le, a, b);
+                    let ge = arena.binary_id(BinOp::Ge, a, b);
+                    arena.and_id(le, ge)
                 }
             }
         }
-        Term::Binary(BinOp::Neq, a, b) => {
-            let sort = env.sort_of(a).or_else(|_| env.sort_of(b));
+        Node::Binary(BinOp::Neq, a, b) => {
+            let sort = arena
+                .sort_of_id(a, env, 0)
+                .or_else(|_| arena.sort_of_id(b, env, 0));
             match sort {
                 Ok(Sort::Bool) => {
-                    let (a, b) = (normalize(a, env)?, normalize(b, env)?);
-                    a.clone().implies(b.clone()).and(b.clone().implies(a)).not()
+                    let (a, b) = (
+                        normalize(arena, a, env, memo)?,
+                        normalize(arena, b, env, memo)?,
+                    );
+                    let fwd = arena.implies_id(a, b);
+                    let bwd = arena.implies_id(b, a);
+                    let iff = arena.and_id(fwd, bwd);
+                    arena.not_id(iff)
                 }
-                Ok(Sort::Set) => t.clone(),
+                Ok(Sort::Set) => id,
                 _ => {
-                    let (a, b) = (*a.clone(), *b.clone());
-                    a.clone().lt(b.clone()).or(a.gt(b))
+                    let lt = arena.binary_id(BinOp::Lt, a, b);
+                    let gt = arena.binary_id(BinOp::Gt, a, b);
+                    arena.or_id(lt, gt)
                 }
             }
         }
-        Term::Unary(UnOp::Not, x) => normalize(x, env)?.not(),
-        Term::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies), a, b) => Term::Binary(
-            *op,
-            Box::new(normalize(a, env)?),
-            Box::new(normalize(b, env)?),
-        ),
-        Term::Ite(c, a, b) => Term::Ite(
-            Box::new(normalize(c, env)?),
-            Box::new(normalize(a, env)?),
-            Box::new(normalize(b, env)?),
-        ),
-        _ => t.clone(),
+        Node::Unary(UnOp::Not, x) => {
+            let x = normalize(arena, x, env, memo)?;
+            arena.not_id(x)
+        }
+        Node::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies), a, b) => {
+            let a = normalize(arena, a, env, memo)?;
+            let b = normalize(arena, b, env, memo)?;
+            arena.binary_id(op, a, b)
+        }
+        Node::Ite(c, a, b) => {
+            let c = normalize(arena, c, env, memo)?;
+            let a = normalize(arena, a, env, memo)?;
+            let b = normalize(arena, b, env, memo)?;
+            arena.mk(Node::Ite(c, a, b))
+        }
+        _ => id,
     })
 }
 
 /// Case-split scalar conditionals out of atoms, and turn boolean-level
-/// conditionals into disjunctions.
-fn lift_ites(t: &Term) -> Term {
-    match t {
-        Term::Unary(UnOp::Not, x) => lift_ites(x).not(),
-        Term::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff), a, b) => {
-            Term::Binary(*op, Box::new(lift_ites(a)), Box::new(lift_ites(b)))
+/// conditionals into disjunctions. Memoized per id over the arena.
+fn lift_ites(arena: &mut TermArena, id: TermId, memo: &mut HashMap<TermId, TermId>) -> TermId {
+    if let Some(&r) = memo.get(&id) {
+        return r;
+    }
+    let out = match arena.node(id).clone() {
+        Node::Unary(UnOp::Not, x) => {
+            let x = lift_ites(arena, x, memo);
+            arena.not_id(x)
         }
-        Term::Ite(c, a, b) => {
+        Node::Binary(op @ (BinOp::And | BinOp::Or | BinOp::Implies | BinOp::Iff), a, b) => {
+            let a = lift_ites(arena, a, memo);
+            let b = lift_ites(arena, b, memo);
+            arena.binary_id(op, a, b)
+        }
+        Node::Ite(c, a, b) => {
             // Boolean-level conditional.
-            let c = lift_ites(c);
-            let a = lift_ites(a);
-            let b = lift_ites(b);
-            c.clone().and(a).or(c.not().and(b))
+            let c = lift_ites(arena, c, memo);
+            let a = lift_ites(arena, a, memo);
+            let b = lift_ites(arena, b, memo);
+            let then_side = arena.and_id(c, a);
+            let not_c = arena.not_id(c);
+            let else_side = arena.and_id(not_c, b);
+            arena.or_id(then_side, else_side)
         }
-        _ if dpll::is_atom(t) => {
+        _ if dpll::is_atom(arena, id) => {
             // Pull the first scalar conditional out of the atom, if any.
-            match find_scalar_ite(t) {
-                None => t.clone(),
+            match find_scalar_ite(arena, id) {
+                None => id,
                 Some((cond, then_t, else_t)) => {
-                    let then_atom = replace_first_ite(t, &then_t);
-                    let else_atom = replace_first_ite(t, &else_t);
-                    lift_ites(&cond.clone().and(then_atom).or(cond.not().and(else_atom)))
+                    let then_atom = replace_first_ite(arena, id, then_t);
+                    let else_atom = replace_first_ite(arena, id, else_t);
+                    let then_side = arena.and_id(cond, then_atom);
+                    let not_cond = arena.not_id(cond);
+                    let else_side = arena.and_id(not_cond, else_atom);
+                    let split = arena.or_id(then_side, else_side);
+                    lift_ites(arena, split, memo)
                 }
             }
         }
-        _ => t.clone(),
-    }
+        _ => id,
+    };
+    memo.insert(id, out);
+    out
 }
 
 /// Find the first scalar-position `ite` inside an atom, returning
 /// `(condition, then-branch, else-branch)`.
-fn find_scalar_ite(t: &Term) -> Option<(Term, Term, Term)> {
-    match t {
-        Term::Ite(c, a, b) => Some(((**c).clone(), (**a).clone(), (**b).clone())),
-        Term::Var(_)
-        | Term::Bool(_)
-        | Term::Int(_)
-        | Term::EmptySet
-        | Term::SetLit(_)
-        | Term::Unknown(_, _) => None,
-        Term::Singleton(x) | Term::Unary(_, x) | Term::Mul(_, x) => find_scalar_ite(x),
-        Term::Binary(_, a, b) => find_scalar_ite(a).or_else(|| find_scalar_ite(b)),
-        Term::App(_, args) => args.iter().find_map(find_scalar_ite),
+fn find_scalar_ite(arena: &TermArena, id: TermId) -> Option<(TermId, TermId, TermId)> {
+    match arena.node(id) {
+        Node::Ite(c, a, b) => Some((*c, *a, *b)),
+        Node::Var(_)
+        | Node::Bool(_)
+        | Node::Int(_)
+        | Node::EmptySet
+        | Node::SetLit(_)
+        | Node::Unknown(_, _) => None,
+        Node::Singleton(x) | Node::Unary(_, x) | Node::Mul(_, x) => find_scalar_ite(arena, *x),
+        Node::Binary(_, a, b) => {
+            let (a, b) = (*a, *b);
+            find_scalar_ite(arena, a).or_else(|| find_scalar_ite(arena, b))
+        }
+        Node::App(_, args) => args.iter().find_map(|a| find_scalar_ite(arena, *a)),
     }
 }
 
 /// Replace the first `ite` sub-term (in the same traversal order as
 /// [`find_scalar_ite`]) by `replacement`.
-fn replace_first_ite(t: &Term, replacement: &Term) -> Term {
-    fn go(t: &Term, replacement: &Term, done: &mut bool) -> Term {
+fn replace_first_ite(arena: &mut TermArena, id: TermId, replacement: TermId) -> TermId {
+    fn go(arena: &mut TermArena, id: TermId, replacement: TermId, done: &mut bool) -> TermId {
         if *done {
-            return t.clone();
+            return id;
         }
-        match t {
-            Term::Ite(_, _, _) => {
+        match arena.node(id).clone() {
+            Node::Ite(_, _, _) => {
                 *done = true;
-                replacement.clone()
+                replacement
             }
-            Term::Var(_)
-            | Term::Bool(_)
-            | Term::Int(_)
-            | Term::EmptySet
-            | Term::SetLit(_)
-            | Term::Unknown(_, _) => t.clone(),
-            Term::Singleton(x) => Term::Singleton(Box::new(go(x, replacement, done))),
-            Term::Unary(op, x) => Term::Unary(*op, Box::new(go(x, replacement, done))),
-            Term::Mul(k, x) => Term::Mul(*k, Box::new(go(x, replacement, done))),
-            Term::Binary(op, a, b) => {
-                let a2 = go(a, replacement, done);
-                let b2 = go(b, replacement, done);
-                Term::Binary(*op, Box::new(a2), Box::new(b2))
+            Node::Var(_)
+            | Node::Bool(_)
+            | Node::Int(_)
+            | Node::EmptySet
+            | Node::SetLit(_)
+            | Node::Unknown(_, _) => id,
+            Node::Singleton(x) => {
+                let x = go(arena, x, replacement, done);
+                arena.mk(Node::Singleton(x))
             }
-            Term::App(m, args) => Term::App(
-                m.clone(),
-                args.iter().map(|a| go(a, replacement, done)).collect(),
-            ),
+            Node::Unary(op, x) => {
+                let x = go(arena, x, replacement, done);
+                arena.mk(Node::Unary(op, x))
+            }
+            Node::Mul(k, x) => {
+                let x = go(arena, x, replacement, done);
+                arena.mk(Node::Mul(k, x))
+            }
+            Node::Binary(op, a, b) => {
+                let a2 = go(arena, a, replacement, done);
+                let b2 = go(arena, b, replacement, done);
+                arena.mk(Node::Binary(op, a2, b2))
+            }
+            Node::App(m, args) => {
+                let args: Vec<TermId> = args
+                    .into_iter()
+                    .map(|a| go(arena, a, replacement, done))
+                    .collect();
+                arena.mk(Node::App(m, args))
+            }
         }
     }
     let mut done = false;
-    go(t, replacement, &mut done)
+    go(arena, id, replacement, &mut done)
 }
 
 #[cfg(test)]
@@ -681,7 +877,7 @@ mod tests {
         let premise = Term::var("n")
             .ge(Term::int(3))
             .and(Term::var("n").lt(Term::int(7)));
-        match solver.check_sat(&[premise.clone()]) {
+        match solver.check_sat(std::slice::from_ref(&premise)) {
             SatResult::Sat(m) => {
                 assert!(premise.eval_bool(&m).unwrap());
             }

@@ -195,13 +195,16 @@ fn guard_split(builder: &mut Builder, binders: &[(String, Shape)], guards: &[Exp
     }
 }
 
+/// A function from the binders in scope to the guard expressions to try.
+pub type GuardCandidates<'a> = &'a dyn Fn(&[(String, Shape)]) -> Vec<Expr>;
+
 /// Generate the skeletons for a goal with the given parameters, in order of
 /// increasing structural complexity. `guard_candidates` is a function from the
 /// binders in scope to the guard expressions to try.
 pub fn generate(
     params: &[(String, Shape)],
     datatypes: &Datatypes,
-    guard_candidates: &dyn Fn(&[(String, Shape)]) -> Vec<Expr>,
+    guard_candidates: GuardCandidates<'_>,
 ) -> Vec<Skeleton> {
     let mut out = Vec::new();
 

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 
 use resyn_lang::Expr;
 use resyn_rescon::{CegisSolver, IncrementalCegis, RcResult};
+use resyn_solver::SolverCache;
 use resyn_ty::check::{Checker, CheckerConfig, ResourceMode};
 use resyn_ty::datatypes::Datatypes;
 use resyn_ty::types::Ty;
@@ -27,6 +28,12 @@ pub struct SynthStats {
     pub duration: Duration,
     /// Whether the search hit the timeout.
     pub timed_out: bool,
+    /// Solver queries answered from the shared query cache during this run.
+    pub solver_cache_hits: u64,
+    /// Solver queries this run had to solve (and then cached).
+    pub solver_cache_misses: u64,
+    /// Terms newly interned into the cache's hash-consing arena by this run.
+    pub interned_terms: usize,
 }
 
 /// The result of a synthesis run.
@@ -54,6 +61,9 @@ pub struct Synthesizer {
     pub timeout: Duration,
     /// Cap on E-term candidates per hole.
     pub eterm_cap: usize,
+    /// The solver query cache shared by every check issued through this
+    /// synthesizer — the round-robin search re-proves nothing twice.
+    cache: SolverCache,
 }
 
 impl Default for Synthesizer {
@@ -62,6 +72,7 @@ impl Default for Synthesizer {
             datatypes: Datatypes::standard(),
             timeout: Duration::from_secs(600),
             eterm_cap: 600,
+            cache: SolverCache::new(),
         }
     }
 }
@@ -95,6 +106,13 @@ impl Synthesizer {
                 allow_holes: holes,
             },
         )
+        .with_cache(self.cache.clone())
+    }
+
+    /// Counters of the shared solver query cache (hits, misses, intern-table
+    /// size); cumulative over every check issued through this synthesizer.
+    pub fn cache_stats(&self) -> resyn_solver::CacheStats {
+        self.cache.stats()
     }
 
     /// Check a candidate (possibly partial) program; in resource modes the
@@ -111,7 +129,7 @@ impl Synthesizer {
         }
         // Solve the residual resource constraints with CEGIS.
         let env = resyn_logic::SortingEnv::new();
-        let solver = CegisSolver::new(env);
+        let solver = CegisSolver::new(env).with_cache(self.cache.clone());
         let mut cegis = IncrementalCegis::new(solver, outcome.unknowns.clone());
         let result = if matches!(mode, Mode::ReSynNoInc) {
             cegis.add_unknowns(&outcome.unknowns);
@@ -149,6 +167,9 @@ impl Synthesizer {
     /// Synthesize a program for `goal` in the given mode.
     pub fn synthesize(&self, goal: &Goal, mode: Mode) -> SynthOutcome {
         let start = Instant::now();
+        // The cache outlives individual goals; snapshot its counters so the
+        // reported statistics cover this synthesis run only.
+        let cache_before = self.cache.stats();
         let mut stats = SynthStats::default();
 
         // Parameter shapes drive skeleton generation.
@@ -177,6 +198,7 @@ impl Synthesizer {
                 self.fill_skeleton(goal, mode, skel, &params, &ret_shape, &mut stats, start)
             {
                 stats.duration = start.elapsed();
+                self.record_cache_stats(&mut stats, &cache_before);
                 return SynthOutcome {
                     program: Some(program),
                     stats,
@@ -185,10 +207,21 @@ impl Synthesizer {
         }
         stats.duration = start.elapsed();
         stats.timed_out = stats.timed_out || start.elapsed() > self.timeout;
+        self.record_cache_stats(&mut stats, &cache_before);
         SynthOutcome {
             program: None,
             stats,
         }
+    }
+
+    /// Record the cache activity of this run: the difference between the
+    /// shared cache's counters now and at the start of the run (the cache —
+    /// and its counters — persist across goals).
+    fn record_cache_stats(&self, stats: &mut SynthStats, before: &resyn_solver::CacheStats) {
+        let cs = self.cache.stats();
+        stats.solver_cache_hits = cs.hits - before.hits;
+        stats.solver_cache_misses = cs.misses - before.misses;
+        stats.interned_terms = cs.interned_terms - before.interned_terms;
     }
 
     /// Wrap a body into the `fix`/λ chain matching the goal parameters.

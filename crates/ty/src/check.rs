@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 
 use resyn_lang::{CostMetric, Expr};
 use resyn_logic::{Sort, Term};
-use resyn_solver::Solver;
+use resyn_solver::{Solver, SolverCache};
 
 use crate::constraints::ResourceConstraint;
 use crate::ctx::Ctx;
@@ -135,6 +135,11 @@ pub struct Checker {
     pub datatypes: Datatypes,
     /// The configuration.
     pub config: CheckerConfig,
+    /// Optional shared solver query cache: every refinement and resource
+    /// validity query issued while checking is memoized there, so repeated
+    /// obligations (candidate programs sharing prefixes, re-checks of the
+    /// same partial program) are discharged without re-solving.
+    pub cache: Option<SolverCache>,
 }
 
 struct St {
@@ -174,12 +179,22 @@ impl St {
 impl Checker {
     /// Create a checker.
     pub fn new(datatypes: Datatypes, config: CheckerConfig) -> Checker {
-        Checker { datatypes, config }
+        Checker {
+            datatypes,
+            config,
+            cache: None,
+        }
     }
 
     /// A checker with the standard datatypes and default (resource) config.
     pub fn standard() -> Checker {
         Checker::new(Datatypes::standard(), CheckerConfig::default())
+    }
+
+    /// Attach a shared solver query cache (see [`SolverCache`]).
+    pub fn with_cache(mut self, cache: SolverCache) -> Checker {
+        self.cache = Some(cache);
+        self
     }
 
     /// Whether the checker tracks resources at all.
@@ -245,32 +260,27 @@ impl Checker {
             );
         }
         let mut remaining_params: Vec<(String, Ty, i64)> = params;
-        loop {
-            match body {
-                Expr::Fix(_, x, inner) | Expr::Lambda(x, inner) => {
-                    if remaining_params.is_empty() {
-                        return Err(CheckError::Shape(
-                            "more lambdas than parameters in the goal type".into(),
-                        ));
-                    }
-                    let (formal, mut pty, _cost) = remaining_params.remove(0);
-                    // Rename the formal parameter to the actual binder in the
-                    // remaining signature.
-                    if formal != x {
-                        let replacement = Term::var(x.clone());
-                        pty = pty.clone();
-                        remaining_params = remaining_params
-                            .into_iter()
-                            .map(|(n, t, c)| (n, t.subst_term(&formal, &replacement), c))
-                            .collect();
-                        ret_ty = ret_ty.subst_term(&formal, &replacement);
-                    }
-                    st.goal_params.push(x.clone());
-                    self.bind_with_deposit(&mut ctx, &x, &pty);
-                    body = *inner;
-                }
-                _ => break,
+        while let Expr::Fix(_, x, inner) | Expr::Lambda(x, inner) = body {
+            if remaining_params.is_empty() {
+                return Err(CheckError::Shape(
+                    "more lambdas than parameters in the goal type".into(),
+                ));
             }
+            let (formal, mut pty, _cost) = remaining_params.remove(0);
+            // Rename the formal parameter to the actual binder in the
+            // remaining signature.
+            if formal != x {
+                let replacement = Term::var(x.clone());
+                pty = pty.clone();
+                remaining_params = remaining_params
+                    .into_iter()
+                    .map(|(n, t, c)| (n, t.subst_term(&formal, &replacement), c))
+                    .collect();
+                ret_ty = ret_ty.subst_term(&formal, &replacement);
+            }
+            st.goal_params.push(x.clone());
+            self.bind_with_deposit(&mut ctx, &x, &pty);
+            body = *inner;
         }
         if !remaining_params.is_empty() {
             return Err(CheckError::Shape(
@@ -363,13 +373,13 @@ impl Checker {
         st.outcome.eager_resource_checks += 1;
         let solver = self.solver(ctx);
         let ok_lower = solver.is_valid(
-            &[constraint.premise.clone()],
+            std::slice::from_ref(&constraint.premise),
             &constraint.potential.clone().ge(Term::int(0)),
         );
         let ok = if exact {
             ok_lower
                 && solver.is_valid(
-                    &[constraint.premise.clone()],
+                    std::slice::from_ref(&constraint.premise),
                     &constraint.potential.clone().le(Term::int(0)),
                 )
         } else {
@@ -385,7 +395,7 @@ impl Checker {
                 eprintln!(
                     "    verdict: {:?}",
                     solver.check_valid(
-                        &[constraint.premise.clone()],
+                        std::slice::from_ref(&constraint.premise),
                         &constraint.potential.clone().ge(Term::int(0))
                     )
                 );
@@ -399,7 +409,11 @@ impl Checker {
 
     fn solver(&self, ctx: &Ctx) -> Solver {
         let env = ctx.sorting_env(&self.datatypes);
-        Solver::new(env).with_bindings([("_elem".to_string(), Sort::Int)])
+        let solver = Solver::new(env).with_bindings([("_elem".to_string(), Sort::Int)]);
+        match &self.cache {
+            Some(cache) => solver.with_cache(cache.clone()),
+            None => solver,
+        }
     }
 
     /// Require a refinement implication to be valid under the path condition.
@@ -676,6 +690,7 @@ impl Checker {
 
     /// Open a constructor: bind the given binders at the instantiated
     /// argument types and assume the measure axioms for the subject value.
+    #[allow(clippy::too_many_arguments)]
     fn open_ctor(
         &self,
         ctx: &mut Ctx,

@@ -125,24 +125,17 @@ fn element_total(
             SubtypeError::UnsupportedPotential(format!("datatype {datatype} has no size measure"))
         })?;
     let length = Term::app(length_measure, vec![value.clone()]);
-    element_total_rec(&pot, value, &length, datatype)
+    element_total_rec(&pot, value, &length)
 }
 
-fn element_total_rec(
-    pot: &Term,
-    value: &Term,
-    length: &Term,
-    datatype: &str,
-) -> Result<Term, SubtypeError> {
+fn element_total_rec(pot: &Term, value: &Term, length: &Term) -> Result<Term, SubtypeError> {
     match pot {
         Term::Int(k) => Ok(length.clone().times(*k)),
         Term::Unknown(_, _) => Ok(prod(pot.clone(), length.clone())),
-        Term::Binary(resyn_logic::BinOp::Add, a, b) => {
-            Ok((element_total_rec(a, value, length, datatype)?
-                + element_total_rec(b, value, length, datatype)?)
-            .simplify())
-        }
-        Term::Mul(k, inner) => Ok(element_total_rec(inner, value, length, datatype)?.times(*k)),
+        Term::Binary(resyn_logic::BinOp::Add, a, b) => Ok((element_total_rec(a, value, length)?
+            + element_total_rec(b, value, length)?)
+        .simplify()),
+        Term::Mul(k, inner) => Ok(element_total_rec(inner, value, length)?.times(*k)),
         // Conditional per-element potential: ite(a ⋈ ν, k, 0) counts the
         // elements on one side of a threshold; lists provide the matching
         // counting measures.

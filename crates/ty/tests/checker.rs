@@ -208,6 +208,39 @@ fn efficient_common_satisfies_linear_bound() {
 }
 
 #[test]
+fn cached_rechecks_are_answered_by_lookup_with_the_same_verdict() {
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt_schema());
+    let cache = resyn_solver::SolverCache::new();
+    let cached = checker(ResourceMode::Resource).with_cache(cache.clone());
+
+    let first = cached
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect("the efficient implementation must type-check");
+    let after_first = cache.stats();
+    assert!(
+        after_first.misses > 0,
+        "first check must populate the cache"
+    );
+
+    // Re-checking the identical program issues no new solver work…
+    let second = cached
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect("the cached re-check must agree");
+    let after_second = cache.stats();
+    assert_eq!(after_second.misses, after_first.misses);
+    assert!(after_second.hits > after_first.hits);
+
+    // …and the outcome matches the uncached checker's.
+    assert_eq!(first.refinement_queries, second.refinement_queries);
+    let uncached = checker(ResourceMode::Resource)
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect("the uncached checker agrees");
+    assert_eq!(uncached.refinement_queries, first.refinement_queries);
+    assert_eq!(uncached.eager_resource_checks, first.eager_resource_checks);
+}
+
+#[test]
 fn inefficient_common_violates_linear_bound() {
     let mut components = BTreeMap::new();
     components.insert("lt".to_string(), lt_schema());
