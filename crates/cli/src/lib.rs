@@ -11,7 +11,10 @@
 //!   cost-semantics interpreter on inputs of growing size and report the
 //!   fitted asymptotic bound (the `B` column of the paper's Table 2),
 //! * `resyn parse <problem.re>` — validate a problem file and echo the parsed
-//!   signatures.
+//!   signatures,
+//! * `resyn eval` — run the paper's benchmark suites through the parallel
+//!   batch harness and (optionally) emit the machine-readable
+//!   `BENCH_eval.json` report.
 //!
 //! The command logic lives in this library crate so it can be unit-tested
 //! without spawning processes; `main.rs` only handles I/O.
@@ -19,6 +22,8 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use resyn_eval::parallel::{default_jobs, ParallelConfig};
+use resyn_eval::report::{render_json, EvalReport};
 use resyn_parse::surface::{expr_to_surface, schema_to_surface};
 use resyn_parse::{parse_expr, parse_problem};
 use resyn_synth::{Mode, Synthesizer};
@@ -70,6 +75,18 @@ pub struct Options {
     pub goal: Option<String>,
     /// Report search and solver-cache statistics (`--stats`).
     pub stats: bool,
+    /// `eval`: worker threads (`--jobs`); defaults to the machine's
+    /// available parallelism, capped at 8.
+    pub jobs: Option<usize>,
+    /// `eval`: benchmark-id substring filters (`--filter a,b`).
+    pub filters: Vec<String>,
+    /// `eval`: which paper table to run (`--table 1|2`).
+    pub table: u8,
+    /// `eval`: write the JSON report to this path (`--json PATH`).
+    pub json: Option<String>,
+    /// Flags seen on the command line, for per-subcommand scope checking
+    /// (see [`check_flag_scope`]).
+    pub seen_flags: Vec<String>,
 }
 
 impl Default for Options {
@@ -79,8 +96,41 @@ impl Default for Options {
             timeout: Duration::from_secs(120),
             goal: None,
             stats: false,
+            jobs: None,
+            filters: Vec::new(),
+            table: 1,
+            json: None,
+            seen_flags: Vec::new(),
         }
     }
+}
+
+/// Reject flags that do not apply to the given subcommand (each flag is
+/// parsed globally but only meaningful to some subcommands; silently
+/// ignoring e.g. `resyn check … --json out.json` would surprise the user
+/// expecting a report).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] naming the out-of-scope flag.
+pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
+    let allowed: &[&str] = match command {
+        "parse" => &[],
+        "synth" => &["--mode", "--timeout", "--goal", "--stats"],
+        "check" => &["--mode", "--timeout", "--goal"],
+        "measure" => &["--goal"],
+        "eval" => &["--table", "--jobs", "--timeout", "--filter", "--json"],
+        // Unknown subcommands are reported as such by the dispatcher.
+        _ => return Ok(()),
+    };
+    for flag in &opts.seen_flags {
+        if !allowed.contains(&flag.as_str()) {
+            return Err(CliError::Usage(format!(
+                "`{flag}` does not apply to `{command}`"
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Parse `--mode`, `--timeout` and `--goal` flags from an argument list,
@@ -94,6 +144,9 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
+        if arg.starts_with("--") {
+            opts.seen_flags.push(arg.clone());
+        }
         match arg.as_str() {
             "--mode" => {
                 let value = it
@@ -129,6 +182,54 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
             }
             "--stats" => {
                 opts.stats = true;
+            }
+            "--jobs" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--jobs needs a value".to_string()))?;
+                let jobs: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid job count `{value}`")))?;
+                opts.jobs = Some(jobs);
+            }
+            "--filter" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--filter needs a value".to_string()))?;
+                let before = opts.filters.len();
+                opts.filters.extend(
+                    value
+                        .split(',')
+                        .filter(|f| !f.is_empty())
+                        .map(str::to_string),
+                );
+                if opts.filters.len() == before {
+                    return Err(CliError::Usage(format!(
+                        "--filter `{value}` contains no benchmark-id substring"
+                    )));
+                }
+            }
+            "--table" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--table needs a value".to_string()))?;
+                opts.table = match value.as_str() {
+                    "1" => 1,
+                    "2" => 2,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown table `{other}` (expected 1 or 2)"
+                        )))
+                    }
+                };
+            }
+            "--json" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--json needs a value".to_string()))?;
+                opts.json = Some(value.clone());
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
@@ -276,6 +377,67 @@ pub fn run_measure(
     Ok(out)
 }
 
+/// The output of `resyn eval`: the rendered text table and, when `--json`
+/// was given, the serialized `resyn-bench-eval/1` report (the caller writes
+/// it to the requested path — this library does no I/O).
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// The paper-style text table plus a run summary.
+    pub table: String,
+    /// The JSON report, present iff [`Options::json`] is set.
+    pub json: Option<String>,
+}
+
+/// `resyn eval`: run a benchmark suite through the parallel batch harness.
+///
+/// `--table` selects the suite, `--filter` restricts it by id substring,
+/// `--jobs` sets the worker count (results are row-for-row identical
+/// whatever the worker count, except for benchmarks running right at the
+/// wall-clock timeout boundary, which core contention can tip over),
+/// `--timeout` bounds each synthesis mode, and `--json` additionally
+/// serializes the run to the `resyn-bench-eval/1` schema (see
+/// [`resyn_eval::report`]).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] if the filters match no benchmark.
+pub fn run_eval(opts: &Options) -> Result<EvalOutput, CliError> {
+    let suite = match opts.table {
+        2 => resyn_eval::table2(),
+        _ => resyn_eval::table1(),
+    };
+    let benches = resyn_eval::suite::filter_by_id(suite, &opts.filters);
+    if benches.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no table-{} benchmark matches the filter {:?}",
+            opts.table, opts.filters
+        )));
+    }
+    let config = ParallelConfig {
+        jobs: opts.jobs.unwrap_or_else(default_jobs),
+        timeout: opts.timeout,
+        ablations: true,
+        progress: true,
+    };
+    let run = resyn_eval::run_suite(&benches, &config);
+    let suite_name = if opts.table == 2 { "table2" } else { "table1" };
+    let mut table = run.render(opts.table == 2);
+    let _ = writeln!(
+        table,
+        "\n{} rows in {:.2}s wall clock ({} jobs); shared solver cache: {} hits, {} misses",
+        run.rows.len(),
+        run.wall_clock.as_secs_f64(),
+        run.jobs,
+        run.cache.hits,
+        run.cache.misses,
+    );
+    let json = opts
+        .json
+        .as_ref()
+        .map(|_| render_json(&EvalReport::of_run(suite_name, opts.timeout, &run)));
+    Ok(EvalOutput { table, json })
+}
+
 /// Top-level usage string printed by `main` for `--help` or usage errors.
 pub const USAGE: &str = "\
 resyn — resource-guided program synthesis
@@ -285,11 +447,19 @@ USAGE:
     resyn check <problem-file> <program-file> [--mode MODE] [--goal NAME]
     resyn measure <problem-file> <program-file> [--goal NAME]
     resyn parse <problem-file>
+    resyn eval [--table 1|2] [--jobs N] [--timeout SECS] [--filter SUBSTR,...]
+               [--json PATH]
 
 MODES: resyn (default), synquid, eac, noinc, ct
 
 `--stats` additionally reports, per goal, the solver query-cache hit/miss
 counters and the size of the term intern table.
+
+`eval` runs a paper benchmark suite through the parallel batch harness
+(workers share one solver query cache; results are row-for-row identical
+whatever `--jobs` is, modulo rows right at the wall-clock timeout boundary)
+and with `--json` writes the machine-readable `resyn-bench-eval/1` report
+to PATH.
 ";
 
 #[cfg(test)]
@@ -453,6 +623,113 @@ mod tests {
         assert_eq!(positional, vec!["file.re".to_string()]);
         assert!(opts.stats);
         assert!(!Options::default().stats);
+    }
+
+    #[test]
+    fn eval_flags_are_parsed() {
+        let args: Vec<String> = [
+            "--jobs",
+            "4",
+            "--filter",
+            "list-id,list-append",
+            "--filter",
+            "sorted",
+            "--table",
+            "2",
+            "--json",
+            "out/bench.json",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(opts.jobs, Some(4));
+        assert_eq!(opts.filters, vec!["list-id", "list-append", "sorted"]);
+        assert_eq!(opts.table, 2);
+        assert_eq!(opts.json.as_deref(), Some("out/bench.json"));
+
+        for bad in [
+            vec!["--jobs", "0"],
+            vec!["--jobs", "many"],
+            vec!["--table", "3"],
+            vec!["--filter"],
+            // Filters with no non-empty segment would silently run the full
+            // suite; reject them at parse time instead.
+            vec!["--filter", ""],
+            vec!["--filter", ","],
+        ] {
+            let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_flags(&bad), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_runs_a_filtered_slice_and_emits_schema_valid_json() {
+        let opts = Options {
+            timeout: Duration::from_secs(60),
+            jobs: Some(2),
+            filters: vec!["list-id".to_string(), "list-singleton".to_string()],
+            json: Some("unused-path".to_string()),
+            ..Options::default()
+        };
+        let out = run_eval(&opts).unwrap();
+        assert!(out.table.contains("list-id"), "{}", out.table);
+        assert!(out.table.contains("2 rows"), "{}", out.table);
+        let json = out.json.expect("--json must produce a report");
+        let parsed = resyn_eval::parse_json(&json).expect("report must be valid JSON");
+        assert_eq!(
+            parsed.get("schema").and_then(resyn_eval::Json::as_str),
+            Some("resyn-bench-eval/1")
+        );
+        assert_eq!(
+            parsed.get("suite").and_then(resyn_eval::Json::as_str),
+            Some("table1")
+        );
+        let rows = parsed
+            .get("rows")
+            .and_then(resyn_eval::Json::as_arr)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0].get("id").and_then(resyn_eval::Json::as_str),
+            Some("list-id")
+        );
+    }
+
+    #[test]
+    fn out_of_scope_flags_are_rejected_per_subcommand() {
+        let args: Vec<String> = ["--json", "x.json"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert!(check_flag_scope("eval", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("check", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--json")
+        ));
+
+        let args: Vec<String> = ["--stats"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert!(check_flag_scope("synth", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("eval", &opts),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            check_flag_scope("parse", &opts),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn eval_rejects_an_unmatched_filter() {
+        let opts = Options {
+            filters: vec!["no-such-benchmark".to_string()],
+            ..Options::default()
+        };
+        assert!(matches!(run_eval(&opts), Err(CliError::Usage(_))));
     }
 
     #[test]

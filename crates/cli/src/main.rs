@@ -3,7 +3,10 @@
 
 use std::process::ExitCode;
 
-use resyn_cli::{parse_flags, run_check, run_measure, run_parse, run_synth, CliError, USAGE};
+use resyn_cli::{
+    check_flag_scope, parse_flags, run_check, run_eval, run_measure, run_parse, run_synth,
+    CliError, USAGE,
+};
 
 fn main() -> ExitCode {
     match run(std::env::args().skip(1).collect()) {
@@ -29,6 +32,7 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
         return Ok(USAGE.to_string());
     }
     let (positional, opts) = parse_flags(rest)?;
+    check_flag_scope(command, &opts)?;
     let read = |path: &String| {
         std::fs::read_to_string(path)
             .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))
@@ -65,6 +69,19 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
                 ));
             };
             run_measure(&read(problem)?, &read(program)?, &opts)
+        }
+        "eval" => {
+            if !positional.is_empty() {
+                return Err(CliError::Usage(
+                    "eval takes no positional arguments".to_string(),
+                ));
+            }
+            let out = run_eval(&opts)?;
+            if let (Some(path), Some(json)) = (&opts.json, &out.json) {
+                std::fs::write(path, json)
+                    .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+            }
+            Ok(out.table)
         }
         other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
     }

@@ -1,13 +1,16 @@
 //! Regenerate the paper's Table 2 (case studies: T, T-NR, T-EAC, T-NInc, B,
-//! B-NR).
+//! B-NR). A thin wrapper over [`resyn_eval::parallel`]; prefer
+//! `resyn eval --table 2` (crates/cli), which adds `--jobs`/`--json`.
 //!
 //! Usage: `cargo run -p resyn-eval --bin table2 --release [timeout-seconds]
-//! [id-filter,id-filter,...]` — the optional second argument restricts the
-//! run to case studies whose id contains one of the given substrings.
+//! [id-filter,id-filter,...] [jobs]` — the optional second argument restricts
+//! the run to case studies whose id contains one of the given substrings, the
+//! optional third sets the worker count (default 1, i.e. serial).
 
 use std::time::Duration;
 
-use resyn_eval::{harness, suite, Harness};
+use resyn_eval::parallel::{run_suite, ParallelConfig};
+use resyn_eval::suite;
 
 fn main() {
     let timeout = std::env::args()
@@ -18,14 +21,16 @@ fn main() {
         .nth(2)
         .map(|s| s.split(',').map(str::to_string).collect())
         .unwrap_or_default();
-    let harness_cfg = Harness::with_timeout(Duration::from_secs(timeout));
-    let rows: Vec<_> = suite::table2()
-        .iter()
-        .filter(|b| filters.is_empty() || filters.iter().any(|f| b.id.contains(f)))
-        .map(|b| {
-            eprintln!("running {} ...", b.id);
-            harness::run_benchmark(&harness_cfg, b)
-        })
-        .collect();
-    println!("{}", harness::render_table(&rows, true));
+    let jobs = std::env::args()
+        .nth(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1usize);
+    let benches = suite::filter_by_id(suite::table2(), &filters);
+    let config = ParallelConfig {
+        jobs,
+        timeout: Duration::from_secs(timeout),
+        ablations: true,
+        progress: true,
+    };
+    println!("{}", run_suite(&benches, &config).render(true));
 }

@@ -1,12 +1,52 @@
 //! The evaluation harness: run benchmarks in the paper's modes and render
 //! table rows.
+//!
+//! A [`Harness`] owns a [`SolverCache`] shared by *every* mode it runs: the
+//! ReSyn and Synquid runs of one benchmark (and, through
+//! [`crate::parallel`], every concurrently running benchmark) discharge
+//! largely overlapping solver obligations, so cross-mode sharing converts
+//! repeated queries into cache hits instead of re-proving them.
 
 use std::time::Duration;
 
-use resyn_synth::{Mode, SynthOutcome, Synthesizer};
+use resyn_solver::SolverCache;
+use resyn_synth::{Mode, SynthOutcome, SynthStats, Synthesizer};
 
 use crate::measure::{classify, BoundClass};
 use crate::suite::Benchmark;
+
+/// The result of running one synthesis mode of one benchmark.
+#[derive(Debug, Clone, Default)]
+pub struct ModeOutcome {
+    /// Synthesis time in seconds; `None` means no program was found (a
+    /// timeout if [`timed_out`](Self::timed_out), an exhausted search space
+    /// otherwise).
+    pub time: Option<f64>,
+    /// Whether the search hit its wall-clock budget.
+    pub timed_out: bool,
+    /// Search and solver-cache statistics for this mode.
+    pub stats: SynthStats,
+}
+
+impl ModeOutcome {
+    /// Capture a synthesis outcome (the program itself is consumed by the
+    /// caller for bound measurement and golden tests).
+    pub fn of(outcome: &SynthOutcome) -> ModeOutcome {
+        ModeOutcome {
+            time: outcome
+                .program
+                .as_ref()
+                .map(|_| outcome.stats.duration.as_secs_f64()),
+            timed_out: outcome.stats.timed_out,
+            stats: outcome.stats.clone(),
+        }
+    }
+
+    /// Whether the mode produced a program.
+    pub fn solved(&self) -> bool {
+        self.time.is_some()
+    }
+}
 
 /// One row of an output table.
 #[derive(Debug, Clone)]
@@ -17,37 +57,109 @@ pub struct BenchmarkRow {
     pub group: String,
     /// Synthesized code size (AST nodes) in ReSyn mode.
     pub code: usize,
-    /// ReSyn synthesis time (seconds); `None` means failure/timeout.
-    pub t_resyn: Option<f64>,
-    /// Synquid (resource-agnostic) synthesis time.
-    pub t_synquid: Option<f64>,
-    /// Enumerate-and-check synthesis time.
-    pub t_eac: Option<f64>,
-    /// ReSyn without incremental CEGIS.
-    pub t_noinc: Option<f64>,
+    /// The ReSyn (resource-guided) run.
+    pub resyn: ModeOutcome,
+    /// The Synquid (resource-agnostic) run.
+    pub synquid: ModeOutcome,
+    /// Enumerate-and-check ablation (Table 2 only).
+    pub eac: Option<ModeOutcome>,
+    /// Non-incremental-CEGIS ablation (Table 2 only).
+    pub noinc: Option<ModeOutcome>,
     /// Measured bound of the ReSyn-synthesized program.
     pub bound_resyn: BoundClass,
     /// Measured bound of the Synquid-synthesized program.
     pub bound_synquid: BoundClass,
+    /// A harness-level failure (e.g. a panic in the synthesizer, caught by
+    /// the parallel runner). A failed row reports no times and renders `ERR`.
+    pub error: Option<String>,
 }
 
 impl BenchmarkRow {
-    fn fmt_time(t: Option<f64>) -> String {
-        match t {
-            Some(s) => format!("{s:.2}"),
-            None => "TO".to_string(),
+    /// A row recording a harness-level failure for a benchmark (used by the
+    /// parallel runner's panic isolation: the run dies, the harness doesn't).
+    pub fn failed(id: &str, group: &str, error: String) -> BenchmarkRow {
+        BenchmarkRow {
+            id: id.to_string(),
+            group: group.to_string(),
+            code: 0,
+            resyn: ModeOutcome::default(),
+            synquid: ModeOutcome::default(),
+            eac: None,
+            noinc: None,
+            bound_resyn: BoundClass::Unknown,
+            bound_synquid: BoundClass::Unknown,
+            error: Some(error),
+        }
+    }
+
+    /// ReSyn synthesis time (seconds), `None` on failure/timeout.
+    pub fn t_resyn(&self) -> Option<f64> {
+        self.resyn.time
+    }
+
+    /// Synquid synthesis time.
+    pub fn t_synquid(&self) -> Option<f64> {
+        self.synquid.time
+    }
+
+    /// Statistics merged over every mode that ran for this row.
+    pub fn merged_stats(&self) -> SynthStats {
+        let mut stats = self.resyn.stats.clone();
+        stats.merge(&self.synquid.stats);
+        if let Some(eac) = &self.eac {
+            stats.merge(&eac.stats);
+        }
+        if let Some(noinc) = &self.noinc {
+            stats.merge(&noinc.stats);
+        }
+        stats
+    }
+
+    /// Whether two rows report the same verdict: identical identity, code
+    /// size, per-mode success/timeout pattern, measured bounds and failure
+    /// state. Wall-clock fields (times, durations, counters) are ignored —
+    /// this is the equality the parallel runner guarantees against the serial
+    /// one.
+    pub fn same_verdict(&self, other: &BenchmarkRow) -> bool {
+        fn mode_verdict(a: &ModeOutcome, b: &ModeOutcome) -> bool {
+            a.solved() == b.solved() && a.timed_out == b.timed_out
+        }
+        fn opt_verdict(a: &Option<ModeOutcome>, b: &Option<ModeOutcome>) -> bool {
+            match (a, b) {
+                (Some(a), Some(b)) => mode_verdict(a, b),
+                (None, None) => true,
+                _ => false,
+            }
+        }
+        self.id == other.id
+            && self.group == other.group
+            && self.code == other.code
+            && mode_verdict(&self.resyn, &other.resyn)
+            && mode_verdict(&self.synquid, &other.synquid)
+            && opt_verdict(&self.eac, &other.eac)
+            && opt_verdict(&self.noinc, &other.noinc)
+            && self.bound_resyn == other.bound_resyn
+            && self.bound_synquid == other.bound_synquid
+            && self.error.is_some() == other.error.is_some()
+    }
+
+    fn fmt_time(&self, t: Option<f64>) -> String {
+        match (t, &self.error) {
+            (_, Some(_)) => "ERR".to_string(),
+            (Some(s), None) => format!("{s:.2}"),
+            (None, None) => "TO".to_string(),
         }
     }
 
     /// Render as a Table-1-style row (Code, Time, TimeNR).
     pub fn render_table1(&self) -> String {
         format!(
-            "{:<16} {:<14} {:>5} {:>8} {:>8}",
+            "{:<16} {:<18} {:>5} {:>8} {:>8}",
             self.group,
             self.id,
             self.code,
-            Self::fmt_time(self.t_resyn),
-            Self::fmt_time(self.t_synquid),
+            self.fmt_time(self.t_resyn()),
+            self.fmt_time(self.t_synquid()),
         )
     }
 
@@ -57,23 +169,26 @@ impl BenchmarkRow {
             "{:<18} {:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
             self.group,
             self.id,
-            Self::fmt_time(self.t_resyn),
-            Self::fmt_time(self.t_synquid),
-            Self::fmt_time(self.t_eac),
-            Self::fmt_time(self.t_noinc),
+            self.fmt_time(self.t_resyn()),
+            self.fmt_time(self.t_synquid()),
+            self.fmt_time(self.eac.as_ref().and_then(|o| o.time)),
+            self.fmt_time(self.noinc.as_ref().and_then(|o| o.time)),
             self.bound_resyn.to_string(),
             self.bound_synquid.to_string(),
         )
     }
 }
 
-/// The harness configuration.
+/// The harness configuration. Cloning a harness shares its solver cache, so
+/// clones (one per parallel worker) answer each other's repeated queries.
 #[derive(Debug, Clone)]
 pub struct Harness {
     /// Per-benchmark, per-mode timeout.
     pub timeout: Duration,
     /// Whether to run the EAC and non-incremental ablations (Table 2 only).
     pub ablations: bool,
+    /// The solver query cache shared by every mode and every clone.
+    cache: SolverCache,
 }
 
 impl Default for Harness {
@@ -81,6 +196,7 @@ impl Default for Harness {
         Harness {
             timeout: Duration::from_secs(600),
             ablations: true,
+            cache: SolverCache::new(),
         }
     }
 }
@@ -94,8 +210,16 @@ impl Harness {
         }
     }
 
-    fn run_mode(&self, bench: &Benchmark, mode: Mode) -> SynthOutcome {
-        let synthesizer = Synthesizer::with_timeout(self.timeout);
+    /// The shared solver query cache (a cheap `Arc` clone).
+    pub fn cache(&self) -> SolverCache {
+        self.cache.clone()
+    }
+
+    /// Run one mode of one benchmark. The synthesizer is fresh but the solver
+    /// cache is the harness's shared one, so a second mode of the same goal
+    /// starts with every obligation the first mode already discharged.
+    pub fn run_mode(&self, bench: &Benchmark, mode: Mode) -> SynthOutcome {
+        let synthesizer = Synthesizer::with_timeout(self.timeout).with_cache(self.cache.clone());
         synthesizer.synthesize(&bench.goal, mode)
     }
 }
@@ -124,24 +248,35 @@ pub fn run_benchmark(harness: &Harness, bench: &Benchmark) -> BenchmarkRow {
         None => BoundClass::Unknown,
     };
 
-    let time = |outcome: &SynthOutcome| {
-        outcome
-            .program
-            .as_ref()
-            .map(|_| outcome.stats.duration.as_secs_f64())
-    };
-
     BenchmarkRow {
         id: bench.id.clone(),
         group: bench.group.clone(),
         code: resyn.code_size(),
-        t_resyn: time(&resyn),
-        t_synquid: time(&synquid),
-        t_eac: eac.as_ref().and_then(time),
-        t_noinc: noinc.as_ref().and_then(time),
         bound_resyn: bound(&resyn),
         bound_synquid: bound(&synquid),
+        resyn: ModeOutcome::of(&resyn),
+        synquid: ModeOutcome::of(&synquid),
+        eac: eac.as_ref().map(ModeOutcome::of),
+        noinc: noinc.as_ref().map(ModeOutcome::of),
+        error: None,
     }
+}
+
+/// The median ReSyn/Synquid time ratio over the rows where both modes
+/// succeeded (the §5.1 headline statistic); `None` if no row qualifies.
+pub fn median_ratio(rows: &[BenchmarkRow]) -> Option<f64> {
+    let mut ratios: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| match (r.t_resyn(), r.t_synquid()) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        })
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Some(ratios[ratios.len() / 2])
 }
 
 /// Render a whole table with headers and a median-ratio summary (the §5.1
@@ -155,11 +290,10 @@ pub fn render_table(rows: &[BenchmarkRow], table2: bool) -> String {
         ));
     } else {
         out.push_str(&format!(
-            "{:<16} {:<14} {:>5} {:>8} {:>8}\n",
+            "{:<16} {:<18} {:>5} {:>8} {:>8}\n",
             "Group", "Benchmark", "Code", "Time", "TimeNR"
         ));
     }
-    let mut ratios = Vec::new();
     for r in rows {
         out.push_str(&if table2 {
             r.render_table2()
@@ -167,18 +301,83 @@ pub fn render_table(rows: &[BenchmarkRow], table2: bool) -> String {
             r.render_table1()
         });
         out.push('\n');
-        if let (Some(a), Some(b)) = (r.t_resyn, r.t_synquid) {
-            if b > 0.0 {
-                ratios.push(a / b);
-            }
-        }
     }
-    if !ratios.is_empty() {
-        ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = ratios[ratios.len() / 2];
+    if let Some(median) = median_ratio(rows) {
         out.push_str(&format!(
             "\nmedian ReSyn/Synquid time ratio: {median:.2}x (paper reports ≈2.5x)\n"
         ));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_bench(id: &str) -> Benchmark {
+        crate::suite::table1()
+            .into_iter()
+            .find(|b| b.id == id)
+            .unwrap_or_else(|| panic!("no benchmark `{id}`"))
+    }
+
+    #[test]
+    fn second_mode_of_a_benchmark_reuses_the_first_modes_cache() {
+        // Regression test: `run_mode` used to construct a fresh synthesizer
+        // *and a fresh cache* per mode, throwing away every obligation the
+        // first mode had already discharged for the same goal.
+        let harness = Harness::with_timeout(Duration::from_secs(60));
+        let bench = fast_bench("list-is-empty");
+        let first = harness.run_mode(&bench, Mode::ReSyn);
+        assert!(first.program.is_some(), "list-is-empty must synthesize");
+        let second = harness.run_mode(&bench, Mode::Synquid);
+        assert!(second.program.is_some());
+        assert!(
+            second.stats.solver_cache_hits > 0,
+            "the second mode must hit the cache populated by the first \
+             (got {} hits, {} misses)",
+            second.stats.solver_cache_hits,
+            second.stats.solver_cache_misses,
+        );
+    }
+
+    #[test]
+    fn failed_rows_render_err_and_compare_unequal_to_solved_ones() {
+        let failed = BenchmarkRow::failed("x", "List", "worker panicked".to_string());
+        assert!(failed.render_table1().contains("ERR"));
+        assert!(failed.same_verdict(&failed.clone()));
+        let mut ok = failed.clone();
+        ok.error = None;
+        assert!(!failed.same_verdict(&ok));
+    }
+
+    #[test]
+    fn same_verdict_ignores_wall_clock_but_not_outcomes() {
+        let harness = Harness::with_timeout(Duration::from_secs(60));
+        let bench = fast_bench("list-is-empty");
+        let row = run_benchmark(&harness, &bench);
+        let mut jittered = row.clone();
+        jittered.resyn.time = row.resyn.time.map(|t| t + 1.0);
+        jittered.resyn.stats.duration += Duration::from_secs(1);
+        assert!(row.same_verdict(&jittered));
+        let mut worse = row.clone();
+        worse.synquid.time = None;
+        assert!(!row.same_verdict(&worse));
+        let mut resized = row.clone();
+        resized.code += 1;
+        assert!(!row.same_verdict(&resized));
+    }
+
+    #[test]
+    fn merged_stats_sum_across_modes() {
+        let mut row = BenchmarkRow::failed("x", "g", "e".to_string());
+        row.resyn.stats.candidates_checked = 3;
+        row.synquid.stats.candidates_checked = 4;
+        row.resyn.stats.solver_cache_hits = 10;
+        row.synquid.stats.solver_cache_misses = 2;
+        let merged = row.merged_stats();
+        assert_eq!(merged.candidates_checked, 7);
+        assert_eq!(merged.solver_cache_hits, 10);
+        assert_eq!(merged.solver_cache_misses, 2);
+    }
 }

@@ -9,11 +9,21 @@
 //! of the synthesized code (the `B`/`B-NR` columns of Table 2).
 //!
 //! Coverage relative to the paper is documented in `EXPERIMENTS.md`.
+//!
+//! Two subsystems turn the serial harness into an evaluation service: the
+//! [`parallel`] worker pool shards a suite over threads that share one solver
+//! query cache (deterministic row order, per-benchmark panic isolation), and
+//! [`report`] serializes runs to the stable machine-readable
+//! `resyn-bench-eval/1` JSON schema (`BENCH_eval.json`).
 
 pub mod components;
 pub mod harness;
 pub mod measure;
+pub mod parallel;
+pub mod report;
 pub mod suite;
 
-pub use harness::{run_benchmark, BenchmarkRow, Harness};
+pub use harness::{run_benchmark, BenchmarkRow, Harness, ModeOutcome};
+pub use parallel::{run_suite, ParallelConfig, SuiteRun};
+pub use report::{parse_json, render_json, EvalReport, Json};
 pub use suite::{table1, table2, Benchmark};

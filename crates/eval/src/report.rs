@@ -1,0 +1,615 @@
+//! Machine-readable evaluation reports: the `BENCH_eval.json` schema.
+//!
+//! The text tables of [`crate::harness`] are for humans; downstream tooling
+//! (CI artifacts, the perf trajectory) needs a stable machine-readable form.
+//! This module serializes a suite run to JSON with a small hand-rolled writer
+//! (the workspace is offline — no serde) and ships an equally small parser
+//! ([`parse_json`]) so the schema can be round-trip-tested.
+//!
+//! # Schema (`resyn-bench-eval/1`)
+//!
+//! ```json
+//! {
+//!   "schema": "resyn-bench-eval/1",
+//!   "suite": "table1",
+//!   "jobs": 4,
+//!   "timeout_secs": 60.0,
+//!   "wall_clock_secs": 1.93,
+//!   "rows": [
+//!     {
+//!       "id": "list-append", "group": "List", "code": 10,
+//!       "modes": {
+//!         "resyn":   {"time_secs": 0.11, "timed_out": false,
+//!                     "candidates": 42, "cache_hits": 7, "cache_misses": 3},
+//!         "synquid": {"time_secs": null, "timed_out": true,
+//!                     "candidates": 9000, "cache_hits": 1, "cache_misses": 2},
+//!         "eac": null, "noinc": null
+//!       },
+//!       "bound_resyn": "O(n)", "bound_synquid": "-",
+//!       "error": null
+//!     }
+//!   ],
+//!   "aggregate": {
+//!     "rows": 18, "solved_resyn": 18, "solved_synquid": 17,
+//!     "timeouts": 1, "errors": 0,
+//!     "median_resyn_over_synquid": 1.04,
+//!     "cache_hits": 5120, "cache_misses": 870, "interned_terms": 5490,
+//!     "total_synth_secs": 12.9
+//!   }
+//! }
+//! ```
+//!
+//! Encoding rules downstream tooling may rely on:
+//!
+//! * A mode that found no program has `"time_secs": null`; its `"timed_out"`
+//!   flag distinguishes a timeout (`true`) from an exhausted search space
+//!   (`false`). A mode that was not run at all (the ablations on Table 1) is
+//!   the literal `null`.
+//! * `"error"` is `null` for a clean row and the panic message for a row the
+//!   parallel runner had to fail; failed rows keep their `"id"`/`"group"`.
+//! * Per-mode `"cache_hits"`/`"cache_misses"` count that mode's *own*
+//!   lookups (a scoped cache handle), never concurrent workers' activity;
+//!   note that the hit/miss split of a parallel run still depends on what
+//!   other workers proved first, so only the sum is jobs-invariant.
+//! * `"interned_terms"` in the aggregate is an arena-size total over the
+//!   cache's 16 shards, not a count of globally distinct terms (a subterm
+//!   reaching queries in different shards is interned once per shard).
+//! * Keys are emitted in the order shown above; new keys may be appended in
+//!   later schema versions, so consumers should index by name, not position.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use resyn_solver::CacheStats;
+
+use crate::harness::{median_ratio, BenchmarkRow, ModeOutcome};
+use crate::parallel::SuiteRun;
+
+/// Everything the JSON report records about a run.
+#[derive(Debug, Clone)]
+pub struct EvalReport<'a> {
+    /// Which suite ran (`"table1"` or `"table2"`).
+    pub suite: &'a str,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-benchmark, per-mode timeout.
+    pub timeout: Duration,
+    /// Wall-clock time of the whole run.
+    pub wall_clock: Duration,
+    /// The rows, in suite order.
+    pub rows: &'a [BenchmarkRow],
+    /// Counters of the shared solver cache at the end of the run.
+    pub cache: CacheStats,
+}
+
+impl<'a> EvalReport<'a> {
+    /// Package a [`SuiteRun`] for serialization.
+    pub fn of_run(suite: &'a str, timeout: Duration, run: &'a SuiteRun) -> EvalReport<'a> {
+        EvalReport {
+            suite,
+            jobs: run.jobs,
+            timeout,
+            wall_clock: run.wall_clock,
+            rows: &run.rows,
+            cache: run.cache,
+        }
+    }
+}
+
+/// Serialize a report to the `resyn-bench-eval/1` JSON schema.
+pub fn render_json(report: &EvalReport<'_>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"resyn-bench-eval/1\",");
+    let _ = writeln!(out, "  \"suite\": {},", json_str(report.suite));
+    let _ = writeln!(out, "  \"jobs\": {},", report.jobs);
+    let _ = writeln!(
+        out,
+        "  \"timeout_secs\": {},",
+        json_num(report.timeout.as_secs_f64())
+    );
+    let _ = writeln!(
+        out,
+        "  \"wall_clock_secs\": {},",
+        json_num(report.wall_clock.as_secs_f64())
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in report.rows.iter().enumerate() {
+        write_row(&mut out, row);
+        out.push_str(if i + 1 < report.rows.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ],\n");
+    write_aggregate(&mut out, report);
+    out.push_str("}\n");
+    out
+}
+
+fn write_row(out: &mut String, row: &BenchmarkRow) {
+    out.push_str("    {");
+    let _ = write!(
+        out,
+        "\"id\": {}, \"group\": {}, \"code\": {}, ",
+        json_str(&row.id),
+        json_str(&row.group),
+        row.code
+    );
+    out.push_str("\"modes\": {");
+    let _ = write!(out, "\"resyn\": {}, ", mode_json(Some(&row.resyn)));
+    let _ = write!(out, "\"synquid\": {}, ", mode_json(Some(&row.synquid)));
+    let _ = write!(out, "\"eac\": {}, ", mode_json(row.eac.as_ref()));
+    let _ = write!(out, "\"noinc\": {}", mode_json(row.noinc.as_ref()));
+    out.push_str("}, ");
+    let _ = write!(
+        out,
+        "\"bound_resyn\": {}, \"bound_synquid\": {}, \"error\": {}",
+        json_str(&row.bound_resyn.to_string()),
+        json_str(&row.bound_synquid.to_string()),
+        row.error.as_deref().map_or("null".to_string(), json_str),
+    );
+    out.push('}');
+}
+
+fn mode_json(mode: Option<&ModeOutcome>) -> String {
+    let Some(mode) = mode else {
+        return "null".to_string();
+    };
+    format!(
+        "{{\"time_secs\": {}, \"timed_out\": {}, \"candidates\": {}, \
+         \"cache_hits\": {}, \"cache_misses\": {}}}",
+        mode.time.map_or("null".to_string(), json_num),
+        mode.timed_out,
+        mode.stats.candidates_checked,
+        mode.stats.solver_cache_hits,
+        mode.stats.solver_cache_misses,
+    )
+}
+
+fn write_aggregate(out: &mut String, report: &EvalReport<'_>) {
+    let rows = report.rows;
+    let solved_resyn = rows.iter().filter(|r| r.resyn.solved()).count();
+    let solved_synquid = rows.iter().filter(|r| r.synquid.solved()).count();
+    let timeouts = rows
+        .iter()
+        .filter(|r| {
+            r.resyn.timed_out
+                || r.synquid.timed_out
+                || r.eac.as_ref().is_some_and(|o| o.timed_out)
+                || r.noinc.as_ref().is_some_and(|o| o.timed_out)
+        })
+        .count();
+    let errors = rows.iter().filter(|r| r.error.is_some()).count();
+    let total_synth_secs: f64 = rows
+        .iter()
+        .map(|r| r.merged_stats().duration.as_secs_f64())
+        .sum();
+    out.push_str("  \"aggregate\": {\n");
+    let _ = writeln!(out, "    \"rows\": {},", rows.len());
+    let _ = writeln!(out, "    \"solved_resyn\": {solved_resyn},");
+    let _ = writeln!(out, "    \"solved_synquid\": {solved_synquid},");
+    let _ = writeln!(out, "    \"timeouts\": {timeouts},");
+    let _ = writeln!(out, "    \"errors\": {errors},");
+    let _ = writeln!(
+        out,
+        "    \"median_resyn_over_synquid\": {},",
+        median_ratio(rows).map_or("null".to_string(), json_num)
+    );
+    let _ = writeln!(out, "    \"cache_hits\": {},", report.cache.hits);
+    let _ = writeln!(out, "    \"cache_misses\": {},", report.cache.misses);
+    let _ = writeln!(
+        out,
+        "    \"interned_terms\": {},",
+        report.cache.interned_terms
+    );
+    let _ = writeln!(
+        out,
+        "    \"total_synth_secs\": {}",
+        json_num(total_synth_secs)
+    );
+    out.push_str("  }\n");
+}
+
+/// Escape a string for JSON: quotes, backslashes and control characters.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format a float as a JSON number (JSON has no NaN/Infinity; those become
+/// `null` at the call sites via `map_or`, and are clamped here defensively).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's shortest-round-trip Display for f64 is valid JSON.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader, enough to round-trip-test the schema (and for
+// downstream tooling in this workspace to consume the reports without serde).
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the literal `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+}
+
+/// Parse a JSON document.
+///
+/// # Errors
+///
+/// Returns a message with a byte offset on malformed input or trailing
+/// garbage.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{}` at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_num(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("malformed number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("malformed \\u escape at byte {pos}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("unknown escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from a &str, so
+                // slicing at char boundaries is safe to find).
+                let rest = &bytes[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::BoundClass;
+
+    fn sample_rows() -> Vec<BenchmarkRow> {
+        let mut solved = BenchmarkRow::failed("list-\"quoted\"\n", "Li\\st", String::new());
+        solved.error = None;
+        solved.code = 7;
+        solved.resyn = ModeOutcome {
+            time: Some(0.25),
+            timed_out: false,
+            ..ModeOutcome::default()
+        };
+        solved.resyn.stats.solver_cache_hits = 5;
+        solved.resyn.stats.solver_cache_misses = 2;
+        solved.synquid = ModeOutcome {
+            time: None,
+            timed_out: true,
+            ..ModeOutcome::default()
+        };
+        solved.bound_resyn = BoundClass::Linear;
+        let failed = BenchmarkRow::failed("boom", "List", "worker panicked: oh no".to_string());
+        vec![solved, failed]
+    }
+
+    fn sample_report(rows: &[BenchmarkRow]) -> String {
+        render_json(&EvalReport {
+            suite: "table1",
+            jobs: 4,
+            timeout: Duration::from_secs(60),
+            wall_clock: Duration::from_millis(1500),
+            rows,
+            cache: CacheStats {
+                hits: 100,
+                misses: 10,
+                interned_terms: 42,
+                validity_entries: 9,
+                sat_entries: 1,
+            },
+        })
+    }
+
+    #[test]
+    fn report_is_valid_json_with_the_documented_top_level_keys() {
+        let rows = sample_rows();
+        let parsed = parse_json(&sample_report(&rows)).expect("report must parse");
+        for key in [
+            "schema",
+            "suite",
+            "jobs",
+            "timeout_secs",
+            "wall_clock_secs",
+            "rows",
+            "aggregate",
+        ] {
+            assert!(parsed.get(key).is_some(), "missing top-level key `{key}`");
+        }
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("resyn-bench-eval/1")
+        );
+        assert_eq!(parsed.get("jobs").and_then(Json::as_num), Some(4.0));
+        assert_eq!(
+            parsed.get("rows").and_then(Json::as_arr).map(<[_]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn benchmark_ids_are_escaped_and_round_trip() {
+        let rows = sample_rows();
+        let parsed = parse_json(&sample_report(&rows)).unwrap();
+        let row0 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[0];
+        // The quoted-and-newlined id survives the escape/unescape round trip.
+        assert_eq!(
+            row0.get("id").and_then(Json::as_str),
+            Some("list-\"quoted\"\n")
+        );
+        assert_eq!(row0.get("group").and_then(Json::as_str), Some("Li\\st"));
+    }
+
+    #[test]
+    fn null_vs_timeout_encoding_is_distinguishable() {
+        let rows = sample_rows();
+        let parsed = parse_json(&sample_report(&rows)).unwrap();
+        let modes = parsed.get("rows").and_then(Json::as_arr).unwrap()[0]
+            .get("modes")
+            .cloned()
+            .unwrap();
+        let resyn = modes.get("resyn").unwrap();
+        assert_eq!(resyn.get("time_secs").and_then(Json::as_num), Some(0.25));
+        assert_eq!(resyn.get("timed_out"), Some(&Json::Bool(false)));
+        // Synquid found nothing *because it timed out*: null time + true flag.
+        let synquid = modes.get("synquid").unwrap();
+        assert!(synquid.get("time_secs").unwrap().is_null());
+        assert_eq!(synquid.get("timed_out"), Some(&Json::Bool(true)));
+        // Ablations that never ran are the literal null, not an object.
+        assert!(modes.get("eac").unwrap().is_null());
+        assert!(modes.get("noinc").unwrap().is_null());
+    }
+
+    #[test]
+    fn failed_rows_carry_their_error_and_count_in_the_aggregate() {
+        let rows = sample_rows();
+        let parsed = parse_json(&sample_report(&rows)).unwrap();
+        let row1 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[1];
+        assert_eq!(
+            row1.get("error").and_then(Json::as_str),
+            Some("worker panicked: oh no")
+        );
+        let aggregate = parsed.get("aggregate").unwrap();
+        assert_eq!(aggregate.get("errors").and_then(Json::as_num), Some(1.0));
+        assert_eq!(aggregate.get("timeouts").and_then(Json::as_num), Some(1.0));
+        assert_eq!(
+            aggregate.get("cache_hits").and_then(Json::as_num),
+            Some(100.0)
+        );
+        assert_eq!(aggregate.get("rows").and_then(Json::as_num), Some(2.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage_and_truncation() {
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+        assert!(parse_json("[1, 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+        assert!(parse_json("nul").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v =
+            parse_json(r#"{"s": "a\"b\\c\ndA", "n": -1.5e2, "b": [true, false, null]}"#).unwrap();
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+        assert_eq!(v.get("n").and_then(Json::as_num), Some(-150.0));
+        assert_eq!(
+            v.get("b").and_then(Json::as_arr),
+            Some(&[Json::Bool(true), Json::Bool(false), Json::Null][..])
+        );
+    }
+}

@@ -63,6 +63,19 @@ fn poly(params: Vec<(&str, Ty)>, ret: Ty) -> Schema {
     Schema::poly(vec!["a"], Ty::fun(params, ret))
 }
 
+/// Keep the benchmarks whose id contains any of the given substrings; an
+/// empty filter list keeps everything. The single definition of the filter
+/// semantics shared by `resyn eval` and the `table1`/`table2` binaries.
+pub fn filter_by_id(benches: Vec<Benchmark>, filters: &[String]) -> Vec<Benchmark> {
+    if filters.is_empty() {
+        return benches;
+    }
+    benches
+        .into_iter()
+        .filter(|b| filters.iter().any(|f| b.id.contains(f)))
+        .collect()
+}
+
 fn bench(id: &str, group: &str, goal: Goal, table: Table) -> Benchmark {
     Benchmark {
         id: id.to_string(),
@@ -255,6 +268,155 @@ pub fn table1() -> Vec<Benchmark> {
                 ),
             ),
             vec![("eq", c::eq()), ("dec", c::dec())],
+        ),
+        Table::One,
+    ));
+
+    // List: the identity (the smallest length-preserving goal; a fast smoke
+    // row exercised heavily by the golden and determinism suites).
+    out.push(bench(
+        "list-id",
+        "List",
+        Goal::new(
+            "id",
+            poly(
+                vec![("xs", list(elem(0)))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs")),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: singleton construction.
+    out.push(bench(
+        "list-singleton",
+        "List",
+        Goal::new(
+            "singleton",
+            poly(
+                vec![("x", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(Term::int(1)).and(
+                        Term::app("elems", vec![Term::value_var()]).eq_(Term::var("x").singleton()),
+                    ),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: is the list non-empty (the boolean dual of is-empty, checking
+    // both branch literals).
+    out.push(bench(
+        "list-nonempty",
+        "List",
+        Goal::new(
+            "nonEmpty",
+            poly(
+                vec![("l", list(elem(0)))],
+                Ty::refined(
+                    BaseType::Bool,
+                    Term::value_var().iff(len("l").neq(Term::int(0))),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: length (integer recursion through `inc`).
+    out.push(bench(
+        "list-length",
+        "List",
+        Goal::new(
+            "length",
+            poly(
+                vec![("l", list(elem(1)))],
+                Ty::refined(BaseType::Int, Term::value_var().eq_(len("l"))),
+            ),
+            vec![("inc", c::inc())],
+        ),
+        Table::One,
+    ));
+
+    // List: head of a non-empty list.
+    out.push(bench(
+        "list-head",
+        "List",
+        Goal::new(
+            "head",
+            poly(
+                vec![(
+                    "xs",
+                    list(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).gt(Term::int(0))),
+                )],
+                Ty::refined(
+                    BaseType::TVar("a".into()),
+                    Term::value_var().member(elems("xs")),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: double a list with one append (the Table-1 cousin of the
+    // `triple` case study; exercises sharing of `xs` across both arguments).
+    out.push(bench(
+        "list-double",
+        "List",
+        Goal::new(
+            "double",
+            poly(
+                vec![("xs", list(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs") + len("xs")),
+                ),
+            ),
+            vec![("append", c::append())],
+        ),
+        Table::One,
+    ));
+
+    // Sorted list: member.
+    out.push(bench(
+        "sorted-member",
+        "Sorted list",
+        Goal::new(
+            "member",
+            poly(
+                vec![("x", Ty::tvar("a")), ("xs", ilist(elem(1)))],
+                Ty::refined(
+                    BaseType::Bool,
+                    Term::value_var().iff(Term::var("x").member(elems("xs"))),
+                ),
+            ),
+            vec![("eq", c::eq()), ("neq", c::neq())],
+        ),
+        Table::One,
+    ));
+
+    // Sorted list: singleton construction.
+    out.push(bench(
+        "sorted-singleton",
+        "Sorted list",
+        Goal::new(
+            "singleton",
+            poly(
+                vec![("x", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()]).eq_(Term::var("x").singleton()),
+                ),
+            ),
+            vec![],
         ),
         Table::One,
     ));
@@ -471,7 +633,7 @@ mod tests {
     fn suites_are_nonempty_and_well_formed() {
         let t1 = table1();
         let t2 = table2();
-        assert!(t1.len() >= 10);
+        assert!(t1.len() >= 18, "expanded Table 1 has {} rows", t1.len());
         assert!(t2.len() >= 9);
         for b in t1.iter().chain(t2.iter()) {
             let (params, _) = b.goal.schema.ty.uncurry();
@@ -490,7 +652,20 @@ mod tests {
         ids.dedup();
         assert_eq!(ids.len(), before, "duplicate benchmark ids");
 
-        for expected in ["list-take", "list-drop", "sorted-delete"] {
+        for expected in [
+            "list-take",
+            "list-drop",
+            "sorted-delete",
+            // PR 3's expansion rows.
+            "list-id",
+            "list-singleton",
+            "list-nonempty",
+            "list-length",
+            "list-head",
+            "list-double",
+            "sorted-member",
+            "sorted-singleton",
+        ] {
             assert!(
                 t1.iter().any(|b| b.id == expected),
                 "Table 1 row `{expected}` missing"
@@ -513,6 +688,17 @@ mod tests {
                 "Table 2 row `{expected}` missing"
             );
         }
+    }
+
+    #[test]
+    fn filter_by_id_matches_substrings_and_keeps_everything_when_empty() {
+        let all = table1();
+        let total = all.len();
+        assert_eq!(filter_by_id(table1(), &[]).len(), total);
+        let sorted = filter_by_id(table1(), &["sorted".to_string()]);
+        assert!(!sorted.is_empty() && sorted.len() < total);
+        assert!(sorted.iter().all(|b| b.id.contains("sorted")));
+        assert!(filter_by_id(table1(), &["no-such-id".to_string()]).is_empty());
     }
 
     #[test]

@@ -29,7 +29,20 @@
 //!   lists hit the same entry.
 //!
 //! The cache is cheaply cloneable (an [`Arc`]) and internally synchronized;
-//! clones share one arena and one table.
+//! clones share one logical table.
+//!
+//! # Sharding
+//!
+//! Internally the cache is split into [`SHARDS`] independent shards, each
+//! with its own intern arena and verdict tables behind its own lock. A
+//! query's shard is chosen by a *structural* hash of the query (environment
+//! and configuration fingerprints plus order- and duplicate-insensitive term
+//! hashes) computed **outside** any lock, so structurally equal queries
+//! always meet in the same shard — sharing semantics are identical to a
+//! single-table cache — while the parallel evaluation harness's workers,
+//! whose queries scatter across shards, no longer serialize on one mutex.
+//! (With a single lock, a cache *hit* still interned the whole query under
+//! the mutex, so concurrent synthesis runs made no wall-clock progress.)
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -47,7 +60,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to the solver.
     pub misses: u64,
-    /// Distinct terms in the shared intern arena.
+    /// Total terms across the per-shard intern arenas. Each shard interns
+    /// independently, so a subterm reaching queries that hash to different
+    /// shards is counted once **per shard** — this is an arena-size total,
+    /// not a count of globally distinct terms (unlike PR 2's single arena).
     pub interned_terms: usize,
     /// Cached validity verdicts.
     pub validity_entries: usize,
@@ -55,10 +71,16 @@ pub struct CacheStats {
     pub sat_entries: usize,
 }
 
+/// Number of independent shards (arenas + verdict tables) inside a cache.
+/// Chosen to comfortably out-number the evaluation harness's worker cap (8)
+/// so concurrent lookups rarely meet on one lock.
+pub const SHARDS: usize = 16;
+
 /// Opaque key for a pending validity query (returned by a miss, consumed by
 /// [`SolverCache::store_valid`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ValidityKey {
+    shard: usize,
     env_fp: u64,
     config_fp: u64,
     premises: Vec<TermId>,
@@ -69,6 +91,7 @@ pub struct ValidityKey {
 /// consumed by [`SolverCache::store_sat`]).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SatKey {
+    shard: usize,
     env_fp: u64,
     config_fp: u64,
     assumptions: Vec<TermId>,
@@ -83,16 +106,126 @@ struct Inner {
     misses: u64,
 }
 
+/// Counters attributed to one cache *handle lineage* (see
+/// [`SolverCache::scoped`]): only the lookups issued through this handle and
+/// its clones, regardless of what other handles sharing the same tables are
+/// doing concurrently.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HandleStats {
+    /// Lookups by this lineage answered from the shared tables.
+    pub hits: u64,
+    /// Lookups by this lineage that fell through to the solver.
+    pub misses: u64,
+    /// Terms this lineage newly interned into the shared arenas.
+    pub interned_terms: usize,
+}
+
+#[derive(Debug, Default)]
+struct HandleCounters {
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+    interned: std::sync::atomic::AtomicU64,
+}
+
 /// A shared, append-only cache of solver verdicts keyed on interned queries.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SolverCache {
-    inner: Arc<Mutex<Inner>>,
+    shards: Arc<Vec<Mutex<Inner>>>,
+    /// Per-lineage counters: plain clones share them (a solver cloned for
+    /// extra bindings keeps attributing to the same run), [`scoped`] clones
+    /// get fresh ones.
+    ///
+    /// [`scoped`]: SolverCache::scoped
+    local: Arc<HandleCounters>,
+}
+
+impl Default for SolverCache {
+    fn default() -> Self {
+        SolverCache {
+            shards: Arc::new((0..SHARDS).map(|_| Mutex::new(Inner::default())).collect()),
+            local: Arc::new(HandleCounters::default()),
+        }
+    }
+}
+
+/// The order- and duplicate-insensitive structural hash used for shard
+/// selection: individual term hashes are sorted and deduplicated so permuted
+/// or repeated premise lists land in the shard where their canonicalized key
+/// lives. Computed entirely outside the shard locks.
+fn shard_index(env_fp: u64, config_fp: u64, terms: &[Term], conclusion: Option<&Term>) -> usize {
+    let mut term_hashes: Vec<u64> = terms
+        .iter()
+        .map(|t| {
+            let mut h = DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    term_hashes.sort_unstable();
+    term_hashes.dedup();
+    let mut h = DefaultHasher::new();
+    env_fp.hash(&mut h);
+    config_fp.hash(&mut h);
+    term_hashes.hash(&mut h);
+    if let Some(c) = conclusion {
+        c.hash(&mut h);
+    }
+    (h.finish() as usize) % SHARDS
 }
 
 impl SolverCache {
     /// An empty cache.
     pub fn new() -> SolverCache {
         SolverCache::default()
+    }
+
+    /// A handle sharing this cache's tables but with **fresh** per-handle
+    /// counters. Use one scope per logical run (the synthesizer takes one per
+    /// instance): under the parallel evaluation harness many runs share one
+    /// cache concurrently, and diffing the *global* counters would attribute
+    /// every other worker's activity to this run. [`handle_stats`] reads the
+    /// scope's own counters instead.
+    ///
+    /// [`handle_stats`]: SolverCache::handle_stats
+    pub fn scoped(&self) -> SolverCache {
+        SolverCache {
+            shards: Arc::clone(&self.shards),
+            local: Arc::new(HandleCounters::default()),
+        }
+    }
+
+    /// Counters for this handle lineage only (see [`scoped`](Self::scoped)).
+    pub fn handle_stats(&self) -> HandleStats {
+        use std::sync::atomic::Ordering;
+        HandleStats {
+            hits: self.local.hits.load(Ordering::Relaxed),
+            misses: self.local.misses.load(Ordering::Relaxed),
+            interned_terms: self.local.interned.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Lock a shard, recovering from poisoning: the cache is append-only and
+    /// every individual mutation (an intern, a map insert, a counter bump)
+    /// leaves the state valid, so a panic that unwound through a locked
+    /// section — which the parallel evaluation harness catches per benchmark
+    /// — must not cascade into `ERR` rows for every later benchmark hashing
+    /// to the same shard.
+    fn lock_shard(&self, shard: usize) -> std::sync::MutexGuard<'_, Inner> {
+        self.shards[shard]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn record_lookup(&self, hit: bool, interned: usize) {
+        use std::sync::atomic::Ordering;
+        if hit {
+            self.local.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.local.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        self.local
+            .interned
+            .fetch_add(interned as u64, Ordering::Relaxed);
     }
 
     /// Look up a validity query. On a hit the cached verdict is returned; on a
@@ -109,24 +242,32 @@ impl SolverCache {
         premises: &[Term],
         conclusion: &Term,
     ) -> Result<ValidityResult, ValidityKey> {
-        let mut inner = self.inner.lock().expect("solver cache poisoned");
         let env_fp = fingerprint_env(env);
+        let shard = shard_index(env_fp, config_fp, premises, Some(conclusion));
+        let mut inner = self.lock_shard(shard);
+        let arena_before = inner.arena.len();
         let mut premise_ids: Vec<TermId> = premises.iter().map(|p| inner.arena.intern(p)).collect();
         premise_ids.sort_unstable();
         premise_ids.dedup();
         let key = ValidityKey {
+            shard,
             env_fp,
             config_fp,
             premises: premise_ids,
             conclusion: inner.arena.intern(conclusion),
         };
+        let interned = inner.arena.len() - arena_before;
         match inner.valid.get(&key).cloned() {
             Some(hit) => {
                 inner.hits += 1;
+                drop(inner);
+                self.record_lookup(true, interned);
                 Ok(hit)
             }
             None => {
                 inner.misses += 1;
+                drop(inner);
+                self.record_lookup(false, interned);
                 Err(key)
             }
         }
@@ -134,7 +275,7 @@ impl SolverCache {
 
     /// Record the verdict for a previously missed validity query.
     pub fn store_valid(&self, key: ValidityKey, result: &ValidityResult) {
-        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        let mut inner = self.lock_shard(key.shard);
         inner.valid.insert(key, result.clone());
     }
 
@@ -149,23 +290,31 @@ impl SolverCache {
         config_fp: u64,
         assumptions: &[Term],
     ) -> Result<SatResult, SatKey> {
-        let mut inner = self.inner.lock().expect("solver cache poisoned");
         let env_fp = fingerprint_env(env);
+        let shard = shard_index(env_fp, config_fp, assumptions, None);
+        let mut inner = self.lock_shard(shard);
+        let arena_before = inner.arena.len();
         let mut ids: Vec<TermId> = assumptions.iter().map(|a| inner.arena.intern(a)).collect();
         ids.sort_unstable();
         ids.dedup();
         let key = SatKey {
+            shard,
             env_fp,
             config_fp,
             assumptions: ids,
         };
+        let interned = inner.arena.len() - arena_before;
         match inner.sat.get(&key).cloned() {
             Some(hit) => {
                 inner.hits += 1;
+                drop(inner);
+                self.record_lookup(true, interned);
                 Ok(hit)
             }
             None => {
                 inner.misses += 1;
+                drop(inner);
+                self.record_lookup(false, interned);
                 Err(key)
             }
         }
@@ -173,20 +322,22 @@ impl SolverCache {
 
     /// Record the verdict for a previously missed satisfiability query.
     pub fn store_sat(&self, key: SatKey, result: &SatResult) {
-        let mut inner = self.inner.lock().expect("solver cache poisoned");
+        let mut inner = self.lock_shard(key.shard);
         inner.sat.insert(key, result.clone());
     }
 
-    /// Current counters.
+    /// Current counters, aggregated over the shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("solver cache poisoned");
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            interned_terms: inner.arena.len(),
-            validity_entries: inner.valid.len(),
-            sat_entries: inner.sat.len(),
+        let mut stats = CacheStats::default();
+        for shard in 0..self.shards.len() {
+            let inner = self.lock_shard(shard);
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.interned_terms += inner.arena.len();
+            stats.validity_entries += inner.valid.len();
+            stats.sat_entries += inner.sat.len();
         }
+        stats
     }
 }
 
@@ -271,6 +422,33 @@ mod tests {
         let mut other = env();
         other.bind_var("x", Sort::Bool);
         assert!(cache.lookup_valid(&other, 0, &[], &goal).is_err());
+    }
+
+    #[test]
+    fn scoped_handles_share_tables_but_not_counters() {
+        let cache = SolverCache::new();
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = cache.lookup_valid(&env(), 0, &[], &goal).unwrap_err();
+        cache.store_valid(key, &ValidityResult::Valid);
+
+        // A scoped handle starts with zeroed counters but sees the verdict.
+        let scope = cache.scoped();
+        assert_eq!(scope.handle_stats(), HandleStats::default());
+        assert!(scope.lookup_valid(&env(), 0, &[], &goal).is_ok());
+        let scope_stats = scope.handle_stats();
+        assert_eq!((scope_stats.hits, scope_stats.misses), (1, 0));
+
+        // The original handle's counters did not absorb the scope's lookup,
+        // but the global table counters did.
+        assert_eq!(cache.handle_stats().hits, 0);
+        assert_eq!(cache.handle_stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+
+        // Plain clones keep attributing to the same lineage.
+        let sibling = scope.clone();
+        assert!(sibling.lookup_valid(&env(), 0, &[], &goal).is_ok());
+        assert_eq!(scope.handle_stats().hits, 2);
     }
 
     #[test]

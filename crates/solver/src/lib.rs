@@ -53,7 +53,7 @@ pub mod rational;
 pub mod sets;
 pub mod smt;
 
-pub use cache::{CacheStats, SolverCache};
+pub use cache::{CacheStats, HandleStats, SolverCache};
 pub use lia::LiaSolver;
 pub use linear::{LinExpr, LinearizeError};
 pub use rational::Rat;

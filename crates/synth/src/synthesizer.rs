@@ -36,6 +36,23 @@ pub struct SynthStats {
     pub interned_terms: usize,
 }
 
+impl SynthStats {
+    /// Fold another run's counters into this one: counts and durations add,
+    /// and the merged run timed out if any constituent did. Used to aggregate
+    /// statistics across the modes of one benchmark and across the workers of
+    /// a parallel evaluation.
+    pub fn merge(&mut self, other: &SynthStats) {
+        self.candidates_checked += other.candidates_checked;
+        self.resource_rechecks += other.resource_rechecks;
+        self.skeletons += other.skeletons;
+        self.duration += other.duration;
+        self.timed_out |= other.timed_out;
+        self.solver_cache_hits += other.solver_cache_hits;
+        self.solver_cache_misses += other.solver_cache_misses;
+        self.interned_terms += other.interned_terms;
+    }
+}
+
 /// The result of a synthesis run.
 #[derive(Debug, Clone)]
 pub struct SynthOutcome {
@@ -92,6 +109,26 @@ impl Synthesizer {
         }
     }
 
+    /// Replace the solver query cache with a shared one. Synthesizers that
+    /// share a cache (across modes of one benchmark, or across the workers of
+    /// a parallel evaluation) answer each other's repeated queries without
+    /// touching the decision procedures; the cache is append-only and
+    /// internally synchronized, so sharing never changes a verdict.
+    ///
+    /// The synthesizer takes a [`scoped`](SolverCache::scoped) handle: its
+    /// reported statistics count only this synthesizer's own lookups, not
+    /// those of concurrent sharers of the same tables.
+    pub fn with_cache(mut self, cache: SolverCache) -> Synthesizer {
+        self.cache = cache.scoped();
+        self
+    }
+
+    /// The solver query cache this synthesizer stores verdicts in (a cheap
+    /// `Arc` clone; see [`SolverCache`]).
+    pub fn cache(&self) -> SolverCache {
+        self.cache.clone()
+    }
+
     fn checker(&self, goal: &Goal, mode: Mode, holes: bool) -> Checker {
         let resource_mode = match mode {
             Mode::ReSyn | Mode::ReSynNoInc => ResourceMode::Resource,
@@ -109,10 +146,11 @@ impl Synthesizer {
         .with_cache(self.cache.clone())
     }
 
-    /// Counters of the shared solver query cache (hits, misses, intern-table
-    /// size); cumulative over every check issued through this synthesizer.
-    pub fn cache_stats(&self) -> resyn_solver::CacheStats {
-        self.cache.stats()
+    /// Counters of this synthesizer's cache handle (hits, misses, terms
+    /// interned); cumulative over every check issued through this
+    /// synthesizer, excluding concurrent sharers of the same tables.
+    pub fn cache_stats(&self) -> resyn_solver::HandleStats {
+        self.cache.handle_stats()
     }
 
     /// Check a candidate (possibly partial) program; in resource modes the
@@ -167,9 +205,10 @@ impl Synthesizer {
     /// Synthesize a program for `goal` in the given mode.
     pub fn synthesize(&self, goal: &Goal, mode: Mode) -> SynthOutcome {
         let start = Instant::now();
-        // The cache outlives individual goals; snapshot its counters so the
-        // reported statistics cover this synthesis run only.
-        let cache_before = self.cache.stats();
+        // The cache outlives individual goals; snapshot this synthesizer's
+        // handle counters so the reported statistics cover this run only
+        // (handle counters exclude concurrent sharers of the same tables).
+        let cache_before = self.cache.handle_stats();
         let mut stats = SynthStats::default();
 
         // Parameter shapes drive skeleton generation.
@@ -214,11 +253,13 @@ impl Synthesizer {
         }
     }
 
-    /// Record the cache activity of this run: the difference between the
-    /// shared cache's counters now and at the start of the run (the cache —
-    /// and its counters — persist across goals).
-    fn record_cache_stats(&self, stats: &mut SynthStats, before: &resyn_solver::CacheStats) {
-        let cs = self.cache.stats();
+    /// Record the cache activity of this run: the difference between this
+    /// synthesizer's handle counters now and at the start of the run (the
+    /// handle — and its counters — persists across goals, and counts only
+    /// this synthesizer's own lookups even when the tables are shared with
+    /// concurrently running synthesizers).
+    fn record_cache_stats(&self, stats: &mut SynthStats, before: &resyn_solver::HandleStats) {
+        let cs = self.cache.handle_stats();
         stats.solver_cache_hits = cs.hits - before.hits;
         stats.solver_cache_misses = cs.misses - before.misses;
         stats.interned_terms = cs.interned_terms - before.interned_terms;

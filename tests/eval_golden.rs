@@ -1,0 +1,108 @@
+//! Golden-test regression suite for the synthesizer.
+//!
+//! "N tests passed" does not notice the synthesizer silently starting to
+//! emit a *different* (still type-correct) program for a benchmark — a code
+//! size regression, a lost optimization, a changed search order. This suite
+//! pins the pretty-printed ReSyn-mode program of every fast (sub-second)
+//! Table-1 benchmark to a checked-in golden file under `tests/golden/`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```console
+//! $ RESYN_BLESS=1 cargo test --release --test eval_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use resyn::eval::{suite, Harness};
+use resyn::parse::surface::expr_to_surface;
+use resyn::synth::Mode;
+
+/// The sub-second Table-1 rows (see `EXPERIMENTS.md` for the timing table).
+/// Slow rows are deliberately excluded: a golden suite that takes minutes
+/// stops being run.
+const FAST_IDS: &[&str] = &[
+    "list-is-empty",
+    "list-replicate",
+    "list-append",
+    "list-snoc",
+    "list-id",
+    "list-singleton",
+    "list-nonempty",
+    "list-length",
+    "list-head",
+    "list-double",
+    "sorted-singleton",
+];
+
+fn golden_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR is `crates/resyn`; the goldens live at the repo
+    // root next to this test's source.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+#[test]
+fn fast_benchmarks_match_their_golden_programs() {
+    let bless = std::env::var("RESYN_BLESS").is_ok_and(|v| v == "1");
+    let harness = Harness::with_timeout(Duration::from_secs(60));
+    let table1 = suite::table1();
+    let mut failures = Vec::new();
+
+    for id in FAST_IDS {
+        let bench = table1
+            .iter()
+            .find(|b| b.id == *id)
+            .unwrap_or_else(|| panic!("no Table-1 benchmark named `{id}`"));
+        let outcome = harness.run_mode(bench, Mode::ReSyn);
+        let Some(program) = outcome.program else {
+            failures.push(format!("{id}: synthesis found no program"));
+            continue;
+        };
+        let printed = format!("{}\n", expr_to_surface(&program));
+        let path = golden_dir().join(format!("{id}.golden"));
+        if bless {
+            fs::write(&path, &printed)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(expected) if expected == printed => {}
+            Ok(expected) => failures.push(format!(
+                "{id}: synthesized program changed\n  expected: {}\n  got:      {}",
+                expected.trim_end(),
+                printed.trim_end()
+            )),
+            Err(_) => failures.push(format!(
+                "{id}: missing golden file {} (regenerate with RESYN_BLESS=1)",
+                path.display()
+            )),
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "golden mismatches (RESYN_BLESS=1 regenerates after intentional changes):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_programs_are_valid_surface_syntax() {
+    // The checked-in goldens themselves must stay parseable — a reviewer
+    // editing one by hand gets told immediately.
+    let mut seen = 0;
+    for id in FAST_IDS {
+        let path = golden_dir().join(format!("{id}.golden"));
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue; // the bless-needed case is reported by the test above
+        };
+        seen += 1;
+        assert!(
+            resyn::parse::parse_expr(text.trim_end()).is_ok(),
+            "{id}.golden does not parse as a surface program: {text}"
+        );
+    }
+    assert!(seen > 0, "no golden files found — run with RESYN_BLESS=1");
+}

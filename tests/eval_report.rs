@@ -1,0 +1,108 @@
+//! End-to-end shape tests for the `resyn-bench-eval/1` JSON report: a real
+//! (small) suite run is serialized and re-parsed, and the schema properties
+//! downstream tooling relies on are asserted on the result. Writer/parser
+//! unit coverage (escaping, null-vs-timeout, rejection of malformed input)
+//! lives in `resyn_eval::report`.
+
+use std::time::Duration;
+
+use resyn::eval::parallel::{run_suite, ParallelConfig};
+use resyn::eval::report::{parse_json, render_json, EvalReport, Json};
+use resyn::eval::{suite, Benchmark};
+
+fn tiny_run_json() -> Json {
+    // `list-head` is included deliberately: its Synquid mode finds nothing,
+    // exercising the null time encoding in a *real* run, not a mock.
+    let benches: Vec<Benchmark> = suite::table1()
+        .into_iter()
+        .filter(|b| ["list-id", "list-head", "list-nonempty"].contains(&b.id.as_str()))
+        .collect();
+    let timeout = Duration::from_secs(60);
+    let config = ParallelConfig {
+        jobs: 2,
+        timeout,
+        ablations: true,
+        progress: false,
+    };
+    let run = run_suite(&benches, &config);
+    let json = render_json(&EvalReport::of_run("table1", timeout, &run));
+    parse_json(&json).expect("the emitted report must be valid JSON")
+}
+
+#[test]
+fn real_runs_serialize_to_the_documented_schema() {
+    let report = tiny_run_json();
+    assert_eq!(
+        report.get("schema").and_then(Json::as_str),
+        Some("resyn-bench-eval/1")
+    );
+    assert_eq!(report.get("suite").and_then(Json::as_str), Some("table1"));
+    assert_eq!(report.get("jobs").and_then(Json::as_num), Some(2.0));
+    assert!(
+        report
+            .get("wall_clock_secs")
+            .and_then(Json::as_num)
+            .unwrap()
+            > 0.0
+    );
+
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    assert_eq!(rows.len(), 3);
+    for row in rows {
+        for key in [
+            "id",
+            "group",
+            "code",
+            "modes",
+            "bound_resyn",
+            "bound_synquid",
+            "error",
+        ] {
+            assert!(row.get(key).is_some(), "row missing `{key}`");
+        }
+        let modes = row.get("modes").unwrap();
+        for mode in ["resyn", "synquid", "eac", "noinc"] {
+            assert!(modes.get(mode).is_some(), "modes missing `{mode}`");
+        }
+        // Table-1 rows never run the ablations: encoded as literal nulls.
+        assert!(modes.get("eac").unwrap().is_null());
+        assert!(modes.get("noinc").unwrap().is_null());
+        assert!(row.get("error").unwrap().is_null());
+    }
+}
+
+#[test]
+fn solved_and_unsolved_modes_are_distinguishable_in_a_real_report() {
+    let report = tiny_run_json();
+    let rows = report.get("rows").and_then(Json::as_arr).unwrap();
+    let head = rows
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some("list-head"))
+        .expect("list-head row present");
+    let modes = head.get("modes").unwrap();
+    // ReSyn solves head; Synquid exhausts its search: time null, but NOT a
+    // timeout — the flag tells the two failure modes apart.
+    assert!(modes
+        .get("resyn")
+        .unwrap()
+        .get("time_secs")
+        .unwrap()
+        .as_num()
+        .is_some());
+    let synquid = modes.get("synquid").unwrap();
+    assert!(synquid.get("time_secs").unwrap().is_null());
+    assert_eq!(synquid.get("timed_out"), Some(&Json::Bool(false)));
+
+    let aggregate = report.get("aggregate").unwrap();
+    assert_eq!(aggregate.get("rows").and_then(Json::as_num), Some(3.0));
+    assert_eq!(
+        aggregate.get("solved_resyn").and_then(Json::as_num),
+        Some(3.0)
+    );
+    assert_eq!(
+        aggregate.get("solved_synquid").and_then(Json::as_num),
+        Some(2.0)
+    );
+    assert_eq!(aggregate.get("errors").and_then(Json::as_num), Some(0.0));
+    assert!(aggregate.get("cache_hits").and_then(Json::as_num).unwrap() > 0.0);
+}
