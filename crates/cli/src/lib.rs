@@ -14,7 +14,11 @@
 //!   signatures,
 //! * `resyn eval` — run the paper's benchmark suites through the parallel
 //!   batch harness and (optionally) emit the machine-readable
-//!   `BENCH_eval.json` report.
+//!   `BENCH_eval.json` report,
+//! * `resyn serve` — start the persistent synthesis server (one shared
+//!   solver cache across every session; see [`resyn_server`]),
+//! * `resyn client` — submit a problem file (or a `stats` query) to a
+//!   running server over the `resyn-wire/1` protocol.
 //!
 //! The command logic lives in this library crate so it can be unit-tested
 //! without spawning processes; `main.rs` only handles I/O.
@@ -26,6 +30,8 @@ use resyn_eval::parallel::{default_jobs, ParallelConfig};
 use resyn_eval::report::{render_json, EvalReport};
 use resyn_parse::surface::{expr_to_surface, schema_to_surface};
 use resyn_parse::{parse_expr, parse_problem};
+use resyn_server::wire::{Response, SynthRequest};
+use resyn_server::{Client, ServerConfig};
 use resyn_synth::{Mode, Synthesizer};
 
 /// Errors reported by the command-line front end.
@@ -41,6 +47,10 @@ pub enum CliError {
     SynthesisFailed(String),
     /// A checked program does not satisfy its signature.
     CheckFailed(String),
+    /// The synthesis server could not be reached or broke protocol
+    /// (`client`). Unlike [`Usage`](Self::Usage), this does not mean the
+    /// command line was wrong, so `main` does not print the usage text.
+    Transport(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -58,6 +68,7 @@ impl std::fmt::Display for CliError {
             CliError::CheckFailed(name) => {
                 write!(f, "program does not satisfy the signature of goal `{name}`")
             }
+            CliError::Transport(msg) => write!(f, "server error: {msg}"),
         }
     }
 }
@@ -84,6 +95,11 @@ pub struct Options {
     pub table: u8,
     /// `eval`: write the JSON report to this path (`--json PATH`).
     pub json: Option<String>,
+    /// `serve`/`client`: the server address (`--addr HOST:PORT`).
+    pub addr: Option<String>,
+    /// `serve`: queue-depth limit before requests bounce with `overloaded`
+    /// (`--queue N`).
+    pub queue: Option<usize>,
     /// Flags seen on the command line, for per-subcommand scope checking
     /// (see [`check_flag_scope`]).
     pub seen_flags: Vec<String>,
@@ -100,6 +116,8 @@ impl Default for Options {
             filters: Vec::new(),
             table: 1,
             json: None,
+            addr: None,
+            queue: None,
             seen_flags: Vec::new(),
         }
     }
@@ -120,6 +138,8 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
         "check" => &["--mode", "--timeout", "--goal"],
         "measure" => &["--goal"],
         "eval" => &["--table", "--jobs", "--timeout", "--filter", "--json"],
+        "serve" => &["--addr", "--jobs", "--timeout", "--queue"],
+        "client" => &["--addr", "--mode", "--timeout", "--goal", "--stats"],
         // Unknown subcommands are reported as such by the dispatcher.
         _ => return Ok(()),
     };
@@ -152,18 +172,7 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                 let value = it
                     .next()
                     .ok_or_else(|| CliError::Usage("--mode needs a value".to_string()))?;
-                opts.mode = match value.as_str() {
-                    "resyn" => Mode::ReSyn,
-                    "synquid" => Mode::Synquid,
-                    "eac" => Mode::Eac,
-                    "noinc" => Mode::ReSynNoInc,
-                    "ct" | "constant-time" => Mode::ConstantTime,
-                    other => {
-                        return Err(CliError::Usage(format!(
-                            "unknown mode `{other}` (expected resyn, synquid, eac, noinc or ct)"
-                        )))
-                    }
-                };
+                opts.mode = value.parse().map_err(CliError::Usage)?;
             }
             "--timeout" => {
                 let value = it
@@ -230,6 +239,23 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .next()
                     .ok_or_else(|| CliError::Usage("--json needs a value".to_string()))?;
                 opts.json = Some(value.clone());
+            }
+            "--addr" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--addr needs a value".to_string()))?;
+                opts.addr = Some(value.clone());
+            }
+            "--queue" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--queue needs a value".to_string()))?;
+                let queue: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid queue depth `{value}`")))?;
+                opts.queue = Some(queue);
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
@@ -438,6 +464,84 @@ pub fn run_eval(opts: &Options) -> Result<EvalOutput, CliError> {
     Ok(EvalOutput { table, json })
 }
 
+/// The default server address shared by `resyn serve` and `resyn client`.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7171";
+
+/// Build the [`ServerConfig`] for `resyn serve` from the parsed flags
+/// (`--addr`, `--jobs`, `--timeout`, `--queue`; defaults otherwise).
+pub fn server_config(opts: &Options) -> ServerConfig {
+    let defaults = ServerConfig::default();
+    ServerConfig {
+        addr: opts
+            .addr
+            .clone()
+            .unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+        jobs: opts.jobs.unwrap_or(defaults.jobs),
+        timeout: if opts.seen_flags.iter().any(|f| f == "--timeout") {
+            opts.timeout
+        } else {
+            defaults.timeout
+        },
+        queue_limit: opts.queue.unwrap_or(defaults.queue_limit),
+        ..defaults
+    }
+}
+
+/// Render a `resyn-wire/1` response for the terminal: the verdict first
+/// (so scripts can grep it), then timing, the error if any, the counters,
+/// and the synthesized program.
+fn render_response(response: &Response) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "verdict: {}", response.verdict);
+    if let Some(t) = response.time_secs {
+        let _ = writeln!(out, "time: {t:.2}s");
+    }
+    if let Some(error) = &response.error {
+        let _ = writeln!(out, "error: {error}");
+    }
+    for (key, value) in &response.stats {
+        let _ = writeln!(out, "{key}: {value}");
+    }
+    if let Some(program) = &response.program {
+        out.push_str(program);
+    }
+    out
+}
+
+/// `resyn client`: submit one request to a running server and render the
+/// response. `problem_text` is the problem file's contents for a synthesis
+/// request, or `None` with `--stats` for a statistics query.
+///
+/// The exit status reflects the *transport*: any server response — including
+/// `parse_error` or `overloaded` — renders successfully with its verdict on
+/// the first line, so callers script against the verdict, not the exit code.
+///
+/// # Errors
+///
+/// Returns [`CliError::Transport`] when the server cannot be reached or
+/// the response violates the protocol.
+pub fn run_client(problem_text: Option<&str>, opts: &Options) -> Result<String, CliError> {
+    let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::Transport(format!("cannot connect to `{addr}`: {e}")))?;
+    let response = match problem_text {
+        None => client.stats(),
+        Some(problem) => client.synth(SynthRequest {
+            id: None,
+            problem: problem.to_string(),
+            mode: Some(opts.mode.as_str().to_string()),
+            timeout_secs: opts
+                .seen_flags
+                .iter()
+                .any(|f| f == "--timeout")
+                .then_some(opts.timeout.as_secs_f64()),
+            goal: opts.goal.clone(),
+        }),
+    }
+    .map_err(|e| CliError::Transport(format!("request to `{addr}` failed: {e}")))?;
+    Ok(render_response(&response))
+}
+
 /// Top-level usage string printed by `main` for `--help` or usage errors.
 pub const USAGE: &str = "\
 resyn — resource-guided program synthesis
@@ -449,6 +553,10 @@ USAGE:
     resyn parse <problem-file>
     resyn eval [--table 1|2] [--jobs N] [--timeout SECS] [--filter SUBSTR,...]
                [--json PATH]
+    resyn serve [--addr HOST:PORT] [--jobs N] [--timeout SECS] [--queue N]
+    resyn client <problem-file> [--addr HOST:PORT] [--mode MODE]
+                 [--timeout SECS] [--goal NAME]
+    resyn client --stats [--addr HOST:PORT]
 
 MODES: resyn (default), synquid, eac, noinc, ct
 
@@ -460,6 +568,13 @@ counters and the size of the term intern table.
 whatever `--jobs` is, modulo rows right at the wall-clock timeout boundary)
 and with `--json` writes the machine-readable `resyn-bench-eval/1` report
 to PATH.
+
+`serve` starts the persistent synthesis server (newline-delimited
+`resyn-wire/1` JSON over TCP; all sessions share one solver query cache,
+`--queue` bounds the pending-job backlog before requests bounce with
+`overloaded`, and per-request timeouts are clamped to `--timeout`).
+`client` submits a problem file — or, with `--stats`, a statistics query —
+to a running server; the default address for both is 127.0.0.1:7171.
 ";
 
 #[cfg(test)]
@@ -720,6 +835,120 @@ mod tests {
         assert!(matches!(
             check_flag_scope("parse", &opts),
             Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn serve_and_client_flags_are_parsed_and_scoped() {
+        let args: Vec<String> = ["--addr", "127.0.0.1:9000", "--queue", "4", "--jobs", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(opts.addr.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(opts.queue, Some(4));
+        assert!(check_flag_scope("serve", &opts).is_ok());
+        // `--queue` is a server knob; clients cannot pass it.
+        assert!(matches!(
+            check_flag_scope("client", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--queue")
+        ));
+
+        for bad in [
+            vec!["--queue", "0"],
+            vec!["--queue", "deep"],
+            vec!["--addr"],
+        ] {
+            let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_flags(&bad), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn server_config_reflects_flags_and_defaults() {
+        let (_, opts) = parse_flags(&[]).unwrap();
+        let config = server_config(&opts);
+        assert_eq!(config.addr, DEFAULT_ADDR);
+        // Without `--timeout` the server keeps its own default budget, not
+        // the CLI's synth default.
+        assert_eq!(
+            config.timeout,
+            resyn_server::ServerConfig::default().timeout
+        );
+
+        let args: Vec<String> = [
+            "--addr",
+            "0.0.0.0:0",
+            "--jobs",
+            "3",
+            "--timeout",
+            "7",
+            "--queue",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        let config = server_config(&opts);
+        assert_eq!(config.addr, "0.0.0.0:0");
+        assert_eq!(config.jobs, 3);
+        assert_eq!(config.timeout, Duration::from_secs(7));
+        assert_eq!(config.queue_limit, 5);
+    }
+
+    #[test]
+    fn client_round_trips_against_an_in_process_server() {
+        let server = resyn_server::serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            timeout: Duration::from_secs(60),
+            ..ServerConfig::default()
+        })
+        .expect("ephemeral server starts");
+        let opts = Options {
+            addr: Some(server.addr().to_string()),
+            ..Options::default()
+        };
+        let problem = "goal id_list :: xs: List a -> {List a | len _v == len xs}";
+        let out = run_client(Some(problem), &opts).unwrap();
+        assert!(out.starts_with("verdict: solved\n"), "{out}");
+        assert!(out.contains("-- goal id_list"), "{out}");
+
+        // A problem the surface parser rejects comes back as a verdict,
+        // not a transport error — the caller scripts against line one.
+        let out = run_client(Some("goal oops ::"), &opts).unwrap();
+        assert!(out.starts_with("verdict: parse_error\n"), "{out}");
+        assert!(out.contains("error: "), "{out}");
+
+        // And `--stats` surfaces the cumulative counters.
+        let stats_opts = Options {
+            stats: true,
+            ..opts.clone()
+        };
+        let out = run_client(None, &stats_opts).unwrap();
+        assert!(out.starts_with("verdict: ok\n"), "{out}");
+        assert!(out.contains("synth_requests: 2"), "{out}");
+        assert!(out.contains("cache_hits: "), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_reports_unreachable_servers_as_transport_errors() {
+        let opts = Options {
+            // Port 1 is privileged and unbound in the test environment.
+            addr: Some("127.0.0.1:1".to_string()),
+            ..Options::default()
+        };
+        // Transport, not Usage: the command line was fine, so `main` must
+        // not dump the usage text at the user.
+        assert!(matches!(
+            run_client(Some("goal g :: Int -> Int"), &opts),
+            Err(CliError::Transport(msg)) if msg.contains("cannot connect")
         ));
     }
 

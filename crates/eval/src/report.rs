@@ -2,9 +2,10 @@
 //!
 //! The text tables of [`crate::harness`] are for humans; downstream tooling
 //! (CI artifacts, the perf trajectory) needs a stable machine-readable form.
-//! This module serializes a suite run to JSON with a small hand-rolled writer
-//! (the workspace is offline — no serde) and ships an equally small parser
-//! ([`parse_json`]) so the schema can be round-trip-tested.
+//! This module serializes a suite run to JSON with the shared hand-rolled
+//! writer/reader of [`resyn_wire`] (the workspace is offline — no serde);
+//! the parser ([`parse_json`]) is re-exported here so the schema can be
+//! round-trip-tested and so existing consumers keep their import paths.
 //!
 //! # Schema (`resyn-bench-eval/1`)
 //!
@@ -64,6 +65,8 @@ use resyn_solver::CacheStats;
 
 use crate::harness::{median_ratio, BenchmarkRow, ModeOutcome};
 use crate::parallel::SuiteRun;
+
+pub use resyn_wire::{json_num, json_str, parse_json, Json};
 
 /// Everything the JSON report records about a run.
 #[derive(Debug, Clone)]
@@ -212,265 +215,6 @@ fn write_aggregate(out: &mut String, report: &EvalReport<'_>) {
     out.push_str("  }\n");
 }
 
-/// Escape a string for JSON: quotes, backslashes and control characters.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-/// Format a float as a JSON number (JSON has no NaN/Infinity; those become
-/// `null` at the call sites via `map_or`, and are clamped here defensively).
-fn json_num(v: f64) -> String {
-    if v.is_finite() {
-        // Rust's shortest-round-trip Display for f64 is valid JSON.
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-// ---------------------------------------------------------------------------
-// A minimal JSON reader, enough to round-trip-test the schema (and for
-// downstream tooling in this workspace to consume the reports without serde).
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (parsed as `f64`).
-    Num(f64),
-    /// A string (unescaped).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member lookup on objects.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_num(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The array payload, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Whether this is the literal `null`.
-    pub fn is_null(&self) -> bool {
-        matches!(self, Json::Null)
-    }
-}
-
-/// Parse a JSON document.
-///
-/// # Errors
-///
-/// Returns a message with a byte offset on malformed input or trailing
-/// garbage.
-pub fn parse_json(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing garbage at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&c) {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {}", c as char, pos))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => parse_obj(bytes, pos),
-        Some(b'[') => parse_arr(bytes, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
-        Some(_) => parse_num(bytes, pos),
-    }
-}
-
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("expected `{lit}` at byte {pos}"))
-    }
-}
-
-fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    std::str::from_utf8(&bytes[start..*pos])
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .map(Json::Num)
-        .ok_or_else(|| format!("malformed number at byte {start}"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("malformed \\u escape at byte {pos}"))?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("unknown escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (the input came from a &str, so
-                // slicing at char boundaries is safe to find).
-                let rest = &bytes[*pos..];
-                let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
-                let c = s.chars().next().unwrap();
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-}
-
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-        }
-    }
-}
-
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(bytes, pos, b'{')?;
-    let mut members = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(members));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        let key = parse_string(bytes, pos)?;
-        expect(bytes, pos, b':')?;
-        let value = parse_value(bytes, pos)?;
-        members.push((key, value));
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(members));
-            }
-            _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,26 +334,5 @@ mod tests {
             Some(100.0)
         );
         assert_eq!(aggregate.get("rows").and_then(Json::as_num), Some(2.0));
-    }
-
-    #[test]
-    fn parser_rejects_garbage_and_truncation() {
-        assert!(parse_json("{\"a\": }").is_err());
-        assert!(parse_json("{\"a\": 1} trailing").is_err());
-        assert!(parse_json("[1, 2").is_err());
-        assert!(parse_json("\"unterminated").is_err());
-        assert!(parse_json("nul").is_err());
-    }
-
-    #[test]
-    fn parser_handles_escapes_and_numbers() {
-        let v =
-            parse_json(r#"{"s": "a\"b\\c\ndA", "n": -1.5e2, "b": [true, false, null]}"#).unwrap();
-        assert_eq!(v.get("s").and_then(Json::as_str), Some("a\"b\\c\ndA"));
-        assert_eq!(v.get("n").and_then(Json::as_num), Some(-150.0));
-        assert_eq!(
-            v.get("b").and_then(Json::as_arr),
-            Some(&[Json::Bool(true), Json::Bool(false), Json::Null][..])
-        );
     }
 }

@@ -12,7 +12,11 @@
 //! * [`parse`] — the Synquid-style surface syntax for terms, types, programs
 //!   and synthesis problem files,
 //! * [`eval`] — the benchmark suites and harness reproducing the paper's
-//!   evaluation tables.
+//!   evaluation tables,
+//! * [`wire`] — the shared JSON reader/writer and the `resyn-wire/1`
+//!   protocol,
+//! * [`server`] — the persistent synthesis server (`resyn serve`) and its
+//!   library client.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! architecture and the experiment index.
@@ -23,6 +27,8 @@ pub use resyn_lang as lang;
 pub use resyn_logic as logic;
 pub use resyn_parse as parse;
 pub use resyn_rescon as rescon;
+pub use resyn_server as server;
 pub use resyn_solver as solver;
 pub use resyn_synth as synth;
 pub use resyn_ty as ty;
+pub use resyn_wire as wire;

@@ -1,0 +1,658 @@
+//! The `resyn` synthesis server: a persistent TCP front end over the
+//! synthesizer, speaking the newline-delimited `resyn-wire/1` protocol
+//! (see [`resyn_wire`]).
+//!
+//! One-shot `resyn synth` invocations pay full process startup and a cold
+//! solver cache per problem. The server keeps one process-wide sharded
+//! [`SolverCache`] alive across every request, so sessions warm each other
+//! up exactly as the parallel evaluation harness's workers do — a repeated
+//! or overlapping problem is answered mostly from cached verdicts.
+//!
+//! # Threading model
+//!
+//! * One **acceptor** loops on the listener and spawns a handler thread per
+//!   connection (`std::thread::scope`, so nothing outlives the server).
+//! * Connection handlers parse request lines and submit jobs to the bounded
+//!   [`scheduler`]; each handler serves its connection's requests in order
+//!   (one in flight per connection — concurrency comes from connections).
+//! * A fixed pool of `jobs` **synthesis workers** drains the queue. Each
+//!   job runs under `catch_unwind` (a panic becomes an `error` response for
+//!   that request only) with a per-request wall-clock budget clamped to the
+//!   server's `--timeout`, and takes a [`scoped`](SolverCache::scoped)
+//!   cache handle so the counters it reports are its own, not its
+//!   neighbours'.
+//!
+//! # Backpressure
+//!
+//! The queue refuses work beyond [`ServerConfig::queue_limit`]; refused
+//! requests get an immediate `overloaded` response instead of unbounded
+//! buffering. Request lines beyond [`ServerConfig::max_request_bytes`] get
+//! an `invalid_request` response and the connection is closed (there is no
+//! way to resynchronize past an unterminated line).
+
+pub mod client;
+pub mod scheduler;
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use resyn_parse::parse_problem;
+use resyn_parse::surface::expr_to_surface;
+use resyn_solver::SolverCache;
+use resyn_synth::{Mode, SynthStats, Synthesizer};
+use resyn_wire::proto::{Request, Response, SynthRequest, Verdict};
+
+pub use client::{Client, ClientError};
+pub use resyn_wire as wire;
+
+/// Server configuration (`resyn serve --addr --jobs --timeout --queue`).
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; port `0` picks an ephemeral port (the bound address
+    /// is reported by [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Synthesis worker threads.
+    pub jobs: usize,
+    /// Upper bound on any request's wall-clock synthesis budget; requests
+    /// asking for more are clamped to this.
+    pub timeout: Duration,
+    /// Jobs allowed to wait in the queue before submissions are refused
+    /// with `overloaded`.
+    pub queue_limit: usize,
+    /// Longest accepted request line, in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            jobs: default_jobs(),
+            timeout: Duration::from_secs(120),
+            queue_limit: 32,
+            max_request_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism, capped at
+/// 8 (the same policy as the parallel evaluation harness — more workers
+/// than that contend on the shared cache for no wall-clock gain).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Cumulative request counters, reported by the `stats` request.
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    synth_requests: AtomicU64,
+    stats_requests: AtomicU64,
+    solved: AtomicU64,
+    no_solution: AtomicU64,
+    timed_out: AtomicU64,
+    parse_errors: AtomicU64,
+    invalid: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_verdict(&self, verdict: Verdict) {
+        match verdict {
+            Verdict::Solved => Self::bump(&self.solved),
+            Verdict::NoSolution => Self::bump(&self.no_solution),
+            Verdict::TimedOut => Self::bump(&self.timed_out),
+            Verdict::ParseError => Self::bump(&self.parse_errors),
+            Verdict::InvalidRequest => Self::bump(&self.invalid),
+            Verdict::Overloaded => Self::bump(&self.overloaded),
+            Verdict::Error => Self::bump(&self.errors),
+            Verdict::Ok => {}
+        }
+    }
+}
+
+/// State shared by the acceptor, every connection handler and every worker.
+struct Shared {
+    config: ServerConfig,
+    cache: SolverCache,
+    scheduler: scheduler::Scheduler,
+    counters: Counters,
+    started: Instant,
+    shutdown: std::sync::atomic::AtomicBool,
+}
+
+/// A running server. Dropping (or calling [`shutdown`](Self::shutdown) on)
+/// the handle stops the accept loop, drains the workers and joins every
+/// thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters of the process-wide solver cache shared by every session.
+    pub fn cache_stats(&self) -> resyn_solver::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Stop accepting, abandon queued jobs, wait for in-flight jobs and
+    /// join every server thread.
+    pub fn shutdown(mut self) {
+        self.initiate_shutdown();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+    }
+
+    fn initiate_shutdown(&self) {
+        self.shared
+            .shutdown
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.shared.scheduler.shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.initiate_shutdown();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+    }
+}
+
+/// Bind and start a server. Returns as soon as the listener is bound; the
+/// accept loop, connection handlers and synthesis workers run on background
+/// threads owned by the returned handle.
+///
+/// # Errors
+///
+/// Returns the bind/spawn error.
+pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        scheduler: scheduler::Scheduler::new(config.queue_limit),
+        cache: SolverCache::new(),
+        counters: Counters::default(),
+        started: Instant::now(),
+        shutdown: std::sync::atomic::AtomicBool::new(false),
+        config,
+    });
+    let supervisor = std::thread::Builder::new()
+        .name("resyn-serve".to_string())
+        .spawn({
+            let shared = Arc::clone(&shared);
+            move || supervise(&listener, &shared)
+        })?;
+    Ok(ServerHandle {
+        addr,
+        shared,
+        supervisor: Some(supervisor),
+    })
+}
+
+/// The supervisor thread: workers + accept loop under one scope, so every
+/// connection handler and worker is joined before the thread exits.
+fn supervise(listener: &TcpListener, shared: &Shared) {
+    std::thread::scope(|scope| {
+        for _ in 0..shared.config.jobs.max(1) {
+            scope.spawn(|| {
+                shared.scheduler.worker_loop(|request, id| {
+                    run_synth_request(&shared.cache, shared.config.timeout, request, id)
+                });
+            });
+        }
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else {
+                // Transient accept failures (EMFILE under fd exhaustion,
+                // ECONNABORTED) surface as an Err per attempt; back off
+                // briefly instead of spinning the acceptor at full CPU.
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            };
+            Counters::bump(&shared.counters.connections);
+            scope.spawn(move || handle_connection(stream, shared));
+        }
+        // Abandon anything still queued so handlers waiting on replies see
+        // their channels close instead of blocking the scope join.
+        shared.scheduler.shutdown();
+    });
+}
+
+enum LineError {
+    /// The line exceeded the request-size cap.
+    TooLong,
+    /// The connection failed or the server is shutting down.
+    Closed,
+}
+
+/// Read one `\n`-terminated line, enforcing the size cap. `Ok(None)` is a
+/// clean disconnect (EOF) — including one mid-line: a partial request with
+/// no terminator is dropped, never parsed.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    cap: usize,
+    shared: &Shared,
+) -> Result<Option<String>, LineError> {
+    let mut line = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(LineError::Closed);
+        }
+        let (done, used) = {
+            let available = match reader.fill_buf() {
+                Ok(bytes) => bytes,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
+                Err(_) => return Err(LineError::Closed),
+            };
+            if available.is_empty() {
+                return Ok(None);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    line.extend_from_slice(&available[..nl]);
+                    (true, nl + 1)
+                }
+                None => {
+                    line.extend_from_slice(available);
+                    (false, available.len())
+                }
+            }
+        };
+        reader.consume(used);
+        if line.len() > cap {
+            return Err(LineError::TooLong);
+        }
+        if done {
+            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+        }
+    }
+}
+
+/// Serve one connection: read request lines, dispatch, write response
+/// lines. Requests on one connection are served in order; concurrency
+/// comes from concurrent connections sharing the worker pool.
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // A short read timeout keeps the handler responsive to shutdown while
+    // the client is idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    // Deterministic correlation ids for requests that do not bring one:
+    // `srv-1`, `srv-2`, … in per-connection request order.
+    let mut next_assigned = 0u64;
+    let mut assign_id = move |supplied: Option<&str>| {
+        next_assigned += 1;
+        supplied
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("srv-{next_assigned}"))
+    };
+    let respond = |writer: &mut TcpStream, response: &Response| -> bool {
+        shared.counters.record_verdict(response.verdict);
+        writer
+            .write_all(format!("{}\n", response.render()).as_bytes())
+            .and_then(|()| writer.flush())
+            .is_ok()
+    };
+    loop {
+        let line = match read_request_line(&mut reader, shared.config.max_request_bytes, shared) {
+            Ok(Some(line)) => line,
+            Ok(None) | Err(LineError::Closed) => return,
+            Err(LineError::TooLong) => {
+                let response = Response::failure(
+                    assign_id(None),
+                    Verdict::InvalidRequest,
+                    format!(
+                        "request exceeds {} bytes; closing connection",
+                        shared.config.max_request_bytes
+                    ),
+                );
+                respond(&mut writer, &response);
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::parse_line(&line) {
+            Ok(request) => request,
+            Err(message) => {
+                let response = Response::failure(assign_id(None), Verdict::InvalidRequest, message);
+                if !respond(&mut writer, &response) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let id = assign_id(request.id());
+        let response = match request {
+            Request::Stats { .. } => {
+                Counters::bump(&shared.counters.stats_requests);
+                stats_response(shared, id)
+            }
+            Request::Synth(synth) => {
+                Counters::bump(&shared.counters.synth_requests);
+                match shared.scheduler.submit(synth, id.clone()) {
+                    Err(_refused) => Response::failure(
+                        id,
+                        Verdict::Overloaded,
+                        format!(
+                            "queue full ({} jobs waiting); retry later",
+                            shared.config.queue_limit
+                        ),
+                    ),
+                    Ok(receiver) => match receiver.recv() {
+                        Ok(response) => response,
+                        // The reply channel only closes when the scheduler
+                        // abandons queued jobs at shutdown.
+                        Err(_) => Response::failure(id, Verdict::Error, "server shutting down"),
+                    },
+                }
+            }
+        };
+        if !respond(&mut writer, &response) {
+            return;
+        }
+    }
+}
+
+/// Answer a `stats` request: cumulative request counters plus the counters
+/// of the process-wide shared solver cache.
+fn stats_response(shared: &Shared, id: String) -> Response {
+    let cache = shared.cache.stats();
+    let count = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+    let counters = &shared.counters;
+    Response {
+        id,
+        verdict: Verdict::Ok,
+        program: None,
+        time_secs: None,
+        stats: vec![
+            (
+                "uptime_secs".to_string(),
+                shared.started.elapsed().as_secs_f64(),
+            ),
+            ("jobs".to_string(), shared.config.jobs as f64),
+            ("queue_depth".to_string(), shared.scheduler.depth() as f64),
+            ("connections".to_string(), count(&counters.connections)),
+            (
+                "synth_requests".to_string(),
+                count(&counters.synth_requests),
+            ),
+            (
+                "stats_requests".to_string(),
+                count(&counters.stats_requests),
+            ),
+            ("solved".to_string(), count(&counters.solved)),
+            ("no_solution".to_string(), count(&counters.no_solution)),
+            ("timed_out".to_string(), count(&counters.timed_out)),
+            ("parse_errors".to_string(), count(&counters.parse_errors)),
+            ("invalid_requests".to_string(), count(&counters.invalid)),
+            ("overloaded".to_string(), count(&counters.overloaded)),
+            ("errors".to_string(), count(&counters.errors)),
+            ("cache_hits".to_string(), cache.hits as f64),
+            ("cache_misses".to_string(), cache.misses as f64),
+            ("interned_terms".to_string(), cache.interned_terms as f64),
+            (
+                "validity_entries".to_string(),
+                cache.validity_entries as f64,
+            ),
+            ("sat_entries".to_string(), cache.sat_entries as f64),
+        ],
+        error: None,
+    }
+}
+
+/// Run one synthesis request against the shared cache. This is the job the
+/// scheduler's workers execute; it is public so integration tests and the
+/// command-line tool can exercise request semantics without a socket.
+pub fn run_synth_request(
+    cache: &SolverCache,
+    max_timeout: Duration,
+    request: &SynthRequest,
+    id: &str,
+) -> Response {
+    let mode: Mode = match request.mode.as_deref() {
+        None => Mode::ReSyn,
+        Some(name) => match name.parse() {
+            Ok(mode) => mode,
+            Err(message) => return Response::failure(id, Verdict::InvalidRequest, message),
+        },
+    };
+    let timeout = match request.timeout_secs {
+        None => max_timeout,
+        // Clamp before converting: `from_secs_f64` panics on out-of-range
+        // floats, and nothing above the server budget matters anyway.
+        Some(secs) if secs.is_finite() && secs >= 0.0 => {
+            Duration::from_secs_f64(secs.min(max_timeout.as_secs_f64()))
+        }
+        Some(secs) => {
+            return Response::failure(
+                id,
+                Verdict::InvalidRequest,
+                format!("`timeout_secs` must be a finite non-negative number, got {secs}"),
+            )
+        }
+    };
+    let problem = match parse_problem(&request.problem) {
+        Ok(problem) => problem,
+        Err(e) => return Response::failure(id, Verdict::ParseError, e.to_string()),
+    };
+    let goals: Vec<_> = match &request.goal {
+        None => problem.into_goals(),
+        Some(name) => {
+            let selected: Vec<_> = problem
+                .into_goals()
+                .into_iter()
+                .filter(|g| &g.name == name)
+                .collect();
+            if selected.is_empty() {
+                return Response::failure(
+                    id,
+                    Verdict::ParseError,
+                    format!("no goal named `{name}` in the problem"),
+                );
+            }
+            selected
+        }
+    };
+
+    let start = Instant::now();
+    let mut merged = SynthStats::default();
+    let mut programs = String::new();
+    let mut failed_goal = None;
+    for goal in &goals {
+        // One wall-clock budget for the whole request: later goals get
+        // whatever the earlier ones left over.
+        let remaining = timeout.saturating_sub(start.elapsed());
+        let synthesizer = Synthesizer::with_timeout(remaining).with_cache(cache.clone());
+        let outcome = synthesizer.synthesize(goal, mode);
+        merged.merge(&outcome.stats);
+        match outcome.program {
+            Some(program) => {
+                use std::fmt::Write as _;
+                let _ = writeln!(programs, "-- goal {}", goal.name);
+                let _ = writeln!(programs, "{}", expr_to_surface(&program));
+            }
+            None => {
+                failed_goal = Some(goal.name.clone());
+                break;
+            }
+        }
+    }
+    let verdict = match &failed_goal {
+        None => Verdict::Solved,
+        Some(_) if merged.timed_out => Verdict::TimedOut,
+        Some(_) => Verdict::NoSolution,
+    };
+    Response {
+        id: id.to_string(),
+        verdict,
+        program: (verdict == Verdict::Solved).then_some(programs),
+        time_secs: Some(merged.duration.as_secs_f64()),
+        stats: synth_stats_pairs(&merged),
+        error: failed_goal.map(|goal| {
+            format!(
+                "synthesis {} for goal `{goal}`",
+                if verdict == Verdict::TimedOut {
+                    "timed out"
+                } else {
+                    "exhausted the search space"
+                }
+            )
+        }),
+    }
+}
+
+/// Flatten [`SynthStats`] into the wire's counter pairs. Cache counters
+/// come from the request's own [`scoped`](SolverCache::scoped) handle, so
+/// they attribute this request's lookups only — never a concurrent
+/// session's.
+fn synth_stats_pairs(stats: &SynthStats) -> Vec<(String, f64)> {
+    vec![
+        ("candidates".to_string(), stats.candidates_checked as f64),
+        ("skeletons".to_string(), stats.skeletons as f64),
+        (
+            "resource_rechecks".to_string(),
+            stats.resource_rechecks as f64,
+        ),
+        ("cache_hits".to_string(), stats.solver_cache_hits as f64),
+        ("cache_misses".to_string(), stats.solver_cache_misses as f64),
+        ("interned_terms".to_string(), stats.interned_terms as f64),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ID_PROBLEM: &str = "goal id_list :: xs: List a -> {List a | len _v == len xs}";
+
+    #[test]
+    fn run_synth_request_solves_a_small_problem_with_scoped_stats() {
+        let cache = SolverCache::new();
+        let request = SynthRequest {
+            problem: ID_PROBLEM.to_string(),
+            ..SynthRequest::default()
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(60), &request, "r1");
+        assert_eq!(response.verdict, Verdict::Solved, "{:?}", response.error);
+        assert_eq!(response.id, "r1");
+        let program = response.program.as_deref().unwrap();
+        assert!(program.contains("-- goal id_list"), "{program}");
+        assert!(response.stat("cache_misses").unwrap() > 0.0);
+
+        // A warm repeat is answered from the shared cache and attributes
+        // its *own* lookups: mostly hits, far fewer misses.
+        let warm = run_synth_request(&cache, Duration::from_secs(60), &request, "r2");
+        assert_eq!(warm.verdict, Verdict::Solved);
+        assert!(warm.stat("cache_hits").unwrap() > 0.0);
+        assert!(warm.stat("cache_misses").unwrap() < response.stat("cache_misses").unwrap());
+        // (The warm-run *timing* comparison lives in `tests/server.rs` on a
+        // heavier problem; this goal solves in well under a millisecond, so
+        // a wall-clock assertion here would be scheduling noise.)
+    }
+
+    #[test]
+    fn bad_mode_timeout_and_problem_map_to_their_verdicts() {
+        let cache = SolverCache::new();
+        let base = SynthRequest {
+            problem: ID_PROBLEM.to_string(),
+            ..SynthRequest::default()
+        };
+        let bad_mode = SynthRequest {
+            mode: Some("quantum".to_string()),
+            ..base.clone()
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_mode, "m");
+        assert_eq!(response.verdict, Verdict::InvalidRequest);
+        assert!(response.error.unwrap().contains("unknown mode"));
+
+        let bad_timeout = SynthRequest {
+            timeout_secs: Some(f64::NAN),
+            ..base.clone()
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_timeout, "t");
+        assert_eq!(response.verdict, Verdict::InvalidRequest);
+
+        let bad_problem = SynthRequest {
+            problem: "goal oops ::".to_string(),
+            ..SynthRequest::default()
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_problem, "p");
+        assert_eq!(response.verdict, Verdict::ParseError);
+        assert!(response.program.is_none());
+
+        let bad_goal = SynthRequest {
+            goal: Some("missing".to_string()),
+            ..base
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_goal, "g");
+        assert_eq!(response.verdict, Verdict::ParseError);
+        assert!(response.error.unwrap().contains("missing"));
+    }
+
+    #[test]
+    fn a_zero_budget_request_times_out() {
+        let cache = SolverCache::new();
+        let request = SynthRequest {
+            problem: "goal append :: xs: List a^1 -> ys: List a -> \
+                      {List a | len _v == len xs + len ys}"
+                .to_string(),
+            timeout_secs: Some(0.0),
+            ..SynthRequest::default()
+        };
+        let response = run_synth_request(&cache, Duration::from_secs(60), &request, "z");
+        assert_eq!(response.verdict, Verdict::TimedOut, "{:?}", response.error);
+        assert!(response.error.unwrap().contains("timed out"));
+    }
+
+    #[test]
+    fn requested_timeouts_are_clamped_to_the_server_budget() {
+        let cache = SolverCache::new();
+        let request = SynthRequest {
+            problem: "goal append :: xs: List a^1 -> ys: List a -> \
+                      {List a | len _v == len xs + len ys}"
+                .to_string(),
+            // Asks for an hour; the server allows (effectively) nothing.
+            timeout_secs: Some(3600.0),
+            ..SynthRequest::default()
+        };
+        let response = run_synth_request(&cache, Duration::ZERO, &request, "c");
+        assert_eq!(response.verdict, Verdict::TimedOut);
+    }
+}

@@ -1,0 +1,311 @@
+//! The bounded session scheduler: a queue of synthesis jobs drained by a
+//! fixed pool of worker threads.
+//!
+//! This is the server-side reincarnation of the evaluation harness's worker
+//! pool (`resyn_eval::parallel`): the same `std::thread::scope` + shared
+//! work-source shape, the same per-job `catch_unwind` isolation, but fed by
+//! a live queue instead of a fixed benchmark slice — so it additionally
+//! owes callers **backpressure**: [`Scheduler::submit`] refuses work beyond
+//! the configured queue depth instead of buffering unboundedly, and the
+//! refusal is turned into an `overloaded` response at the wire.
+//!
+//! The scheduler is generic over the job runner so its concurrency
+//! properties (bounded queue, panic isolation, drain-on-shutdown) are
+//! testable without running the synthesizer.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use resyn_wire::proto::{Response, SynthRequest, Verdict};
+
+/// A queued synthesis job: the parsed request plus the correlation id the
+/// connection assigned and the channel its response travels back on.
+#[derive(Debug)]
+pub struct Job {
+    /// The request to run.
+    pub request: SynthRequest,
+    /// The response correlation id (client-supplied or server-assigned).
+    pub id: String,
+    reply: Sender<Response>,
+}
+
+/// The bounded job queue shared by every connection handler and drained by
+/// the worker pool.
+pub struct Scheduler {
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    /// Jobs allowed to wait in the queue; submissions beyond this are
+    /// refused (`overloaded`).
+    limit: usize,
+    shutdown: AtomicBool,
+}
+
+impl Scheduler {
+    /// A scheduler refusing submissions once `limit` jobs are queued
+    /// (running jobs do not count — they have already left the queue).
+    pub fn new(limit: usize) -> Scheduler {
+        Scheduler {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            limit: limit.max(1),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        // Jobs are plain data; a panic while the lock was held cannot leave
+        // the queue in a torn state, so poisoning is recoverable.
+        self.queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Enqueue a job. Returns the receiver its response will arrive on, or
+    /// the job back if the queue is at its depth limit (the caller answers
+    /// `overloaded`) or the scheduler is shutting down.
+    #[allow(clippy::result_large_err)]
+    pub fn submit(&self, request: SynthRequest, id: String) -> Result<Receiver<Response>, Job> {
+        let (reply, receiver) = channel();
+        let job = Job { request, id, reply };
+        let mut queue = self.lock_queue();
+        if queue.len() >= self.limit || self.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(receiver)
+    }
+
+    /// How many jobs are currently waiting (not running).
+    pub fn depth(&self) -> usize {
+        self.lock_queue().len()
+    }
+
+    /// Wake every worker and make further submissions fail. Queued jobs are
+    /// abandoned — dropped here, which closes their reply channels, which
+    /// waiting connections observe as a server shutdown — so shutdown waits
+    /// only for the jobs already *running*, never for the backlog.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.lock_queue().clear();
+        self.ready.notify_all();
+    }
+
+    /// One worker's main loop: claim jobs until shutdown. A `run` that
+    /// panics produces an `error` response for that job only — the worker
+    /// and every other queued job are unaffected (the same contract the
+    /// parallel evaluation pool gives benchmarks).
+    pub fn worker_loop<F>(&self, run: F)
+    where
+        F: Fn(&SynthRequest, &str) -> Response,
+    {
+        loop {
+            let job = {
+                let mut queue = self.lock_queue();
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break job;
+                    }
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let (guard, _) = self
+                        .ready
+                        .wait_timeout(queue, Duration::from_millis(100))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    queue = guard;
+                }
+            };
+            let response = match catch_unwind(AssertUnwindSafe(|| run(&job.request, &job.id))) {
+                Ok(response) => response,
+                Err(payload) => Response::failure(
+                    job.id.clone(),
+                    Verdict::Error,
+                    format!(
+                        "synthesis worker panicked: {}",
+                        panic_message(payload.as_ref())
+                    ),
+                ),
+            };
+            // The client may have disconnected while the job was queued or
+            // running; a closed reply channel is not an error.
+            let _ = job.reply.send(response);
+        }
+    }
+}
+
+/// Extract a human-readable message from a panic payload (`panic!` with a
+/// string literal or a formatted message; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn synth_request(marker: &str) -> SynthRequest {
+        SynthRequest {
+            problem: marker.to_string(),
+            ..SynthRequest::default()
+        }
+    }
+
+    fn ok_response(id: &str) -> Response {
+        Response {
+            id: id.to_string(),
+            verdict: Verdict::Solved,
+            program: None,
+            time_secs: None,
+            stats: Vec::new(),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn jobs_flow_through_a_worker_and_correlate_by_id() {
+        let scheduler = Scheduler::new(8);
+        std::thread::scope(|scope| {
+            scope.spawn(|| scheduler.worker_loop(|_, id| ok_response(id)));
+            let rx_a = scheduler
+                .submit(synth_request("a"), "id-a".to_string())
+                .unwrap();
+            let rx_b = scheduler
+                .submit(synth_request("b"), "id-b".to_string())
+                .unwrap();
+            assert_eq!(rx_a.recv().unwrap().id, "id-a");
+            assert_eq!(rx_b.recv().unwrap().id, "id-b");
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn submissions_beyond_the_queue_limit_are_refused() {
+        let scheduler = Scheduler::new(2);
+        // A gate the single worker blocks on, so the queue fills
+        // deterministically: one job running, two queued, the next refused.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|_, id| {
+                    let _ = gate_rx.lock().unwrap().recv();
+                    ok_response(id)
+                })
+            });
+            let first = scheduler
+                .submit(synth_request("running"), "r".to_string())
+                .unwrap();
+            // Wait until the worker has claimed the first job.
+            while scheduler.depth() > 0 {
+                std::thread::yield_now();
+            }
+            let queued: Vec<_> = (0..2)
+                .map(|i| {
+                    scheduler
+                        .submit(synth_request("queued"), format!("q{i}"))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(scheduler.depth(), 2);
+            // The queue is at its limit: the next submission bounces with
+            // its job handed back (the caller renders `overloaded`).
+            let refused = scheduler.submit(synth_request("extra"), "x".to_string());
+            let job = refused.expect_err("queue at limit must refuse");
+            assert_eq!(job.id, "x");
+            // Releasing the gate drains everything that was accepted.
+            for _ in 0..3 {
+                gate_tx.send(()).unwrap();
+            }
+            assert_eq!(first.recv().unwrap().id, "r");
+            for (i, rx) in queued.into_iter().enumerate() {
+                assert_eq!(rx.recv().unwrap().id, format!("q{i}"));
+            }
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn a_panicking_job_becomes_an_error_response_not_a_dead_worker() {
+        let scheduler = Scheduler::new(8);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|request, id| {
+                    if request.problem == "boom" {
+                        panic!("injected failure");
+                    }
+                    ok_response(id)
+                })
+            });
+            let rx_bad = scheduler
+                .submit(synth_request("boom"), "bad".to_string())
+                .unwrap();
+            let bad = rx_bad.recv().unwrap();
+            assert_eq!(bad.verdict, Verdict::Error);
+            assert!(bad.error.as_deref().unwrap().contains("injected failure"));
+            // The worker survived the panic and still serves jobs.
+            let rx_ok = scheduler
+                .submit(synth_request("fine"), "ok".to_string())
+                .unwrap();
+            assert_eq!(rx_ok.recv().unwrap().verdict, Verdict::Solved);
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn shutdown_abandons_the_backlog_instead_of_draining_it() {
+        let scheduler = Scheduler::new(8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|_, id| {
+                    let _ = gate_rx.lock().unwrap().recv();
+                    ok_response(id)
+                })
+            });
+            let running = scheduler
+                .submit(synth_request("running"), "r".to_string())
+                .unwrap();
+            while scheduler.depth() > 0 {
+                std::thread::yield_now();
+            }
+            let queued = scheduler
+                .submit(synth_request("queued"), "q".to_string())
+                .unwrap();
+            scheduler.shutdown();
+            // The queued job was dropped: its reply channel closes without
+            // a response (a connection handler renders this as a shutdown
+            // error) — shutdown never waits for the backlog.
+            assert!(queued.recv().is_err(), "queued job must be abandoned");
+            // The in-flight job still completes once its work finishes.
+            gate_tx.send(()).unwrap();
+            assert_eq!(running.recv().unwrap().id, "r");
+        });
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_and_stops_workers() {
+        let scheduler = Scheduler::new(8);
+        std::thread::scope(|scope| {
+            let worker = scope.spawn(|| scheduler.worker_loop(|_, id| ok_response(id)));
+            scheduler.shutdown();
+            assert!(scheduler
+                .submit(synth_request("late"), "l".to_string())
+                .is_err());
+            worker.join().unwrap();
+        });
+    }
+}

@@ -58,4 +58,39 @@ impl Mode {
     pub fn resource_guided(self) -> bool {
         matches!(self, Mode::ReSyn | Mode::ReSynNoInc | Mode::ConstantTime)
     }
+
+    /// The canonical mode name, as accepted by `--mode` and the
+    /// `resyn-wire/1` protocol (the inverse of the [`FromStr`] impl).
+    ///
+    /// [`FromStr`]: std::str::FromStr
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Mode::ReSyn => "resyn",
+            Mode::Synquid => "synquid",
+            Mode::Eac => "eac",
+            Mode::ReSynNoInc => "noinc",
+            Mode::ConstantTime => "ct",
+        }
+    }
+}
+
+impl std::str::FromStr for Mode {
+    type Err = String;
+
+    /// Parse the mode names shared by the command line (`--mode`) and the
+    /// `resyn-wire/1` protocol (`"mode"`).
+    fn from_str(s: &str) -> Result<Mode, String> {
+        Ok(match s {
+            "resyn" => Mode::ReSyn,
+            "synquid" => Mode::Synquid,
+            "eac" => Mode::Eac,
+            "noinc" => Mode::ReSynNoInc,
+            "ct" | "constant-time" => Mode::ConstantTime,
+            other => {
+                return Err(format!(
+                    "unknown mode `{other}` (expected resyn, synquid, eac, noinc or ct)"
+                ))
+            }
+        })
+    }
 }

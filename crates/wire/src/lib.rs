@@ -1,0 +1,61 @@
+//! Shared wire formats for ReSyn-rs.
+//!
+//! Two things live here, both dependency-free so every layer of the
+//! workspace (the evaluation harness, the synthesis server, external
+//! tooling) can speak them without pulling in the pipeline:
+//!
+//! * [`json`] — the hand-rolled JSON writer helpers and the minimal JSON
+//!   reader (the workspace is offline — no serde). This is the code that
+//!   used to live inside `resyn_eval::report`; the `resyn-bench-eval/1`
+//!   report schema and the `resyn-wire/1` protocol below are both built on
+//!   it.
+//! * [`proto`] — the `resyn-wire/1` request/response protocol of the
+//!   `resyn serve` synthesis server: newline-delimited JSON messages that
+//!   submit a surface-syntax synthesis problem (or query server statistics)
+//!   and carry back the verdict, the synthesized program, timing and
+//!   solver-cache counters.
+//!
+//! # The `resyn-wire/1` schema
+//!
+//! Every message is a single line of JSON terminated by `\n`. Requests:
+//!
+//! ```json
+//! {"wire": "resyn-wire/1", "type": "synth", "id": "req-1",
+//!  "problem": "goal id :: xs: List a -> {List a | len _v == len xs}",
+//!  "mode": "resyn", "timeout_secs": 30, "goal": "id"}
+//! {"wire": "resyn-wire/1", "type": "stats", "id": "req-2"}
+//! ```
+//!
+//! `wire` and `type` are required; `id` is an arbitrary correlation string
+//! echoed back in the response (the server assigns a deterministic
+//! per-connection `srv-N` id when it is omitted); `mode` is one of `resyn`
+//! (default), `synquid`, `eac`, `noinc`, `ct`; `timeout_secs` is clamped to
+//! the server's `--timeout`; `goal` restricts synthesis to one goal of the
+//! problem file.
+//!
+//! Responses:
+//!
+//! ```json
+//! {"wire": "resyn-wire/1", "id": "req-1", "verdict": "solved",
+//!  "program": "\\xs. xs", "time_secs": 0.42,
+//!  "stats": {"candidates": 12, "cache_hits": 7, "cache_misses": 3},
+//!  "error": null}
+//! ```
+//!
+//! `verdict` is one of the [`proto::Verdict`] strings: `solved`,
+//! `no_solution`, `timed_out` (synthesis outcomes), `parse_error` (the
+//! problem text was rejected), `invalid_request` (malformed or oversized
+//! request line), `overloaded` (the server's bounded queue was full —
+//! back off and retry), `error` (a server-side failure, e.g. a panic
+//! isolated by the scheduler) and `ok` (a `stats` response). `program` is
+//! the synthesized program in surface syntax (or `null`); `stats` is a flat
+//! object of numeric counters whose keys depend on the request type; new
+//! keys may be appended, so consumers must index by name. Like
+//! `resyn-bench-eval/1`, the schema is versioned by its name: breaking
+//! changes bump the suffix.
+
+pub mod json;
+pub mod proto;
+
+pub use json::{json_num, json_str, parse_json, render_compact, Json};
+pub use proto::{Request, Response, SynthRequest, Verdict, WIRE_SCHEMA};
