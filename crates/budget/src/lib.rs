@@ -1,0 +1,199 @@
+//! Cooperative wall-clock budgets and cancellation for the checking stack.
+//!
+//! The paper's evaluation is defined against a hard 600 s timeout, but a
+//! timeout is only as sound as its most oblivious loop: a synthesizer that
+//! polls the clock between *candidates* can overrun its budget arbitrarily
+//! inside E-term generation or a single solver call. A [`Budget`] is the
+//! repo-wide answer: one small value threaded from the entry point
+//! (`Synthesizer::synthesize`, a `resyn serve` worker, the evaluation
+//! harness) down through skeleton generation, E-term enumeration, the Re²
+//! checker, the CEGIS loop and the DPLL(T) search, each of which calls
+//! [`Budget::is_exceeded`] at the top of its hot loop and unwinds with a
+//! *cancelled* result when the answer is yes.
+//!
+//! Two independent triggers end a budget:
+//!
+//! * a **deadline** (`Instant`), fixed when the budget is created — this is
+//!   what `--timeout` compiles to; and
+//! * any number of **[`CancelToken`]s** (shared `AtomicBool`s) — this is how
+//!   a server cancels a job whose client disconnected, and how the first-win
+//!   skeleton pool stops losing workers the moment a winner is known.
+//!
+//! Budgets are cheap to clone (an `Instant` plus a couple of `Arc`s) and
+//! cheap to poll (atomic loads plus one monotonic clock read), so
+//! checkpoints can sit inside tight enumeration loops. A checkpoint is
+//! *cooperative*: nothing is preempted, but every loop in the stack observes
+//! the budget within one bounded unit of work, so a hit deadline surfaces as
+//! a clean `timed_out` outcome within one checkpoint interval instead of
+//! "whenever the current phase happens to finish".
+//!
+//! Cancellation composes by *union*: [`Budget::attach`] adds a token to the
+//! set, and [`Budget::child`] derives a budget that additionally obeys a
+//! fresh token — cancel the child without disturbing siblings, while a
+//! parent-level cancel (or the shared deadline) still stops everyone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag. Cloning shares the flag: cancelling any clone
+/// cancels them all.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the flag. Idempotent; every [`Budget`] holding this token (or a
+    /// clone of it) reports exceeded from now on.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A wall-clock budget: an optional deadline plus a set of cancellation
+/// tokens. Exceeded as soon as the deadline passes *or* any token trips.
+///
+/// The default budget is [`unlimited`](Budget::unlimited): no deadline, no
+/// tokens, [`is_exceeded`](Budget::is_exceeded) always `false`. This is what
+/// every layer assumes when no caller threads a budget through, so adding a
+/// checkpoint never changes un-budgeted behavior.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    tokens: Vec<CancelToken>,
+}
+
+impl Budget {
+    /// A budget that never expires and cannot be cancelled.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// A budget expiring `timeout` from now. Durations too large to
+    /// represent as a deadline (e.g. `Duration::MAX` used as "no limit")
+    /// saturate to no deadline at all.
+    pub fn with_timeout(timeout: Duration) -> Budget {
+        Budget {
+            deadline: Instant::now().checked_add(timeout),
+            tokens: Vec::new(),
+        }
+    }
+
+    /// A budget expiring at the given instant.
+    pub fn with_deadline(deadline: Instant) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            tokens: Vec::new(),
+        }
+    }
+
+    /// This budget, additionally cancelled whenever `token` is.
+    #[must_use]
+    pub fn attach(mut self, token: CancelToken) -> Budget {
+        self.tokens.push(token);
+        self
+    }
+
+    /// Derive a budget that obeys everything this one does *plus* a fresh
+    /// token, which is returned so the caller can cancel the child alone.
+    /// The first-win skeleton pool gives every skeleton such a child: the
+    /// winner's announcement cancels the losers without touching the
+    /// parent's deadline or the server-side job token.
+    pub fn child(&self) -> (Budget, CancelToken) {
+        let token = CancelToken::new();
+        (self.clone().attach(token.clone()), token)
+    }
+
+    /// Whether the deadline has passed or any attached token was cancelled.
+    /// Cheap enough for tight loops: the tokens are atomic loads and the
+    /// deadline is one monotonic clock read (skipped when there is none).
+    pub fn is_exceeded(&self) -> bool {
+        if self.tokens.iter().any(CancelToken::is_cancelled) {
+            return true;
+        }
+        match self.deadline {
+            Some(deadline) => Instant::now() >= deadline,
+            None => false,
+        }
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Time left until the deadline (`None` = no deadline; zero once
+    /// passed). Cancellation tokens do not shorten the reported remainder —
+    /// they flip [`is_exceeded`](Budget::is_exceeded) instead.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budgets_never_expire() {
+        let budget = Budget::unlimited();
+        assert!(!budget.is_exceeded());
+        assert!(budget.deadline().is_none());
+        assert!(budget.remaining().is_none());
+        // Absurdly large timeouts saturate to "no deadline" instead of
+        // panicking on Instant overflow.
+        let huge = Budget::with_timeout(Duration::from_secs(u64::MAX));
+        assert!(!huge.is_exceeded());
+    }
+
+    #[test]
+    fn deadlines_bind() {
+        let expired = Budget::with_timeout(Duration::ZERO);
+        assert!(expired.is_exceeded());
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+        let generous = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(!generous.is_exceeded());
+        assert!(generous.remaining().unwrap() > Duration::from_secs(3000));
+    }
+
+    #[test]
+    fn tokens_cancel_every_clone_and_attachment() {
+        let token = CancelToken::new();
+        let budget = Budget::unlimited().attach(token.clone());
+        let sibling = budget.clone();
+        assert!(!budget.is_exceeded());
+        token.clone().cancel();
+        assert!(token.is_cancelled());
+        assert!(budget.is_exceeded());
+        assert!(sibling.is_exceeded());
+    }
+
+    #[test]
+    fn children_cancel_independently_but_inherit_the_parent() {
+        let parent_token = CancelToken::new();
+        let parent = Budget::unlimited().attach(parent_token.clone());
+        let (child_a, token_a) = parent.child();
+        let (child_b, _token_b) = parent.child();
+
+        // Cancelling one child leaves its sibling and the parent alone.
+        token_a.cancel();
+        assert!(child_a.is_exceeded());
+        assert!(!child_b.is_exceeded());
+        assert!(!parent.is_exceeded());
+
+        // Cancelling the parent reaches every child.
+        parent_token.cancel();
+        assert!(child_b.is_exceeded());
+        assert!(parent.is_exceeded());
+    }
+}

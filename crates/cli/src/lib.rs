@@ -89,6 +89,11 @@ pub struct Options {
     /// `eval`: worker threads (`--jobs`); defaults to the machine's
     /// available parallelism, capped at 8.
     pub jobs: Option<usize>,
+    /// `synth`/`eval`/`serve`: threads fanned across the skeletons of each
+    /// *single* goal (`--goal-jobs`); defaults to 1 (sequential in-goal
+    /// search). The synthesized program is identical whatever the value —
+    /// the pool's winner is deterministic.
+    pub goal_jobs: Option<usize>,
     /// `eval`: benchmark-id substring filters (`--filter a,b`).
     pub filters: Vec<String>,
     /// `eval`: which paper table to run (`--table 1|2`).
@@ -113,6 +118,7 @@ impl Default for Options {
             goal: None,
             stats: false,
             jobs: None,
+            goal_jobs: None,
             filters: Vec::new(),
             table: 1,
             json: None,
@@ -134,11 +140,18 @@ impl Default for Options {
 pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
     let allowed: &[&str] = match command {
         "parse" => &[],
-        "synth" => &["--mode", "--timeout", "--goal", "--stats"],
+        "synth" => &["--mode", "--timeout", "--goal", "--stats", "--goal-jobs"],
         "check" => &["--mode", "--timeout", "--goal"],
         "measure" => &["--goal"],
-        "eval" => &["--table", "--jobs", "--timeout", "--filter", "--json"],
-        "serve" => &["--addr", "--jobs", "--timeout", "--queue"],
+        "eval" => &[
+            "--table",
+            "--jobs",
+            "--timeout",
+            "--filter",
+            "--json",
+            "--goal-jobs",
+        ],
+        "serve" => &["--addr", "--jobs", "--timeout", "--queue", "--goal-jobs"],
         "client" => &["--addr", "--mode", "--timeout", "--goal", "--stats"],
         // Unknown subcommands are reported as such by the dispatcher.
         _ => return Ok(()),
@@ -202,6 +215,16 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError::Usage(format!("invalid job count `{value}`")))?;
                 opts.jobs = Some(jobs);
+            }
+            "--goal-jobs" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--goal-jobs needs a value".to_string()))?;
+                let jobs: usize =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("invalid goal-job count `{value}`"))
+                    })?;
+                opts.goal_jobs = Some(jobs);
             }
             "--filter" => {
                 let value = it
@@ -308,7 +331,8 @@ pub fn run_parse(problem_text: &str) -> Result<String, CliError> {
 /// synthesis finds no program within the timeout.
 pub fn run_synth(problem_text: &str, opts: &Options) -> Result<String, CliError> {
     let goals = load_goals(problem_text, opts)?;
-    let synthesizer = Synthesizer::with_timeout(opts.timeout);
+    let synthesizer =
+        Synthesizer::with_timeout(opts.timeout).with_goal_jobs(opts.goal_jobs.unwrap_or(1));
     let mut out = String::new();
     for goal in goals {
         let outcome = synthesizer.synthesize(&goal, opts.mode);
@@ -444,6 +468,7 @@ pub fn run_eval(opts: &Options) -> Result<EvalOutput, CliError> {
         timeout: opts.timeout,
         ablations: true,
         progress: true,
+        goal_jobs: opts.goal_jobs.unwrap_or(1),
     };
     let run = resyn_eval::run_suite(&benches, &config);
     let suite_name = if opts.table == 2 { "table2" } else { "table1" };
@@ -483,6 +508,7 @@ pub fn server_config(opts: &Options) -> ServerConfig {
             defaults.timeout
         },
         queue_limit: opts.queue.unwrap_or(defaults.queue_limit),
+        goal_jobs: opts.goal_jobs.unwrap_or(defaults.goal_jobs),
         ..defaults
     }
 }
@@ -548,17 +574,28 @@ resyn — resource-guided program synthesis
 
 USAGE:
     resyn synth <problem-file> [--mode MODE] [--timeout SECS] [--goal NAME] [--stats]
+                [--goal-jobs N]
     resyn check <problem-file> <program-file> [--mode MODE] [--goal NAME]
     resyn measure <problem-file> <program-file> [--goal NAME]
     resyn parse <problem-file>
     resyn eval [--table 1|2] [--jobs N] [--timeout SECS] [--filter SUBSTR,...]
-               [--json PATH]
+               [--json PATH] [--goal-jobs N]
     resyn serve [--addr HOST:PORT] [--jobs N] [--timeout SECS] [--queue N]
+                [--goal-jobs N]
     resyn client <problem-file> [--addr HOST:PORT] [--mode MODE]
                  [--timeout SECS] [--goal NAME]
     resyn client --stats [--addr HOST:PORT]
 
 MODES: resyn (default), synquid, eac, noinc, ct
+
+`--timeout` is a *binding* wall-clock budget: every layer of the search
+(enumeration, type checking, CEGIS, the SMT search) observes it
+cooperatively, so a run reports `timed out` within one checkpoint interval
+of the deadline instead of overrunning it.
+
+`--goal-jobs N` fans the candidate skeletons of each single goal across N
+first-win worker threads (deterministic winner: the same program a
+sequential search returns, found faster on hard goals).
 
 `--stats` additionally reports, per goal, the solver query-cache hit/miss
 counters and the size of the term intern table.
@@ -738,6 +775,44 @@ mod tests {
         assert_eq!(positional, vec!["file.re".to_string()]);
         assert!(opts.stats);
         assert!(!Options::default().stats);
+    }
+
+    #[test]
+    fn goal_jobs_flag_is_parsed_scoped_and_validated() {
+        let args: Vec<String> = ["file.re", "--goal-jobs", "4"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert_eq!(positional, vec!["file.re".to_string()]);
+        assert_eq!(opts.goal_jobs, Some(4));
+        assert!(check_flag_scope("synth", &opts).is_ok());
+        assert!(check_flag_scope("serve", &opts).is_ok());
+        assert!(check_flag_scope("eval", &opts).is_ok());
+        // The in-goal pool is a synthesis knob; `check`/`client` do not
+        // search.
+        assert!(matches!(
+            check_flag_scope("check", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--goal-jobs")
+        ));
+        assert!(matches!(
+            check_flag_scope("client", &opts),
+            Err(CliError::Usage(_))
+        ));
+
+        for bad in [vec!["--goal-jobs", "0"], vec!["--goal-jobs", "many"]] {
+            let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_flags(&bad), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+
+        // And the flag reaches the server configuration.
+        let args: Vec<String> = ["--goal-jobs", "3"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert_eq!(server_config(&opts).goal_jobs, 3);
+        assert_eq!(server_config(&parse_flags(&[]).unwrap().1).goal_jobs, 1);
     }
 
     #[test]

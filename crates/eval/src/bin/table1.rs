@@ -31,6 +31,7 @@ fn main() {
         timeout: Duration::from_secs(timeout),
         ablations: true,
         progress: true,
+        goal_jobs: 1,
     };
     println!("{}", run_suite(&benches, &config).render(false));
 }

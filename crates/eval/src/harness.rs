@@ -187,6 +187,9 @@ pub struct Harness {
     pub timeout: Duration,
     /// Whether to run the EAC and non-incremental ablations (Table 2 only).
     pub ablations: bool,
+    /// Threads fanned across the skeletons of each goal (the synthesizer's
+    /// first-win pool); `1` keeps each mode's search sequential.
+    pub goal_jobs: usize,
     /// The solver query cache shared by every mode and every clone.
     cache: SolverCache,
 }
@@ -196,6 +199,7 @@ impl Default for Harness {
         Harness {
             timeout: Duration::from_secs(600),
             ablations: true,
+            goal_jobs: 1,
             cache: SolverCache::new(),
         }
     }
@@ -219,7 +223,9 @@ impl Harness {
     /// cache is the harness's shared one, so a second mode of the same goal
     /// starts with every obligation the first mode already discharged.
     pub fn run_mode(&self, bench: &Benchmark, mode: Mode) -> SynthOutcome {
-        let synthesizer = Synthesizer::with_timeout(self.timeout).with_cache(self.cache.clone());
+        let synthesizer = Synthesizer::with_timeout(self.timeout)
+            .with_cache(self.cache.clone())
+            .with_goal_jobs(self.goal_jobs);
         synthesizer.synthesize(&bench.goal, mode)
     }
 }

@@ -45,6 +45,10 @@ pub struct ParallelConfig {
     pub ablations: bool,
     /// Print a `running <id> ...` line per benchmark to stderr.
     pub progress: bool,
+    /// Threads fanned across the skeletons of each goal *within* one
+    /// benchmark mode (the synthesizer's first-win pool); results are
+    /// identical to `1` by construction, only faster on hard goals.
+    pub goal_jobs: usize,
 }
 
 impl Default for ParallelConfig {
@@ -54,6 +58,7 @@ impl Default for ParallelConfig {
             timeout: Duration::from_secs(600),
             ablations: true,
             progress: false,
+            goal_jobs: 1,
         }
     }
 }
@@ -95,6 +100,7 @@ impl SuiteRun {
 pub fn run_suite(benches: &[Benchmark], config: &ParallelConfig) -> SuiteRun {
     let mut harness = Harness::with_timeout(config.timeout);
     harness.ablations = config.ablations;
+    harness.goal_jobs = config.goal_jobs;
     let jobs = config.jobs.clamp(1, benches.len().max(1));
     let start = Instant::now();
     let rows = run_suite_with(benches, jobs, |_, bench| {

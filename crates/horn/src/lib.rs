@@ -132,6 +132,10 @@ impl HornSolver {
             resyn_solver::ValidityResult::Valid => Some(true),
             resyn_solver::ValidityResult::Invalid(_) => Some(false),
             resyn_solver::ValidityResult::Unknown(_) => None,
+            // Horn solving takes no budget itself; a cancellation can only
+            // arrive from a caller-supplied budgeted solver and is treated
+            // exactly like an undecided query.
+            resyn_solver::ValidityResult::Cancelled => None,
         }
     }
 

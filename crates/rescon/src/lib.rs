@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+use resyn_budget::Budget;
 use resyn_logic::{Model, Sort, SortingEnv, Term, Value};
 use resyn_solver::{SatResult, Solver, SolverCache};
 use resyn_ty::check::UnknownInfo;
@@ -37,6 +38,10 @@ pub enum RcResult {
     Unsat,
     /// The solver gave up (iteration limit or undecidable fragment).
     Unknown(String),
+    /// The solver's [`Budget`] ran out mid-solve. Unlike
+    /// [`Unknown`](Self::Unknown) this says nothing about the constraint
+    /// system: re-solving with a fresh budget may produce any answer.
+    Cancelled,
 }
 
 impl RcResult {
@@ -66,6 +71,7 @@ type Example = Model;
 pub struct CegisSolver {
     env: SortingEnv,
     cache: Option<SolverCache>,
+    budget: Budget,
     /// Maximum CEGIS iterations before giving up.
     pub max_iterations: usize,
     /// Bound on the absolute value of template coefficients.
@@ -79,6 +85,7 @@ impl CegisSolver {
         CegisSolver {
             env,
             cache: None,
+            budget: Budget::unlimited(),
             max_iterations: 64,
             coefficient_bound: 16,
         }
@@ -92,8 +99,17 @@ impl CegisSolver {
         self
     }
 
+    /// Attach a cooperative [`Budget`]: the CEGIS loop checks it before
+    /// every verification/synthesis iteration (and each underlying solver
+    /// query observes it mid-search), returning [`RcResult::Cancelled`]
+    /// within one iteration of the budget being exceeded.
+    pub fn with_budget(mut self, budget: Budget) -> CegisSolver {
+        self.budget = budget;
+        self
+    }
+
     fn smt(&self, env: SortingEnv) -> Solver {
-        let solver = Solver::new(env);
+        let solver = Solver::new(env).with_budget(self.budget.clone());
         match &self.cache {
             Some(cache) => solver.with_cache(cache.clone()),
             None => solver,
@@ -215,6 +231,12 @@ impl IncrementalCegis {
 
     fn resolve(&mut self, full_synthesis: bool) -> RcResult {
         for _ in 0..self.solver.max_iterations {
+            // Cooperative cancellation checkpoint: one CEGIS iteration (a
+            // verification query plus, usually, a synthesis query) is the
+            // loop's unit of work.
+            if self.solver.budget.is_exceeded() {
+                return RcResult::Cancelled;
+            }
             // Verification: is there a counterexample to the current solution?
             match self.find_counterexample() {
                 Ok(None) => return RcResult::Solved(self.solution_terms()),
@@ -222,7 +244,7 @@ impl IncrementalCegis {
                     self.stats.counterexamples += 1;
                     self.examples.push(example);
                 }
-                Err(msg) => return RcResult::Unknown(msg),
+                Err(msg) => return self.give_up(msg),
             }
             // Synthesis: find coefficients satisfying the examples. The
             // incremental variant restricts attention to the clauses violated
@@ -231,10 +253,21 @@ impl IncrementalCegis {
             match self.synthesize(full_synthesis) {
                 Ok(true) => continue,
                 Ok(false) => return RcResult::Unsat,
-                Err(msg) => return RcResult::Unknown(msg),
+                Err(msg) => return self.give_up(msg),
             }
         }
         RcResult::Unknown("CEGIS iteration limit exceeded".into())
+    }
+
+    /// Map an underlying solver failure to the right verdict: a query that
+    /// failed because the budget ran out mid-search is a cancellation, not a
+    /// genuine `Unknown` about the constraint system.
+    fn give_up(&self, msg: String) -> RcResult {
+        if self.solver.budget.is_exceeded() {
+            RcResult::Cancelled
+        } else {
+            RcResult::Unknown(msg)
+        }
     }
 
     /// Substitute the current solution into the constraints and look for a
@@ -262,6 +295,10 @@ impl IncrementalCegis {
             SatResult::Unsat => Ok(None),
             SatResult::Sat(model) => Ok(Some(model)),
             SatResult::Unknown(msg) => Err(msg),
+            // `give_up` turns this into `RcResult::Cancelled` (the budget
+            // that cancelled the query is this solver's own, so it still
+            // reads exceeded there).
+            SatResult::Cancelled => Err("budget exhausted".to_string()),
         }
     }
 
@@ -305,6 +342,7 @@ impl IncrementalCegis {
             }
             SatResult::Unsat => Ok(false),
             SatResult::Unknown(msg) => Err(msg),
+            SatResult::Cancelled => Err("budget exhausted".to_string()),
         }
     }
 
@@ -498,6 +536,7 @@ impl fmt::Display for RcResult {
             }
             RcResult::Unsat => write!(f, "unsatisfiable"),
             RcResult::Unknown(m) => write!(f, "unknown ({m})"),
+            RcResult::Cancelled => write!(f, "cancelled (budget exhausted)"),
         }
     }
 }
@@ -577,6 +616,36 @@ mod tests {
             other => panic!("expected a solution, got {other}"),
         }
         assert!(stats.counterexamples >= 1);
+    }
+
+    #[test]
+    fn an_expired_budget_cancels_cegis_without_queries() {
+        let solver = CegisSolver::new(env(&["n"]))
+            .with_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let unknown = UnknownInfo {
+            name: "P".into(),
+            scope: vec!["n".into()],
+        };
+        let c = constraint(
+            Term::var("n").ge(Term::int(0)),
+            Term::unknown("P") - Term::int(1),
+        );
+        let (r, stats) = solver.solve(std::slice::from_ref(&c), std::slice::from_ref(&unknown));
+        assert!(matches!(r, RcResult::Cancelled), "{r}");
+        assert_eq!(
+            (stats.verification_queries, stats.synthesis_queries),
+            (0, 0),
+            "no solver query may be issued under an expired budget"
+        );
+
+        // A mid-run cancellation also surfaces as `Cancelled`, not as a
+        // spurious `Unknown`/`Unsat` about the constraint system.
+        let token = resyn_budget::CancelToken::new();
+        let solver =
+            CegisSolver::new(env(&["n"])).with_budget(Budget::unlimited().attach(token.clone()));
+        let mut inc = IncrementalCegis::new(solver, vec![unknown]);
+        token.cancel();
+        assert!(matches!(inc.add_constraints(&[c]), RcResult::Cancelled));
     }
 
     #[test]

@@ -2,6 +2,8 @@
 //!
 //! This facade crate re-exports the whole pipeline:
 //!
+//! * [`budget`] — cooperative wall-clock budgets and cancellation tokens
+//!   observed by every layer below,
 //! * [`logic`] — the refinement logic (terms, sorts, models),
 //! * [`solver`] — decision procedures for the refinement logic,
 //! * [`lang`] — the Re² core calculus and its cost-semantics interpreter,
@@ -21,6 +23,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! architecture and the experiment index.
 
+pub use resyn_budget as budget;
 pub use resyn_eval as eval;
 pub use resyn_horn as horn;
 pub use resyn_lang as lang;

@@ -36,9 +36,11 @@ pub mod scheduler;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use resyn_budget::{Budget, CancelToken};
 use resyn_parse::parse_problem;
 use resyn_parse::surface::expr_to_surface;
 use resyn_solver::SolverCache;
@@ -64,6 +66,11 @@ pub struct ServerConfig {
     pub queue_limit: usize,
     /// Longest accepted request line, in bytes.
     pub max_request_bytes: usize,
+    /// Threads fanned across the skeletons of each goal *within* one
+    /// request (the synthesizer's first-win pool; `resyn serve
+    /// --goal-jobs`). `1` keeps each job single-threaded — the default,
+    /// since cross-request concurrency already comes from `jobs`.
+    pub goal_jobs: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +81,7 @@ impl Default for ServerConfig {
             timeout: Duration::from_secs(120),
             queue_limit: 32,
             max_request_bytes: 1 << 20,
+            goal_jobs: 1,
         }
     }
 }
@@ -101,6 +109,10 @@ struct Counters {
     invalid: AtomicU64,
     overloaded: AtomicU64,
     errors: AtomicU64,
+    /// Synthesis requests whose client disconnected before the response was
+    /// ready (the job was cancelled; no verdict was delivered). Keeps
+    /// `synth_requests` equal to the sum of verdict counters plus this.
+    cancelled: AtomicU64,
 }
 
 impl Counters {
@@ -217,8 +229,8 @@ fn supervise(listener: &TcpListener, shared: &Shared) {
     std::thread::scope(|scope| {
         for _ in 0..shared.config.jobs.max(1) {
             scope.spawn(|| {
-                shared.scheduler.worker_loop(|request, id| {
-                    run_synth_request(&shared.cache, shared.config.timeout, request, id)
+                shared.scheduler.worker_loop(|request, id, token| {
+                    run_synth_request(&shared.cache, &shared.config, request, id, token)
                 });
             });
         }
@@ -375,18 +387,96 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                             shared.config.queue_limit
                         ),
                     ),
-                    Ok(receiver) => match receiver.recv() {
-                        Ok(response) => response,
-                        // The reply channel only closes when the scheduler
-                        // abandons queued jobs at shutdown.
-                        Err(_) => Response::failure(id, Verdict::Error, "server shutting down"),
-                    },
+                    Ok((receiver, token)) => {
+                        match await_reply(&mut reader, &receiver, &token, id) {
+                            Some(response) => response,
+                            // The client disconnected mid-job; the job has
+                            // been cancelled and there is nobody to answer.
+                            // No verdict is delivered, so account for the
+                            // request under `cancelled` to keep the stats
+                            // totals adding up.
+                            None => {
+                                Counters::bump(&shared.counters.cancelled);
+                                return;
+                            }
+                        }
+                    }
                 }
             }
         };
         if !respond(&mut writer, &response) {
             return;
         }
+    }
+}
+
+/// Wait for a submitted job's response while watching the client's side of
+/// the connection. If the client disconnects before the response arrives,
+/// the job's token is cancelled — freeing its worker at the synthesizer's
+/// next budget checkpoint (or skipping the job entirely if it was still
+/// queued) — and `None` is returned so the handler closes up.
+fn await_reply(
+    reader: &mut BufReader<TcpStream>,
+    receiver: &Receiver<Response>,
+    token: &CancelToken,
+    id: String,
+) -> Option<Response> {
+    loop {
+        match receiver.recv_timeout(Duration::from_millis(50)) {
+            Ok(response) => return Some(response),
+            // The reply channel only closes when the scheduler abandons
+            // queued jobs at shutdown.
+            Err(RecvTimeoutError::Disconnected) => {
+                return Some(Response::failure(
+                    id,
+                    Verdict::Error,
+                    "server shutting down",
+                ))
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if client_disconnected(reader) {
+                    // Cancel and leave; the worker's send into the dropped
+                    // receiver is already a tolerated no-op.
+                    token.cancel();
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+/// Probe the connection for a client-side disconnect without consuming data:
+/// an EOF (or a hard error) on a non-destructive `fill_buf` means the peer
+/// is gone. Pipelined request bytes stay buffered for the next
+/// `read_request_line`. The probe temporarily shrinks the stream's read
+/// timeout to 10 ms so a response landing in the reply channel mid-probe is
+/// picked up promptly (the handler's usual 100 ms timeout is restored on
+/// the way out).
+fn client_disconnected(reader: &mut BufReader<TcpStream>) -> bool {
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(10)));
+    let gone = probe_eof(reader);
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(100)));
+    gone
+}
+
+fn probe_eof(reader: &mut BufReader<TcpStream>) -> bool {
+    match reader.fill_buf() {
+        Ok(buffered) => buffered.is_empty(),
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::Interrupted
+            ) =>
+        {
+            false
+        }
+        Err(_) => true,
     }
 }
 
@@ -424,6 +514,7 @@ fn stats_response(shared: &Shared, id: String) -> Response {
             ("invalid_requests".to_string(), count(&counters.invalid)),
             ("overloaded".to_string(), count(&counters.overloaded)),
             ("errors".to_string(), count(&counters.errors)),
+            ("cancelled".to_string(), count(&counters.cancelled)),
             ("cache_hits".to_string(), cache.hits as f64),
             ("cache_misses".to_string(), cache.misses as f64),
             ("interned_terms".to_string(), cache.interned_terms as f64),
@@ -440,12 +531,20 @@ fn stats_response(shared: &Shared, id: String) -> Response {
 /// Run one synthesis request against the shared cache. This is the job the
 /// scheduler's workers execute; it is public so integration tests and the
 /// command-line tool can exercise request semantics without a socket.
+///
+/// The whole request runs under one [`Budget`]: the requested timeout
+/// clamped to the server's (`config.timeout`) plus the job's [`CancelToken`]
+/// — so a hit deadline *or* a disconnected client unwinds the synthesis
+/// within one checkpoint interval, freeing the worker, instead of running
+/// the current phase to completion.
 pub fn run_synth_request(
     cache: &SolverCache,
-    max_timeout: Duration,
+    config: &ServerConfig,
     request: &SynthRequest,
     id: &str,
+    token: &CancelToken,
 ) -> Response {
+    let max_timeout = config.timeout;
     let mode: Mode = match request.mode.as_deref() {
         None => Mode::ReSyn,
         Some(name) => match name.parse() {
@@ -491,16 +590,18 @@ pub fn run_synth_request(
         }
     };
 
-    let start = Instant::now();
+    // One wall-clock budget for the whole request (later goals get whatever
+    // the earlier ones left over), cancelled when the client's connection
+    // handler gives up on the job.
+    let budget = Budget::with_timeout(timeout).attach(token.clone());
     let mut merged = SynthStats::default();
     let mut programs = String::new();
     let mut failed_goal = None;
     for goal in &goals {
-        // One wall-clock budget for the whole request: later goals get
-        // whatever the earlier ones left over.
-        let remaining = timeout.saturating_sub(start.elapsed());
-        let synthesizer = Synthesizer::with_timeout(remaining).with_cache(cache.clone());
-        let outcome = synthesizer.synthesize(goal, mode);
+        let synthesizer = Synthesizer::new()
+            .with_cache(cache.clone())
+            .with_goal_jobs(config.goal_jobs);
+        let outcome = synthesizer.synthesize_with_budget(goal, mode, &budget);
         merged.merge(&outcome.stats);
         match outcome.program {
             Some(program) => {
@@ -562,6 +663,20 @@ mod tests {
 
     const ID_PROBLEM: &str = "goal id_list :: xs: List a -> {List a | len _v == len xs}";
 
+    fn test_config(timeout_secs: u64) -> ServerConfig {
+        ServerConfig {
+            timeout: Duration::from_secs(timeout_secs),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn zero_config() -> ServerConfig {
+        ServerConfig {
+            timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        }
+    }
+
     #[test]
     fn run_synth_request_solves_a_small_problem_with_scoped_stats() {
         let cache = SolverCache::new();
@@ -569,7 +684,13 @@ mod tests {
             problem: ID_PROBLEM.to_string(),
             ..SynthRequest::default()
         };
-        let response = run_synth_request(&cache, Duration::from_secs(60), &request, "r1");
+        let response = run_synth_request(
+            &cache,
+            &test_config(60),
+            &request,
+            "r1",
+            &CancelToken::new(),
+        );
         assert_eq!(response.verdict, Verdict::Solved, "{:?}", response.error);
         assert_eq!(response.id, "r1");
         let program = response.program.as_deref().unwrap();
@@ -578,7 +699,13 @@ mod tests {
 
         // A warm repeat is answered from the shared cache and attributes
         // its *own* lookups: mostly hits, far fewer misses.
-        let warm = run_synth_request(&cache, Duration::from_secs(60), &request, "r2");
+        let warm = run_synth_request(
+            &cache,
+            &test_config(60),
+            &request,
+            "r2",
+            &CancelToken::new(),
+        );
         assert_eq!(warm.verdict, Verdict::Solved);
         assert!(warm.stat("cache_hits").unwrap() > 0.0);
         assert!(warm.stat("cache_misses").unwrap() < response.stat("cache_misses").unwrap());
@@ -598,7 +725,8 @@ mod tests {
             mode: Some("quantum".to_string()),
             ..base.clone()
         };
-        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_mode, "m");
+        let response =
+            run_synth_request(&cache, &test_config(5), &bad_mode, "m", &CancelToken::new());
         assert_eq!(response.verdict, Verdict::InvalidRequest);
         assert!(response.error.unwrap().contains("unknown mode"));
 
@@ -606,14 +734,26 @@ mod tests {
             timeout_secs: Some(f64::NAN),
             ..base.clone()
         };
-        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_timeout, "t");
+        let response = run_synth_request(
+            &cache,
+            &test_config(5),
+            &bad_timeout,
+            "t",
+            &CancelToken::new(),
+        );
         assert_eq!(response.verdict, Verdict::InvalidRequest);
 
         let bad_problem = SynthRequest {
             problem: "goal oops ::".to_string(),
             ..SynthRequest::default()
         };
-        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_problem, "p");
+        let response = run_synth_request(
+            &cache,
+            &test_config(5),
+            &bad_problem,
+            "p",
+            &CancelToken::new(),
+        );
         assert_eq!(response.verdict, Verdict::ParseError);
         assert!(response.program.is_none());
 
@@ -621,7 +761,8 @@ mod tests {
             goal: Some("missing".to_string()),
             ..base
         };
-        let response = run_synth_request(&cache, Duration::from_secs(5), &bad_goal, "g");
+        let response =
+            run_synth_request(&cache, &test_config(5), &bad_goal, "g", &CancelToken::new());
         assert_eq!(response.verdict, Verdict::ParseError);
         assert!(response.error.unwrap().contains("missing"));
     }
@@ -636,7 +777,8 @@ mod tests {
             timeout_secs: Some(0.0),
             ..SynthRequest::default()
         };
-        let response = run_synth_request(&cache, Duration::from_secs(60), &request, "z");
+        let response =
+            run_synth_request(&cache, &test_config(60), &request, "z", &CancelToken::new());
         assert_eq!(response.verdict, Verdict::TimedOut, "{:?}", response.error);
         assert!(response.error.unwrap().contains("timed out"));
     }
@@ -652,7 +794,8 @@ mod tests {
             timeout_secs: Some(3600.0),
             ..SynthRequest::default()
         };
-        let response = run_synth_request(&cache, Duration::ZERO, &request, "c");
+        let response =
+            run_synth_request(&cache, &zero_config(), &request, "c", &CancelToken::new());
         assert_eq!(response.verdict, Verdict::TimedOut);
     }
 }

@@ -10,26 +10,40 @@
 //! refusal is turned into an `overloaded` response at the wire.
 //!
 //! The scheduler is generic over the job runner so its concurrency
-//! properties (bounded queue, panic isolation, drain-on-shutdown) are
-//! testable without running the synthesizer.
+//! properties (bounded queue, panic isolation, cancellation,
+//! drain-on-shutdown) are testable without running the synthesizer.
+//!
+//! # Cancellation
+//!
+//! Every job carries a [`CancelToken`], handed back to the submitter.
+//! Cancelling it frees the worker *immediately* in both phases of a job's
+//! life: a still-queued job is discarded when a worker claims it (its
+//! runner never starts), and a running job's runner observes the token
+//! through the synthesis [`Budget`](resyn_budget::Budget) and unwinds at
+//! its next checkpoint. The connection handler cancels when its client
+//! disconnects mid-job, so a worker never keeps synthesizing for a reply
+//! channel nobody reads.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
 
+use resyn_budget::CancelToken;
 use resyn_wire::proto::{Response, SynthRequest, Verdict};
 
 /// A queued synthesis job: the parsed request plus the correlation id the
-/// connection assigned and the channel its response travels back on.
+/// connection assigned, the channel its response travels back on, and the
+/// token that cancels it.
 #[derive(Debug)]
 pub struct Job {
     /// The request to run.
     pub request: SynthRequest,
     /// The response correlation id (client-supplied or server-assigned).
     pub id: String,
+    /// Cancels this job (see the module documentation).
+    pub token: CancelToken,
     reply: Sender<Response>,
 }
 
@@ -64,13 +78,24 @@ impl Scheduler {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
-    /// Enqueue a job. Returns the receiver its response will arrive on, or
-    /// the job back if the queue is at its depth limit (the caller answers
-    /// `overloaded`) or the scheduler is shutting down.
+    /// Enqueue a job. Returns the receiver its response will arrive on plus
+    /// the token that cancels it, or the job back if the queue is at its
+    /// depth limit (the caller answers `overloaded`) or the scheduler is
+    /// shutting down.
     #[allow(clippy::result_large_err)]
-    pub fn submit(&self, request: SynthRequest, id: String) -> Result<Receiver<Response>, Job> {
+    pub fn submit(
+        &self,
+        request: SynthRequest,
+        id: String,
+    ) -> Result<(Receiver<Response>, CancelToken), Job> {
         let (reply, receiver) = channel();
-        let job = Job { request, id, reply };
+        let token = CancelToken::new();
+        let job = Job {
+            request,
+            id,
+            token: token.clone(),
+            reply,
+        };
         let mut queue = self.lock_queue();
         if queue.len() >= self.limit || self.shutdown.load(Ordering::SeqCst) {
             return Err(job);
@@ -78,7 +103,7 @@ impl Scheduler {
         queue.push_back(job);
         drop(queue);
         self.ready.notify_one();
-        Ok(receiver)
+        Ok((receiver, token))
     }
 
     /// How many jobs are currently waiting (not running).
@@ -99,10 +124,19 @@ impl Scheduler {
     /// One worker's main loop: claim jobs until shutdown. A `run` that
     /// panics produces an `error` response for that job only — the worker
     /// and every other queued job are unaffected (the same contract the
-    /// parallel evaluation pool gives benchmarks).
+    /// parallel evaluation pool gives benchmarks). A job whose token was
+    /// cancelled while it waited in the queue is discarded without running
+    /// (its submitter has stopped listening). The runner receives the job's
+    /// token so mid-run cancellation reaches the synthesis budget.
+    ///
+    /// Waiting is purely condvar-driven: [`submit`](Self::submit) and
+    /// [`shutdown`](Self::shutdown) notify under the queue mutex's
+    /// discipline, so there is no wakeup to lose and no poll interval to pay
+    /// on an idle server (the 100 ms `wait_timeout` this replaces burned a
+    /// wakeup per worker per tick for nothing).
     pub fn worker_loop<F>(&self, run: F)
     where
-        F: Fn(&SynthRequest, &str) -> Response,
+        F: Fn(&SynthRequest, &str, &CancelToken) -> Response,
     {
         loop {
             let job = {
@@ -114,24 +148,29 @@ impl Scheduler {
                     if self.shutdown.load(Ordering::SeqCst) {
                         return;
                     }
-                    let (guard, _) = self
+                    queue = self
                         .ready
-                        .wait_timeout(queue, Duration::from_millis(100))
+                        .wait(queue)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
-                    queue = guard;
                 }
             };
-            let response = match catch_unwind(AssertUnwindSafe(|| run(&job.request, &job.id))) {
-                Ok(response) => response,
-                Err(payload) => Response::failure(
-                    job.id.clone(),
-                    Verdict::Error,
-                    format!(
-                        "synthesis worker panicked: {}",
-                        panic_message(payload.as_ref())
+            if job.token.is_cancelled() {
+                // The client disconnected while the job was queued: skip it
+                // entirely instead of synthesizing into a closed channel.
+                continue;
+            }
+            let response =
+                match catch_unwind(AssertUnwindSafe(|| run(&job.request, &job.id, &job.token))) {
+                    Ok(response) => response,
+                    Err(payload) => Response::failure(
+                        job.id.clone(),
+                        Verdict::Error,
+                        format!(
+                            "synthesis worker panicked: {}",
+                            panic_message(payload.as_ref())
+                        ),
                     ),
-                ),
-            };
+                };
             // The client may have disconnected while the job was queued or
             // running; a closed reply channel is not an error.
             let _ = job.reply.send(response);
@@ -178,11 +217,11 @@ mod tests {
     fn jobs_flow_through_a_worker_and_correlate_by_id() {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
-            scope.spawn(|| scheduler.worker_loop(|_, id| ok_response(id)));
-            let rx_a = scheduler
+            scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
+            let (rx_a, _) = scheduler
                 .submit(synth_request("a"), "id-a".to_string())
                 .unwrap();
-            let rx_b = scheduler
+            let (rx_b, _) = scheduler
                 .submit(synth_request("b"), "id-b".to_string())
                 .unwrap();
             assert_eq!(rx_a.recv().unwrap().id, "id-a");
@@ -200,12 +239,12 @@ mod tests {
         let gate_rx = Mutex::new(gate_rx);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|_, id| {
+                scheduler.worker_loop(|_, id, _| {
                     let _ = gate_rx.lock().unwrap().recv();
                     ok_response(id)
                 })
             });
-            let first = scheduler
+            let (first, _) = scheduler
                 .submit(synth_request("running"), "r".to_string())
                 .unwrap();
             // Wait until the worker has claimed the first job.
@@ -217,6 +256,7 @@ mod tests {
                     scheduler
                         .submit(synth_request("queued"), format!("q{i}"))
                         .unwrap()
+                        .0
                 })
                 .collect();
             assert_eq!(scheduler.depth(), 2);
@@ -242,24 +282,138 @@ mod tests {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|request, id| {
+                scheduler.worker_loop(|request, id, _| {
                     if request.problem == "boom" {
                         panic!("injected failure");
                     }
                     ok_response(id)
                 })
             });
-            let rx_bad = scheduler
+            let (rx_bad, _) = scheduler
                 .submit(synth_request("boom"), "bad".to_string())
                 .unwrap();
             let bad = rx_bad.recv().unwrap();
             assert_eq!(bad.verdict, Verdict::Error);
             assert!(bad.error.as_deref().unwrap().contains("injected failure"));
             // The worker survived the panic and still serves jobs.
-            let rx_ok = scheduler
+            let (rx_ok, _) = scheduler
                 .submit(synth_request("fine"), "ok".to_string())
                 .unwrap();
             assert_eq!(rx_ok.recv().unwrap().verdict, Verdict::Solved);
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn cancelling_a_running_job_frees_the_worker_promptly() {
+        // The runner cooperates with the token the way the synthesizer's
+        // budget checkpoints do: it loops until cancelled. Without
+        // cancellation this job would spin forever; the token must both
+        // unwind it and leave the worker serving later jobs.
+        let scheduler = Scheduler::new(8);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|request, id, token| {
+                    if request.problem == "endless" {
+                        while !token.is_cancelled() {
+                            std::thread::yield_now();
+                        }
+                        return Response::failure(id, Verdict::TimedOut, "cancelled");
+                    }
+                    ok_response(id)
+                })
+            });
+            let (endless, token) = scheduler
+                .submit(synth_request("endless"), "e".to_string())
+                .unwrap();
+            // Let the worker claim the job, then cancel it — the handler
+            // does exactly this when its client disconnects mid-job.
+            while scheduler.depth() > 0 {
+                std::thread::yield_now();
+            }
+            token.cancel();
+            let response = endless
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("the cancelled job must return");
+            assert_eq!(response.verdict, Verdict::TimedOut);
+            // The worker is free again: a follow-up job completes.
+            let (next, _) = scheduler
+                .submit(synth_request("fine"), "ok".to_string())
+                .unwrap();
+            assert_eq!(next.recv().unwrap().verdict, Verdict::Solved);
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn a_job_cancelled_while_queued_is_never_run() {
+        let scheduler = Scheduler::new(8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|request, id, _| {
+                    assert_ne!(
+                        request.problem, "abandoned",
+                        "a queued job cancelled before being claimed must be skipped"
+                    );
+                    let _ = gate_rx.lock().unwrap().recv();
+                    ok_response(id)
+                })
+            });
+            // Occupy the only worker, queue a job, cancel it while queued.
+            let (running, _) = scheduler
+                .submit(synth_request("running"), "r".to_string())
+                .unwrap();
+            while scheduler.depth() > 0 {
+                std::thread::yield_now();
+            }
+            let (abandoned, token) = scheduler
+                .submit(synth_request("abandoned"), "a".to_string())
+                .unwrap();
+            token.cancel();
+            // Release the worker: it claims the cancelled job, skips it
+            // (closing the reply channel without a response), and stays
+            // alive for real work.
+            gate_tx.send(()).unwrap();
+            assert_eq!(running.recv().unwrap().id, "r");
+            assert!(
+                abandoned.recv().is_err(),
+                "a skipped job's reply channel closes without a response"
+            );
+            let (next, _) = scheduler
+                .submit(synth_request("fine"), "ok".to_string())
+                .unwrap();
+            gate_tx.send(()).unwrap();
+            assert_eq!(next.recv().unwrap().id, "ok");
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn no_wakeup_is_lost_across_repeated_submit_recv_cycles() {
+        // The worker waits purely on the condvar now (no poll interval).
+        // Hammer the submit/wait race: every job must be picked up, and the
+        // whole batch must complete far faster than one 100 ms poll tick
+        // per job would have allowed.
+        let scheduler = Scheduler::new(8);
+        std::thread::scope(|scope| {
+            scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
+            let start = std::time::Instant::now();
+            for i in 0..200 {
+                let (rx, _) = scheduler
+                    .submit(synth_request("ping"), format!("j{i}"))
+                    .unwrap();
+                let response = rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .unwrap_or_else(|_| panic!("job j{i} was never picked up"));
+                assert_eq!(response.id, format!("j{i}"));
+            }
+            assert!(
+                start.elapsed() < std::time::Duration::from_secs(5),
+                "200 jobs took {:?} — workers are sleeping through wakeups",
+                start.elapsed()
+            );
             scheduler.shutdown();
         });
     }
@@ -271,18 +425,18 @@ mod tests {
         let gate_rx = Mutex::new(gate_rx);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|_, id| {
+                scheduler.worker_loop(|_, id, _| {
                     let _ = gate_rx.lock().unwrap().recv();
                     ok_response(id)
                 })
             });
-            let running = scheduler
+            let (running, _) = scheduler
                 .submit(synth_request("running"), "r".to_string())
                 .unwrap();
             while scheduler.depth() > 0 {
                 std::thread::yield_now();
             }
-            let queued = scheduler
+            let (queued, _) = scheduler
                 .submit(synth_request("queued"), "q".to_string())
                 .unwrap();
             scheduler.shutdown();
@@ -300,7 +454,7 @@ mod tests {
     fn shutdown_refuses_new_work_and_stops_workers() {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
-            let worker = scope.spawn(|| scheduler.worker_loop(|_, id| ok_response(id)));
+            let worker = scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
             scheduler.shutdown();
             assert!(scheduler
                 .submit(synth_request("late"), "l".to_string())

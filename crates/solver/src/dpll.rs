@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use resyn_budget::Budget;
 use resyn_logic::intern::Node;
 use resyn_logic::{BinOp, TermArena, TermId, UnOp};
 
@@ -55,6 +56,11 @@ pub enum DpllResult<M> {
     /// The search gave up (work limit exceeded or theory returned unknown on
     /// every candidate branch).
     Unknown(String),
+    /// The caller's [`Budget`] ran out mid-search. Unlike
+    /// [`Unknown`](Self::Unknown) this verdict says nothing about the
+    /// formula — re-running with a fresh budget may produce any answer — so
+    /// it must never be cached.
+    Cancelled,
 }
 
 /// Configuration of the search.
@@ -62,12 +68,16 @@ pub enum DpllResult<M> {
 pub struct DpllConfig {
     /// Maximum number of branching decisions before giving up.
     pub decision_limit: usize,
+    /// Cooperative budget checked at every branching decision; an exceeded
+    /// budget unwinds the search with [`DpllResult::Cancelled`].
+    pub budget: Budget,
 }
 
 impl Default for DpllConfig {
     fn default() -> Self {
         DpllConfig {
             decision_limit: 1_000_000,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -79,6 +89,9 @@ pub fn solve<T: Theory>(
     theory: &T,
     config: &DpllConfig,
 ) -> DpllResult<T::Model> {
+    if config.budget.is_exceeded() {
+        return DpllResult::Cancelled;
+    }
     let mut trail = Vec::new();
     let mut decisions = 0usize;
     let mut saw_unknown = None;
@@ -88,7 +101,7 @@ pub fn solve<T: Theory>(
         theory,
         &mut trail,
         &mut decisions,
-        config.decision_limit,
+        config,
         &mut saw_unknown,
     );
     match result {
@@ -100,15 +113,15 @@ pub fn solve<T: Theory>(
     }
 }
 
-/// Returns `Some(Sat/Unknown-limit)` to stop the search, `None` to continue
-/// exploring siblings (branch exhausted).
+/// Returns `Some(Sat/Unknown-limit/Cancelled)` to stop the search, `None` to
+/// continue exploring siblings (branch exhausted).
 fn search<T: Theory>(
     arena: &mut TermArena,
     formula: TermId,
     theory: &T,
     trail: &mut Vec<(TermId, bool)>,
     decisions: &mut usize,
-    limit: usize,
+    config: &DpllConfig,
     saw_unknown: &mut Option<String>,
 ) -> Option<DpllResult<T::Model>> {
     if arena.is_false(formula) {
@@ -137,12 +150,26 @@ fn search<T: Theory>(
     };
     for value in [true, false] {
         *decisions += 1;
-        if *decisions > limit {
+        if *decisions > config.decision_limit {
             return Some(DpllResult::Unknown("decision limit exceeded".into()));
+        }
+        // Cooperative cancellation checkpoint: one branching decision is the
+        // search's unit of work, so a hit deadline unwinds here instead of
+        // running the current query to exhaustion.
+        if config.budget.is_exceeded() {
+            return Some(DpllResult::Cancelled);
         }
         let reduced = assign(arena, formula, atom, value);
         trail.push((atom, value));
-        let res = search(arena, reduced, theory, trail, decisions, limit, saw_unknown);
+        let res = search(
+            arena,
+            reduced,
+            theory,
+            trail,
+            decisions,
+            config,
+            saw_unknown,
+        );
         trail.pop();
         if res.is_some() {
             return res;
@@ -400,6 +427,62 @@ mod tests {
         let atom = arena.intern(&Term::var("x").le(Term::int(3)));
         let g = assign(&mut arena, fid, atom, true);
         assert_eq!(arena.term(g), Term::var("y").le(Term::int(4)));
+    }
+
+    #[test]
+    fn an_expired_budget_cancels_before_any_work() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// A theory that counts how often it is consulted.
+        struct CountingTheory(AtomicUsize);
+        impl Theory for CountingTheory {
+            type Model = ();
+            fn check(&self, _arena: &TermArena, _literals: &[(TermId, bool)]) -> TheoryResult<()> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                TheoryResult::Consistent(())
+            }
+        }
+
+        let mut arena = TermArena::new();
+        let f = Term::var("p").or(Term::var("q"));
+        let id = arena.intern(&f);
+        let theory = CountingTheory(AtomicUsize::new(0));
+        let config = DpllConfig {
+            budget: resyn_budget::Budget::with_timeout(std::time::Duration::ZERO),
+            ..DpllConfig::default()
+        };
+        let result = solve(&mut arena, id, &theory, &config);
+        assert!(matches!(result, DpllResult::Cancelled), "{result:?}");
+        assert_eq!(
+            theory.0.load(Ordering::Relaxed),
+            0,
+            "the theory oracle must not run under an expired budget"
+        );
+    }
+
+    #[test]
+    fn a_cancel_token_stops_an_in_flight_search() {
+        // Cancel after the first decision: the search must stop without
+        // visiting the rest of the (satisfiable) boolean space.
+        struct CancellingTheory(resyn_budget::CancelToken);
+        impl Theory for CancellingTheory {
+            type Model = ();
+            fn check(&self, _arena: &TermArena, _literals: &[(TermId, bool)]) -> TheoryResult<()> {
+                self.0.cancel();
+                TheoryResult::Inconsistent
+            }
+        }
+
+        let mut arena = TermArena::new();
+        let f = Term::var("p").or(Term::var("q"));
+        let id = arena.intern(&f);
+        let token = resyn_budget::CancelToken::new();
+        let config = DpllConfig {
+            budget: Budget::unlimited().attach(token.clone()),
+            ..DpllConfig::default()
+        };
+        let result = solve(&mut arena, id, &CancellingTheory(token), &config);
+        assert!(matches!(result, DpllResult::Cancelled), "{result:?}");
     }
 
     #[test]

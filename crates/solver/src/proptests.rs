@@ -81,6 +81,7 @@ proptest! {
                 prop_assert!(f.eval_bool(&m).unwrap(), "model {m:?} does not satisfy {f}");
             }
             SatResult::Unknown(_) => {} // permitted, but should not happen on this fragment
+            SatResult::Cancelled => panic!("no budget attached, cancellation is impossible"),
         }
     }
 

@@ -26,6 +26,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use resyn_budget::Budget;
 use resyn_logic::intern::Node;
 use resyn_logic::{BinOp, Model, Sort, SortingEnv, Term, TermArena, TermId, UnOp, Value};
 
@@ -45,6 +46,20 @@ pub enum SatResult {
     Unsat,
     /// The solver could not decide (work limits or unsupported constructs).
     Unknown(String),
+    /// The caller's [`Budget`] ran out mid-query. Unlike
+    /// [`Unknown`](Self::Unknown) this says nothing about the formula —
+    /// re-solving with a fresh budget may produce any answer — so it is
+    /// never written to a [`SolverCache`].
+    Cancelled,
+}
+
+impl SatResult {
+    /// Whether this verdict is a budget cancellation rather than a genuine
+    /// solver answer. Cancellations say nothing about the formula and are
+    /// never cached.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SatResult::Cancelled)
+    }
 }
 
 /// Result of a validity query.
@@ -56,6 +71,17 @@ pub enum ValidityResult {
     Invalid(Model),
     /// The solver could not decide.
     Unknown(String),
+    /// The caller's [`Budget`] ran out mid-query (see
+    /// [`SatResult::Cancelled`]); never cached.
+    Cancelled,
+}
+
+impl ValidityResult {
+    /// Whether this verdict is a budget cancellation rather than a genuine
+    /// solver answer (see [`SatResult::is_cancelled`]).
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, ValidityResult::Cancelled)
+    }
 }
 
 /// The refinement-logic solver.
@@ -90,6 +116,20 @@ impl Solver {
     pub fn with_cache(mut self, cache: SolverCache) -> Solver {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attach a cooperative [`Budget`]: queries issued after the budget is
+    /// exceeded return [`SatResult::Cancelled`]/[`ValidityResult::Cancelled`]
+    /// immediately, and the DPLL(T) search checks the budget at every
+    /// branching decision, so even a single long query unwinds within one
+    /// decision. Cancelled verdicts are never written to the attached cache.
+    pub fn with_budget(mut self, budget: Budget) -> Solver {
+        self.dpll.budget = budget;
+        self
+    }
+
+    fn budget(&self) -> &Budget {
+        &self.dpll.budget
     }
 
     /// The attached query cache, if any.
@@ -129,12 +169,20 @@ impl Solver {
 
     /// Decide satisfiability of the conjunction of `assumptions`.
     pub fn check_sat(&self, assumptions: &[Term]) -> SatResult {
+        if self.budget().is_exceeded() {
+            return SatResult::Cancelled;
+        }
         if let Some(cache) = &self.cache {
             match cache.lookup_sat(&self.env, self.config_fingerprint(), assumptions) {
                 Ok(hit) => return hit,
                 Err(key) => {
                     let result = self.check_sat_inner(assumptions);
-                    cache.store_sat(key, &result);
+                    // A cancelled verdict is an artifact of this run's
+                    // budget, not a property of the query: caching it would
+                    // poison future (fully-budgeted) lookups.
+                    if !result.is_cancelled() {
+                        cache.store_sat(key, &result);
+                    }
                     return result;
                 }
             }
@@ -192,6 +240,12 @@ impl Solver {
         if arena.is_false(formula) {
             return SatResult::Unsat;
         }
+        // Checkpoint between the (formula-size-bounded) preprocessing stages
+        // and the search: a budget that expired during normalization or set
+        // elimination must not start a DPLL run at all.
+        if self.budget().is_exceeded() {
+            return SatResult::Cancelled;
+        }
 
         // 7. DPLL(T) with the LIA oracle, over interned atoms.
         let theory = ArithTheory {
@@ -200,6 +254,7 @@ impl Solver {
         };
         match dpll::solve(&mut arena, formula, &theory, &self.dpll) {
             DpllResult::Unsat => SatResult::Unsat,
+            DpllResult::Cancelled => SatResult::Cancelled,
             DpllResult::Unknown(msg) => SatResult::Unknown(msg),
             DpllResult::Sat {
                 assignment,
@@ -221,12 +276,18 @@ impl Solver {
 
     /// Decide validity of `premises ⟹ conclusion`.
     pub fn check_valid(&self, premises: &[Term], conclusion: &Term) -> ValidityResult {
+        if self.budget().is_exceeded() {
+            return ValidityResult::Cancelled;
+        }
         if let Some(cache) = &self.cache {
             match cache.lookup_valid(&self.env, self.config_fingerprint(), premises, conclusion) {
                 Ok(hit) => return hit,
                 Err(key) => {
                     let result = self.check_valid_inner(premises, conclusion);
-                    cache.store_valid(key, &result);
+                    // See `check_sat`: cancellations must not be memoized.
+                    if !result.is_cancelled() {
+                        cache.store_valid(key, &result);
+                    }
                     return result;
                 }
             }
@@ -244,6 +305,7 @@ impl Solver {
             SatResult::Unsat => ValidityResult::Valid,
             SatResult::Sat(m) => ValidityResult::Invalid(m),
             SatResult::Unknown(msg) => ValidityResult::Unknown(msg),
+            SatResult::Cancelled => ValidityResult::Cancelled,
         }
     }
 
@@ -883,6 +945,51 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn an_expired_budget_cancels_queries_and_is_never_cached() {
+        use crate::cache::SolverCache;
+
+        let cache = SolverCache::new();
+        let premise = Term::var("x").lt(Term::var("y"));
+        let goal = Term::var("x").le(Term::var("y"));
+
+        // Expired budget: the query is cancelled, not answered.
+        let cancelled = Solver::new(int_env(&["x", "y"]))
+            .with_cache(cache.clone())
+            .with_budget(Budget::with_timeout(std::time::Duration::ZERO));
+        let result = cancelled.check_valid(std::slice::from_ref(&premise), &goal);
+        assert!(result.is_cancelled(), "{result:?}");
+        assert!(!cancelled.is_valid(std::slice::from_ref(&premise), &goal));
+        assert!(cancelled
+            .check_sat(std::slice::from_ref(&premise))
+            .is_cancelled());
+
+        // The cancellation was not memoized: a fresh solver over the same
+        // cache still proves the implication.
+        let fresh = Solver::new(int_env(&["x", "y"])).with_cache(cache.clone());
+        assert!(fresh.is_valid(std::slice::from_ref(&premise), &goal));
+        assert!(matches!(
+            fresh.check_sat(std::slice::from_ref(&premise)),
+            SatResult::Sat(_)
+        ));
+    }
+
+    #[test]
+    fn a_generous_budget_changes_no_verdict() {
+        let solver = Solver::new(int_env(&["x", "y"]))
+            .with_budget(Budget::with_timeout(std::time::Duration::from_secs(600)));
+        assert!(solver.is_valid(
+            &[Term::var("x").lt(Term::var("y"))],
+            &Term::var("x").le(Term::var("y"))
+        ));
+        assert!(matches!(
+            solver.check_sat(&[Term::var("x")
+                .lt(Term::var("y"))
+                .and(Term::var("y").lt(Term::var("x")))]),
+            SatResult::Unsat
+        ));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! from variables, data constructors and component applications in a-normal
 //! form, in order of increasing size.
 
+use resyn_budget::Budget;
 use resyn_lang::Expr;
 use resyn_ty::datatypes::Datatypes;
 use resyn_ty::types::Schema;
@@ -64,7 +65,10 @@ fn atoms(scope: &[(String, Shape)], shape: &Shape) -> Vec<Expr> {
 }
 
 /// All full applications of a callable using atoms from scope (bounded).
-fn applications(scope: &[(String, Shape)], c: &Callable, cap: usize) -> Vec<Expr> {
+/// Returns nothing when the budget runs out mid-product (the intermediate
+/// stages hold *partial* applications, which must never leak into the
+/// candidate list) — a missing candidate list only shrinks the search.
+fn applications(scope: &[(String, Shape)], c: &Callable, cap: usize, budget: &Budget) -> Vec<Expr> {
     let mut arg_choices: Vec<Vec<Expr>> = Vec::new();
     for p in &c.params {
         let opts = atoms(scope, p);
@@ -75,6 +79,9 @@ fn applications(scope: &[(String, Shape)], c: &Callable, cap: usize) -> Vec<Expr
     }
     let mut results = vec![Expr::var(c.name.clone())];
     for choices in arg_choices {
+        if budget.is_exceeded() {
+            return Vec::new();
+        }
         let mut next = Vec::new();
         for partial in &results {
             for arg in &choices {
@@ -94,13 +101,16 @@ fn applications(scope: &[(String, Shape)], c: &Callable, cap: usize) -> Vec<Expr
 
 /// Boolean guard candidates for a scope: applications of boolean-returning
 /// callables to scope atoms. Recursive calls are excluded from guards.
-pub fn guards(goal: &Goal, scope: &[(String, Shape)]) -> Vec<Expr> {
+pub fn guards(goal: &Goal, scope: &[(String, Shape)], budget: &Budget) -> Vec<Expr> {
     let mut out = Vec::new();
     for c in callables(goal) {
+        if budget.is_exceeded() {
+            return out;
+        }
         if c.name == goal.name || !matches!(c.ret, Shape::Bool) {
             continue;
         }
-        for app in applications(scope, &c, 64) {
+        for app in applications(scope, &c, 64, budget) {
             // Skip degenerate guards that compare a variable with itself.
             if let Expr::App(f, a) = &app {
                 if let Expr::App(_, a0) = &**f {
@@ -119,12 +129,18 @@ pub fn guards(goal: &Goal, scope: &[(String, Shape)]) -> Vec<Expr> {
 /// variables in `scope`. Generated in rough order of size: variables, nullary
 /// constructors, applications (recursive calls first), constructor-around-call
 /// terms, and call-around-call terms.
+///
+/// The cross-products below are where a wide component set makes raw
+/// generation time explode (the candidate *cap* bounds the output, not the
+/// loops), so every section checks the `budget` and returns the candidates
+/// built so far — the caller's own checkpoint then decides whether to stop.
 pub fn eterms(
     goal: &Goal,
     datatypes: &Datatypes,
     scope: &[(String, Shape)],
     ret: &Shape,
     cap: usize,
+    budget: &Budget,
 ) -> Vec<Expr> {
     let mut out: Vec<Expr> = Vec::new();
     let push = |e: Expr, out: &mut Vec<Expr>| {
@@ -150,7 +166,7 @@ pub fn eterms(
 
     // 2. Constructors of the result datatype applied to atoms.
     let ctor_terms: Vec<Expr> = match ret {
-        Shape::Data(dname) => ctor_applications(datatypes, dname, scope),
+        Shape::Data(dname) => ctor_applications(datatypes, dname, scope, budget),
         _ => Vec::new(),
     };
     for e in &ctor_terms {
@@ -161,10 +177,13 @@ pub fn eterms(
     let calls: Vec<Expr> = callables(goal)
         .iter()
         .filter(|c| !c.params.is_empty() && c.ret.fits(ret))
-        .flat_map(|c| applications(scope, c, 128))
+        .flat_map(|c| applications(scope, c, 128, budget))
         .collect();
     for e in &calls {
         push(e.clone(), &mut out);
+    }
+    if budget.is_exceeded() {
+        return out;
     }
 
     // 4. Constructor around a call: `let r = f … in C x r` (e.g.
@@ -178,6 +197,9 @@ pub fn eterms(
                 let head_shape = Shape::of(&ctor.args[0].1).unwrap_or(Shape::Elem);
                 let tail_shape = Shape::of(&ctor.args[1].1).unwrap_or(Shape::Elem);
                 for head in atoms(scope, &head_shape) {
+                    if budget.is_exceeded() {
+                        return out;
+                    }
                     for call in calls.iter().filter(|_| true) {
                         // Only tail-shaped calls are useful here.
                         let _ = &tail_shape;
@@ -213,6 +235,9 @@ pub fn eterms(
                     continue;
                 }
                 for u in &unary_int {
+                    if budget.is_exceeded() {
+                        return out;
+                    }
                     for base in atoms(scope, &Shape::Int) {
                         // Build f a₀ … _m … aₖ with _m in position i.
                         let mut arg_sets: Vec<Vec<Expr>> = Vec::new();
@@ -283,6 +308,9 @@ pub fn eterms(
         let Some(last_shape) = outer.params.last() else {
             continue;
         };
+        if budget.is_exceeded() {
+            return out;
+        }
         for inner in &calls {
             // Extend the scope with the inner result bound to `_t`.
             let mut ext = scope.to_vec();
@@ -314,6 +342,9 @@ pub fn eterms(
         .iter()
         .filter(|c| c.ret.fits(ret) && c.params.len() >= 2)
     {
+        if budget.is_exceeded() {
+            return out;
+        }
         for inner in &calls {
             let suffix_params = &outer.params[1..];
             let mut partials = vec![Expr::app(Expr::var(outer.name.clone()), Expr::var("_t"))];
@@ -339,7 +370,12 @@ pub fn eterms(
 
 /// Constructor applications of a datatype to scope atoms (including nested
 /// two-level constructions such as `ICons x (ICons h t)`).
-fn ctor_applications(datatypes: &Datatypes, dname: &str, scope: &[(String, Shape)]) -> Vec<Expr> {
+fn ctor_applications(
+    datatypes: &Datatypes,
+    dname: &str,
+    scope: &[(String, Shape)],
+    budget: &Budget,
+) -> Vec<Expr> {
     let Some(decl) = datatypes.get(dname) else {
         return Vec::new();
     };
@@ -355,6 +391,9 @@ fn ctor_applications(datatypes: &Datatypes, dname: &str, scope: &[(String, Shape
     for ctor in &decl.ctors {
         if ctor.args.is_empty() {
             continue;
+        }
+        if budget.is_exceeded() {
+            return out;
         }
         let shapes: Vec<Shape> = ctor
             .args
@@ -394,6 +433,9 @@ fn ctor_applications(datatypes: &Datatypes, dname: &str, scope: &[(String, Shape
     for ctor in &decl.ctors {
         if ctor.args.len() != 2 {
             continue;
+        }
+        if budget.is_exceeded() {
+            return out;
         }
         let head_shape = Shape::of(&ctor.args[0].1).unwrap_or(Shape::Elem);
         for head in atoms(scope, &head_shape) {
@@ -458,7 +500,7 @@ mod tests {
             ("x".to_string(), Shape::Elem),
             ("h".to_string(), Shape::Elem),
         ];
-        let gs = guards(&goal, &scope);
+        let gs = guards(&goal, &scope, &Budget::unlimited());
         assert!(gs.contains(&Expr::app2(
             Expr::var("leq"),
             Expr::var("x"),
@@ -497,7 +539,14 @@ mod tests {
         );
         let datatypes = Datatypes::standard();
         let scope = vec![("l".to_string(), Shape::Data("List".into()))];
-        let es = eterms(&goal, &datatypes, &scope, &Shape::Data("List".into()), 4000);
+        let es = eterms(
+            &goal,
+            &datatypes,
+            &scope,
+            &Shape::Data("List".into()),
+            4000,
+            &Budget::unlimited(),
+        );
         let inner = Expr::app2(Expr::var("append"), Expr::var("l"), Expr::var("l"));
         let right_assoc = Expr::let_(
             "_t",
@@ -520,6 +569,34 @@ mod tests {
     }
 
     #[test]
+    fn an_expired_budget_truncates_generation_to_the_cheap_prefix() {
+        let goal = simple_goal();
+        let datatypes = Datatypes::standard();
+        let scope = vec![
+            ("x".to_string(), Shape::Elem),
+            ("xs".to_string(), Shape::Data("IList".into())),
+        ];
+        let expired = Budget::with_timeout(std::time::Duration::ZERO);
+        let es = eterms(
+            &goal,
+            &datatypes,
+            &scope,
+            &Shape::Data("IList".into()),
+            4000,
+            &expired,
+        );
+        // The cheap prefix (variables, nullary constructors) may survive,
+        // but none of the cross-product sections may run: no applications,
+        // no let-bound compositions.
+        assert!(
+            es.iter()
+                .all(|e| !matches!(e, Expr::Let(..) | Expr::App(..))),
+            "cross-product sections must not run under an expired budget: {es:?}"
+        );
+        assert!(guards(&goal, &scope, &expired).is_empty());
+    }
+
+    #[test]
     fn eterms_cover_the_insert_branch_bodies() {
         let goal = simple_goal();
         let datatypes = Datatypes::standard();
@@ -535,6 +612,7 @@ mod tests {
             &scope,
             &Shape::Data("IList".into()),
             4000,
+            &Budget::unlimited(),
         );
         // The recursive-call-in-constructor term needed for insert's else
         // branch is generated.

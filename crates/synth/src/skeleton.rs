@@ -6,6 +6,7 @@
 //! one or two conditional guards — and the synthesizer then fills the holes
 //! left-to-right with E-terms, checking partial programs along the way.
 
+use resyn_budget::Budget;
 use resyn_lang::{Expr, MatchArm};
 use resyn_ty::datatypes::Datatypes;
 use resyn_ty::types::{BaseType, Ty};
@@ -201,10 +202,15 @@ pub type GuardCandidates<'a> = &'a dyn Fn(&[(String, Shape)]) -> Vec<Expr>;
 /// Generate the skeletons for a goal with the given parameters, in order of
 /// increasing structural complexity. `guard_candidates` is a function from the
 /// binders in scope to the guard expressions to try.
+///
+/// Guard-pair enumeration is quadratic in the guard count, so the generator
+/// checks the `budget` between combinations and returns the skeletons built
+/// so far when it runs out — the caller's checkpoint reports the timeout.
 pub fn generate(
     params: &[(String, Shape)],
     datatypes: &Datatypes,
     guard_candidates: GuardCandidates<'_>,
+    budget: &Budget,
 ) -> Vec<Skeleton> {
     let mut out = Vec::new();
 
@@ -242,6 +248,9 @@ pub fn generate(
 
     for (p, d) in &data_params {
         for depth in 0..=2usize {
+            if budget.is_exceeded() {
+                return out;
+            }
             let guard_sets: Vec<Vec<Expr>> = if depth == 0 {
                 vec![Vec::new()]
             } else {
@@ -282,6 +291,9 @@ pub fn generate(
                     cs
                 };
                 for combo in combos {
+                    if budget.is_exceeded() {
+                        return out;
+                    }
                     let mut b = Builder { holes: Vec::new() };
                     if let Some(body) = match_on(&mut b, datatypes, p, d, 1, |b, binders| {
                         if binders.is_empty() {
@@ -307,6 +319,9 @@ pub fn generate(
         let (p1, d1) = &data_params[0];
         let (p2, d2) = &data_params[1];
         for depth in 0..=2usize {
+            if budget.is_exceeded() {
+                return out;
+            }
             let outer_binders = recursive_arm_binders(datatypes, d1, 1);
             let inner_binders = recursive_arm_binders(datatypes, d2, 2);
             let mut scope = params.to_vec();
@@ -329,6 +344,9 @@ pub fn generate(
                 }
             };
             for combo in combos {
+                if budget.is_exceeded() {
+                    return out;
+                }
                 let mut b = Builder { holes: Vec::new() };
                 let p2c = p2.clone();
                 let d2c = d2.clone();
@@ -433,7 +451,7 @@ mod tests {
             ("ys".to_string(), Shape::Data("List".into())),
         ];
         let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
-        let skeletons = generate(&params, &datatypes, &no_guards);
+        let skeletons = generate(&params, &datatypes, &no_guards, &Budget::unlimited());
         // Single hole, match-on-xs, match-on-ys, nested match (no guard sets).
         assert!(skeletons.len() >= 4);
         assert_eq!(skeletons[0].holes.len(), 1);
@@ -454,7 +472,7 @@ mod tests {
             ("zs".to_string(), Shape::Data("List".into())),
         ];
         let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
-        let skeletons = generate(&params, &datatypes, &no_guards);
+        let skeletons = generate(&params, &datatypes, &no_guards, &Budget::unlimited());
         let nested = skeletons
             .iter()
             .filter(|s| s.body.to_string().matches("match zs").count() >= 2)
@@ -472,7 +490,7 @@ mod tests {
         let datatypes = Datatypes::standard();
         let params = vec![("l".to_string(), Shape::Data("List".into()))];
         let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
-        let skeletons = generate(&params, &datatypes, &no_guards);
+        let skeletons = generate(&params, &datatypes, &no_guards, &Budget::unlimited());
         let match_skel = skeletons
             .iter()
             .find(|s| s.holes.len() == 2)

@@ -1,8 +1,33 @@
 //! The synthesis engine: skeleton selection, hole filling with round-trip
 //! checking, and final acceptance.
+//!
+//! # Deadlines and cancellation
+//!
+//! Every synthesis run executes under a [`Budget`]: [`Synthesizer::synthesize`]
+//! derives one from the configured timeout, and
+//! [`Synthesizer::synthesize_with_budget`] accepts an external one (the
+//! synthesis server threads a per-request budget carrying the client's
+//! cancellation token). The budget is observed *cooperatively at every
+//! layer* — skeleton generation, E-term enumeration, the backtracking fill
+//! loop, each Re² check, the CEGIS loop and the DPLL(T) search — so a hit
+//! deadline unwinds as a clean `timed_out` outcome within one checkpoint
+//! interval instead of whenever the current phase happens to finish.
+//!
+//! # Parallel in-goal search
+//!
+//! With [`goal_jobs`](Synthesizer::goal_jobs) > 1 the skeleton list of a
+//! single goal is fanned across a first-win worker pool
+//! (`std::thread::scope`, shared [`SolverCache`], one claimed skeleton at a
+//! time per worker). The winner is deterministic — the *lowest* skeleton
+//! index among successes, exactly the skeleton the sequential search would
+//! have returned — because a success only cancels the workers on *higher*
+//! indices; lower-index fills always run to completion first.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use resyn_budget::{Budget, CancelToken};
 use resyn_lang::Expr;
 use resyn_rescon::{CegisSolver, IncrementalCegis, RcResult};
 use resyn_solver::SolverCache;
@@ -78,6 +103,10 @@ pub struct Synthesizer {
     pub timeout: Duration,
     /// Cap on E-term candidates per hole.
     pub eterm_cap: usize,
+    /// Worker threads fanned across the skeletons of a *single* goal
+    /// (first-win pool with deterministic lowest-index winner); `1` keeps
+    /// the sequential search.
+    pub goal_jobs: usize,
     /// The solver query cache shared by every check issued through this
     /// synthesizer — the round-robin search re-proves nothing twice.
     cache: SolverCache,
@@ -89,6 +118,7 @@ impl Default for Synthesizer {
             datatypes: Datatypes::standard(),
             timeout: Duration::from_secs(600),
             eterm_cap: 600,
+            goal_jobs: 1,
             cache: SolverCache::new(),
         }
     }
@@ -123,13 +153,21 @@ impl Synthesizer {
         self
     }
 
+    /// Fan the skeletons of each goal across `jobs` first-win workers
+    /// (clamped to at least 1). The synthesized program is identical to the
+    /// sequential search's — see the module documentation.
+    pub fn with_goal_jobs(mut self, jobs: usize) -> Synthesizer {
+        self.goal_jobs = jobs.max(1);
+        self
+    }
+
     /// The solver query cache this synthesizer stores verdicts in (a cheap
     /// `Arc` clone; see [`SolverCache`]).
     pub fn cache(&self) -> SolverCache {
         self.cache.clone()
     }
 
-    fn checker(&self, goal: &Goal, mode: Mode, holes: bool) -> Checker {
+    fn checker(&self, goal: &Goal, mode: Mode, holes: bool, budget: &Budget) -> Checker {
         let resource_mode = match mode {
             Mode::ReSyn | Mode::ReSynNoInc => ResourceMode::Resource,
             Mode::Synquid | Mode::Eac => ResourceMode::Agnostic,
@@ -144,6 +182,7 @@ impl Synthesizer {
             },
         )
         .with_cache(self.cache.clone())
+        .with_budget(budget.clone())
     }
 
     /// Counters of this synthesizer's cache handle (hits, misses, terms
@@ -155,8 +194,19 @@ impl Synthesizer {
 
     /// Check a candidate (possibly partial) program; in resource modes the
     /// residual CEGIS constraints must also be satisfiable.
-    fn accepts(&self, goal: &Goal, mode: Mode, program: &Expr, holes: bool) -> bool {
-        let checker = self.checker(goal, mode, holes);
+    ///
+    /// A cancelled check (budget exhausted mid-obligation) reports `false`:
+    /// the caller's own checkpoint observes the same budget and converts the
+    /// rejection into a `timed_out` outcome instead of searching on.
+    fn accepts(
+        &self,
+        goal: &Goal,
+        mode: Mode,
+        program: &Expr,
+        holes: bool,
+        budget: &Budget,
+    ) -> bool {
+        let checker = self.checker(goal, mode, holes, budget);
         let outcome =
             match checker.check_function(&goal.name, program, &goal.schema, &goal.components) {
                 Ok(o) => o,
@@ -167,7 +217,9 @@ impl Synthesizer {
         }
         // Solve the residual resource constraints with CEGIS.
         let env = resyn_logic::SortingEnv::new();
-        let solver = CegisSolver::new(env).with_cache(self.cache.clone());
+        let solver = CegisSolver::new(env)
+            .with_cache(self.cache.clone())
+            .with_budget(budget.clone());
         let mut cegis = IncrementalCegis::new(solver, outcome.unknowns.clone());
         let result = if matches!(mode, Mode::ReSynNoInc) {
             cegis.add_unknowns(&outcome.unknowns);
@@ -187,8 +239,8 @@ impl Synthesizer {
 
     /// The final resource check used by EAC mode once a functionally-correct
     /// program has been found.
-    fn resource_accepts(&self, goal: &Goal, program: &Expr) -> bool {
-        self.accepts(goal, Mode::ReSyn, program, false)
+    fn resource_accepts(&self, goal: &Goal, program: &Expr, budget: &Budget) -> bool {
+        self.accepts(goal, Mode::ReSyn, program, false, budget)
     }
 
     /// Check a complete candidate program against a goal in the given mode:
@@ -198,12 +250,28 @@ impl Synthesizer {
     /// candidates, exposed so external programs (for example the `resyn`
     /// command-line tool) can verify hand-written implementations against a
     /// resource-annotated signature.
+    ///
+    /// Runs under an *unlimited* budget: the boolean result cannot express
+    /// "ran out of time", so a budgeted check would misreport a correct
+    /// program as rejected whenever the deadline hit mid-obligation. A
+    /// single check is one candidate's worth of work — it is the *search*
+    /// over thousands of candidates that the timeout exists to bound.
     pub fn check(&self, goal: &Goal, mode: Mode, program: &Expr) -> bool {
-        self.accepts(goal, mode, program, false)
+        self.accepts(goal, mode, program, false, &Budget::unlimited())
     }
 
-    /// Synthesize a program for `goal` in the given mode.
+    /// Synthesize a program for `goal` in the given mode, under a [`Budget`]
+    /// derived from the configured timeout.
     pub fn synthesize(&self, goal: &Goal, mode: Mode) -> SynthOutcome {
+        self.synthesize_with_budget(goal, mode, &Budget::with_timeout(self.timeout))
+    }
+
+    /// Synthesize a program for `goal` in the given mode under an external
+    /// [`Budget`] — typically one carrying a [`CancelToken`] so the caller
+    /// (the synthesis server, a first-win pool) can abort the search
+    /// mid-flight. The configured [`timeout`](Synthesizer::timeout) is
+    /// ignored; the budget is the only limit.
+    pub fn synthesize_with_budget(&self, goal: &Goal, mode: Mode, budget: &Budget) -> SynthOutcome {
         let start = Instant::now();
         // The cache outlives individual goals; snapshot this synthesizer's
         // handle counters so the reported statistics cover this run only
@@ -224,33 +292,121 @@ impl Synthesizer {
             };
         };
 
-        let guard_fn = |scope: &[(String, Shape)]| enumerate::guards(goal, scope);
-        let skeletons = skeleton::generate(&param_shapes, &self.datatypes, &guard_fn);
+        let guard_fn = |scope: &[(String, Shape)]| enumerate::guards(goal, scope, budget);
+        let skeletons = skeleton::generate(&param_shapes, &self.datatypes, &guard_fn, budget);
 
-        for skel in &skeletons {
-            if start.elapsed() > self.timeout {
-                stats.timed_out = true;
-                break;
+        let program = if self.goal_jobs > 1 && skeletons.len() > 1 {
+            self.fill_first_win(
+                goal, mode, &skeletons, &params, &ret_shape, &mut stats, budget,
+            )
+        } else {
+            let mut found = None;
+            for skel in &skeletons {
+                if budget.is_exceeded() {
+                    break;
+                }
+                stats.skeletons += 1;
+                if let Some(program) =
+                    self.fill_skeleton(goal, mode, skel, &params, &ret_shape, &mut stats, budget)
+                {
+                    found = Some(program);
+                    break;
+                }
             }
-            stats.skeletons += 1;
-            if let Some(program) =
-                self.fill_skeleton(goal, mode, skel, &params, &ret_shape, &mut stats, start)
-            {
-                stats.duration = start.elapsed();
-                self.record_cache_stats(&mut stats, &cache_before);
-                return SynthOutcome {
-                    program: Some(program),
-                    stats,
-                };
-            }
-        }
+            found
+        };
+
         stats.duration = start.elapsed();
-        stats.timed_out = stats.timed_out || start.elapsed() > self.timeout;
+        stats.timed_out = program.is_none() && budget.is_exceeded();
         self.record_cache_stats(&mut stats, &cache_before);
-        SynthOutcome {
-            program: None,
-            stats,
+        SynthOutcome { program, stats }
+    }
+
+    /// Fan the skeletons across a first-win worker pool. Workers claim
+    /// skeleton indices from a shared counter; a success at index `i`
+    /// cancels every worker on an index above `i` (they can no longer win)
+    /// while fills below `i` always run to completion, so the returned
+    /// program is the one at the *lowest* successful index — exactly what
+    /// the sequential search returns.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_first_win(
+        &self,
+        goal: &Goal,
+        mode: Mode,
+        skeletons: &[Skeleton],
+        params: &[(String, Ty, i64)],
+        ret_shape: &Shape,
+        stats: &mut SynthStats,
+        budget: &Budget,
+    ) -> Option<Expr> {
+        let jobs = self.goal_jobs.min(skeletons.len());
+        // One child budget per skeleton: cancelling a child stops exactly
+        // that fill, while the parent deadline/token still stops them all.
+        let children: Vec<(Budget, CancelToken)> =
+            skeletons.iter().map(|_| budget.child()).collect();
+        let next = AtomicUsize::new(0);
+        let best: Mutex<Option<(usize, Expr)>> = Mutex::new(None);
+        let merged: Mutex<SynthStats> = Mutex::new(SynthStats::default());
+        // A worker panic mid-update cannot tear the winner slot (it is
+        // replaced atomically under the lock), so poisoning is benign.
+        fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+            m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
         }
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut local = SynthStats::default();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::SeqCst);
+                        if idx >= skeletons.len() {
+                            break;
+                        }
+                        // Indices only grow per worker: once the current
+                        // winner sits below this claim, nothing left to
+                        // claim can win.
+                        if matches!(*lock(&best), Some((winner, _)) if winner < idx) {
+                            break;
+                        }
+                        if budget.is_exceeded() {
+                            break;
+                        }
+                        local.skeletons += 1;
+                        let (child_budget, _) = &children[idx];
+                        if let Some(program) = self.fill_skeleton(
+                            goal,
+                            mode,
+                            &skeletons[idx],
+                            params,
+                            ret_shape,
+                            &mut local,
+                            child_budget,
+                        ) {
+                            let mut best = lock(&best);
+                            let improves = !matches!(*best, Some((winner, _)) if winner < idx);
+                            if improves {
+                                *best = Some((idx, program));
+                                // First-win cancellation: everything on a
+                                // higher index is now a guaranteed loser.
+                                for (_, token) in &children[idx + 1..] {
+                                    token.cancel();
+                                }
+                            }
+                        }
+                    }
+                    merged
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .merge(&local);
+                });
+            }
+        });
+        let merged = merged
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        stats.merge(&merged);
+        best.into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map(|(_, program)| program)
     }
 
     /// Record the cache activity of this run: the difference between this
@@ -288,23 +444,32 @@ impl Synthesizer {
         params: &[(String, Ty, i64)],
         ret_shape: &Shape,
         stats: &mut SynthStats,
-        start: Instant,
+        budget: &Budget,
     ) -> Option<Expr> {
         let param_shapes: Vec<(String, Shape)> = params
             .iter()
             .filter_map(|(n, t, _)| Shape::of(t).map(|s| (n.clone(), s)))
             .collect();
 
-        // Candidate lists per hole.
-        let candidates: Vec<Vec<Expr>> = skel
-            .holes
-            .iter()
-            .map(|hole| {
-                let mut scope = param_shapes.clone();
-                scope.extend(hole.binders.clone());
-                enumerate::eterms(goal, &self.datatypes, &scope, ret_shape, self.eterm_cap)
-            })
-            .collect();
+        // Candidate lists per hole (each enumeration observes the budget
+        // internally; a cancelled enumeration yields a truncated list and
+        // the loop checkpoint below stops the fill).
+        let mut candidates: Vec<Vec<Expr>> = Vec::with_capacity(skel.holes.len());
+        for hole in &skel.holes {
+            if budget.is_exceeded() {
+                return None;
+            }
+            let mut scope = param_shapes.clone();
+            scope.extend(hole.binders.clone());
+            candidates.push(enumerate::eterms(
+                goal,
+                &self.datatypes,
+                &scope,
+                ret_shape,
+                self.eterm_cap,
+                budget,
+            ));
+        }
         if candidates.iter().any(Vec::is_empty) {
             return None;
         }
@@ -314,8 +479,7 @@ impl Synthesizer {
         let mut choice = vec![0usize; n];
         let mut level = 0usize;
         loop {
-            if start.elapsed() > self.timeout {
-                stats.timed_out = true;
+            if budget.is_exceeded() {
                 return None;
             }
             if level == n {
@@ -323,10 +487,10 @@ impl Synthesizer {
                 let body = build_partial(skel, &candidates, &choice, n, n);
                 let program = self.wrap(goal, params, body);
                 stats.candidates_checked += 1;
-                let complete_ok = self.accepts(goal, mode, &program, false);
+                let complete_ok = self.accepts(goal, mode, &program, false, budget);
                 let accepted = if complete_ok && matches!(mode, Mode::Eac) {
                     stats.resource_rechecks += 1;
-                    self.resource_accepts(goal, &program)
+                    self.resource_accepts(goal, &program, budget)
                 } else {
                     complete_ok
                 };
@@ -352,7 +516,7 @@ impl Synthesizer {
             let body = build_partial(skel, &candidates, &choice, level + 1, n);
             let program = self.wrap(goal, params, body);
             stats.candidates_checked += 1;
-            if self.accepts(goal, mode, &program, true) {
+            if self.accepts(goal, mode, &program, true, budget) {
                 level += 1;
             } else {
                 choice[level] += 1;
@@ -363,6 +527,12 @@ impl Synthesizer {
 
 /// Assemble the skeleton body with the first `filled` holes replaced by their
 /// chosen candidates and the rest plugged with hole markers.
+///
+/// Every choice in `choice[..filled]` is in range by construction: the fill
+/// loop only deepens a level after bounds-checking its counter, and resets
+/// it on backtrack. The old silent clamp (`c.min(len - 1)`) would have
+/// masked a violation of that invariant as a wrong-but-plausible program;
+/// indexing directly turns the same bug into a loud panic instead.
 fn build_partial(
     skel: &Skeleton,
     candidates: &[Vec<Expr>],
@@ -372,7 +542,12 @@ fn build_partial(
 ) -> Expr {
     let mut body = skel.body.clone();
     for (idx, &c) in choice.iter().enumerate().take(filled) {
-        let candidate = &candidates[idx][c.min(candidates[idx].len() - 1)];
+        debug_assert!(
+            c < candidates[idx].len(),
+            "choice {c} out of range for hole {idx} ({} candidates)",
+            candidates[idx].len()
+        );
+        let candidate = &candidates[idx][c];
         body = skeleton::fill_hole(&body, idx, candidate);
     }
     skeleton::plug_remaining(&body, filled, total)

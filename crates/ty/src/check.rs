@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use resyn_budget::Budget;
 use resyn_lang::{CostMetric, Expr};
 use resyn_logic::{Sort, Term};
 use resyn_solver::{Solver, SolverCache};
@@ -79,6 +80,10 @@ pub enum CheckError {
     ReachableImpossible,
     /// A construct outside the supported fragment was encountered.
     Unsupported(String),
+    /// The checker's [`Budget`] ran out mid-check. Unlike every other
+    /// variant this says nothing about the program: re-checking with a fresh
+    /// budget may accept it.
+    Cancelled,
 }
 
 impl std::fmt::Display for CheckError {
@@ -98,6 +103,7 @@ impl std::fmt::Display for CheckError {
             CheckError::Termination(m) => write!(f, "termination check failed: {m}"),
             CheckError::ReachableImpossible => write!(f, "`impossible` is reachable"),
             CheckError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            CheckError::Cancelled => write!(f, "check cancelled: budget exhausted"),
         }
     }
 }
@@ -140,6 +146,10 @@ pub struct Checker {
     /// obligations (candidate programs sharing prefixes, re-checks of the
     /// same partial program) are discharged without re-solving.
     pub cache: Option<SolverCache>,
+    /// Cooperative budget checked before every solver obligation (and
+    /// observed *inside* each obligation by the DPLL(T) search); once it is
+    /// exceeded the check unwinds with [`CheckError::Cancelled`].
+    pub budget: Budget,
 }
 
 struct St {
@@ -183,6 +193,7 @@ impl Checker {
             datatypes,
             config,
             cache: None,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -194,6 +205,14 @@ impl Checker {
     /// Attach a shared solver query cache (see [`SolverCache`]).
     pub fn with_cache(mut self, cache: SolverCache) -> Checker {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Attach a cooperative [`Budget`]: the check returns
+    /// [`CheckError::Cancelled`] within one solver obligation of the budget
+    /// being exceeded, instead of running the remaining obligations.
+    pub fn with_budget(mut self, budget: Budget) -> Checker {
+        self.budget = budget;
         self
     }
 
@@ -220,6 +239,9 @@ impl Checker {
         schema: &Schema,
         components: &BTreeMap<String, Schema>,
     ) -> Result<CheckOutcome, CheckError> {
+        if self.budget.is_exceeded() {
+            return Err(CheckError::Cancelled);
+        }
         let goal_ty = if matches!(self.config.mode, ResourceMode::Agnostic) {
             schema.ty.strip_potential()
         } else {
@@ -370,6 +392,9 @@ impl Checker {
             return Ok(());
         }
         // Discharge eagerly.
+        if self.budget.is_exceeded() {
+            return Err(CheckError::Cancelled);
+        }
         st.outcome.eager_resource_checks += 1;
         let solver = self.solver(ctx);
         let ok_lower = solver.is_valid(
@@ -387,6 +412,11 @@ impl Checker {
         };
         if ok {
             Ok(())
+        } else if self.budget.is_exceeded() {
+            // The solver declined because the budget ran out mid-query, not
+            // because the constraint is violated: report the cancellation,
+            // never a (wrong) resource error.
+            Err(CheckError::Cancelled)
         } else {
             if std::env::var_os("RESYN_DEBUG").is_some() {
                 eprintln!("--- resource check failed at {origin}");
@@ -409,7 +439,9 @@ impl Checker {
 
     fn solver(&self, ctx: &Ctx) -> Solver {
         let env = ctx.sorting_env(&self.datatypes);
-        let solver = Solver::new(env).with_bindings([("_elem".to_string(), Sort::Int)]);
+        let solver = Solver::new(env)
+            .with_bindings([("_elem".to_string(), Sort::Int)])
+            .with_budget(self.budget.clone());
         match &self.cache {
             Some(cache) => solver.with_cache(cache.clone()),
             None => solver,
@@ -428,11 +460,17 @@ impl Checker {
         if goal.is_true() {
             return Ok(());
         }
+        if self.budget.is_exceeded() {
+            return Err(CheckError::Cancelled);
+        }
         st.outcome.refinement_queries += 1;
         let solver = self.solver(ctx);
         let premises = vec![ctx.path_condition(), extra_premise];
         if solver.is_valid(&premises, &goal) {
             Ok(())
+        } else if self.budget.is_exceeded() {
+            // Mid-query cancellation, not a genuine refutation.
+            Err(CheckError::Cancelled)
         } else {
             if std::env::var_os("RESYN_DEBUG").is_some() {
                 eprintln!("--- refinement check failed at {origin}");
@@ -1041,6 +1079,12 @@ impl Checker {
         });
         if decreasing {
             Ok(())
+        } else if self.budget.is_exceeded() {
+            // The decreasing-argument query may have been declined because
+            // the budget ran out mid-solve, not because no argument
+            // decreases: report the cancellation, never a (wrong)
+            // termination error.
+            Err(CheckError::Cancelled)
         } else {
             Err(CheckError::Termination(format!(
                 "recursive call to `{fname}` has no structurally decreasing argument"

@@ -208,6 +208,35 @@ fn efficient_common_satisfies_linear_bound() {
 }
 
 #[test]
+fn an_expired_budget_cancels_the_check_without_solver_work() {
+    let mut components = BTreeMap::new();
+    components.insert("lt".to_string(), lt_schema());
+    let cache = resyn_solver::SolverCache::new();
+    let expired = checker(ResourceMode::Resource)
+        .with_cache(cache.clone())
+        .with_budget(resyn_budget::Budget::with_timeout(
+            std::time::Duration::ZERO,
+        ));
+    let err = expired
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect_err("an expired budget must cancel the check");
+    assert_eq!(err, CheckError::Cancelled);
+    let stats = cache.stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (0, 0),
+        "no solver obligation may be issued under an expired budget"
+    );
+
+    // A cancelled program is not rejected: the same checker with a real
+    // budget accepts it.
+    let fresh = checker(ResourceMode::Resource).with_cache(cache);
+    fresh
+        .check_function("common", &common_efficient(), &common_goal(), &components)
+        .expect("the program is fine once the budget allows checking it");
+}
+
+#[test]
 fn cached_rechecks_are_answered_by_lookup_with_the_same_verdict() {
     let mut components = BTreeMap::new();
     components.insert("lt".to_string(), lt_schema());

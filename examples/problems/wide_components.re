@@ -1,0 +1,39 @@
+-- A deliberately *wide* component library over an unsatisfiable goal:
+-- 24 binary list components and 6 boolean components make raw E-term and
+-- guard enumeration explode combinatorially, while the `+ 5` in the goal
+-- refinement keeps every candidate rejectable — so a run only ends when
+-- its wall-clock budget binds. Used by the deadline-overrun regression
+-- test (tests/cancellation.rs) and the CI smoke-serve timeout probe.
+component f00 :: xs: List a -> ys: List a -> List a
+component f01 :: xs: List a -> ys: List a -> List a
+component f02 :: xs: List a -> ys: List a -> List a
+component f03 :: xs: List a -> ys: List a -> List a
+component f04 :: xs: List a -> ys: List a -> List a
+component f05 :: xs: List a -> ys: List a -> List a
+component f06 :: xs: List a -> ys: List a -> List a
+component f07 :: xs: List a -> ys: List a -> List a
+component f08 :: xs: List a -> ys: List a -> List a
+component f09 :: xs: List a -> ys: List a -> List a
+component f10 :: xs: List a -> ys: List a -> List a
+component f11 :: xs: List a -> ys: List a -> List a
+component f12 :: xs: List a -> ys: List a -> List a
+component f13 :: xs: List a -> ys: List a -> List a
+component f14 :: xs: List a -> ys: List a -> List a
+component f15 :: xs: List a -> ys: List a -> List a
+component f16 :: xs: List a -> ys: List a -> List a
+component f17 :: xs: List a -> ys: List a -> List a
+component f18 :: xs: List a -> ys: List a -> List a
+component f19 :: xs: List a -> ys: List a -> List a
+component f20 :: xs: List a -> ys: List a -> List a
+component f21 :: xs: List a -> ys: List a -> List a
+component f22 :: xs: List a -> ys: List a -> List a
+component f23 :: xs: List a -> ys: List a -> List a
+component p0 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component p1 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component p2 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component p3 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component p4 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component p5 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+
+goal hard_wide :: xs: List a -> ys: List a ->
+                  {List a | len _v == len xs + len xs + len ys + 5}

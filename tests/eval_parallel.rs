@@ -36,6 +36,7 @@ fn config(jobs: usize) -> ParallelConfig {
         timeout: Duration::from_secs(60),
         ablations: true,
         progress: false,
+        goal_jobs: 1,
     }
 }
 

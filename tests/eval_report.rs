@@ -23,6 +23,7 @@ fn tiny_run_json() -> Json {
         timeout,
         ablations: true,
         progress: false,
+        goal_jobs: 1,
     };
     let run = run_suite(&benches, &config);
     let json = render_json(&EvalReport::of_run("table1", timeout, &run));

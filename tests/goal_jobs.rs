@@ -1,0 +1,56 @@
+//! Determinism of the in-goal first-win skeleton pool: `--goal-jobs 2`
+//! must synthesize exactly the program `--goal-jobs 1` does, on every
+//! Table-1 row.
+//!
+//! The pool's contract makes this strict equality, not merely equal
+//! verdicts: a success at skeleton index `i` only cancels fills at indices
+//! above `i`, so the winner is always the lowest successful index — the
+//! very skeleton the sequential search commits to.
+
+use std::time::Duration;
+
+use resyn::solver::SolverCache;
+use resyn::synth::{Mode, Synthesizer};
+
+#[test]
+fn goal_jobs_2_matches_goal_jobs_1_on_every_table1_row() {
+    // One shared cache across all runs: sharing never changes a verdict and
+    // roughly halves the wall clock of this double sweep.
+    let cache = SolverCache::new();
+    for bench in resyn::eval::table1() {
+        let sequential = Synthesizer::with_timeout(Duration::from_secs(60))
+            .with_cache(cache.clone())
+            .synthesize(&bench.goal, Mode::ReSyn);
+        let pooled = Synthesizer::with_timeout(Duration::from_secs(60))
+            .with_cache(cache.clone())
+            .with_goal_jobs(2)
+            .synthesize(&bench.goal, Mode::ReSyn);
+        assert!(
+            sequential.program.is_some(),
+            "row {} must solve sequentially",
+            bench.id
+        );
+        assert_eq!(
+            sequential.program, pooled.program,
+            "row {} diverges under --goal-jobs 2",
+            bench.id
+        );
+        assert!(
+            pooled.stats.skeletons >= 1,
+            "row {} reports explored skeletons",
+            bench.id
+        );
+    }
+}
+
+#[test]
+fn a_wider_pool_than_the_skeleton_list_is_harmless() {
+    let bench = resyn::eval::table1()
+        .into_iter()
+        .find(|b| b.id == "list-append")
+        .expect("list-append is a Table-1 row");
+    let outcome = Synthesizer::with_timeout(Duration::from_secs(60))
+        .with_goal_jobs(64)
+        .synthesize(&bench.goal, Mode::ReSyn);
+    assert!(outcome.program.is_some());
+}

@@ -27,6 +27,7 @@ fn test_server(jobs: usize) -> resyn::server::ServerHandle {
         timeout: Duration::from_secs(60),
         queue_limit: 32,
         max_request_bytes: 64 * 1024,
+        goal_jobs: 1,
     })
     .expect("server binds an ephemeral port")
 }
@@ -210,6 +211,50 @@ fn a_disconnect_mid_request_does_not_wedge_the_server() {
     let stats = client.stats().unwrap();
     // The aborted connection produced no request at all.
     assert_eq!(stats.stat("invalid_requests"), Some(0.0));
+}
+
+#[test]
+fn a_disconnected_clients_job_is_cancelled_freeing_the_worker() {
+    use resyn::server::wire::Request;
+
+    // One worker and a 60 s server budget: the wide-component unsatisfiable
+    // problem below would occupy the worker for the full budget if client
+    // disconnects did not cancel the running job.
+    let server = test_server(1);
+    let addr = server.addr();
+    let hard = include_str!("../examples/problems/wide_components.re");
+
+    // Client A submits the hard problem and vanishes without reading the
+    // response.
+    {
+        let mut stream = TcpStream::connect(addr).expect("client A connects");
+        let line = format!("{}\n", Request::Synth(synth_request(hard)).render());
+        stream.write_all(line.as_bytes()).expect("request sent");
+        stream.flush().unwrap();
+        // Give the worker a moment to claim the job, then disconnect.
+        std::thread::sleep(Duration::from_millis(300));
+    }
+
+    // Client B's trivial request must be answered long before A's 60 s
+    // budget would have released the only worker: A's handler observes the
+    // disconnect, cancels the job's token, and the synthesis budget unwinds
+    // at its next checkpoint.
+    let started = std::time::Instant::now();
+    let mut client = Client::connect(addr).expect("client B connects");
+    let response = client.synth(synth_request(ID_PROBLEM)).expect("response");
+    assert_eq!(response.verdict, Verdict::Solved, "{:?}", response.error);
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the worker was not freed by the disconnect (waited {:?})",
+        started.elapsed()
+    );
+    // The abandoned request is accounted for: verdict counters plus
+    // `cancelled` still sum to `synth_requests`.
+    let stats = client.stats().expect("stats response");
+    assert_eq!(stats.stat("synth_requests"), Some(2.0));
+    assert_eq!(stats.stat("cancelled"), Some(1.0));
+    assert_eq!(stats.stat("solved"), Some(1.0));
+    server.shutdown();
 }
 
 #[test]
