@@ -12,11 +12,20 @@ fn table1(c: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(20));
-    // Keep the bench fast: the quick benchmarks of the suite.
-    let quick = ["list-is-empty", "list-append", "list-replicate"];
-    for bench in suite::table1()
+    // Keep the bench fast: the quick benchmarks of the suite. The strict
+    // filter turns a renamed row into a loud failure instead of a silently
+    // shrunken bench.
+    let quick: Vec<String> = ["list-is-empty", "list-append", "list-replicate"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // The strict pass validates each id still names a row (a rename would
+    // otherwise silently shrink the bench); the exact-match pass keeps
+    // substring cousins like `list-append3` out of the timing set.
+    for bench in suite::filter_by_id_strict(suite::table1(), &quick)
+        .expect("the quick-list ids must exist in table 1")
         .into_iter()
-        .filter(|b| quick.contains(&b.id.as_str()))
+        .filter(|b| quick.contains(&b.id))
     {
         for (mode_name, mode) in [("resyn", Mode::ReSyn), ("synquid", Mode::Synquid)] {
             group.bench_with_input(

@@ -12,10 +12,16 @@ fn table2(c: &mut Criterion) {
     group
         .sample_size(10)
         .measurement_time(Duration::from_secs(20));
-    let quick = ["cs10-replicate", "cs16-compare"];
-    for bench in suite::table2()
+    let quick: Vec<String> = ["cs10-replicate", "cs16-compare"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    // Strict filtering: a renamed case study must fail the bench loudly
+    // instead of silently dropping out of the timing set.
+    for bench in suite::filter_by_id_strict(suite::table2(), &quick)
+        .expect("the quick-list ids must exist in table 2")
         .into_iter()
-        .filter(|b| quick.contains(&b.id.as_str()))
+        .filter(|b| quick.contains(&b.id))
     {
         for (mode_name, mode) in [
             ("T", Mode::ReSyn),

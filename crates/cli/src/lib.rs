@@ -18,7 +18,12 @@
 //! * `resyn serve` — start the persistent synthesis server (one shared
 //!   solver cache across every session; see [`resyn_server`]),
 //! * `resyn client` — submit a problem file (or a `stats` query) to a
-//!   running server over the `resyn-wire/1` protocol.
+//!   running server over the `resyn-wire/1` protocol,
+//! * `resyn gen` — print a seeded, byte-deterministic batch of generated
+//!   synthesis problems (see [`resyn_gen`]),
+//! * `resyn fuzz` — run a generated batch through the differential checker
+//!   (ReSyn vs. EAC vs. NoInc plus a warm-cache replay) and shrink the
+//!   first failing problem to a minimal reproducer.
 //!
 //! The command logic lives in this library crate so it can be unit-tested
 //! without spawning processes; `main.rs` only handles I/O.
@@ -47,6 +52,9 @@ pub enum CliError {
     SynthesisFailed(String),
     /// A checked program does not satisfy its signature.
     CheckFailed(String),
+    /// `fuzz` found a differential failure (the details and the shrunk
+    /// reproducer have already been printed / written to `--out`).
+    FuzzFailed(String),
     /// The synthesis server could not be reached or broke protocol
     /// (`client`). Unlike [`Usage`](Self::Usage), this does not mean the
     /// command line was wrong, so `main` does not print the usage text.
@@ -68,6 +76,7 @@ impl std::fmt::Display for CliError {
             CliError::CheckFailed(name) => {
                 write!(f, "program does not satisfy the signature of goal `{name}`")
             }
+            CliError::FuzzFailed(msg) => write!(f, "differential failure: {msg}"),
             CliError::Transport(msg) => write!(f, "server error: {msg}"),
         }
     }
@@ -105,6 +114,15 @@ pub struct Options {
     /// `serve`: queue-depth limit before requests bounce with `overloaded`
     /// (`--queue N`).
     pub queue: Option<usize>,
+    /// `gen`/`fuzz`: the master seed (`--seed N`); defaults to 42.
+    pub seed: Option<u64>,
+    /// `gen`/`fuzz`: how many problems to draw (`--count N`).
+    pub count: Option<usize>,
+    /// `gen`/`fuzz`: the generator's difficulty knob (`--size N`).
+    pub size: Option<usize>,
+    /// `fuzz`: write the shrunk reproducer of the first failure to this
+    /// path (`--out PATH`).
+    pub out: Option<String>,
     /// Flags seen on the command line, for per-subcommand scope checking
     /// (see [`check_flag_scope`]).
     pub seen_flags: Vec<String>,
@@ -124,6 +142,10 @@ impl Default for Options {
             json: None,
             addr: None,
             queue: None,
+            seed: None,
+            count: None,
+            size: None,
+            out: None,
             seen_flags: Vec::new(),
         }
     }
@@ -153,6 +175,8 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
         ],
         "serve" => &["--addr", "--jobs", "--timeout", "--queue", "--goal-jobs"],
         "client" => &["--addr", "--mode", "--timeout", "--goal", "--stats"],
+        "gen" => &["--seed", "--count", "--size"],
+        "fuzz" => &["--seed", "--count", "--size", "--timeout", "--out"],
         // Unknown subcommands are reported as such by the dispatcher.
         _ => return Ok(()),
     };
@@ -279,6 +303,43 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError::Usage(format!("invalid queue depth `{value}`")))?;
                 opts.queue = Some(queue);
+            }
+            "--seed" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--seed needs a value".to_string()))?;
+                let seed: u64 = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid seed `{value}`")))?;
+                opts.seed = Some(seed);
+            }
+            "--count" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--count needs a value".to_string()))?;
+                let count: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid count `{value}`")))?;
+                opts.count = Some(count);
+            }
+            "--size" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--size needs a value".to_string()))?;
+                let size: usize = value
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid size `{value}`")))?;
+                opts.size = Some(size);
+            }
+            "--out" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--out needs a value".to_string()))?;
+                opts.out = Some(value.clone());
             }
             flag if flag.starts_with("--") => {
                 return Err(CliError::Usage(format!("unknown flag `{flag}`")))
@@ -428,7 +489,7 @@ pub fn run_measure(
 }
 
 /// The output of `resyn eval`: the rendered text table and, when `--json`
-/// was given, the serialized `resyn-bench-eval/1` report (the caller writes
+/// was given, the serialized `resyn-bench-eval/2` report (the caller writes
 /// it to the requested path — this library does no I/O).
 #[derive(Debug, Clone)]
 pub struct EvalOutput {
@@ -445,7 +506,7 @@ pub struct EvalOutput {
 /// whatever the worker count, except for benchmarks running right at the
 /// wall-clock timeout boundary, which core contention can tip over),
 /// `--timeout` bounds each synthesis mode, and `--json` additionally
-/// serializes the run to the `resyn-bench-eval/1` schema (see
+/// serializes the run to the `resyn-bench-eval/2` schema (see
 /// [`resyn_eval::report`]).
 ///
 /// # Errors
@@ -456,13 +517,8 @@ pub fn run_eval(opts: &Options) -> Result<EvalOutput, CliError> {
         2 => resyn_eval::table2(),
         _ => resyn_eval::table1(),
     };
-    let benches = resyn_eval::suite::filter_by_id(suite, &opts.filters);
-    if benches.is_empty() {
-        return Err(CliError::Usage(format!(
-            "no table-{} benchmark matches the filter {:?}",
-            opts.table, opts.filters
-        )));
-    }
+    let benches = resyn_eval::suite::filter_by_id_strict(suite, &opts.filters)
+        .map_err(|msg| CliError::Usage(format!("table {}: {msg}", opts.table)))?;
     let config = ParallelConfig {
         jobs: opts.jobs.unwrap_or_else(default_jobs),
         timeout: opts.timeout,
@@ -568,6 +624,119 @@ pub fn run_client(problem_text: Option<&str>, opts: &Options) -> Result<String, 
     Ok(render_response(&response))
 }
 
+/// Build the [`resyn_gen::GenConfig`] for `gen`/`fuzz` from the parsed
+/// flags, falling back to the generator's documented defaults.
+pub fn gen_config(opts: &Options) -> resyn_gen::GenConfig {
+    let defaults = resyn_gen::GenConfig::default();
+    resyn_gen::GenConfig {
+        seed: opts.seed.unwrap_or(defaults.seed),
+        count: opts.count.unwrap_or(defaults.count),
+        size: opts.size.unwrap_or(defaults.size),
+    }
+}
+
+/// `resyn gen`: print a seeded batch of generated problems. Byte-identical
+/// across runs for the same `--seed`/`--count`/`--size` (see [`resyn_gen`]'s
+/// determinism contract), so the output can be diffed, archived or piped
+/// straight into `resyn synth`.
+pub fn run_gen(opts: &Options) -> String {
+    resyn_gen::render_batch(&resyn_gen::problems(&gen_config(opts)))
+}
+
+/// The output of `resyn fuzz`: the per-problem log plus, on failure, the
+/// shrunk reproducer (the caller writes it to `--out` — this library does no
+/// I/O).
+#[derive(Debug, Clone)]
+pub struct FuzzOutput {
+    /// One line per problem plus a summary line.
+    pub report: String,
+    /// The first failure: the differential complaint and the shrunk
+    /// reproducer rendered as a `.re` file.
+    pub failure: Option<FuzzFailure>,
+}
+
+/// A minimized differential failure found by `resyn fuzz`.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The failing problem's stable id (`gen-<seed>-<index>`).
+    pub id: String,
+    /// What the differential checker objected to, post-shrinking.
+    pub complaint: String,
+    /// The shrunk problem as a `.re` file (still reproduces the failure).
+    pub reproducer: String,
+}
+
+/// `resyn fuzz`: run a generated batch through the differential checker —
+/// ReSyn vs. EAC vs. NoInc under one budget, plus a warm-cache replay — and
+/// greedily shrink the first failing problem to a minimal reproducer.
+///
+/// `--timeout` bounds *each synthesis run* (so one problem costs up to four
+/// timeouts across the three modes and the replay); timeouts make a mode
+/// incomparable, never a failure. The walk stops at the first failure:
+/// everything after it would shrink against a stale budget anyway, and the
+/// artifact names the exact `--seed`/problem index to resume from.
+pub fn run_fuzz(opts: &Options) -> FuzzOutput {
+    let config = gen_config(opts);
+    let mut report = String::new();
+    let mut timeouts = 0usize;
+    let mut passed = 0usize;
+    for problem in resyn_gen::problems(&config) {
+        let outcome = resyn_gen::run_differential(&problem.problem(), opts.timeout);
+        match outcome.failure() {
+            None => {
+                passed += 1;
+                if outcome.timed_out() {
+                    timeouts += 1;
+                    let _ = writeln!(report, "{}: ok (some mode timed out)", problem.id);
+                } else {
+                    let _ = writeln!(report, "{}: ok", problem.id);
+                }
+            }
+            Some(complaint) => {
+                let _ = writeln!(report, "{}: FAIL — {complaint}", problem.id);
+                let shrunk = resyn_gen::shrink(&problem.spec, &mut |spec| {
+                    resyn_gen::run_differential(&spec.problem(), opts.timeout)
+                        .failure()
+                        .is_some()
+                });
+                let complaint = resyn_gen::run_differential(&shrunk.problem(), opts.timeout)
+                    .failure()
+                    .unwrap_or(complaint);
+                let reproducer = format!(
+                    "-- {} shrunk reproducer (resyn fuzz --seed {} ; problem {})\n-- {complaint}\n{}",
+                    problem.id,
+                    config.seed,
+                    problem.index,
+                    shrunk.render()
+                );
+                let _ = writeln!(
+                    report,
+                    "1 failure in {} problems ({passed} ok, {timeouts} with timeouts)",
+                    problem.index + 1
+                );
+                return FuzzOutput {
+                    report,
+                    failure: Some(FuzzFailure {
+                        id: problem.id,
+                        complaint,
+                        reproducer,
+                    }),
+                };
+            }
+        }
+    }
+    let _ = writeln!(
+        report,
+        "{passed}/{} problems agree across {} modes ({timeouts} with timeouts)",
+        config.count,
+        resyn_gen::DIFF_MODES.len()
+    );
+    FuzzOutput {
+        report,
+        failure: None,
+    }
+}
+
 /// Top-level usage string printed by `main` for `--help` or usage errors.
 pub const USAGE: &str = "\
 resyn — resource-guided program synthesis
@@ -585,6 +754,8 @@ USAGE:
     resyn client <problem-file> [--addr HOST:PORT] [--mode MODE]
                  [--timeout SECS] [--goal NAME]
     resyn client --stats [--addr HOST:PORT]
+    resyn gen [--seed N] [--count N] [--size N]
+    resyn fuzz [--seed N] [--count N] [--size N] [--timeout SECS] [--out PATH]
 
 MODES: resyn (default), synquid, eac, noinc, ct
 
@@ -603,8 +774,15 @@ counters and the size of the term intern table.
 `eval` runs a paper benchmark suite through the parallel batch harness
 (workers share one solver query cache; results are row-for-row identical
 whatever `--jobs` is, modulo rows right at the wall-clock timeout boundary)
-and with `--json` writes the machine-readable `resyn-bench-eval/1` report
+and with `--json` writes the machine-readable `resyn-bench-eval/2` report
 to PATH.
+
+`gen` prints a seeded batch of generated, well-typed synthesis problems —
+byte-identical across runs for the same `--seed`/`--count`/`--size`
+(defaults: 42/10/3). `fuzz` runs such a batch through the differential
+checker (ReSyn vs. EAC vs. NoInc under one per-run `--timeout`, plus a
+warm-cache replay), shrinks the first failing problem to a minimal
+reproducer, writes it to `--out` if given, and exits nonzero.
 
 `serve` starts the persistent synthesis server (newline-delimited
 `resyn-wire/1` JSON over TCP; all sessions share one solver query cache,
@@ -862,7 +1040,9 @@ mod tests {
         let opts = Options {
             timeout: Duration::from_secs(60),
             jobs: Some(2),
-            filters: vec!["list-id".to_string(), "list-singleton".to_string()],
+            // `list-nonempty` rather than `list-singleton`: the latter is a
+            // substring of the `clist-`/`sslist-` singleton rows too.
+            filters: vec!["list-id".to_string(), "list-nonempty".to_string()],
             json: Some("unused-path".to_string()),
             ..Options::default()
         };
@@ -873,7 +1053,7 @@ mod tests {
         let parsed = resyn_eval::parse_json(&json).expect("report must be valid JSON");
         assert_eq!(
             parsed.get("schema").and_then(resyn_eval::Json::as_str),
-            Some("resyn-bench-eval/1")
+            Some("resyn-bench-eval/2")
         );
         assert_eq!(
             parsed.get("suite").and_then(resyn_eval::Json::as_str),
@@ -1025,6 +1205,95 @@ mod tests {
             run_client(Some("goal g :: Int -> Int"), &opts),
             Err(CliError::Transport(msg)) if msg.contains("cannot connect")
         ));
+    }
+
+    #[test]
+    fn gen_flags_are_parsed_scoped_and_validated() {
+        let args: Vec<String> = ["--seed", "7", "--count", "3", "--size", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert!(positional.is_empty());
+        assert_eq!(opts.seed, Some(7));
+        assert_eq!(opts.count, Some(3));
+        assert_eq!(opts.size, Some(2));
+        assert!(check_flag_scope("gen", &opts).is_ok());
+        assert!(check_flag_scope("fuzz", &opts).is_ok());
+        // The generator knobs mean nothing to the other subcommands.
+        assert!(matches!(
+            check_flag_scope("eval", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--seed")
+        ));
+        // `--out` (the reproducer artifact) and `--timeout` (the per-run
+        // budget) are fuzz-only knobs.
+        let args: Vec<String> = ["--out", "repro.re"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert!(check_flag_scope("fuzz", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("gen", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--out")
+        ));
+
+        for bad in [
+            vec!["--seed", "many"],
+            vec!["--seed"],
+            vec!["--count", "0"],
+            vec!["--size", "0"],
+            vec!["--out"],
+        ] {
+            let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_flags(&bad), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+
+        // Defaults flow through gen_config when the flags are absent.
+        let (_, opts) = parse_flags(&[]).unwrap();
+        assert_eq!(gen_config(&opts), resyn_gen::GenConfig::default());
+    }
+
+    #[test]
+    fn gen_is_byte_deterministic_and_well_formed() {
+        let opts = Options {
+            seed: Some(42),
+            count: Some(5),
+            ..Options::default()
+        };
+        let a = run_gen(&opts);
+        assert_eq!(a, run_gen(&opts), "gen must be byte-identical per seed");
+        assert!(a.contains("-- gen-42-0"), "{a}");
+        assert!(a.contains("-- gen-42-4"), "{a}");
+        // Every problem in the stream is itself a valid problem file.
+        for (i, chunk) in a.split("\n\n").enumerate() {
+            assert!(
+                resyn_parse::parse_problem(chunk).is_ok(),
+                "problem {i} does not parse:\n{chunk}"
+            );
+        }
+        let other = run_gen(&Options {
+            seed: Some(43),
+            ..opts
+        });
+        assert_ne!(a, other, "distinct seeds must draw distinct batches");
+    }
+
+    #[test]
+    fn fuzz_passes_on_a_small_clean_batch() {
+        let opts = Options {
+            seed: Some(42),
+            count: Some(2),
+            timeout: Duration::from_secs(60),
+            ..Options::default()
+        };
+        let out = run_fuzz(&opts);
+        assert!(out.failure.is_none(), "{}", out.report);
+        assert!(out.report.contains("gen-42-0: ok"), "{}", out.report);
+        assert!(out.report.contains("2/2 problems agree"), "{}", out.report);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use std::process::ExitCode;
 
 use resyn_cli::{
-    check_flag_scope, parse_flags, run_check, run_client, run_eval, run_measure, run_parse,
-    run_synth, server_config, CliError, USAGE,
+    check_flag_scope, parse_flags, run_check, run_client, run_eval, run_fuzz, run_gen, run_measure,
+    run_parse, run_synth, server_config, CliError, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -100,6 +100,42 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
             let _ = std::io::stdout().flush();
             loop {
                 std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        "gen" => {
+            if !positional.is_empty() {
+                return Err(CliError::Usage(
+                    "gen takes no positional arguments".to_string(),
+                ));
+            }
+            Ok(run_gen(&opts))
+        }
+        "fuzz" => {
+            if !positional.is_empty() {
+                return Err(CliError::Usage(
+                    "fuzz takes no positional arguments".to_string(),
+                ));
+            }
+            let out = run_fuzz(&opts);
+            match out.failure {
+                None => Ok(out.report),
+                Some(failure) => {
+                    // The report and the reproducer go to stdout/the artifact
+                    // file; the nonzero exit goes through CliError so CI can
+                    // gate on it.
+                    print!("{}", out.report);
+                    if let Some(path) = &opts.out {
+                        std::fs::write(path, &failure.reproducer)
+                            .map_err(|e| CliError::Usage(format!("cannot write `{path}`: {e}")))?;
+                        println!("shrunk reproducer written to {path}");
+                    } else {
+                        print!("{}", failure.reproducer);
+                    }
+                    Err(CliError::FuzzFailed(format!(
+                        "{}: {}",
+                        failure.id, failure.complaint
+                    )))
+                }
             }
         }
         "client" => {

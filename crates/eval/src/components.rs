@@ -63,6 +63,66 @@ pub fn dec() -> Schema {
     ))
 }
 
+/// `plus :: x:Int → y:Int → {Int | ν = x + y}` (used by `tree-count`, which
+/// must combine the counts of both subtrees before incrementing).
+pub fn plus() -> Schema {
+    Schema::mono(Ty::fun(
+        vec![("x", Ty::int()), ("y", Ty::int())],
+        Ty::refined(
+            BaseType::Int,
+            Term::value_var().eq_(Term::var("x") + Term::var("y")),
+        ),
+    ))
+}
+
+/// `insert :: x:a → xs:IList a → {IList a | elems ν = {x} ∪ elems xs}`: a
+/// cost-free sorted insertion used as the inner loop of `insertion-sort`
+/// (the outer recursion is what the resource bound meters, exactly as the
+/// paper's Table 1 charges `sort` and not its auxiliary).
+pub fn insert_sorted() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("x", Ty::tvar("a")),
+                ("xs", Ty::data("IList", vec![Ty::tvar("a")])),
+            ],
+            Ty::refined(
+                BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                Term::app("elems", vec![Term::value_var()]).eq_(
+                    Term::var("x")
+                        .singleton()
+                        .union(Term::app("elems", vec![Term::var("xs")])),
+                ),
+            ),
+        ),
+    )
+}
+
+/// `append0 :: xs:List a → ys:List a → {List a | len ν = len xs + len ys}`:
+/// a cost-free append for benchmarks whose metric charges only the
+/// synthesized function's own recursion (`tree-flatten` — the recursive
+/// results carry no element potential, so the potential-demanding
+/// [`append`] could never be paid there).
+pub fn append_free() -> Schema {
+    Schema::poly(
+        vec!["a"],
+        Ty::fun(
+            vec![
+                ("xs", Ty::list(Ty::tvar("a"))),
+                ("ys", Ty::list(Ty::tvar("a"))),
+            ],
+            Ty::refined(
+                BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                Term::app("len", vec![Term::value_var()]).eq_(
+                    Term::app("len", vec![Term::var("xs")])
+                        + Term::app("len", vec![Term::var("ys")]),
+                ),
+            ),
+        ),
+    )
+}
+
 /// `member :: x:a → l:List a¹ → {Bool | ν = (x ∈ elems l)}` over the given
 /// list datatype (`List`, `SList`, `IList`).
 pub fn member(datatype: &str) -> Schema {
@@ -170,6 +230,14 @@ pub fn register_natives(interp: &mut Interp) -> Vec<(String, Val)> {
     interp.register_native("dec", 1, |a| {
         Ok(Val::Int(a[0].as_int().ok_or("dec expects an int")? - 1))
     });
+    interp.register_native("plus", 2, |a| binop(a, |x, y| Val::Int(x + y)));
+    interp.register_native("insert", 2, |a| {
+        let x = a[0].as_int().ok_or("insert expects an int element")?;
+        let mut xs = a[1].as_int_list().ok_or("insert expects an int list")?;
+        let at = xs.iter().position(|&y| x <= y).unwrap_or(xs.len());
+        xs.insert(at, x);
+        Ok(Val::int_list(&xs))
+    });
     interp.register_native("member", 2, |a| {
         let x = a[0].as_int().ok_or("member expects an int element")?;
         let l = a[1].as_int_list().ok_or("member expects an int list")?;
@@ -201,7 +269,8 @@ pub fn register_natives(interp: &mut Interp) -> Vec<(String, Val)> {
         Ok(Val::Bool(x || y))
     });
     [
-        "lt", "leq", "eq", "neq", "inc", "dec", "member", "append", "append'", "not", "and", "or",
+        "lt", "leq", "eq", "neq", "inc", "dec", "plus", "insert", "member", "append", "append'",
+        "not", "and", "or",
     ]
     .iter()
     .map(|n| (n.to_string(), interp.native_value(n)))

@@ -61,9 +61,9 @@ pub struct BenchmarkRow {
     pub resyn: ModeOutcome,
     /// The Synquid (resource-agnostic) run.
     pub synquid: ModeOutcome,
-    /// Enumerate-and-check ablation (Table 2 only).
+    /// Enumerate-and-check ablation (`None` when ablations are disabled).
     pub eac: Option<ModeOutcome>,
-    /// Non-incremental-CEGIS ablation (Table 2 only).
+    /// Non-incremental-CEGIS ablation (`None` when ablations are disabled).
     pub noinc: Option<ModeOutcome>,
     /// Measured bound of the ReSyn-synthesized program.
     pub bound_resyn: BoundClass,
@@ -113,6 +113,19 @@ impl BenchmarkRow {
             stats.merge(&noinc.stats);
         }
         stats
+    }
+
+    /// The incrementality speedup on this row: NoInc time divided by ReSyn
+    /// time (how much slower synthesis is when CEGIS re-solves the resource
+    /// constraints from scratch). `None` unless both runs solved.
+    pub fn speedup_noinc(&self) -> Option<f64> {
+        let resyn = self.t_resyn()?;
+        let noinc = self.noinc.as_ref()?.time?;
+        if resyn > 0.0 {
+            Some(noinc / resyn)
+        } else {
+            None
+        }
     }
 
     /// Whether two rows report the same verdict: identical identity, code
@@ -185,7 +198,9 @@ impl BenchmarkRow {
 pub struct Harness {
     /// Per-benchmark, per-mode timeout.
     pub timeout: Duration,
-    /// Whether to run the EAC and non-incremental ablations (Table 2 only).
+    /// Whether to run the EAC and non-incremental ablations (every row of
+    /// both tables; the per-row `speedup_noinc` column of the report needs
+    /// the NoInc column populated across the whole suite).
     pub ablations: bool,
     /// Threads fanned across the skeletons of each goal (the synthesizer's
     /// first-win pool); `1` keeps each mode's search sequential.
@@ -240,7 +255,7 @@ pub fn run_benchmark(harness: &Harness, bench: &Benchmark) -> BenchmarkRow {
     let resyn = harness.run_mode(bench, resyn_mode);
     let synquid = harness.run_mode(bench, Mode::Synquid);
 
-    let (eac, noinc) = if bench.table == crate::suite::Table::Two && harness.ablations {
+    let (eac, noinc) = if harness.ablations {
         (
             Some(harness.run_mode(bench, Mode::Eac)),
             Some(harness.run_mode(bench, Mode::ReSynNoInc)),

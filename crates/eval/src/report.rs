@@ -7,11 +7,11 @@
 //! the parser ([`parse_json`]) is re-exported here so the schema can be
 //! round-trip-tested and so existing consumers keep their import paths.
 //!
-//! # Schema (`resyn-bench-eval/1`)
+//! # Schema (`resyn-bench-eval/2`)
 //!
 //! ```json
 //! {
-//!   "schema": "resyn-bench-eval/1",
+//!   "schema": "resyn-bench-eval/2",
 //!   "suite": "table1",
 //!   "jobs": 4,
 //!   "timeout_secs": 60.0,
@@ -24,10 +24,12 @@
 //!                     "candidates": 42, "cache_hits": 7, "cache_misses": 3},
 //!         "synquid": {"time_secs": null, "timed_out": true,
 //!                     "candidates": 9000, "cache_hits": 1, "cache_misses": 2},
-//!         "eac": null, "noinc": null
+//!         "eac":   {"time_secs": 0.52, "timed_out": false, "...": "..."},
+//!         "noinc": {"time_secs": 0.31, "timed_out": false, "...": "..."}
 //!       },
 //!       "bound_resyn": "O(n)", "bound_synquid": "-",
-//!       "error": null
+//!       "error": null,
+//!       "speedup_noinc": 2.8
 //!     }
 //!   ],
 //!   "aggregate": {
@@ -35,16 +37,24 @@
 //!     "timeouts": 1, "errors": 0,
 //!     "median_resyn_over_synquid": 1.04,
 //!     "cache_hits": 5120, "cache_misses": 870, "interned_terms": 5490,
-//!     "total_synth_secs": 12.9
+//!     "total_synth_secs": 12.9,
+//!     "median_speedup_noinc": 1.9
 //!   }
 //! }
 //! ```
+//!
+//! Version history: `/2` appends the per-row `"speedup_noinc"` (NoInc time
+//! over ReSyn time, `null` unless both solved) and the aggregate
+//! `"median_speedup_noinc"`, and populates the ablation columns on *every*
+//! row rather than Table 2 only. `/1` documents are a strict subset, so a
+//! `/2` consumer that indexes by key reads them unchanged —
+//! [`schema_version`] distinguishes the two where it matters.
 //!
 //! Encoding rules downstream tooling may rely on:
 //!
 //! * A mode that found no program has `"time_secs": null`; its `"timed_out"`
 //!   flag distinguishes a timeout (`true`) from an exhausted search space
-//!   (`false`). A mode that was not run at all (the ablations on Table 1) is
+//!   (`false`). A mode that was not run at all (ablations disabled) is
 //!   the literal `null`.
 //! * `"error"` is `null` for a clean row and the panic message for a row the
 //!   parallel runner had to fail; failed rows keep their `"id"`/`"group"`.
@@ -99,11 +109,24 @@ impl<'a> EvalReport<'a> {
     }
 }
 
-/// Serialize a report to the `resyn-bench-eval/1` JSON schema.
+/// The schema version of a parsed report document (`1` for
+/// `"resyn-bench-eval/1"`, `2` for `"resyn-bench-eval/2"`, …); `None` for a
+/// document that is not a bench-eval report at all. Consumers use this to
+/// accept both the current schema and its strict-subset predecessors.
+pub fn schema_version(report: &Json) -> Option<u64> {
+    report
+        .get("schema")
+        .and_then(Json::as_str)?
+        .strip_prefix("resyn-bench-eval/")?
+        .parse()
+        .ok()
+}
+
+/// Serialize a report to the `resyn-bench-eval/2` JSON schema.
 pub fn render_json(report: &EvalReport<'_>) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"resyn-bench-eval/1\",");
+    let _ = writeln!(out, "  \"schema\": \"resyn-bench-eval/2\",");
     let _ = writeln!(out, "  \"suite\": {},", json_str(report.suite));
     let _ = writeln!(out, "  \"jobs\": {},", report.jobs);
     let _ = writeln!(
@@ -148,10 +171,12 @@ fn write_row(out: &mut String, row: &BenchmarkRow) {
     out.push_str("}, ");
     let _ = write!(
         out,
-        "\"bound_resyn\": {}, \"bound_synquid\": {}, \"error\": {}",
+        "\"bound_resyn\": {}, \"bound_synquid\": {}, \"error\": {}, \
+         \"speedup_noinc\": {}",
         json_str(&row.bound_resyn.to_string()),
         json_str(&row.bound_synquid.to_string()),
         row.error.as_deref().map_or("null".to_string(), json_str),
+        row.speedup_noinc().map_or("null".to_string(), json_num),
     );
     out.push('}');
 }
@@ -209,8 +234,17 @@ fn write_aggregate(out: &mut String, report: &EvalReport<'_>) {
     );
     let _ = writeln!(
         out,
-        "    \"total_synth_secs\": {}",
+        "    \"total_synth_secs\": {},",
         json_num(total_synth_secs)
+    );
+    let mut speedups: Vec<f64> = rows.iter().filter_map(|r| r.speedup_noinc()).collect();
+    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let _ = writeln!(
+        out,
+        "    \"median_speedup_noinc\": {}",
+        speedups
+            .get(speedups.len() / 2)
+            .map_or("null".to_string(), |s| json_num(*s))
     );
     out.push_str("  }\n");
 }
@@ -275,8 +309,9 @@ mod tests {
         }
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
-            Some("resyn-bench-eval/1")
+            Some("resyn-bench-eval/2")
         );
+        assert_eq!(schema_version(&parsed), Some(2));
         assert_eq!(parsed.get("jobs").and_then(Json::as_num), Some(4.0));
         assert_eq!(
             parsed.get("rows").and_then(Json::as_arr).map(<[_]>::len),
@@ -315,6 +350,58 @@ mod tests {
         // Ablations that never ran are the literal null, not an object.
         assert!(modes.get("eac").unwrap().is_null());
         assert!(modes.get("noinc").unwrap().is_null());
+    }
+
+    #[test]
+    fn per_row_noinc_speedup_is_recorded_when_both_runs_solved() {
+        let mut rows = sample_rows();
+        rows[0].noinc = Some(ModeOutcome {
+            time: Some(0.75),
+            timed_out: false,
+            ..ModeOutcome::default()
+        });
+        let parsed = parse_json(&sample_report(&rows)).unwrap();
+        let row0 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[0];
+        // resyn solved in 0.25s, noinc in 0.75s: a 3x incrementality win.
+        assert_eq!(row0.get("speedup_noinc").and_then(Json::as_num), Some(3.0));
+        assert_eq!(
+            parsed
+                .get("aggregate")
+                .and_then(|a| a.get("median_speedup_noinc"))
+                .and_then(Json::as_num),
+            Some(3.0)
+        );
+        // The failed row (no runs at all) stays null.
+        let row1 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[1];
+        assert!(row1.get("speedup_noinc").unwrap().is_null());
+    }
+
+    #[test]
+    fn v1_documents_still_parse_under_the_v2_consumer_path() {
+        // A `/1` report is a strict subset of `/2` (no `speedup_noinc`, no
+        // `median_speedup_noinc`): by-key consumers read it unchanged and
+        // `schema_version` tells the versions apart.
+        let v1 = r#"{
+          "schema": "resyn-bench-eval/1",
+          "suite": "table1", "jobs": 1, "timeout_secs": 60.0,
+          "wall_clock_secs": 1.0,
+          "rows": [
+            {"id": "list-id", "group": "List", "code": 4,
+             "modes": {"resyn": {"time_secs": 0.1, "timed_out": false,
+                                 "candidates": 2, "cache_hits": 1,
+                                 "cache_misses": 1},
+                       "synquid": null, "eac": null, "noinc": null},
+             "bound_resyn": "O(n)", "bound_synquid": "-", "error": null}
+          ],
+          "aggregate": {"rows": 1}
+        }"#;
+        let parsed = parse_json(v1).expect("v1 document must parse");
+        assert_eq!(schema_version(&parsed), Some(1));
+        let row0 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(row0.get("id").and_then(Json::as_str), Some("list-id"));
+        // The v2-only key is simply absent, not an error.
+        assert!(row0.get("speedup_noinc").is_none());
+        assert!(schema_version(&Json::Null).is_none());
     }
 
     #[test]

@@ -51,12 +51,32 @@ fn ilist(elem_ty: Ty) -> Ty {
     Ty::data("IList", vec![elem_ty])
 }
 
+fn slist(elem_ty: Ty) -> Ty {
+    Ty::data("SList", vec![elem_ty])
+}
+
+fn clist(elem_ty: Ty) -> Ty {
+    Ty::data("CList", vec![elem_ty])
+}
+
+fn tree(elem_ty: Ty) -> Ty {
+    Ty::data("Tree", vec![elem_ty])
+}
+
 fn len(x: &str) -> Term {
     Term::app("len", vec![Term::var(x)])
 }
 
 fn elems(x: &str) -> Term {
     Term::app("elems", vec![Term::var(x)])
+}
+
+fn size(x: &str) -> Term {
+    Term::app("size", vec![Term::var(x)])
+}
+
+fn telems(x: &str) -> Term {
+    Term::app("telems", vec![Term::var(x)])
 }
 
 fn poly(params: Vec<(&str, Ty)>, ret: Ty) -> Schema {
@@ -74,6 +94,28 @@ pub fn filter_by_id(benches: Vec<Benchmark>, filters: &[String]) -> Vec<Benchmar
         .into_iter()
         .filter(|b| filters.iter().any(|f| b.id.contains(f)))
         .collect()
+}
+
+/// Like [`filter_by_id`], but *every* filter must select at least one
+/// benchmark. A filter that matches nothing is almost always a typo or a
+/// renamed row, and silently running an empty (or smaller-than-intended)
+/// slice reads as success — `resyn eval` and the `table1`/`table2`
+/// criterion benches both gate on this instead.
+///
+/// # Errors
+///
+/// Returns a message naming the first dead filter.
+pub fn filter_by_id_strict(
+    benches: Vec<Benchmark>,
+    filters: &[String],
+) -> Result<Vec<Benchmark>, String> {
+    if let Some(dead) = filters
+        .iter()
+        .find(|f| !benches.iter().any(|b| b.id.contains(f.as_str())))
+    {
+        return Err(format!("filter `{dead}` matches no benchmark id"));
+    }
+    Ok(filter_by_id(benches, filters))
 }
 
 fn bench(id: &str, group: &str, goal: Goal, table: Table) -> Benchmark {
@@ -459,6 +501,387 @@ pub fn table1() -> Vec<Benchmark> {
         Table::One,
     ));
 
+    // List: tail of a non-empty list.
+    out.push(bench(
+        "list-tail",
+        "List",
+        Goal::new(
+            "tail",
+            poly(
+                vec![(
+                    "xs",
+                    list(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).gt(Term::int(0))),
+                )],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs") - Term::int(1)),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: cons (prepend) — the length *and* element spec pins the program.
+    out.push(bench(
+        "list-cons",
+        "List",
+        Goal::new(
+            "cons",
+            poly(
+                vec![("x", Ty::tvar("a")), ("xs", list(elem(0)))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR)
+                        .eq_(len("xs") + Term::int(1))
+                        .and(
+                            Term::app("elems", vec![Term::value_var()])
+                                .eq_(Term::var("x").singleton().union(elems("xs"))),
+                        ),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: a two-element list from two values.
+    out.push(bench(
+        "list-pair",
+        "List",
+        Goal::new(
+            "pair",
+            poly(
+                vec![("x", Ty::tvar("a")), ("y", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(Term::int(2)).and(
+                        Term::app("elems", vec![Term::value_var()])
+                            .eq_(Term::var("x").singleton().union(Term::var("y").singleton())),
+                    ),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // List: append three lists with the binary append component (no direct
+    // recursion; exercises nested component application and potential on the
+    // two traversed arguments).
+    out.push(bench(
+        "list-append3",
+        "List",
+        Goal::new(
+            "append3",
+            poly(
+                vec![
+                    ("xs", list(elem(1))),
+                    ("ys", list(elem(1))),
+                    ("zs", list(elem(0))),
+                ],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs") + len("ys") + len("zs")),
+                ),
+            ),
+            vec![("append", c::append())],
+        ),
+        Table::One,
+    ));
+
+    // List: stutter — duplicate every element.
+    out.push(bench(
+        "list-stutter",
+        "List",
+        Goal::new(
+            "stutter",
+            poly(
+                vec![("xs", list(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs") + len("xs")),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Sorted list: is empty.
+    out.push(bench(
+        "sorted-is-empty",
+        "Sorted list",
+        Goal::new(
+            "isEmpty",
+            poly(
+                vec![("xs", ilist(elem(0)))],
+                Ty::refined(
+                    BaseType::Bool,
+                    Term::value_var().iff(len("xs").eq_(Term::int(0))),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Sorted list: head of a non-empty sorted list.
+    out.push(bench(
+        "sorted-head",
+        "Sorted list",
+        Goal::new(
+            "head",
+            poly(
+                vec![(
+                    "xs",
+                    ilist(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).gt(Term::int(0))),
+                )],
+                Ty::refined(
+                    BaseType::TVar("a".into()),
+                    Term::value_var().member(elems("xs")),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Sorted list: tail of a non-empty sorted list (stays sorted).
+    out.push(bench(
+        "sorted-tail",
+        "Sorted list",
+        Goal::new(
+            "tail",
+            poly(
+                vec![(
+                    "xs",
+                    ilist(elem(0)).and_refinement(len(resyn_logic::VALUE_VAR).gt(Term::int(0))),
+                )],
+                Ty::refined(
+                    BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(len("xs") - Term::int(1)),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Strictly sorted list: singleton construction.
+    out.push(bench(
+        "sslist-singleton",
+        "Strictly sorted list",
+        Goal::new(
+            "singleton",
+            poly(
+                vec![("x", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("SList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()]).eq_(Term::var("x").singleton()),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Strictly sorted list: insert (duplicates collapse).
+    out.push(bench(
+        "sslist-insert",
+        "Strictly sorted list",
+        Goal::new(
+            "insert",
+            poly(
+                vec![("x", Ty::tvar("a")), ("xs", slist(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("SList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()])
+                        .eq_(Term::var("x").singleton().union(elems("xs"))),
+                ),
+            ),
+            vec![("lt", c::lt()), ("eq", c::eq()), ("neq", c::neq())],
+        ),
+        Table::One,
+    ));
+
+    // Strictly sorted list: delete a value.
+    out.push(bench(
+        "sslist-delete",
+        "Strictly sorted list",
+        Goal::new(
+            "delete",
+            poly(
+                vec![("x", Ty::tvar("a")), ("xs", slist(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("SList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()])
+                        .eq_(elems("xs").diff(Term::var("x").singleton())),
+                ),
+            ),
+            vec![("eq", c::eq()), ("neq", c::neq())],
+        ),
+        Table::One,
+    ));
+
+    // Unique list: singleton construction.
+    out.push(bench(
+        "clist-singleton",
+        "Unique list",
+        Goal::new(
+            "singleton",
+            poly(
+                vec![("x", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("CList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()]).eq_(Term::var("x").singleton()),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Unique list: insert without creating an adjacent duplicate.
+    out.push(bench(
+        "unique-insert",
+        "Unique list",
+        Goal::new(
+            "insert",
+            poly(
+                vec![("x", Ty::tvar("a")), ("xs", clist(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("CList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()])
+                        .eq_(Term::var("x").singleton().union(elems("xs"))),
+                ),
+            ),
+            vec![("eq", c::eq()), ("neq", c::neq())],
+        ),
+        Table::One,
+    ));
+
+    // Not present although the paper's Table 1 has them: `compress`
+    // (collapse adjacent duplicates) needs a nested match on a *match
+    // binder* (`match xs' with …` inside the `Cons x xs'` arm), a skeleton
+    // family `resyn_synth::skeleton` deliberately does not generate; and
+    // tree `member` needs a depth-3 boolean combination (`or (eq x n)
+    // (or (f x l) (f x r))`) beyond the e-term sections. Both are
+    // enumerator-coverage gaps, not checker gaps — `resyn check` accepts
+    // the textbook programs.
+
+    // Tree: the identity (size-preserving).
+    out.push(bench(
+        "tree-id",
+        "Tree",
+        Goal::new(
+            "id",
+            poly(
+                vec![("t", tree(elem(0)))],
+                Ty::refined(
+                    BaseType::Data("Tree".into(), vec![Ty::tvar("a")]),
+                    size(resyn_logic::VALUE_VAR).eq_(size("t")),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Tree: singleton node.
+    out.push(bench(
+        "tree-singleton",
+        "Tree",
+        Goal::new(
+            "singleton",
+            poly(
+                vec![("x", Ty::tvar("a"))],
+                Ty::refined(
+                    BaseType::Data("Tree".into(), vec![Ty::tvar("a")]),
+                    size(resyn_logic::VALUE_VAR)
+                        .eq_(Term::int(1))
+                        .and(telems(resyn_logic::VALUE_VAR).eq_(Term::var("x").singleton())),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Tree: is the tree a leaf.
+    out.push(bench(
+        "tree-is-empty",
+        "Tree",
+        Goal::new(
+            "isLeaf",
+            poly(
+                vec![("t", tree(elem(0)))],
+                Ty::refined(
+                    BaseType::Bool,
+                    Term::value_var().iff(size("t").eq_(Term::int(0))),
+                ),
+            ),
+            vec![],
+        ),
+        Table::One,
+    ));
+
+    // Tree: flatten into a list (two recursive calls per node).
+    out.push(bench(
+        "tree-flatten",
+        "Tree",
+        Goal::new(
+            "flatten",
+            poly(
+                vec![("t", tree(elem(2)))],
+                Ty::refined(
+                    BaseType::Data("List".into(), vec![Ty::tvar("a")]),
+                    len(resyn_logic::VALUE_VAR).eq_(size("t")),
+                ),
+            ),
+            // A cost-free append: the metric charges flatten's own recursion
+            // (2 units per element via the tree's potential), and the
+            // recursive results carry no element potential with which the
+            // linear-cost `append` could be paid.
+            vec![("append", c::append_free())],
+        ),
+        Table::One,
+    ));
+
+    // Tree: count the nodes.
+    out.push(bench(
+        "tree-count",
+        "Tree",
+        Goal::new(
+            "count",
+            poly(
+                vec![("t", tree(elem(2)))],
+                Ty::refined(BaseType::Int, Term::value_var().eq_(size("t"))),
+            ),
+            vec![("inc", c::inc()), ("plus", c::plus())],
+        ),
+        Table::One,
+    ));
+
+    // Sorting: insertion sort (the outer recursion is metered; the sorted
+    // insertion is the cost-free auxiliary component, as in the paper).
+    out.push(bench(
+        "insertion-sort",
+        "Sorting",
+        Goal::new(
+            "sort",
+            poly(
+                vec![("xs", list(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("IList".into(), vec![Ty::tvar("a")]),
+                    Term::app("elems", vec![Term::value_var()]).eq_(elems("xs")),
+                ),
+            ),
+            vec![("insert", c::insert_sorted())],
+        ),
+        Table::One,
+    ));
+
     out
 }
 
@@ -633,7 +1056,7 @@ mod tests {
     fn suites_are_nonempty_and_well_formed() {
         let t1 = table1();
         let t2 = table2();
-        assert!(t1.len() >= 18, "expanded Table 1 has {} rows", t1.len());
+        assert!(t1.len() >= 35, "expanded Table 1 has {} rows", t1.len());
         assert!(t2.len() >= 9);
         for b in t1.iter().chain(t2.iter()) {
             let (params, _) = b.goal.schema.ty.uncurry();
@@ -665,6 +1088,26 @@ mod tests {
             "list-double",
             "sorted-member",
             "sorted-singleton",
+            // This PR's full-coverage expansion rows.
+            "list-tail",
+            "list-cons",
+            "list-pair",
+            "list-append3",
+            "list-stutter",
+            "sorted-is-empty",
+            "sorted-head",
+            "sorted-tail",
+            "sslist-singleton",
+            "sslist-insert",
+            "sslist-delete",
+            "clist-singleton",
+            "unique-insert",
+            "tree-id",
+            "tree-singleton",
+            "tree-is-empty",
+            "tree-flatten",
+            "tree-count",
+            "insertion-sort",
         ] {
             assert!(
                 t1.iter().any(|b| b.id == expected),
@@ -699,6 +1142,18 @@ mod tests {
         assert!(!sorted.is_empty() && sorted.len() < total);
         assert!(sorted.iter().all(|b| b.id.contains("sorted")));
         assert!(filter_by_id(table1(), &["no-such-id".to_string()]).is_empty());
+    }
+
+    #[test]
+    fn strict_filtering_names_the_dead_filter() {
+        let ok = filter_by_id_strict(table1(), &["sorted".to_string()]).unwrap();
+        assert!(ok.iter().all(|b| b.id.contains("sorted")));
+        assert!(filter_by_id_strict(table1(), &[]).is_ok());
+        // One live and one dead filter: the dead one must still be reported
+        // (a silent partial match is exactly the typo this guards against).
+        let err = filter_by_id_strict(table1(), &["sorted".to_string(), "no-such-id".to_string()])
+            .unwrap_err();
+        assert!(err.contains("no-such-id"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Minimization of failing generated problems.
+//!
+//! The shrinker works on [`ProblemSpec`]s, not text: every move produces a
+//! spec that is still well-formed by construction (rendering and re-parsing
+//! cannot fail), so the only question a move has to answer is "does the
+//! failure still reproduce?". Moves strictly decrease a finite measure
+//! (goal count + distractor count + total potential + the metric flag), so
+//! the greedy fixpoint loop always terminates.
+
+use crate::spec::ProblemSpec;
+
+/// All single-step simplifications of a spec, most aggressive first.
+fn moves(spec: &ProblemSpec) -> Vec<ProblemSpec> {
+    let mut out = Vec::new();
+    if spec.goals.len() > 1 {
+        for i in 0..spec.goals.len() {
+            let mut next = spec.clone();
+            next.goals.remove(i);
+            out.push(next);
+        }
+    }
+    for i in 0..spec.distractors.len() {
+        let mut next = spec.clone();
+        next.distractors.remove(i);
+        out.push(next);
+    }
+    for i in 0..spec.goals.len() {
+        if spec.goals[i].potential > spec.goals[i].template.min_potential() {
+            let mut next = spec.clone();
+            next.goals[i].potential -= 1;
+            out.push(next);
+        }
+    }
+    if spec.explicit_metric {
+        let mut next = spec.clone();
+        next.explicit_metric = false;
+        out.push(next);
+    }
+    out
+}
+
+/// Greedily minimize `spec` while `still_fails` keeps reproducing the
+/// failure. Returns the smallest spec reached (possibly `spec` itself).
+pub fn shrink(
+    spec: &ProblemSpec,
+    still_fails: &mut dyn FnMut(&ProblemSpec) -> bool,
+) -> ProblemSpec {
+    let mut current = spec.clone();
+    loop {
+        let Some(next) = moves(&current).into_iter().find(|m| still_fails(m)) else {
+            return current;
+        };
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::spec::{generate, Component, Template};
+
+    fn big_spec() -> ProblemSpec {
+        // Draw until we have a two-goal spec with distractors and headroom.
+        for seed in 0.. {
+            let spec = generate(&mut SplitMix64::from_seed(seed), 8);
+            if spec.goals.len() == 2
+                && !spec.distractors.is_empty()
+                && spec
+                    .goals
+                    .iter()
+                    .any(|g| g.potential > g.template.min_potential())
+            {
+                return spec;
+            }
+        }
+        unreachable!()
+    }
+
+    #[test]
+    fn a_failure_everywhere_shrinks_to_the_minimum() {
+        let spec = big_spec();
+        let shrunk = shrink(&spec, &mut |_| true);
+        assert_eq!(shrunk.goals.len(), 1);
+        assert!(shrunk.distractors.is_empty());
+        assert!(!shrunk.explicit_metric);
+        for goal in &shrunk.goals {
+            assert_eq!(goal.potential, goal.template.min_potential());
+        }
+        // The result is still a valid problem.
+        assert!(resyn_parse::parse_problem(&shrunk.render()).is_ok());
+    }
+
+    #[test]
+    fn shrinking_preserves_the_failing_property() {
+        // Failure depends on a specific template being present: the shrinker
+        // must keep that goal while discarding everything else.
+        let spec = big_spec();
+        let target = spec.goals[0].template;
+        let mut still_fails = |s: &ProblemSpec| s.goals.iter().any(|g| g.template == target);
+        let shrunk = shrink(&spec, &mut still_fails);
+        assert!(shrunk.goals.iter().any(|g| g.template == target));
+        assert_eq!(shrunk.goals.len(), 1);
+    }
+
+    #[test]
+    fn an_unshrinkable_failure_returns_the_original() {
+        let spec = big_spec();
+        let shrunk = shrink(&spec, &mut |_| false);
+        assert_eq!(shrunk, spec);
+    }
+
+    #[test]
+    fn moves_never_drop_required_components() {
+        let spec = ProblemSpec {
+            goals: vec![crate::spec::GoalSpec {
+                template: Template::Member,
+                name: "f0".to_string(),
+                list_param: "xs".to_string(),
+                elem_param: "x".to_string(),
+                snd_param: "ys".to_string(),
+                potential: 2,
+                offset: 1,
+            }],
+            distractors: vec![Component::Dec],
+            explicit_metric: true,
+        };
+        let shrunk = shrink(&spec, &mut |_| true);
+        // `eq`/`neq` are required by Member and survive; the distractor does
+        // not.
+        let names: Vec<&str> = shrunk.components().iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["eq", "neq"]);
+        assert_eq!(shrunk.goals[0].potential, 1);
+    }
+}

@@ -1,0 +1,456 @@
+//! Problem *specs*: the structured form a generated problem is drawn in,
+//! built from a fixed library of templates that are well-typed (and solvable
+//! with enough budget) **by construction**.
+//!
+//! Generating at the spec level rather than as raw text buys two things: the
+//! shrinker can apply meaning-preserving moves (drop a component, lower a
+//! potential) without ever producing an ill-formed file, and the rendered
+//! surface text is guaranteed to re-parse to the same abstract problem
+//! because every piece goes through the round-trip-tested printers of
+//! [`resyn_parse::surface`].
+
+use std::fmt::Write as _;
+
+use resyn_eval::components as c;
+use resyn_lang::CostMetric;
+use resyn_logic::Term;
+use resyn_parse::surface::schema_to_surface;
+use resyn_parse::ParsedProblem;
+use resyn_ty::types::{BaseType, Schema, Ty};
+
+use crate::rng::SplitMix64;
+
+/// A component the generated problem may declare: either required by a
+/// goal's template or thrown in as a distractor to widen the search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Component {
+    /// `lt :: x:a → y:a → {Bool | ν = (x < y)}`.
+    Lt,
+    /// `leq :: x:a → y:a → {Bool | ν = (x ≤ y)}`.
+    Leq,
+    /// `eq :: x:a → y:a → {Bool | ν = (x = y)}`.
+    Eq,
+    /// `neq :: x:a → y:a → {Bool | ν = (x ≠ y)}`.
+    Neq,
+    /// `inc :: x:Int → {Int | ν = x + 1}`.
+    Inc,
+    /// `dec :: x:Int → {Int | ν = x − 1}`.
+    Dec,
+    /// `append :: xs:List a¹ → ys:List a → {List a | len ν = len xs + len ys}`.
+    Append,
+}
+
+impl Component {
+    /// The declared component name (also the native the interpreter knows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Lt => "lt",
+            Component::Leq => "leq",
+            Component::Eq => "eq",
+            Component::Neq => "neq",
+            Component::Inc => "inc",
+            Component::Dec => "dec",
+            Component::Append => "append",
+        }
+    }
+
+    /// The component's schema (shared with the benchmark suite's library).
+    pub fn schema(self) -> Schema {
+        match self {
+            Component::Lt => c::lt(),
+            Component::Leq => c::leq(),
+            Component::Eq => c::eq(),
+            Component::Neq => c::neq(),
+            Component::Inc => c::inc(),
+            Component::Dec => c::dec(),
+            Component::Append => c::append(),
+        }
+    }
+}
+
+/// Components that are safe to add to *any* goal without breaking its
+/// solvability: they only widen the search space. (`not`/`and`/`or` are
+/// surface-syntax keywords and cannot be declared as component names.)
+pub const DISTRACTORS: &[Component] = &[
+    Component::Lt,
+    Component::Leq,
+    Component::Eq,
+    Component::Neq,
+    Component::Inc,
+    Component::Dec,
+];
+
+/// A goal template: the shape of a refinement goal known to be well-typed
+/// and, with its minimum resource annotation, solvable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Template {
+    /// `l: List a^p → {List a | len ν = len l}` — the identity.
+    Id,
+    /// `l: List a^p → {Bool | ν ⇔ len l = 0}`.
+    IsEmpty,
+    /// `l: List a^p → {Bool | ν ⇔ len l ≠ 0}`.
+    NonEmpty,
+    /// `x: a → {List a | len ν = 1 ∧ elems ν = {x}}`.
+    Singleton,
+    /// `l: {List a^p | len ν > 0} → {a | ν ∈ elems l}`.
+    Head,
+    /// `x: a → l: List a^p → {List a | len ν = len l + 1}`.
+    Snoc,
+    /// `l: List a^p → {Int | ν = len l}` with `inc` (needs p ≥ 1).
+    Length,
+    /// `x: a → l: List a^p → {Bool | ν ⇔ x ∈ elems l}` with `eq`, `neq`
+    /// (needs p ≥ 1).
+    Member,
+    /// `xs: List a^p → ys: List a → {List a | len ν = len xs + len ys}`
+    /// (needs p ≥ 1).
+    Append,
+    /// `l: List a^p → {List a | len ν = len l + len l}` with `append`
+    /// (needs p ≥ 1).
+    Double,
+    /// `n: Int → {Int | ν = n + k}` with `inc`, k ∈ {1, 2} — a monomorphic
+    /// integer goal (no recursion, so no potential is needed).
+    IncChain,
+}
+
+/// Every template, in the order the generator draws from.
+pub const TEMPLATES: &[Template] = &[
+    Template::Id,
+    Template::IsEmpty,
+    Template::NonEmpty,
+    Template::Singleton,
+    Template::Head,
+    Template::Snoc,
+    Template::Length,
+    Template::Member,
+    Template::Append,
+    Template::Double,
+    Template::IncChain,
+];
+
+impl Template {
+    /// The smallest per-element potential under which the template's
+    /// reference solution still type-checks in resource mode (recursive
+    /// templates pay one unit per traversed element).
+    pub fn min_potential(self) -> i64 {
+        match self {
+            Template::Length | Template::Member | Template::Append | Template::Double => 1,
+            _ => 0,
+        }
+    }
+
+    /// The components this template's goal needs in scope to be solvable.
+    pub fn required_components(self) -> &'static [Component] {
+        match self {
+            Template::Length | Template::IncChain => &[Component::Inc],
+            Template::Member => &[Component::Eq, Component::Neq],
+            Template::Double => &[Component::Append],
+            _ => &[],
+        }
+    }
+}
+
+/// One goal of a generated problem: a template instantiated with names and
+/// a resource annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoalSpec {
+    /// The template the goal instantiates.
+    pub template: Template,
+    /// The goal (function) name.
+    pub name: String,
+    /// Name of the traversed list parameter (unused by `Singleton`/`IncChain`).
+    pub list_param: String,
+    /// Name of the element or integer parameter (unused by list-only shapes).
+    pub elem_param: String,
+    /// Name of the second list parameter (`Append` only).
+    pub snd_param: String,
+    /// Per-element potential on the traversed list (≥ the template minimum).
+    pub potential: i64,
+    /// The constant in `IncChain`'s refinement (1 or 2).
+    pub offset: i64,
+}
+
+impl GoalSpec {
+    /// Build the goal's resource-annotated schema.
+    pub fn schema(&self) -> Schema {
+        let vv = Term::value_var();
+        let len_of = |x: &str| Term::app("len", vec![Term::var(x)]);
+        let elems_of = |x: &str| Term::app("elems", vec![Term::var(x)]);
+        let elem = if self.potential == 0 {
+            Ty::tvar("a")
+        } else {
+            Ty::tvar("a").with_potential(Term::int(self.potential))
+        };
+        let list = Ty::data("List", vec![elem]);
+        let plain_list = BaseType::Data("List".into(), vec![Ty::tvar("a")]);
+        let l = self.list_param.as_str();
+        let x = self.elem_param.as_str();
+        let poly = |params: Vec<(&str, Ty)>, ret: Ty| Schema::poly(vec!["a"], Ty::fun(params, ret));
+        match self.template {
+            Template::Id => poly(
+                vec![(l, list)],
+                Ty::refined(plain_list, len_of(resyn_logic::VALUE_VAR).eq_(len_of(l))),
+            ),
+            Template::IsEmpty => poly(
+                vec![(l, list)],
+                Ty::refined(BaseType::Bool, vv.iff(len_of(l).eq_(Term::int(0)))),
+            ),
+            Template::NonEmpty => poly(
+                vec![(l, list)],
+                Ty::refined(BaseType::Bool, vv.iff(len_of(l).neq(Term::int(0)))),
+            ),
+            Template::Singleton => poly(
+                vec![(x, Ty::tvar("a"))],
+                Ty::refined(
+                    plain_list,
+                    len_of(resyn_logic::VALUE_VAR)
+                        .eq_(Term::int(1))
+                        .and(Term::app("elems", vec![vv]).eq_(Term::var(x).singleton())),
+                ),
+            ),
+            Template::Head => poly(
+                vec![(
+                    l,
+                    list.and_refinement(len_of(resyn_logic::VALUE_VAR).gt(Term::int(0))),
+                )],
+                Ty::refined(BaseType::TVar("a".into()), vv.member(elems_of(l))),
+            ),
+            Template::Snoc => poly(
+                vec![(x, Ty::tvar("a")), (l, list)],
+                Ty::refined(
+                    plain_list,
+                    len_of(resyn_logic::VALUE_VAR).eq_(len_of(l) + Term::int(1)),
+                ),
+            ),
+            Template::Length => poly(
+                vec![(l, list)],
+                Ty::refined(BaseType::Int, vv.eq_(len_of(l))),
+            ),
+            Template::Member => poly(
+                vec![(x, Ty::tvar("a")), (l, list)],
+                Ty::refined(BaseType::Bool, vv.iff(Term::var(x).member(elems_of(l)))),
+            ),
+            Template::Append => poly(
+                vec![
+                    (l, list),
+                    (self.snd_param.as_str(), Ty::list(Ty::tvar("a"))),
+                ],
+                Ty::refined(
+                    plain_list,
+                    len_of(resyn_logic::VALUE_VAR).eq_(len_of(l) + len_of(&self.snd_param)),
+                ),
+            ),
+            Template::Double => poly(
+                vec![(l, list)],
+                Ty::refined(
+                    plain_list,
+                    len_of(resyn_logic::VALUE_VAR).eq_(len_of(l) + len_of(l)),
+                ),
+            ),
+            Template::IncChain => Schema::mono(Ty::fun(
+                vec![(x, Ty::int())],
+                Ty::refined(BaseType::Int, vv.eq_(Term::var(x) + Term::int(self.offset))),
+            )),
+        }
+    }
+}
+
+/// A whole generated problem in structured form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProblemSpec {
+    /// The goals, in declaration order (at least one).
+    pub goals: Vec<GoalSpec>,
+    /// Distractor components added on top of the goals' required ones.
+    pub distractors: Vec<Component>,
+    /// Whether to spell out the default `metric recursive-calls` directive.
+    pub explicit_metric: bool,
+}
+
+impl ProblemSpec {
+    /// The declared component list: each goal's required components in goal
+    /// order, then the distractors, deduplicated by first occurrence.
+    pub fn components(&self) -> Vec<Component> {
+        let mut out: Vec<Component> = Vec::new();
+        let candidates = self
+            .goals
+            .iter()
+            .flat_map(|g| g.template.required_components().iter().copied())
+            .chain(self.distractors.iter().copied());
+        for comp in candidates {
+            if !out.contains(&comp) {
+                out.push(comp);
+            }
+        }
+        out
+    }
+
+    /// Build the abstract problem (what [`resyn_parse::parse_problem`] would
+    /// return for the rendered text).
+    pub fn problem(&self) -> ParsedProblem {
+        ParsedProblem {
+            components: self
+                .components()
+                .iter()
+                .map(|comp| (comp.name().to_string(), comp.schema()))
+                .collect(),
+            goals: self
+                .goals
+                .iter()
+                .map(|g| (g.name.clone(), g.schema()))
+                .collect(),
+            metric: CostMetric::RecursiveCalls,
+        }
+    }
+
+    /// Render the problem as a `.re` file in the surface syntax.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for comp in self.components() {
+            let _ = writeln!(
+                out,
+                "component {} :: {}",
+                comp.name(),
+                schema_to_surface(&comp.schema())
+            );
+        }
+        if self.explicit_metric {
+            let _ = writeln!(out, "metric recursive-calls");
+        }
+        for goal in &self.goals {
+            let _ = writeln!(
+                out,
+                "goal {} :: {}",
+                goal.name,
+                schema_to_surface(&goal.schema())
+            );
+        }
+        out
+    }
+}
+
+const NAME_BASES: &[&str] = &["f", "g", "go", "run", "probe", "build", "query", "calc"];
+const LIST_NAMES: &[&str] = &["xs", "ys", "zs", "l", "ws"];
+const ELEM_NAMES: &[&str] = &["x", "y", "z", "w"];
+
+/// Draw one problem spec from the generator's stream. `size` tunes the
+/// problem's difficulty: potentials above the template minimum, the number
+/// of distractor components (up to two) and — from size 5 — a second goal.
+pub fn generate(rng: &mut SplitMix64, size: usize) -> ProblemSpec {
+    let goal_count = if size >= 5 { 1 + rng.below(2) } else { 1 } as usize;
+    let mut goals = Vec::new();
+    for i in 0..goal_count {
+        let template = *rng.pick(TEMPLATES);
+        let bonus = if size >= 2 { rng.below(2) as i64 } else { 0 };
+        let list_param = *rng.pick(LIST_NAMES);
+        let snd_param = loop {
+            let candidate = *rng.pick(LIST_NAMES);
+            if candidate != list_param {
+                break candidate;
+            }
+        };
+        goals.push(GoalSpec {
+            template,
+            name: format!("{}{i}", rng.pick(NAME_BASES)),
+            list_param: list_param.to_string(),
+            elem_param: (*rng.pick(ELEM_NAMES)).to_string(),
+            snd_param: snd_param.to_string(),
+            potential: template.min_potential() + bonus,
+            offset: 1 + rng.below(2) as i64,
+        });
+    }
+
+    let required: Vec<Component> = goals
+        .iter()
+        .flat_map(|g| g.template.required_components().iter().copied())
+        .collect();
+    let pool: Vec<Component> = DISTRACTORS
+        .iter()
+        .copied()
+        .filter(|d| !required.contains(d))
+        .collect();
+    let max_distractors = (size / 2).min(2) as u64;
+    let mut distractors = Vec::new();
+    for _ in 0..rng.below(max_distractors + 1) {
+        let candidate = *rng.pick(&pool);
+        if !distractors.contains(&candidate) {
+            distractors.push(candidate);
+        }
+    }
+
+    ProblemSpec {
+        goals,
+        distractors,
+        explicit_metric: rng.chance(1, 4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_parse::parse_problem;
+
+    fn spec_of(seed: u64, size: usize) -> ProblemSpec {
+        generate(&mut SplitMix64::from_seed(seed), size)
+    }
+
+    #[test]
+    fn rendered_specs_reparse_to_the_same_problem() {
+        for seed in 0..50 {
+            let spec = spec_of(seed, 3);
+            let rendered = spec.render();
+            let parsed = parse_problem(&rendered)
+                .unwrap_or_else(|e| panic!("seed {seed}: `{rendered}` fails to parse: {e}"));
+            let built = spec.problem();
+            assert_eq!(parsed.components, built.components, "seed {seed}");
+            assert_eq!(parsed.goals, built.goals, "seed {seed}");
+            assert_eq!(parsed.metric, built.metric, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generated_names_are_unique() {
+        for seed in 0..50 {
+            let spec = spec_of(seed, 6);
+            let mut names: Vec<&str> = spec.goals.iter().map(|g| g.name.as_str()).collect();
+            names.extend(spec.components().iter().map(|c| c.name()));
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), before, "seed {seed}: duplicate declarations");
+        }
+    }
+
+    #[test]
+    fn potentials_respect_template_minimums() {
+        for seed in 0..100 {
+            for goal in spec_of(seed, 4).goals {
+                assert!(
+                    goal.potential >= goal.template.min_potential(),
+                    "seed {seed}: {:?} has potential {}",
+                    goal.template,
+                    goal.potential
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn required_components_are_always_declared() {
+        for seed in 0..100 {
+            let spec = spec_of(seed, 3);
+            let declared = spec.components();
+            for goal in &spec.goals {
+                for needed in goal.template.required_components() {
+                    assert!(declared.contains(needed), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn size_gates_the_second_goal() {
+        for seed in 0..50 {
+            assert_eq!(spec_of(seed, 3).goals.len(), 1);
+        }
+        assert!((0..50).any(|seed| spec_of(seed, 6).goals.len() == 2));
+    }
+}

@@ -15,6 +15,8 @@
 //!   and synthesis problem files,
 //! * [`eval`] — the benchmark suites and harness reproducing the paper's
 //!   evaluation tables,
+//! * [`gen`] — the seeded problem generator, shrinker and differential fuzz
+//!   runner (`resyn gen` / `resyn fuzz`),
 //! * [`wire`] — the shared JSON reader/writer and the `resyn-wire/1`
 //!   protocol,
 //! * [`server`] — the persistent synthesis server (`resyn serve`) and its
@@ -25,6 +27,7 @@
 
 pub use resyn_budget as budget;
 pub use resyn_eval as eval;
+pub use resyn_gen as gen;
 pub use resyn_horn as horn;
 pub use resyn_lang as lang;
 pub use resyn_logic as logic;

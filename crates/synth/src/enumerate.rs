@@ -196,7 +196,8 @@ pub fn eterms(
                 }
                 let head_shape = Shape::of(&ctor.args[0].1).unwrap_or(Shape::Elem);
                 let tail_shape = Shape::of(&ctor.args[1].1).unwrap_or(Shape::Elem);
-                for head in atoms(scope, &head_shape) {
+                let heads = atoms(scope, &head_shape);
+                for head in &heads {
                     if budget.is_exceeded() {
                         return out;
                     }
@@ -209,6 +210,26 @@ pub fn eterms(
                             Expr::ctor(ctor.name.clone(), vec![head.clone(), Expr::var("_r")]),
                         );
                         push(e, &mut out);
+                        // Two-level constructor around the call:
+                        // `let r = f … in C h (C h' r)` (stutter duplicates
+                        // its head element this way).
+                        for head2 in &heads {
+                            let e2 = Expr::let_(
+                                "_r",
+                                call.clone(),
+                                Expr::ctor(
+                                    ctor.name.clone(),
+                                    vec![
+                                        head.clone(),
+                                        Expr::ctor(
+                                            ctor.name.clone(),
+                                            vec![head2.clone(), Expr::var("_r")],
+                                        ),
+                                    ],
+                                ),
+                            );
+                            push(e2, &mut out);
+                        }
                     }
                 }
             }
@@ -361,6 +382,84 @@ pub fn eterms(
             for f in partials {
                 let e = Expr::let_("_t", inner.clone(), f.clone());
                 push(e, &mut out);
+            }
+        }
+    }
+
+    // 5c. A binary callable combining *two* recursive calls — the shape of
+    //     branching recursion over trees — optionally wrapped in a unary
+    //     component or a binary constructor:
+    //       `let a = f l in let b = f r in g a b`            (tree-member)
+    //       `let a = … in let b = … in let c = g a b in u c` (tree-count)
+    //       `let a = … in let b = … in let c = g a b in C x c` (tree-flatten)
+    let all = callables(goal);
+    let rec_calls: Vec<Expr> = all
+        .iter()
+        .filter(|c| c.name == goal.name)
+        .flat_map(|c| applications(scope, c, 24, budget))
+        .collect();
+    let rec_ret = all
+        .iter()
+        .find(|c| c.name == goal.name)
+        .map(|c| c.ret.clone());
+    if let Some(rec_ret) = rec_ret {
+        for g in all.iter().filter(|c| {
+            c.name != goal.name
+                && c.params.len() == 2
+                && rec_ret.fits(&c.params[0])
+                && rec_ret.fits(&c.params[1])
+        }) {
+            let unary_wraps: Vec<&Callable> = all
+                .iter()
+                .filter(|u| {
+                    u.name != goal.name
+                        && u.params.len() == 1
+                        && g.ret.fits(&u.params[0])
+                        && u.ret.fits(ret)
+                })
+                .collect();
+            for a in &rec_calls {
+                if budget.is_exceeded() {
+                    return out;
+                }
+                for b in &rec_calls {
+                    if a == b {
+                        continue;
+                    }
+                    let bind =
+                        |body: Expr| Expr::let_("_a", a.clone(), Expr::let_("_b", b.clone(), body));
+                    let combined =
+                        Expr::app2(Expr::var(g.name.clone()), Expr::var("_a"), Expr::var("_b"));
+                    if g.ret.fits(ret) {
+                        push(bind(combined.clone()), &mut out);
+                    }
+                    for u in &unary_wraps {
+                        let e = bind(Expr::let_(
+                            "_c",
+                            combined.clone(),
+                            Expr::app(Expr::var(u.name.clone()), Expr::var("_c")),
+                        ));
+                        push(e, &mut out);
+                    }
+                    if let Shape::Data(dname) = ret {
+                        if let Some(decl) = datatypes.get(dname) {
+                            for ctor in decl.ctors.iter().filter(|c| c.args.len() == 2) {
+                                let head_shape = Shape::of(&ctor.args[0].1).unwrap_or(Shape::Elem);
+                                for head in atoms(scope, &head_shape) {
+                                    let e = bind(Expr::let_(
+                                        "_c",
+                                        combined.clone(),
+                                        Expr::ctor(
+                                            ctor.name.clone(),
+                                            vec![head.clone(), Expr::var("_c")],
+                                        ),
+                                    ));
+                                    push(e, &mut out);
+                                }
+                            }
+                        }
+                    }
+                }
             }
         }
     }

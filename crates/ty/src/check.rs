@@ -1078,18 +1078,30 @@ impl Checker {
             _ => false,
         });
         if decreasing {
-            Ok(())
-        } else if self.budget.is_exceeded() {
+            return Ok(());
+        }
+        // Synquid's inconsistent-context rule: a recursive call in dead code
+        // (contradictory path condition, e.g. the `Nil` branch of a match on
+        // a provably non-empty list) never executes, so it cannot diverge.
+        // Without this the baseline rejects programs the resource modes
+        // accept — where the same call is discharged by a vacuous cost
+        // obligation — and the differential fuzzer reports a verdict split.
+        if self
+            .solver(ctx)
+            .is_valid(&[ctx.path_condition()], &Term::ff())
+        {
+            return Ok(());
+        }
+        if self.budget.is_exceeded() {
             // The decreasing-argument query may have been declined because
             // the budget ran out mid-solve, not because no argument
             // decreases: report the cancellation, never a (wrong)
             // termination error.
-            Err(CheckError::Cancelled)
-        } else {
-            Err(CheckError::Termination(format!(
-                "recursive call to `{fname}` has no structurally decreasing argument"
-            )))
+            return Err(CheckError::Cancelled);
         }
+        Err(CheckError::Termination(format!(
+            "recursive call to `{fname}` has no structurally decreasing argument"
+        )))
     }
 
     /// Instantiate a (possibly polymorphic) component schema for a call site.

@@ -35,6 +35,22 @@ const FAST_IDS: &[&str] = &[
     "list-head",
     "list-double",
     "sorted-singleton",
+    // This PR's full-coverage expansion: every sub-second new row.
+    "list-tail",
+    "list-cons",
+    "list-pair",
+    "list-stutter",
+    "sorted-is-empty",
+    "sorted-head",
+    "sorted-tail",
+    "sslist-singleton",
+    "clist-singleton",
+    "tree-id",
+    "tree-singleton",
+    "tree-is-empty",
+    "tree-flatten",
+    "tree-count",
+    "insertion-sort",
 ];
 
 fn golden_dir() -> PathBuf {

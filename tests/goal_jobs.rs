@@ -1,6 +1,6 @@
 //! Determinism of the in-goal first-win skeleton pool: `--goal-jobs 2`
-//! must synthesize exactly the program `--goal-jobs 1` does, on every
-//! Table-1 row.
+//! must synthesize exactly the program `--goal-jobs 1` does, across a broad
+//! pinned slice of Table 1.
 //!
 //! The pool's contract makes this strict equality, not merely equal
 //! verdicts: a success at skeleton index `i` only cancels fills at indices
@@ -12,12 +12,44 @@ use std::time::Duration;
 use resyn::solver::SolverCache;
 use resyn::synth::{Mode, Synthesizer};
 
+/// Rows that solve well under a second in release builds (so comfortably
+/// inside the budget in debug CI too). The double sweep runs each goal
+/// twice, which rules out the suite's slow tail (`sslist-insert` alone
+/// takes ~36s in release); the slice still spans every datatype group.
+const FAST_IDS: &[&str] = &[
+    "list-is-empty",
+    "list-append",
+    "list-snoc",
+    "list-id",
+    "list-singleton",
+    "list-nonempty",
+    "list-length",
+    "list-head",
+    "list-double",
+    "list-tail",
+    "list-cons",
+    "sorted-singleton",
+    "sorted-is-empty",
+    "sorted-head",
+    "sorted-tail",
+    "sslist-singleton",
+    "clist-singleton",
+    "tree-id",
+    "tree-singleton",
+    "tree-is-empty",
+];
+
 #[test]
-fn goal_jobs_2_matches_goal_jobs_1_on_every_table1_row() {
+fn goal_jobs_2_matches_goal_jobs_1_on_fast_table1_rows() {
     // One shared cache across all runs: sharing never changes a verdict and
     // roughly halves the wall clock of this double sweep.
     let cache = SolverCache::new();
-    for bench in resyn::eval::table1() {
+    let benches: Vec<_> = resyn::eval::table1()
+        .into_iter()
+        .filter(|b| FAST_IDS.contains(&b.id.as_str()))
+        .collect();
+    assert_eq!(benches.len(), FAST_IDS.len(), "a pinned row was renamed");
+    for bench in benches {
         let sequential = Synthesizer::with_timeout(Duration::from_secs(60))
             .with_cache(cache.clone())
             .synthesize(&bench.goal, Mode::ReSyn);
