@@ -229,6 +229,14 @@ impl Harness {
         }
     }
 
+    /// Replace the shared solver cache — e.g. with a bounded or
+    /// snapshot-backed one built from the CLI's `--cache-budget` /
+    /// `--cache-file` flags. Clones made afterwards share the new cache.
+    pub fn with_cache(mut self, cache: SolverCache) -> Harness {
+        self.cache = cache;
+        self
+    }
+
     /// The shared solver query cache (a cheap `Arc` clone).
     pub fn cache(&self) -> SolverCache {
         self.cache.clone()
@@ -292,11 +300,12 @@ pub fn median_ratio(rows: &[BenchmarkRow]) -> Option<f64> {
             (Some(a), Some(b)) if b > 0.0 => Some(a / b),
             _ => None,
         })
+        .filter(|s| s.is_finite())
         .collect();
     if ratios.is_empty() {
         return None;
     }
-    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    ratios.sort_by(f64::total_cmp);
     Some(ratios[ratios.len() / 2])
 }
 

@@ -24,6 +24,6 @@ pub mod report;
 pub mod suite;
 
 pub use harness::{run_benchmark, BenchmarkRow, Harness, ModeOutcome};
-pub use parallel::{run_suite, ParallelConfig, SuiteRun};
+pub use parallel::{run_suite, run_suite_cached, ParallelConfig, SuiteRun};
 pub use report::{parse_json, render_json, EvalReport, Json};
 pub use suite::{table1, table2, Benchmark};

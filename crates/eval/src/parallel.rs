@@ -4,7 +4,7 @@
 //! The pool is `std::thread::scope` plus a shared atomic injector index —
 //! each worker repeatedly claims the next unclaimed benchmark and runs all of
 //! its modes through a [`Harness`] clone, so every worker shares one
-//! [`SolverCache`](resyn_solver::SolverCache) and the verdicts proved for one
+//! [`SolverCache`] and the verdicts proved for one
 //! benchmark's obligations are reused by every other in flight.
 //!
 //! Three guarantees the serial harness never had to state become contracts
@@ -20,16 +20,17 @@
 //! * **Panic isolation** — a benchmark that panics inside the synthesizer
 //!   becomes a [`BenchmarkRow::failed`] row carrying the panic message; the
 //!   remaining benchmarks and workers are unaffected.
-//! * **Verdict stability under sharing** — the shared cache is append-only
-//!   and keyed on (environment, configuration, query), so concurrent runs
-//!   can only *speed up* each other's queries, never change an answer.
+//! * **Verdict stability under sharing** — the shared cache is keyed on
+//!   (environment, configuration, query) and its entries may be evicted but
+//!   never change, so concurrent runs can only *speed up* each other's
+//!   queries (or re-prove an evicted one), never change an answer.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use resyn_solver::CacheStats;
+use resyn_solver::{CacheStats, SolverCache};
 
 use crate::harness::{render_table, run_benchmark, BenchmarkRow, Harness};
 use crate::suite::Benchmark;
@@ -98,7 +99,18 @@ impl SuiteRun {
 /// Run a suite through the worker pool. `jobs = 1` degenerates to the serial
 /// harness (same code path, same rows).
 pub fn run_suite(benches: &[Benchmark], config: &ParallelConfig) -> SuiteRun {
-    let mut harness = Harness::with_timeout(config.timeout);
+    run_suite_cached(benches, config, SolverCache::new())
+}
+
+/// [`run_suite`] with a caller-supplied solver cache — a bounded or
+/// snapshot-backed one built from `--cache-budget` / `--cache-file`, or a
+/// warm cache carried over from a previous run.
+pub fn run_suite_cached(
+    benches: &[Benchmark],
+    config: &ParallelConfig,
+    cache: SolverCache,
+) -> SuiteRun {
+    let mut harness = Harness::with_timeout(config.timeout).with_cache(cache);
     harness.ablations = config.ablations;
     harness.goal_jobs = config.goal_jobs;
     let jobs = config.jobs.clamp(1, benches.len().max(1));

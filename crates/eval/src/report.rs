@@ -237,8 +237,15 @@ fn write_aggregate(out: &mut String, report: &EvalReport<'_>) {
         "    \"total_synth_secs\": {},",
         json_num(total_synth_secs)
     );
-    let mut speedups: Vec<f64> = rows.iter().filter_map(|r| r.speedup_noinc()).collect();
-    speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // A ~0-second ReSyn time makes `speedup_noinc()` overflow to infinity
+    // (and a NaN anywhere would panic a `partial_cmp(..).unwrap()` sort), so
+    // take the median over the finite ratios only, under a total order.
+    let mut speedups: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.speedup_noinc())
+        .filter(|s| s.is_finite())
+        .collect();
+    speedups.sort_by(f64::total_cmp);
     let _ = writeln!(
         out,
         "    \"median_speedup_noinc\": {}",
@@ -288,6 +295,8 @@ mod tests {
                 interned_terms: 42,
                 validity_entries: 9,
                 sat_entries: 1,
+                evictions: 0,
+                resident_bytes: 0,
             },
         })
     }
@@ -374,6 +383,42 @@ mod tests {
         // The failed row (no runs at all) stays null.
         let row1 = &parsed.get("rows").and_then(Json::as_arr).unwrap()[1];
         assert!(row1.get("speedup_noinc").unwrap().is_null());
+    }
+
+    #[test]
+    fn zero_time_rows_do_not_poison_the_median_speedup() {
+        let mut rows = sample_rows();
+        rows[0].noinc = Some(ModeOutcome {
+            time: Some(0.75),
+            timed_out: false,
+            ..ModeOutcome::default()
+        });
+        // A row whose ReSyn run finished below the clock's resolution: the
+        // noinc/resyn ratio overflows to +inf, which used to land in the
+        // median (and any NaN used to panic the `partial_cmp` sort).
+        let mut zero = BenchmarkRow::failed("instant", "List", String::new());
+        zero.error = None;
+        zero.resyn = ModeOutcome {
+            time: Some(5e-324),
+            timed_out: false,
+            ..ModeOutcome::default()
+        };
+        zero.noinc = Some(ModeOutcome {
+            time: Some(1.0),
+            timed_out: false,
+            ..ModeOutcome::default()
+        });
+        assert_eq!(zero.speedup_noinc(), Some(f64::INFINITY));
+        rows.push(zero);
+        let parsed = parse_json(&sample_report(&rows)).unwrap();
+        // The non-finite ratio is dropped, leaving row 0's 3x as the median.
+        assert_eq!(
+            parsed
+                .get("aggregate")
+                .and_then(|a| a.get("median_speedup_noinc"))
+                .and_then(Json::as_num),
+            Some(3.0)
+        );
     }
 
     #[test]

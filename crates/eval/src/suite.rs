@@ -761,14 +761,31 @@ pub fn table1() -> Vec<Benchmark> {
         Table::One,
     ));
 
-    // Not present although the paper's Table 1 has them: `compress`
-    // (collapse adjacent duplicates) needs a nested match on a *match
-    // binder* (`match xs' with …` inside the `Cons x xs'` arm), a skeleton
-    // family `resyn_synth::skeleton` deliberately does not generate; and
-    // tree `member` needs a depth-3 boolean combination (`or (eq x n)
-    // (or (f x l) (f x r))`) beyond the e-term sections. Both are
-    // enumerator-coverage gaps, not checker gaps — `resyn check` accepts
-    // the textbook programs.
+    // Not present although the paper's Table 1 has it: `compress` (collapse
+    // adjacent duplicates) needs a nested match on a *match binder*
+    // (`match xs' with …` inside the `Cons x xs'` arm), a skeleton family
+    // `resyn_synth::skeleton` deliberately does not generate. This is an
+    // enumerator-coverage gap, not a checker gap — `resyn check` accepts the
+    // textbook program.
+
+    // Tree: membership (depth-3 boolean combination over both subtree
+    // recursions: `or (eq x n) (or (member x l) (member x r))`).
+    out.push(bench(
+        "tree-member",
+        "Tree",
+        Goal::new(
+            "member",
+            poly(
+                vec![("x", Ty::tvar("a")), ("t", tree(elem(2)))],
+                Ty::refined(
+                    BaseType::Bool,
+                    Term::value_var().iff(Term::var("x").member(telems("t"))),
+                ),
+            ),
+            vec![("eq", c::eq()), ("or", c::or_())],
+        ),
+        Table::One,
+    ));
 
     // Tree: the identity (size-preserving).
     out.push(bench(

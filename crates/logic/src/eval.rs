@@ -150,6 +150,20 @@ impl Model {
         self.apps.get(printed)
     }
 
+    /// Iterate over the measure-application interpretations, keyed by each
+    /// application's printed form (the key [`insert_app`](Self::insert_app)
+    /// stores them under).
+    pub fn apps(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.apps.iter()
+    }
+
+    /// Give an interpretation to a measure application by its printed form —
+    /// the deserialization-facing twin of [`insert_app`](Self::insert_app).
+    pub fn insert_app_printed(&mut self, printed: impl Into<String>, value: Value) -> &mut Model {
+        self.apps.insert(printed.into(), value);
+        self
+    }
+
     /// Merge another model into this one (bindings in `other` win).
     pub fn extend(&mut self, other: &Model) {
         for (k, v) in &other.vars {

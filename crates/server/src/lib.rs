@@ -71,6 +71,13 @@ pub struct ServerConfig {
     /// --goal-jobs`). `1` keeps each job single-threaded — the default,
     /// since cross-request concurrency already comes from `jobs`.
     pub goal_jobs: usize,
+    /// Approximate byte budget for the shared solver cache's verdict
+    /// entries (`--cache-budget`); `None` leaves the cache unbounded.
+    pub cache_budget: Option<usize>,
+    /// Snapshot log path (`--cache-file`): replayed on startup so a
+    /// restarted server answers old queries warm, appended to as verdicts
+    /// are stored. `None` keeps the cache in-memory only.
+    pub cache_file: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +89,8 @@ impl Default for ServerConfig {
             queue_limit: 32,
             max_request_bytes: 1 << 20,
             goal_jobs: 1,
+            cache_budget: None,
+            cache_file: None,
         }
     }
 }
@@ -102,6 +111,8 @@ struct Counters {
     connections: AtomicU64,
     synth_requests: AtomicU64,
     stats_requests: AtomicU64,
+    /// `cache_export` + `cache_import` requests.
+    cache_requests: AtomicU64,
     solved: AtomicU64,
     no_solution: AtomicU64,
     timed_out: AtomicU64,
@@ -202,9 +213,13 @@ impl Drop for ServerHandle {
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let cache = match &config.cache_file {
+        Some(path) => SolverCache::with_snapshot_file(path, config.cache_budget)?.0,
+        None => SolverCache::bounded(config.cache_budget),
+    };
     let shared = Arc::new(Shared {
         scheduler: scheduler::Scheduler::new(config.queue_limit),
-        cache: SolverCache::new(),
+        cache,
         counters: Counters::default(),
         started: Instant::now(),
         shutdown: std::sync::atomic::AtomicBool::new(false),
@@ -376,6 +391,30 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
                 Counters::bump(&shared.counters.stats_requests);
                 stats_response(shared, id)
             }
+            Request::CacheExport { .. } => {
+                Counters::bump(&shared.counters.cache_requests);
+                let mut response = stats_response(shared, id);
+                response.payload = Some(shared.cache.export_snapshot());
+                response
+            }
+            Request::CacheImport { snapshot, .. } => {
+                Counters::bump(&shared.counters.cache_requests);
+                match shared.cache.import_snapshot(&snapshot) {
+                    Ok(load) => Response {
+                        stats: vec![
+                            ("imported".to_string(), load.loaded as f64),
+                            ("duplicates".to_string(), load.duplicates as f64),
+                            (
+                                "truncated_tail".to_string(),
+                                f64::from(u8::from(load.truncated_tail)),
+                            ),
+                        ],
+                        error: None,
+                        ..Response::failure(id, Verdict::Ok, "")
+                    },
+                    Err(message) => Response::failure(id, Verdict::InvalidRequest, message),
+                }
+            }
             Request::Synth(synth) => {
                 Counters::bump(&shared.counters.synth_requests);
                 match shared.scheduler.submit(synth, id.clone()) {
@@ -507,6 +546,10 @@ fn stats_response(shared: &Shared, id: String) -> Response {
                 "stats_requests".to_string(),
                 count(&counters.stats_requests),
             ),
+            (
+                "cache_requests".to_string(),
+                count(&counters.cache_requests),
+            ),
             ("solved".to_string(), count(&counters.solved)),
             ("no_solution".to_string(), count(&counters.no_solution)),
             ("timed_out".to_string(), count(&counters.timed_out)),
@@ -523,7 +566,10 @@ fn stats_response(shared: &Shared, id: String) -> Response {
                 cache.validity_entries as f64,
             ),
             ("sat_entries".to_string(), cache.sat_entries as f64),
+            ("evictions".to_string(), cache.evictions as f64),
+            ("resident_bytes".to_string(), cache.resident_bytes as f64),
         ],
+        payload: None,
         error: None,
     }
 }
@@ -626,6 +672,7 @@ pub fn run_synth_request(
         program: (verdict == Verdict::Solved).then_some(programs),
         time_secs: Some(merged.duration.as_secs_f64()),
         stats: synth_stats_pairs(&merged),
+        payload: None,
         error: failed_goal.map(|goal| {
             format!(
                 "synthesis {} for goal `{goal}`",

@@ -209,6 +209,7 @@ mod tests {
             program: None,
             time_secs: None,
             stats: Vec::new(),
+            payload: None,
             error: None,
         }
     }

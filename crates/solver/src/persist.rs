@@ -1,0 +1,757 @@
+//! Snapshot (de)serialization for the solver cache: an append-only log of
+//! verdict records in the hand-rolled wire JSON.
+//!
+//! # Format (`resyn-cache/1`)
+//!
+//! One JSON document per line. The first line is a version header,
+//! `{"schema":"resyn-cache/1"}`; every later line is one verdict record:
+//!
+//! ```json
+//! {"kind":"valid","env_fp":"00f3…","config_fp":"0000…",
+//!  "premises":[…terms…],"conclusion":{…term…},"verdict":{"valid":true}}
+//! {"kind":"sat","env_fp":"…","config_fp":"…",
+//!  "assumptions":[…terms…],"verdict":{"unsat":true}}
+//! ```
+//!
+//! Terms are spelled structurally (single-tag objects such as
+//! `{"var":"x"}`, `{"binary":["le",a,b]}`), so a record re-interns to the
+//! *same* canonical key in any process — the whole point of persisting. The
+//! environment and configuration fingerprints are 64-bit hashes and JSON
+//! numbers are doubles, so they travel as fixed-width hex strings.
+//!
+//! # Tolerance rules
+//!
+//! The log is written append-only by a process that may die mid-line, so
+//! replay treats exactly one kind of damage as benign: a final line that
+//! fails to parse (the truncated tail of a crashed append) ends the replay,
+//! keeping everything before it. A missing or unsupported version header and
+//! malformed records *before* the tail are hard errors — they mean the file
+//! is not ours or the format has moved on, and silently keeping a prefix
+//! would hide it. Integer literals outside the f64-exact range travel as
+//! decimal strings.
+
+use std::collections::BTreeSet;
+
+use resyn_logic::{Model, Term, TermArena, Value};
+use resyn_wire::{parse_json, render_compact, Json};
+
+use crate::cache::{SatKey, SolverCache, ValidityKey};
+use crate::smt::{SatResult, ValidityResult};
+
+/// The snapshot format identifier carried in the header line.
+pub const SNAPSHOT_SCHEMA: &str = "resyn-cache/1";
+
+/// What a [`replay`](SolverCache::import_snapshot) found in a snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Records inserted into the cache.
+    pub loaded: usize,
+    /// Well-formed records skipped because their key was already resident.
+    pub duplicates: usize,
+    /// Whether a truncated final line was dropped.
+    pub truncated_tail: bool,
+}
+
+/// The version header line.
+pub fn header_line() -> String {
+    render_compact(&Json::Obj(vec![(
+        "schema".to_string(),
+        Json::Str(SNAPSHOT_SCHEMA.to_string()),
+    )]))
+}
+
+fn fp_str(fp: u64) -> Json {
+    Json::Str(format!("{fp:016x}"))
+}
+
+fn fp_from(value: &Json, key: &str) -> Result<u64, String> {
+    let s = value
+        .get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("record needs a string `{key}` field"))?;
+    u64::from_str_radix(s, 16).map_err(|_| format!("`{key}` is not a hex fingerprint: `{s}`"))
+}
+
+/// Integers as JSON: a number when exactly representable as f64, a decimal
+/// string otherwise (i64 has 11 more bits than a double's mantissa).
+fn int_json(v: i64) -> Json {
+    const EXACT: i64 = 1 << 53;
+    if (-EXACT..=EXACT).contains(&v) {
+        Json::Num(v as f64)
+    } else {
+        Json::Str(v.to_string())
+    }
+}
+
+fn int_from(value: &Json) -> Result<i64, String> {
+    match value {
+        Json::Num(n) => Ok(*n as i64),
+        Json::Str(s) => s.parse().map_err(|_| format!("not an integer: `{s}`")),
+        other => Err(format!("expected an integer, got {other:?}")),
+    }
+}
+
+fn int_set_json(s: &BTreeSet<i64>) -> Json {
+    Json::Arr(s.iter().map(|&v| int_json(v)).collect())
+}
+
+fn int_set_from(value: &Json) -> Result<BTreeSet<i64>, String> {
+    value
+        .as_arr()
+        .ok_or("expected an array of integers")?
+        .iter()
+        .map(int_from)
+        .collect()
+}
+
+fn unop_str(op: resyn_logic::UnOp) -> &'static str {
+    use resyn_logic::UnOp::*;
+    match op {
+        Not => "not",
+        Neg => "neg",
+    }
+}
+
+fn unop_from(s: &str) -> Result<resyn_logic::UnOp, String> {
+    use resyn_logic::UnOp::*;
+    Ok(match s {
+        "not" => Not,
+        "neg" => Neg,
+        other => return Err(format!("unknown unary operator `{other}`")),
+    })
+}
+
+fn binop_str(op: resyn_logic::BinOp) -> &'static str {
+    use resyn_logic::BinOp::*;
+    match op {
+        And => "and",
+        Or => "or",
+        Implies => "implies",
+        Iff => "iff",
+        Add => "add",
+        Sub => "sub",
+        Eq => "eq",
+        Neq => "neq",
+        Le => "le",
+        Lt => "lt",
+        Ge => "ge",
+        Gt => "gt",
+        Union => "union",
+        Intersect => "intersect",
+        Diff => "diff",
+        Member => "member",
+        Subset => "subset",
+    }
+}
+
+fn binop_from(s: &str) -> Result<resyn_logic::BinOp, String> {
+    use resyn_logic::BinOp::*;
+    Ok(match s {
+        "and" => And,
+        "or" => Or,
+        "implies" => Implies,
+        "iff" => Iff,
+        "add" => Add,
+        "sub" => Sub,
+        "eq" => Eq,
+        "neq" => Neq,
+        "le" => Le,
+        "lt" => Lt,
+        "ge" => Ge,
+        "gt" => Gt,
+        "union" => Union,
+        "intersect" => Intersect,
+        "diff" => Diff,
+        "member" => Member,
+        "subset" => Subset,
+        other => return Err(format!("unknown binary operator `{other}`")),
+    })
+}
+
+/// Spell a term structurally as a single-tag object. `EmptySet` and an empty
+/// `SetLit` stay distinct — interned keys compare structurally, so the codec
+/// must be injective on `Term`.
+pub fn term_json(t: &Term) -> Json {
+    let tag = |name: &str, body: Json| Json::Obj(vec![(name.to_string(), body)]);
+    match t {
+        Term::Var(name) => tag("var", Json::Str(name.clone())),
+        Term::Bool(b) => tag("bool", Json::Bool(*b)),
+        Term::Int(v) => tag("int", int_json(*v)),
+        Term::EmptySet => tag("empty_set", Json::Bool(true)),
+        Term::Singleton(inner) => tag("singleton", term_json(inner)),
+        Term::SetLit(elems) => tag("set", int_set_json(elems)),
+        Term::Unary(op, inner) => tag(
+            "unary",
+            Json::Arr(vec![Json::Str(unop_str(*op).to_string()), term_json(inner)]),
+        ),
+        Term::Binary(op, lhs, rhs) => tag(
+            "binary",
+            Json::Arr(vec![
+                Json::Str(binop_str(*op).to_string()),
+                term_json(lhs),
+                term_json(rhs),
+            ]),
+        ),
+        Term::Mul(k, inner) => tag("mul", Json::Arr(vec![int_json(*k), term_json(inner)])),
+        Term::Ite(c, t, e) => tag(
+            "ite",
+            Json::Arr(vec![term_json(c), term_json(t), term_json(e)]),
+        ),
+        Term::App(name, args) => tag(
+            "app",
+            Json::Arr(vec![
+                Json::Str(name.clone()),
+                Json::Arr(args.iter().map(term_json).collect()),
+            ]),
+        ),
+        Term::Unknown(name, subst) => tag(
+            "unknown",
+            Json::Arr(vec![
+                Json::Str(name.clone()),
+                Json::Arr(
+                    subst
+                        .iter()
+                        .map(|(var, t)| Json::Arr(vec![Json::Str(var.clone()), term_json(t)]))
+                        .collect(),
+                ),
+            ]),
+        ),
+    }
+}
+
+/// Parse a term spelled by [`term_json`].
+///
+/// # Errors
+///
+/// Unknown tags, operators or arities.
+pub fn term_from_json(value: &Json) -> Result<Term, String> {
+    let Json::Obj(members) = value else {
+        return Err(format!("expected a term object, got {value:?}"));
+    };
+    let [(tag, body)] = members.as_slice() else {
+        return Err("a term object has exactly one tag".to_string());
+    };
+    let arr = |body: &Json, n: usize| -> Result<Vec<Json>, String> {
+        let items = body
+            .as_arr()
+            .ok_or_else(|| format!("`{tag}` body must be an array"))?;
+        if items.len() != n {
+            return Err(format!("`{tag}` body needs {n} elements"));
+        }
+        Ok(items.to_vec())
+    };
+    match tag.as_str() {
+        "var" => Ok(Term::Var(
+            body.as_str()
+                .ok_or("`var` body must be a string")?
+                .to_string(),
+        )),
+        "bool" => Ok(Term::Bool(match body {
+            Json::Bool(b) => *b,
+            _ => return Err("`bool` body must be a boolean".to_string()),
+        })),
+        "int" => Ok(Term::Int(int_from(body)?)),
+        "empty_set" => Ok(Term::EmptySet),
+        "singleton" => Ok(Term::Singleton(Box::new(term_from_json(body)?))),
+        "set" => Ok(Term::SetLit(int_set_from(body)?)),
+        "unary" => {
+            let items = arr(body, 2)?;
+            let op = unop_from(items[0].as_str().ok_or("unary operator must be a string")?)?;
+            Ok(Term::Unary(op, Box::new(term_from_json(&items[1])?)))
+        }
+        "binary" => {
+            let items = arr(body, 3)?;
+            let op = binop_from(
+                items[0]
+                    .as_str()
+                    .ok_or("binary operator must be a string")?,
+            )?;
+            Ok(Term::Binary(
+                op,
+                Box::new(term_from_json(&items[1])?),
+                Box::new(term_from_json(&items[2])?),
+            ))
+        }
+        "mul" => {
+            let items = arr(body, 2)?;
+            Ok(Term::Mul(
+                int_from(&items[0])?,
+                Box::new(term_from_json(&items[1])?),
+            ))
+        }
+        "ite" => {
+            let items = arr(body, 3)?;
+            Ok(Term::Ite(
+                Box::new(term_from_json(&items[0])?),
+                Box::new(term_from_json(&items[1])?),
+                Box::new(term_from_json(&items[2])?),
+            ))
+        }
+        "app" => {
+            let items = arr(body, 2)?;
+            let name = items[0]
+                .as_str()
+                .ok_or("application head must be a string")?
+                .to_string();
+            let args = items[1]
+                .as_arr()
+                .ok_or("application arguments must be an array")?
+                .iter()
+                .map(term_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Term::App(name, args))
+        }
+        "unknown" => {
+            let items = arr(body, 2)?;
+            let name = items[0]
+                .as_str()
+                .ok_or("unknown name must be a string")?
+                .to_string();
+            let subst = items[1]
+                .as_arr()
+                .ok_or("unknown substitution must be an array")?
+                .iter()
+                .map(|pair| {
+                    let pair = pair
+                        .as_arr()
+                        .filter(|p| p.len() == 2)
+                        .ok_or("substitution entries are [var, term] pairs")?;
+                    Ok((
+                        pair[0]
+                            .as_str()
+                            .ok_or("substituted variable must be a string")?
+                            .to_string(),
+                        term_from_json(&pair[1])?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Term::Unknown(name, subst))
+        }
+        other => Err(format!("unknown term tag `{other}`")),
+    }
+}
+
+fn value_json(v: &Value) -> Json {
+    let tag = |name: &str, body: Json| Json::Obj(vec![(name.to_string(), body)]);
+    match v {
+        Value::Bool(b) => tag("bool", Json::Bool(*b)),
+        Value::Int(i) => tag("int", int_json(*i)),
+        Value::Set(s) => tag("set", int_set_json(s)),
+    }
+}
+
+fn value_from_json(value: &Json) -> Result<Value, String> {
+    let Json::Obj(members) = value else {
+        return Err(format!("expected a value object, got {value:?}"));
+    };
+    let [(tag, body)] = members.as_slice() else {
+        return Err("a value object has exactly one tag".to_string());
+    };
+    match tag.as_str() {
+        "bool" => match body {
+            Json::Bool(b) => Ok(Value::Bool(*b)),
+            _ => Err("`bool` value must be a boolean".to_string()),
+        },
+        "int" => Ok(Value::Int(int_from(body)?)),
+        "set" => Ok(Value::Set(int_set_from(body)?)),
+        other => Err(format!("unknown value tag `{other}`")),
+    }
+}
+
+fn model_json(m: &Model) -> Json {
+    Json::Obj(vec![
+        (
+            "vars".to_string(),
+            Json::Obj(m.iter().map(|(k, v)| (k.clone(), value_json(v))).collect()),
+        ),
+        (
+            "apps".to_string(),
+            Json::Obj(m.apps().map(|(k, v)| (k.clone(), value_json(v))).collect()),
+        ),
+    ])
+}
+
+fn model_from_json(value: &Json) -> Result<Model, String> {
+    let mut model = Model::new();
+    let members = |key: &str| -> Result<Vec<(String, Json)>, String> {
+        match value.get(key) {
+            None => Ok(Vec::new()),
+            Some(Json::Obj(members)) => Ok(members.clone()),
+            Some(_) => Err(format!("model `{key}` must be an object")),
+        }
+    };
+    for (name, v) in members("vars")? {
+        model.insert(name, value_from_json(&v)?);
+    }
+    for (printed, v) in members("apps")? {
+        model.insert_app_printed(printed, value_from_json(&v)?);
+    }
+    Ok(model)
+}
+
+fn validity_verdict_json(v: &ValidityResult) -> Json {
+    let tag = |name: &str, body: Json| Json::Obj(vec![(name.to_string(), body)]);
+    match v {
+        ValidityResult::Valid => tag("valid", Json::Bool(true)),
+        ValidityResult::Invalid(m) => tag("invalid", model_json(m)),
+        ValidityResult::Unknown(msg) => tag("unknown", Json::Str(msg.clone())),
+        // Never stored (see `SolverCache::store_valid`), so never serialized.
+        ValidityResult::Cancelled => unreachable!("cancelled verdicts are never cached"),
+    }
+}
+
+fn validity_verdict_from(value: &Json) -> Result<ValidityResult, String> {
+    let Json::Obj(members) = value else {
+        return Err("expected a verdict object".to_string());
+    };
+    let [(tag, body)] = members.as_slice() else {
+        return Err("a verdict object has exactly one tag".to_string());
+    };
+    match tag.as_str() {
+        "valid" => Ok(ValidityResult::Valid),
+        "invalid" => Ok(ValidityResult::Invalid(model_from_json(body)?)),
+        "unknown" => Ok(ValidityResult::Unknown(
+            body.as_str()
+                .ok_or("`unknown` body must be a string")?
+                .to_string(),
+        )),
+        other => Err(format!("unknown validity verdict `{other}`")),
+    }
+}
+
+fn sat_verdict_json(v: &SatResult) -> Json {
+    let tag = |name: &str, body: Json| Json::Obj(vec![(name.to_string(), body)]);
+    match v {
+        SatResult::Sat(m) => tag("sat", model_json(m)),
+        SatResult::Unsat => tag("unsat", Json::Bool(true)),
+        SatResult::Unknown(msg) => tag("unknown", Json::Str(msg.clone())),
+        SatResult::Cancelled => unreachable!("cancelled verdicts are never cached"),
+    }
+}
+
+fn sat_verdict_from(value: &Json) -> Result<SatResult, String> {
+    let Json::Obj(members) = value else {
+        return Err("expected a verdict object".to_string());
+    };
+    let [(tag, body)] = members.as_slice() else {
+        return Err("a verdict object has exactly one tag".to_string());
+    };
+    match tag.as_str() {
+        "sat" => Ok(SatResult::Sat(model_from_json(body)?)),
+        "unsat" => Ok(SatResult::Unsat),
+        "unknown" => Ok(SatResult::Unknown(
+            body.as_str()
+                .ok_or("`unknown` body must be a string")?
+                .to_string(),
+        )),
+        other => Err(format!("unknown sat verdict `{other}`")),
+    }
+}
+
+/// One validity record line: the key's terms are reconstructed from the
+/// shard arena so the record is self-contained.
+pub(crate) fn valid_record(
+    arena: &TermArena,
+    key: &ValidityKey,
+    verdict: &ValidityResult,
+) -> String {
+    render_compact(&Json::Obj(vec![
+        ("kind".to_string(), Json::Str("valid".to_string())),
+        ("env_fp".to_string(), fp_str(key.env_fp)),
+        ("config_fp".to_string(), fp_str(key.config_fp)),
+        (
+            "premises".to_string(),
+            Json::Arr(
+                key.premises
+                    .iter()
+                    .map(|&id| term_json(&arena.term(id)))
+                    .collect(),
+            ),
+        ),
+        (
+            "conclusion".to_string(),
+            term_json(&arena.term(key.conclusion)),
+        ),
+        ("verdict".to_string(), validity_verdict_json(verdict)),
+    ]))
+}
+
+/// One satisfiability record line; see [`valid_record`].
+pub(crate) fn sat_record(arena: &TermArena, key: &SatKey, verdict: &SatResult) -> String {
+    render_compact(&Json::Obj(vec![
+        ("kind".to_string(), Json::Str("sat".to_string())),
+        ("env_fp".to_string(), fp_str(key.env_fp)),
+        ("config_fp".to_string(), fp_str(key.config_fp)),
+        (
+            "assumptions".to_string(),
+            Json::Arr(
+                key.assumptions
+                    .iter()
+                    .map(|&id| term_json(&arena.term(id)))
+                    .collect(),
+            ),
+        ),
+        ("verdict".to_string(), sat_verdict_json(verdict)),
+    ]))
+}
+
+fn terms_from(value: &Json, key: &str) -> Result<Vec<Term>, String> {
+    value
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("record needs a `{key}` array"))?
+        .iter()
+        .map(term_from_json)
+        .collect()
+}
+
+/// Replay a snapshot document into `cache`; see the module docs for the
+/// format and tolerance rules.
+pub(crate) fn replay(cache: &SolverCache, text: &str) -> Result<LoadStats, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+    let Some((_, header)) = lines.next() else {
+        return Err("empty snapshot (missing version header)".to_string());
+    };
+    let header = parse_json(header).map_err(|e| format!("malformed snapshot header: {e}"))?;
+    match header.get("schema").and_then(Json::as_str) {
+        Some(SNAPSHOT_SCHEMA) => {}
+        Some(other) => {
+            return Err(format!(
+                "stale snapshot schema `{other}` (this build speaks `{SNAPSHOT_SCHEMA}`)"
+            ))
+        }
+        None => return Err("snapshot header has no `schema` field".to_string()),
+    }
+    let mut stats = LoadStats::default();
+    let mut rest = lines.peekable();
+    while let Some((lineno, line)) = rest.next() {
+        let record = match parse_json(line) {
+            Ok(record) => record,
+            Err(e) => {
+                // Only the *final* line may be damaged (a crashed append);
+                // garbage earlier means the file is not a cache snapshot.
+                if rest.peek().is_none() {
+                    stats.truncated_tail = true;
+                    break;
+                }
+                return Err(format!("malformed record on line {}: {e}", lineno + 1));
+            }
+        };
+        let semantic = (|| -> Result<bool, String> {
+            let env_fp = fp_from(&record, "env_fp")?;
+            let config_fp = fp_from(&record, "config_fp")?;
+            let verdict = record.get("verdict").ok_or("record needs a `verdict`")?;
+            match record.get("kind").and_then(Json::as_str) {
+                Some("valid") => {
+                    let premises = terms_from(&record, "premises")?;
+                    let conclusion = term_from_json(
+                        record
+                            .get("conclusion")
+                            .ok_or("record needs a `conclusion`")?,
+                    )?;
+                    Ok(cache.insert_valid_replayed(
+                        env_fp,
+                        config_fp,
+                        &premises,
+                        &conclusion,
+                        &validity_verdict_from(verdict)?,
+                    ))
+                }
+                Some("sat") => {
+                    let assumptions = terms_from(&record, "assumptions")?;
+                    Ok(cache.insert_sat_replayed(
+                        env_fp,
+                        config_fp,
+                        &assumptions,
+                        &sat_verdict_from(verdict)?,
+                    ))
+                }
+                Some(other) => Err(format!("unknown record kind `{other}`")),
+                None => Err("record needs a string `kind` field".to_string()),
+            }
+        })();
+        match semantic {
+            Ok(true) => stats.loaded += 1,
+            Ok(false) => stats.duplicates += 1,
+            Err(e) => return Err(format!("bad record on line {}: {e}", lineno + 1)),
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resyn_logic::{Sort, SortingEnv};
+
+    fn env() -> SortingEnv {
+        let mut e = SortingEnv::new();
+        e.bind_var("x", Sort::Int).bind_var("y", Sort::Int);
+        e
+    }
+
+    /// A term exercising every constructor of the enum.
+    fn kitchen_sink() -> Term {
+        Term::Ite(
+            Box::new(Term::Binary(
+                resyn_logic::BinOp::Member,
+                Box::new(Term::var("x")),
+                Box::new(Term::Binary(
+                    resyn_logic::BinOp::Union,
+                    Box::new(Term::Singleton(Box::new(Term::int(3)))),
+                    Box::new(Term::EmptySet),
+                )),
+            )),
+            Box::new(Term::Mul(-2, Box::new(Term::var("y")))),
+            Box::new(Term::App(
+                "len".to_string(),
+                vec![Term::Unknown(
+                    "U0".to_string(),
+                    vec![(
+                        "x".to_string(),
+                        Term::Unary(resyn_logic::UnOp::Neg, Box::new(Term::int(1))),
+                    )],
+                )],
+            )),
+        )
+    }
+
+    #[test]
+    fn terms_round_trip_structurally() {
+        for t in [
+            kitchen_sink(),
+            Term::Bool(true),
+            Term::EmptySet,
+            Term::SetLit(BTreeSet::new()), // distinct from EmptySet
+            Term::SetLit([1, 2, 3].into_iter().collect()),
+            Term::Int(i64::MAX), // beyond f64-exact range: travels as a string
+            Term::Int(i64::MIN),
+        ] {
+            let back = term_from_json(&term_json(&t)).unwrap();
+            assert_eq!(back, t, "term round-trip changed the term");
+        }
+    }
+
+    #[test]
+    fn verdicts_with_models_round_trip() {
+        let mut model = Model::new();
+        model.insert("x", Value::Int(7));
+        model.insert("b", Value::Bool(false));
+        model.insert("s", Value::set([1, 5]));
+        model.insert_app(
+            &Term::App("len".to_string(), vec![Term::var("xs")]),
+            Value::Int(2),
+        );
+        let verdict = ValidityResult::Invalid(model.clone());
+        let back = validity_verdict_from(&validity_verdict_json(&verdict)).unwrap();
+        assert_eq!(back, verdict);
+        let sat = SatResult::Sat(model);
+        assert_eq!(sat_verdict_from(&sat_verdict_json(&sat)).unwrap(), sat);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_export_and_import() {
+        let cache = SolverCache::new();
+        let premises = [Term::var("x").lt(Term::var("y"))];
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = cache.lookup_valid(&env(), 7, &premises, &goal).unwrap_err();
+        cache.store_valid(key, &ValidityResult::Valid);
+        let assumption = [kitchen_sink().eq_(Term::int(0))];
+        let key = cache.lookup_sat(&env(), 7, &assumption).unwrap_err();
+        let mut model = Model::new();
+        model.insert("x", Value::Int(1));
+        cache.store_sat(key, &SatResult::Sat(model.clone()));
+
+        let snapshot = cache.export_snapshot();
+        let restored = SolverCache::new();
+        let stats = restored.import_snapshot(&snapshot).unwrap();
+        assert_eq!(stats.loaded, 2);
+        assert_eq!(stats.duplicates, 0);
+        assert!(!stats.truncated_tail);
+
+        // The restored cache answers both queries — with the same verdicts
+        // the live cache holds (snapshot-vs-live agreement).
+        assert!(matches!(
+            restored.lookup_valid(&env(), 7, &premises, &goal),
+            Ok(ValidityResult::Valid)
+        ));
+        match restored.lookup_sat(&env(), 7, &assumption) {
+            Ok(SatResult::Sat(m)) => assert_eq!(m, model),
+            other => panic!("expected the persisted model, got {other:?}"),
+        }
+        // And under a *different* fingerprint both still miss.
+        assert!(restored.lookup_valid(&env(), 8, &premises, &goal).is_err());
+    }
+
+    #[test]
+    fn truncated_tails_are_tolerated_but_midfile_garbage_is_not() {
+        let cache = SolverCache::new();
+        let goal = Term::var("x").le(Term::var("y"));
+        let key = cache.lookup_valid(&env(), 0, &[], &goal).unwrap_err();
+        cache.store_valid(key, &ValidityResult::Valid);
+        let snapshot = cache.export_snapshot();
+
+        // Chop the last record line mid-way: replay keeps the prefix.
+        let truncated = &snapshot[..snapshot.len() - 10];
+        let restored = SolverCache::new();
+        let stats = restored.import_snapshot(truncated).unwrap();
+        assert!(stats.truncated_tail);
+        assert_eq!(stats.loaded, 0);
+
+        // The same damage *before* a valid record is a hard error.
+        let last_line = snapshot.trim_end().rsplit('\n').next().unwrap().to_string();
+        let garbled = format!("{truncated}\n{last_line}\n");
+        assert!(SolverCache::new().import_snapshot(&garbled).is_err());
+    }
+
+    #[test]
+    fn stale_version_headers_are_rejected() {
+        let err = SolverCache::new()
+            .import_snapshot("{\"schema\":\"resyn-cache/0\"}\n")
+            .unwrap_err();
+        assert!(err.contains("stale snapshot schema"), "{err}");
+        let err = SolverCache::new().import_snapshot("").unwrap_err();
+        assert!(err.contains("version header"), "{err}");
+        let err = SolverCache::new().import_snapshot("{}\n").unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn warm_restart_via_snapshot_file_answers_old_queries() {
+        let dir = std::env::temp_dir().join(format!(
+            "resyn-cache-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.snap");
+        let premises = [Term::var("x").lt(Term::var("y"))];
+        let goal = Term::var("x").le(Term::var("y"));
+
+        {
+            let (cache, stats) = SolverCache::with_snapshot_file(&path, None).unwrap();
+            assert_eq!(stats, LoadStats::default());
+            let key = cache.lookup_valid(&env(), 0, &premises, &goal).unwrap_err();
+            cache.store_valid(key, &ValidityResult::Valid);
+        } // process "dies"
+
+        let (warm, stats) = SolverCache::with_snapshot_file(&path, None).unwrap();
+        assert_eq!(stats.loaded, 1);
+        assert!(matches!(
+            warm.lookup_valid(&env(), 0, &premises, &goal),
+            Ok(ValidityResult::Valid)
+        ));
+        assert_eq!(warm.stats().hits, 1);
+
+        // A third generation sees the compacted log: still one record, no
+        // duplicates even though the entry was appended again on import.
+        drop(warm);
+        let (third, stats) = SolverCache::with_snapshot_file(&path, None).unwrap();
+        assert_eq!((stats.loaded, stats.duplicates), (1, 0));
+        assert!(third.lookup_valid(&env(), 0, &premises, &goal).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,7 +38,7 @@ use crate::rational::Rat;
 use crate::sets;
 
 /// Result of a satisfiability query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SatResult {
     /// Satisfiable, with an integer model for the caller's variables.
     Sat(Model),
@@ -63,7 +63,7 @@ impl SatResult {
 }
 
 /// Result of a validity query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValidityResult {
     /// The implication is valid.
     Valid,

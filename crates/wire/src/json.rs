@@ -252,23 +252,46 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
-                        // Exactly four hex digits: `u32::from_str_radix`
-                        // accepts a leading sign, so `\u+0ab` used to be
-                        // silently accepted. Validate the digit class
-                        // ourselves.
-                        if !hex.iter().all(u8::is_ascii_hexdigit) {
-                            return Err(format!(
-                                "malformed \\u escape at byte {} (expected 4 hex digits)",
-                                *pos - 1
-                            ));
-                        }
-                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16)
-                            .expect("4 hex digits parse");
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
+                        // `*pos` points at the `u`; the escape began one
+                        // byte earlier at the backslash.
+                        let esc_start = *pos - 1;
+                        let unit = parse_hex4(bytes, pos)?;
+                        let c = match unit {
+                            // High surrogate: standard JSON encoders write
+                            // astral-plane characters as a `\uD8xx\uDCxx`
+                            // pair of UTF-16 code units, so a high half is
+                            // only meaningful with a low half right behind
+                            // it.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos) != Some(&b'\\')
+                                    || bytes.get(*pos + 1) != Some(&b'u')
+                                {
+                                    return Err(format!(
+                                        "lone high surrogate \\u{unit:04X} at byte {esc_start} \
+                                         (expected a \\uDC00-\\uDFFF continuation)"
+                                    ));
+                                }
+                                *pos += 1; // the backslash; parse_hex4 eats the `u`
+                                let low = parse_hex4(bytes, pos)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(format!(
+                                        "high surrogate \\u{unit:04X} at byte {esc_start} \
+                                         followed by \\u{low:04X}, not a low surrogate"
+                                    ));
+                                }
+                                let scalar = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar).expect("surrogate pair combines to a scalar")
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!(
+                                    "lone low surrogate \\u{unit:04X} at byte {esc_start}"
+                                ));
+                            }
+                            _ => char::from_u32(unit)
+                                .expect("non-surrogate BMP code unit is a scalar"),
+                        };
+                        out.push(c);
+                        continue;
                     }
                     _ => return Err(format!("unknown escape at byte {pos}")),
                 }
@@ -285,6 +308,27 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Consume the `uXXXX` tail of a `\u` escape (`*pos` points at the `u`),
+/// returning the UTF-16 code unit and advancing past the four digits.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(*pos + 1..*pos + 5)
+        .ok_or_else(|| format!("truncated \\u escape at byte {pos}"))?;
+    // Exactly four hex digits: `u32::from_str_radix` accepts a leading
+    // sign, so `\u+0ab` used to be silently accepted. Validate the digit
+    // class ourselves.
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!(
+            "malformed \\u escape at byte {} (expected 4 hex digits)",
+            *pos - 1
+        ));
+    }
+    let code =
+        u32::from_str_radix(std::str::from_utf8(hex).unwrap(), 16).expect("4 hex digits parse");
+    *pos += 5;
+    Ok(code)
 }
 
 fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
@@ -381,6 +425,42 @@ mod tests {
             parse_json("\"\\u0041\\u00e9\"").unwrap().as_str(),
             Some("Aé")
         );
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_into_astral_characters() {
+        // `"😀"` as a standard JSON encoder writes it: a UTF-16 pair.
+        assert_eq!(
+            parse_json("\"\\ud83d\\ude00\"").unwrap().as_str(),
+            Some("😀")
+        );
+        // Case-insensitive hex, and pairs mixed with ordinary text.
+        assert_eq!(
+            parse_json("\"x\\uD834\\uDD1Ey\"").unwrap().as_str(),
+            Some("x𝄞y")
+        );
+    }
+
+    #[test]
+    fn lone_and_mismatched_surrogates_are_rejected_with_a_position() {
+        // A high half with nothing behind it, with a non-escape behind it,
+        // and with a BMP escape behind it.
+        for bad in ["\"\\ud83d\"", "\"\\ud83d x\"", "\"\\ud83d\\u0041\""] {
+            let err = parse_json(bad).unwrap_err();
+            assert!(
+                err.contains("surrogate") && err.contains("at byte 1"),
+                "`{bad}` must be rejected with a positioned error, got `{err}`"
+            );
+        }
+        // A low half on its own.
+        let err = parse_json("\"a\\ude00\"").unwrap_err();
+        assert!(
+            err.contains("lone low surrogate") && err.contains("at byte 2"),
+            "{err}"
+        );
+        // Two high halves in a row: the second is not a valid continuation.
+        let err = parse_json("\"\\ud83d\\ud83d\"").unwrap_err();
+        assert!(err.contains("not a low surrogate"), "{err}");
     }
 
     #[test]

@@ -57,5 +57,8 @@
 pub mod json;
 pub mod proto;
 
+#[cfg(test)]
+mod proptests;
+
 pub use json::{json_num, json_str, parse_json, render_compact, Json};
 pub use proto::{Request, Response, SynthRequest, Verdict, WIRE_SCHEMA};

@@ -50,6 +50,7 @@ const FAST_IDS: &[&str] = &[
     "tree-is-empty",
     "tree-flatten",
     "tree-count",
+    "tree-member",
     "insertion-sort",
 ];
 
