@@ -115,6 +115,12 @@ pub struct Options {
     /// `serve`: queue-depth limit before requests bounce with `overloaded`
     /// (`--queue N`).
     pub queue: Option<usize>,
+    /// `serve`: epoll I/O threads (`--io-threads N`); defaults to 1 — one
+    /// readiness loop multiplexes thousands of connections.
+    pub io_threads: Option<usize>,
+    /// `client`: submit the problem as a `resyn-wire/2` streaming request
+    /// and print progress heartbeats as they arrive (`--stream`).
+    pub stream: bool,
     /// `gen`/`fuzz`: the master seed (`--seed N`); defaults to 42.
     pub seed: Option<u64>,
     /// `gen`/`fuzz`: how many problems to draw (`--count N`).
@@ -155,6 +161,8 @@ impl Default for Options {
             json: None,
             addr: None,
             queue: None,
+            io_threads: None,
+            stream: false,
             seed: None,
             count: None,
             size: None,
@@ -205,6 +213,7 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--jobs",
             "--timeout",
             "--queue",
+            "--io-threads",
             "--goal-jobs",
             "--cache-budget",
             "--cache-file",
@@ -215,6 +224,7 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--timeout",
             "--goal",
             "--stats",
+            "--stream",
             "--export-cache",
             "--import-cache",
         ],
@@ -346,6 +356,19 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| CliError::Usage(format!("invalid queue depth `{value}`")))?;
                 opts.queue = Some(queue);
+            }
+            "--io-threads" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--io-threads needs a value".to_string()))?;
+                let io_threads: usize =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("invalid I/O thread count `{value}`"))
+                    })?;
+                opts.io_threads = Some(io_threads);
+            }
+            "--stream" => {
+                opts.stream = true;
             }
             "--seed" => {
                 let value = it
@@ -676,6 +699,7 @@ pub fn server_config(opts: &Options) -> ServerConfig {
             defaults.timeout
         },
         queue_limit: opts.queue.unwrap_or(defaults.queue_limit),
+        io_threads: opts.io_threads.unwrap_or(defaults.io_threads),
         goal_jobs: opts.goal_jobs.unwrap_or(defaults.goal_jobs),
         cache_budget: opts.cache_budget,
         cache_file: opts.cache_file.clone().map(std::path::PathBuf::from),
@@ -722,19 +746,54 @@ pub fn run_client(problem_text: Option<&str>, opts: &Options) -> Result<String, 
         .map_err(|e| CliError::Transport(format!("cannot connect to `{addr}`: {e}")))?;
     let response = match problem_text {
         None => client.stats(),
-        Some(problem) => client.synth(SynthRequest {
-            id: None,
-            problem: problem.to_string(),
-            mode: Some(opts.mode.as_str().to_string()),
-            timeout_secs: opts
-                .seen_flags
-                .iter()
-                .any(|f| f == "--timeout")
-                .then_some(opts.timeout.as_secs_f64()),
-            goal: opts.goal.clone(),
-        }),
+        Some(problem) => client.synth(synth_request(problem, opts)),
     }
     .map_err(|e| CliError::Transport(format!("request to `{addr}` failed: {e}")))?;
+    Ok(render_response(&response))
+}
+
+/// The synthesis request `resyn client` submits for a problem file.
+fn synth_request(problem: &str, opts: &Options) -> SynthRequest {
+    SynthRequest {
+        id: None,
+        problem: problem.to_string(),
+        mode: Some(opts.mode.as_str().to_string()),
+        timeout_secs: opts
+            .seen_flags
+            .iter()
+            .any(|f| f == "--timeout")
+            .then_some(opts.timeout.as_secs_f64()),
+        goal: opts.goal.clone(),
+        stream: opts.stream,
+    }
+}
+
+/// `resyn client --stream`: submit the problem as a `resyn-wire/2`
+/// streaming request. `on_progress` receives one pre-rendered line per
+/// progress heartbeat *while the job runs* (the caller prints them as they
+/// arrive — this library does no I/O); the returned report is the rendered
+/// final response, identical to what [`run_client`] would produce.
+///
+/// # Errors
+///
+/// Returns [`CliError::Transport`] when the server cannot be reached or
+/// the response violates the protocol.
+pub fn run_client_stream(
+    problem_text: &str,
+    opts: &Options,
+    mut on_progress: impl FnMut(String),
+) -> Result<String, CliError> {
+    let addr = opts.addr.as_deref().unwrap_or(DEFAULT_ADDR);
+    let mut client = Client::connect(addr)
+        .map_err(|e| CliError::Transport(format!("cannot connect to `{addr}`: {e}")))?;
+    let response = client
+        .synth_stream(synth_request(problem_text, opts), |progress| {
+            on_progress(format!(
+                "progress: #{} at {:.2}s",
+                progress.seq, progress.elapsed_secs
+            ));
+        })
+        .map_err(|e| CliError::Transport(format!("request to `{addr}` failed: {e}")))?;
     Ok(render_response(&response))
 }
 
@@ -921,9 +980,10 @@ USAGE:
                [--json PATH] [--goal-jobs N] [--cache-budget BYTES]
                [--cache-file PATH]
     resyn serve [--addr HOST:PORT] [--jobs N] [--timeout SECS] [--queue N]
-                [--goal-jobs N] [--cache-budget BYTES] [--cache-file PATH]
+                [--io-threads N] [--goal-jobs N] [--cache-budget BYTES]
+                [--cache-file PATH]
     resyn client <problem-file> [--addr HOST:PORT] [--mode MODE]
-                 [--timeout SECS] [--goal NAME]
+                 [--timeout SECS] [--goal NAME] [--stream]
     resyn client --stats [--addr HOST:PORT]
     resyn client --export-cache PATH [--addr HOST:PORT]
     resyn client --import-cache PATH [--addr HOST:PORT]
@@ -966,11 +1026,18 @@ is compacted on load; a truncated final line (e.g. a crash mid-append) is
 tolerated, anything else corrupt is an error.
 
 `serve` starts the persistent synthesis server (newline-delimited
-`resyn-wire/1` JSON over TCP; all sessions share one solver query cache,
-`--queue` bounds the pending-job backlog before requests bounce with
-`overloaded`, and per-request timeouts are clamped to `--timeout`).
+`resyn-wire/1` and `/2` JSON over TCP; all sessions share one solver query
+cache, `--queue` bounds the pending-job backlog before requests bounce
+with `overloaded`, and per-request timeouts are clamped to `--timeout`).
+Connections are multiplexed by `--io-threads` epoll readiness loops
+(default 1 — synthesis dominates, not I/O), so thousands of concurrent
+clients cost registered fds, not threads.
 `client` submits a problem file — or, with `--stats`, a statistics query —
 to a running server; the default address for both is 127.0.0.1:7171.
+`client --stream` opts into `resyn-wire/2` streaming: the server sends
+rate-limited progress heartbeats while the job runs, printed as they
+arrive, before the unchanged final verdict. `client --stats` reports
+p50/p95/p99 request latency split into queue wait and solve time.
 `client --export-cache PATH` downloads the server's cache snapshot to PATH;
 `--import-cache PATH` seeds a server's cache from such a snapshot (or from
 a `--cache-file`), so warm caches can move between machines.
@@ -1338,6 +1405,82 @@ mod tests {
         assert_eq!(config.jobs, 3);
         assert_eq!(config.timeout, Duration::from_secs(7));
         assert_eq!(config.queue_limit, 5);
+    }
+
+    #[test]
+    fn io_threads_and_stream_flags_are_parsed_scoped_and_validated() {
+        let args: Vec<String> = ["--io-threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert_eq!(opts.io_threads, Some(2));
+        assert!(check_flag_scope("serve", &opts).is_ok());
+        // `--io-threads` sizes the server's readiness loops; clients have
+        // no use for it.
+        assert!(matches!(
+            check_flag_scope("client", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--io-threads")
+        ));
+        assert_eq!(server_config(&opts).io_threads, 2);
+        let (_, opts) = parse_flags(&[]).unwrap();
+        assert_eq!(
+            server_config(&opts).io_threads,
+            resyn_server::ServerConfig::default().io_threads
+        );
+
+        for bad in [
+            vec!["--io-threads", "0"],
+            vec!["--io-threads", "many"],
+            vec!["--io-threads"],
+        ] {
+            let bad: Vec<String> = bad.iter().map(|s| s.to_string()).collect();
+            assert!(
+                matches!(parse_flags(&bad), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
+
+        let args: Vec<String> = ["--stream"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert!(opts.stream);
+        assert!(check_flag_scope("client", &opts).is_ok());
+        // … and `--stream` shapes the client's read loop, not the server.
+        assert!(matches!(
+            check_flag_scope("serve", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--stream")
+        ));
+    }
+
+    #[test]
+    fn a_streaming_client_sees_heartbeats_then_the_verdict() {
+        // A zero heartbeat interval makes every budget checkpoint report,
+        // so even a quick goal streams progress ahead of its verdict.
+        let server = resyn_server::serve(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 1,
+            timeout: Duration::from_secs(60),
+            progress_interval: Duration::ZERO,
+            ..ServerConfig::default()
+        })
+        .expect("ephemeral server starts");
+        let opts = Options {
+            addr: Some(server.addr().to_string()),
+            stream: true,
+            ..Options::default()
+        };
+        let problem = "goal id_list :: xs: List a -> {List a | len _v == len xs}";
+        let mut progress_lines = Vec::new();
+        let out = run_client_stream(problem, &opts, |line| progress_lines.push(line)).unwrap();
+        assert!(out.starts_with("verdict: solved\n"), "{out}");
+        assert!(out.contains("-- goal id_list"), "{out}");
+        assert!(!progress_lines.is_empty(), "no heartbeats arrived");
+        assert!(
+            progress_lines[0].starts_with("progress: #1 "),
+            "{}",
+            progress_lines[0]
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -5,8 +5,8 @@ use std::process::ExitCode;
 
 use resyn_cli::{
     check_flag_scope, parse_flags, run_check, run_client, run_client_export_cache,
-    run_client_import_cache, run_eval, run_fuzz, run_gen, run_measure, run_parse, run_synth,
-    server_config, CliError, USAGE,
+    run_client_import_cache, run_client_stream, run_eval, run_fuzz, run_gen, run_measure,
+    run_parse, run_synth, server_config, CliError, USAGE,
 };
 
 fn main() -> ExitCode {
@@ -167,6 +167,15 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
             let wants_stats = opts.stats;
             match (positional.as_slice(), wants_stats) {
                 ([], true) => run_client(None, &opts),
+                ([problem], false) if opts.stream => {
+                    // Heartbeats print as they arrive, so a long-running
+                    // job is visibly alive before the final verdict.
+                    run_client_stream(&read(problem)?, &opts, |line| {
+                        use std::io::Write as _;
+                        println!("{line}");
+                        let _ = std::io::stdout().flush();
+                    })
+                }
                 ([problem], false) => run_client(Some(&read(problem)?), &opts),
                 _ => Err(CliError::Usage(
                     "client expects one problem file, or --stats and no file".to_string(),

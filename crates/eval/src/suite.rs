@@ -761,12 +761,35 @@ pub fn table1() -> Vec<Benchmark> {
         Table::One,
     ));
 
-    // Not present although the paper's Table 1 has it: `compress` (collapse
-    // adjacent duplicates) needs a nested match on a *match binder*
-    // (`match xs' with …` inside the `Cons x xs'` arm), a skeleton family
-    // `resyn_synth::skeleton` deliberately does not generate. This is an
-    // enumerator-coverage gap, not a checker gap — `resyn check` accepts the
-    // textbook program.
+    // Unique list: collapse adjacent duplicates. Needs the tail-rematch
+    // skeleton family (`match xs' with …` inside the `Cons x xs'` arm) so
+    // the innermost branch can compare two adjacent elements — the last
+    // enumerator-coverage gap of the paper's Table 1.
+    out.push(bench(
+        "list-compress",
+        "Unique list",
+        Goal::new(
+            "compress",
+            poly(
+                vec![("xs", list(elem(1)))],
+                Ty::refined(
+                    BaseType::Data("CList".into(), vec![Ty::tvar("a")]),
+                    // Same elements, and — the clause that makes the
+                    // recursive call usable — the same head element, so the
+                    // checker can rule the head of `compress xs'` out of an
+                    // adjacent duplicate with `x`.
+                    Term::app("elems", vec![Term::value_var()])
+                        .eq_(elems("xs"))
+                        .and(
+                            Term::app("heads", vec![Term::value_var()])
+                                .eq_(Term::app("heads", vec![Term::var("xs")])),
+                        ),
+                ),
+            ),
+            vec![("eq", c::eq()), ("neq", c::neq())],
+        ),
+        Table::One,
+    ));
 
     // Tree: membership (depth-3 boolean combination over both subtree
     // recursions: `or (eq x n) (or (member x l) (member x r))`).
@@ -1119,6 +1142,7 @@ mod tests {
             "sslist-delete",
             "clist-singleton",
             "unique-insert",
+            "list-compress",
             "tree-id",
             "tree-singleton",
             "tree-is-empty",

@@ -1,0 +1,291 @@
+//! Per-connection byte buffers for the newline-delimited wire protocol.
+//!
+//! [`LineReader`] assembles complete `\n`-terminated frames out of whatever
+//! byte chunks a nonblocking read happened to deliver, enforcing a byte cap
+//! per line. [`WriteQueue`] holds rendered response frames until the socket
+//! accepts them, with a total-bytes bound that doubles as the slow-reader
+//! disconnect threshold.
+
+use std::collections::VecDeque;
+use std::io;
+
+/// What [`LineReader::next_event`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineEvent {
+    /// A complete line (terminator stripped, bytes decoded lossily — the
+    /// protocol layer rejects malformed JSON with a proper response).
+    Line(String),
+    /// The line under assembly exceeded the byte cap. There is no way to
+    /// resynchronize past an unterminated over-long frame, so the caller
+    /// should answer with a protocol error and close. Reported once.
+    Overflow,
+}
+
+/// Incremental single-line frame assembly with a per-line byte cap.
+#[derive(Debug)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    /// Bytes before `start` belong to already-emitted lines.
+    start: usize,
+    /// Longest accepted line (exclusive of the `\n`), in bytes.
+    limit: usize,
+    overflowed: bool,
+}
+
+impl LineReader {
+    /// A reader rejecting lines longer than `limit` bytes.
+    pub fn new(limit: usize) -> LineReader {
+        LineReader {
+            buf: Vec::new(),
+            start: 0,
+            limit,
+            overflowed: false,
+        }
+    }
+
+    /// Append bytes read off the socket.
+    pub fn feed(&mut self, data: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the buffer.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes currently buffered for the line under assembly.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pop the next complete line, or report an overflow. `None` means more
+    /// bytes are needed (a partial line stays buffered — and is silently
+    /// discarded if the peer disconnects before terminating it).
+    pub fn next_event(&mut self) -> Option<LineEvent> {
+        if self.overflowed {
+            return None;
+        }
+        match self.buf[self.start..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let end = self.start + nl;
+                if nl > self.limit {
+                    self.overflowed = true;
+                    return Some(LineEvent::Overflow);
+                }
+                let line = String::from_utf8_lossy(&self.buf[self.start..end]).into_owned();
+                self.start = end + 1;
+                Some(LineEvent::Line(line))
+            }
+            None => {
+                if self.pending() > self.limit {
+                    self.overflowed = true;
+                    return Some(LineEvent::Overflow);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// A bounded queue of rendered output frames for one connection.
+#[derive(Debug)]
+pub struct WriteQueue {
+    chunks: VecDeque<Vec<u8>>,
+    /// How much of the front chunk has already been written.
+    front_written: usize,
+    queued_bytes: usize,
+    limit: usize,
+}
+
+impl WriteQueue {
+    /// A queue refusing frames once `limit` bytes are outstanding.
+    pub fn new(limit: usize) -> WriteQueue {
+        WriteQueue {
+            chunks: VecDeque::new(),
+            front_written: 0,
+            queued_bytes: 0,
+            limit,
+        }
+    }
+
+    /// Enqueue one rendered frame. Returns `false` — without queueing —
+    /// when the frame would push the outstanding total past the bound: the
+    /// peer is not reading fast enough to deserve more buffering, and the
+    /// caller disconnects it.
+    #[must_use]
+    pub fn push(&mut self, frame: Vec<u8>) -> bool {
+        if self.queued_bytes + frame.len() > self.limit {
+            return false;
+        }
+        self.queued_bytes += frame.len();
+        self.chunks.push_back(frame);
+        true
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Outstanding (not yet written) bytes.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued_bytes
+    }
+
+    /// Write as much as the sink accepts. `Ok(true)` means the queue
+    /// drained; `Ok(false)` means the sink would block (re-arm write
+    /// interest and retry on the next readiness).
+    ///
+    /// # Errors
+    ///
+    /// A real I/O error (not `WouldBlock`/`Interrupted`) — the connection
+    /// is dead.
+    pub fn flush(&mut self, sink: &mut impl io::Write) -> io::Result<bool> {
+        while let Some(front) = self.chunks.front() {
+            match sink.write(&front[self.front_written..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.front_written += n;
+                    self.queued_bytes -= n;
+                    if self.front_written == front.len() {
+                        self.chunks.pop_front();
+                        self.front_written = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_assemble_across_arbitrary_chunk_boundaries() {
+        let mut reader = LineReader::new(1024);
+        reader.feed(b"{\"a\"");
+        assert_eq!(reader.next_event(), None);
+        reader.feed(b": 1}\n{\"b\": 2}\n{\"c\"");
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("{\"a\": 1}".to_string()))
+        );
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("{\"b\": 2}".to_string()))
+        );
+        assert_eq!(reader.next_event(), None, "partial line stays buffered");
+        assert_eq!(reader.pending(), 4);
+        reader.feed(b": 3}\n");
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("{\"c\": 3}".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_lines_and_non_utf8_bytes_still_come_through() {
+        let mut reader = LineReader::new(64);
+        reader.feed(b"\n\xff\xfe\n");
+        assert_eq!(reader.next_event(), Some(LineEvent::Line(String::new())));
+        // Lossy decoding: the protocol layer rejects it as malformed JSON.
+        let Some(LineEvent::Line(garbage)) = reader.next_event() else {
+            panic!("expected a (lossy) line");
+        };
+        assert_eq!(garbage, "\u{fffd}\u{fffd}");
+    }
+
+    #[test]
+    fn an_unterminated_overlong_line_overflows_once() {
+        let mut reader = LineReader::new(8);
+        reader.feed(b"0123456789abcdef");
+        assert_eq!(reader.next_event(), Some(LineEvent::Overflow));
+        assert_eq!(reader.next_event(), None, "overflow reports only once");
+        reader.feed(b"more\n");
+        assert_eq!(reader.next_event(), None);
+    }
+
+    #[test]
+    fn a_terminated_overlong_line_also_overflows() {
+        // The terminator arriving in the same chunk must not smuggle an
+        // over-cap line past the limit.
+        let mut reader = LineReader::new(4);
+        reader.feed(b"short\n");
+        assert_eq!(reader.next_event(), Some(LineEvent::Overflow));
+    }
+
+    #[test]
+    fn lines_exactly_at_the_cap_pass() {
+        let mut reader = LineReader::new(5);
+        reader.feed(b"12345\n");
+        assert_eq!(
+            reader.next_event(),
+            Some(LineEvent::Line("12345".to_string()))
+        );
+    }
+
+    /// An `io::Write` accepting a fixed number of bytes before blocking.
+    struct Throttled {
+        accepted: Vec<u8>,
+        capacity: usize,
+    }
+
+    impl io::Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.capacity == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.capacity);
+            self.capacity -= n;
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_resume_where_they_left_off() {
+        let mut queue = WriteQueue::new(1024);
+        assert!(queue.push(b"hello ".to_vec()));
+        assert!(queue.push(b"world\n".to_vec()));
+        assert_eq!(queue.queued_bytes(), 12);
+
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            capacity: 4,
+        };
+        assert!(!queue.flush(&mut sink).unwrap(), "sink blocked mid-frame");
+        assert_eq!(queue.queued_bytes(), 8);
+
+        sink.capacity = 100;
+        assert!(queue.flush(&mut sink).unwrap());
+        assert_eq!(sink.accepted, b"hello world\n");
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn the_bound_refuses_frames_for_slow_readers() {
+        let mut queue = WriteQueue::new(10);
+        assert!(queue.push(vec![b'x'; 6]));
+        assert!(!queue.push(vec![b'y'; 5]), "11 bytes exceeds the bound");
+        assert!(queue.push(vec![b'y'; 4]), "exactly at the bound is fine");
+        // Draining frees the budget again.
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            capacity: 100,
+        };
+        assert!(queue.flush(&mut sink).unwrap());
+        assert!(queue.push(vec![b'z'; 10]));
+    }
+}

@@ -1,0 +1,254 @@
+//! A safe, level-triggered epoll wrapper.
+//!
+//! Level-triggered readiness (the epoll default) is deliberate: the server
+//! reads and writes until `WouldBlock` anyway, and level semantics mean a
+//! handler that stops early — e.g. to close a connection after an
+//! oversized request — never strands buffered bytes behind a missed edge.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+use crate::sys;
+
+/// Which readiness a registration asks for. Peer hangup (`EPOLLRDHUP`) is
+/// always subscribed — every consumer wants to hear about disconnects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    pub readable: bool,
+    pub writable: bool,
+}
+
+impl Interest {
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    fn mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+}
+
+/// One readiness notification from [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the file descriptor was registered under.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// The peer hung up (`EPOLLHUP`/`EPOLLRDHUP`); a subsequent read will
+    /// observe EOF.
+    pub hangup: bool,
+    /// An error condition is pending on the descriptor (`EPOLLERR`); the
+    /// next I/O call will surface it.
+    pub error: bool,
+}
+
+/// An epoll instance. Registrations map file descriptors to caller-chosen
+/// `u64` tokens; the caller keeps the fd↔token association (epoll itself
+/// only stores the token).
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create an epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_create1` error.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = sys::cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut event = sys::EpollEvent {
+            events: interest.mask(),
+            data: token,
+        };
+        sys::cvt(unsafe { sys::epoll_ctl(self.fd, op, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Register `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error (e.g. `EEXIST` for a double add).
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change an existing registration's interest (and/or token).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error (e.g. `ENOENT` if never added).
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Remove a registration. Harmless to call for an fd that was already
+    /// closed (the kernel drops registrations with the last fd reference).
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_ctl` error.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        let mut event = sys::EpollEvent { events: 0, data: 0 };
+        sys::cvt(unsafe { sys::epoll_ctl(self.fd, sys::EPOLL_CTL_DEL, fd, &mut event) })?;
+        Ok(())
+    }
+
+    /// Wait for readiness, appending into `events` (cleared first).
+    /// `timeout` of `None` blocks indefinitely — the waker is the intended
+    /// way out. A signal interruption (`EINTR`) returns an empty batch
+    /// rather than an error, so callers can treat every return uniformly.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `epoll_wait` error.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        // 256 simultaneous notifications per wait is plenty: level-triggered
+        // readiness redelivers anything that does not fit in this batch.
+        let mut raw = [sys::EpollEvent { events: 0, data: 0 }; 256];
+        let timeout_ms = match timeout {
+            None => -1,
+            Some(t) => i32::try_from(t.as_millis()).unwrap_or(i32::MAX),
+        };
+        let n = unsafe { sys::epoll_wait(self.fd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+        let n = match sys::cvt(n) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for slot in &raw[..n] {
+            // Copy out of the (possibly packed) kernel struct before use.
+            let mask = slot.events;
+            let token = slot.data;
+            events.push(Event {
+                token,
+                readable: mask & sys::EPOLLIN != 0,
+                writable: mask & sys::EPOLLOUT != 0,
+                hangup: mask & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                error: mask & sys::EPOLLERR != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn readable_data_surfaces_the_registered_token() {
+        let (mut client, server) = socket_pair();
+        server.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(server.as_raw_fd(), 42, Interest::READABLE)
+            .unwrap();
+
+        let mut events = Vec::new();
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty(), "no data yet, so no readiness");
+
+        client.write_all(b"ping").unwrap();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn interest_modification_gates_writability() {
+        let (_client, server) = socket_pair();
+        server.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        // Read-only interest on an idle socket: silent.
+        epoll
+            .add(server.as_raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty());
+        // Adding write interest: an empty send buffer is immediately ready.
+        epoll.modify(server.as_raw_fd(), 7, Interest::BOTH).unwrap();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable && !events[0].readable);
+        // Deleting the registration silences the descriptor again.
+        epoll.delete(server.as_raw_fd()).unwrap();
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn a_peer_hangup_is_reported() {
+        let (client, mut server_side) = socket_pair();
+        server_side.set_nonblocking(true).unwrap();
+        let epoll = Epoll::new().unwrap();
+        epoll
+            .add(server_side.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].hangup, "disconnect must surface as hangup");
+        // And the read observes EOF, the loop's disconnect signal.
+        let mut buf = [0u8; 8];
+        assert_eq!(server_side.read(&mut buf).unwrap(), 0);
+    }
+}

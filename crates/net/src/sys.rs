@@ -1,0 +1,57 @@
+//! Raw libc declarations for the readiness loop.
+//!
+//! `std` links libc on Linux, so declaring the handful of symbols we need
+//! is enough — no external crate. Everything here is `unsafe` and
+//! zero-policy; the safe wrappers live in [`poll`](crate::poll) and
+//! [`wake`](crate::wake).
+
+use std::os::raw::{c_int, c_void};
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EFD_CLOEXEC: c_int = 0o2000000;
+pub const EFD_NONBLOCK: c_int = 0o4000;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel declares it
+/// packed (12 bytes); everywhere else it has natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut EpollEvent,
+        maxevents: c_int,
+        timeout_ms: c_int,
+    ) -> c_int;
+    pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+    pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    pub fn close(fd: c_int) -> c_int;
+}
+
+/// Turn a `-1` syscall return into the thread's `errno` as an `io::Error`.
+pub fn cvt(ret: c_int) -> std::io::Result<c_int> {
+    if ret < 0 {
+        Err(std::io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}

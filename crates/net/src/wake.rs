@@ -1,0 +1,108 @@
+//! Cross-thread wakeups for an epoll loop, via `eventfd`.
+//!
+//! The I/O thread parks in `epoll_wait` with no timeout; synthesis workers
+//! finishing a job (and the shutdown path) need a way to knock it loose.
+//! An eventfd registered on the same epoll is the classic answer: writing
+//! bumps a kernel counter and makes the fd readable; reads reset it. Wakes
+//! coalesce — a thousand `wake()` calls before the loop turns around cost
+//! one readiness event and one `drain()`.
+
+use std::io;
+use std::os::fd::RawFd;
+
+use crate::sys;
+
+/// A wakeup handle. Clone-free by design: share it behind an `Arc` —
+/// `wake` takes `&self` and is safe from any thread.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Create a nonblocking eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Returns the `eventfd` error.
+    pub fn new() -> io::Result<Waker> {
+        let fd = sys::cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register on the epoll (readable interest).
+    pub fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    /// Make the fd readable, waking the epoll loop. Infallible in spirit:
+    /// the only failure mode of interest is the counter being full
+    /// (`EAGAIN`), which already guarantees a pending wakeup.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.fd, (&raw const one).cast(), 8);
+        }
+    }
+
+    /// Consume pending wakeups so the fd goes quiet until the next `wake`.
+    pub fn drain(&self) {
+        let mut counter: u64 = 0;
+        unsafe {
+            sys::read(self.fd, (&raw mut counter).cast(), 8);
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poll::{Epoll, Interest};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn a_wake_from_another_thread_unblocks_epoll_wait() {
+        let epoll = Epoll::new().unwrap();
+        let waker = Arc::new(Waker::new().unwrap());
+        epoll.add(waker.fd(), 0, Interest::READABLE).unwrap();
+
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            // Coalescing: many wakes, one readiness event.
+            for _ in 0..1000 {
+                remote.wake();
+            }
+        });
+        let mut events = Vec::new();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 0);
+        handle.join().unwrap();
+
+        // Draining resets; the next wait times out quietly.
+        waker.drain();
+        epoll
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "drained waker must go quiet");
+
+        // And the cycle repeats.
+        waker.wake();
+        epoll
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+    }
+}

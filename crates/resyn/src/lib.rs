@@ -17,8 +17,10 @@
 //!   evaluation tables,
 //! * [`gen`] — the seeded problem generator, shrinker and differential fuzz
 //!   runner (`resyn gen` / `resyn fuzz`),
-//! * [`wire`] — the shared JSON reader/writer and the `resyn-wire/1`
-//!   protocol,
+//! * [`wire`] — the shared JSON reader/writer and the `resyn-wire/1` and
+//!   `resyn-wire/2` protocols,
+//! * [`net`] — the dependency-free Linux readiness-I/O substrate (epoll,
+//!   eventfd waker, line-frame buffers) the server multiplexes on,
 //! * [`server`] — the persistent synthesis server (`resyn serve`) and its
 //!   library client.
 //!
@@ -31,6 +33,7 @@ pub use resyn_gen as gen;
 pub use resyn_horn as horn;
 pub use resyn_lang as lang;
 pub use resyn_logic as logic;
+pub use resyn_net as net;
 pub use resyn_parse as parse;
 pub use resyn_rescon as rescon;
 pub use resyn_server as server;

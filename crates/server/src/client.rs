@@ -1,15 +1,17 @@
-//! A library client for the `resyn-wire/1` synthesis server, used by the
-//! `resyn client` subcommand and the integration tests.
+//! A library client for the `resyn-wire/1` and `/2` synthesis server, used
+//! by the `resyn client` subcommand and the integration tests.
 //!
 //! A [`Client`] owns one connection (one server session). Requests are
 //! synchronous: each call writes one request line and blocks until the
 //! matching response line arrives (the server answers a connection's
-//! requests in order).
+//! requests in order). [`Client::synth_stream`] additionally surfaces the
+//! `resyn-wire/2` progress heartbeats that arrive ahead of the final
+//! response.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use resyn_wire::proto::{Request, Response, SynthRequest};
+use resyn_wire::proto::{Frame, Progress, Request, Response, SynthRequest};
 
 /// Errors a client call can produce.
 #[derive(Debug)]
@@ -78,6 +80,60 @@ impl Client {
         let response = self.roundtrip(&Request::Synth(request).render())?;
         Self::check_id(&id, &response)?;
         Ok(response)
+    }
+
+    /// Submit a synthesis problem as a `resyn-wire/2` streaming request:
+    /// `on_progress` is called for every progress heartbeat the server
+    /// sends while the job runs, and the final response — identical to
+    /// what [`synth`](Self::synth) would have returned — is the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ClientError`] on transport or protocol failures (which
+    /// include a heartbeat carrying the wrong correlation id or a
+    /// non-monotonic sequence number).
+    pub fn synth_stream(
+        &mut self,
+        mut request: SynthRequest,
+        mut on_progress: impl FnMut(&Progress),
+    ) -> Result<Response, ClientError> {
+        request.stream = true;
+        let id = self.ensure_id(&mut request.id);
+        let line = Request::Synth(request).render();
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut last_seq = 0u64;
+        loop {
+            let mut reply = String::new();
+            if self.reader.read_line(&mut reply)? == 0 {
+                return Err(ClientError::Disconnected);
+            }
+            let frame = Frame::parse_line(reply.trim_end_matches(['\r', '\n']))
+                .map_err(ClientError::Protocol)?;
+            match frame {
+                Frame::Progress(progress) => {
+                    if progress.id != id {
+                        return Err(ClientError::Protocol(format!(
+                            "progress correlation id `{}` does not match request id `{id}`",
+                            progress.id
+                        )));
+                    }
+                    if progress.seq <= last_seq {
+                        return Err(ClientError::Protocol(format!(
+                            "progress seq {} after seq {last_seq} is not monotonic",
+                            progress.seq
+                        )));
+                    }
+                    last_seq = progress.seq;
+                    on_progress(&progress);
+                }
+                Frame::Final(response) => {
+                    Self::check_id(&id, &response)?;
+                    return Ok(response);
+                }
+            }
+        }
     }
 
     /// Query the server's cumulative statistics.

@@ -1,0 +1,155 @@
+//! Lock-free log-scale latency histograms for the server's request
+//! accounting.
+//!
+//! Every completed synthesis job contributes two samples — how long it
+//! waited in the scheduler's queue and how long it actually solved — via
+//! the scheduler's timing observer. Both go into a [`Histogram`]: a fixed
+//! array of atomic counters whose bucket boundaries are powers of two in
+//! microseconds, so one `fetch_add` per sample covers sub-microsecond
+//! blips through multi-minute solves with bounded (≤2×) relative error.
+//! The `stats` response reads p50/p95/p99 straight out of the buckets —
+//! no sample buffer, no lock, no decay window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One bucket per bit of the microsecond count: bucket 0 holds `0 µs`,
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i)` µs. 41 buckets reach past twelve
+/// days — far beyond any bounded synthesis budget.
+const BUCKETS: usize = 41;
+
+/// A fixed-bucket log₂-scale histogram of durations, safe to record into
+/// from any thread.
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    samples: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("samples", &self.count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// The bucket a duration falls into: the bit length of its microsecond
+/// count (zero stays in bucket 0), clamped to the last bucket.
+fn bucket_index(duration: Duration) -> usize {
+    let micros = duration.as_micros().min(u128::from(u64::MAX)) as u64;
+    let bits = (u64::BITS - micros.leading_zeros()) as usize;
+    bits.min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            samples: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, duration: Duration) {
+        self.counts[bucket_index(duration)].fetch_add(1, Ordering::Relaxed);
+        self.samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.samples.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as a duration, reported as the
+    /// upper bound of the bucket holding the rank-`⌈q·n⌉` sample — an
+    /// overestimate by less than 2×, never an underestimate. `None` when
+    /// nothing has been recorded.
+    ///
+    /// Concurrent recording can make the walk see a slightly stale total;
+    /// that shifts the rank by at most the in-flight samples, which is the
+    /// usual (and harmless) imprecision of lock-free stats.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(bucket_upper_bound(BUCKETS - 1))
+    }
+}
+
+/// The inclusive upper edge of bucket `i` (`2^i - 1` µs; bucket 0 is 0 µs).
+fn bucket_upper_bound(i: usize) -> Duration {
+    if i == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_micros((1u64 << i) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scale_in_microseconds() {
+        assert_eq!(bucket_index(Duration::ZERO), 0);
+        assert_eq!(bucket_index(Duration::from_micros(1)), 1);
+        assert_eq!(bucket_index(Duration::from_micros(2)), 2);
+        assert_eq!(bucket_index(Duration::from_micros(3)), 2);
+        assert_eq!(bucket_index(Duration::from_micros(4)), 3);
+        assert_eq!(bucket_index(Duration::from_micros(1023)), 10);
+        assert_eq!(bucket_index(Duration::from_micros(1024)), 11);
+        // Nothing overflows the table, however absurd the duration.
+        assert_eq!(bucket_index(Duration::from_secs(u64::MAX)), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_values_from_above_within_2x() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        for ms in [1u64, 2, 4, 100] {
+            h.record(Duration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 4);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_millis(2) && p50 < Duration::from_millis(4));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= Duration::from_millis(100) && p99 < Duration::from_millis(200));
+        // The minimum and maximum quantiles bracket the data.
+        assert!(h.quantile(0.0).unwrap() >= Duration::from_millis(1));
+        assert!(h.quantile(1.0).unwrap() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn a_skewed_distribution_separates_p50_from_p99() {
+        let h = Histogram::new();
+        for _ in 0..98 {
+            h.record(Duration::from_micros(50));
+        }
+        h.record(Duration::from_secs(1));
+        h.record(Duration::from_secs(2));
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 < Duration::from_millis(1), "p50 {p50:?}");
+        assert!(p99 >= Duration::from_secs(1), "p99 {p99:?}");
+    }
+}

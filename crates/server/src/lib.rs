@@ -1,6 +1,6 @@
 //! The `resyn` synthesis server: a persistent TCP front end over the
-//! synthesizer, speaking the newline-delimited `resyn-wire/1` protocol
-//! (see [`resyn_wire`]).
+//! synthesizer, speaking the newline-delimited `resyn-wire/1` and `/2`
+//! protocols (see [`resyn_wire`]).
 //!
 //! One-shot `resyn synth` invocations pay full process startup and a cold
 //! solver cache per problem. The server keeps one process-wide sharded
@@ -10,17 +10,21 @@
 //!
 //! # Threading model
 //!
-//! * One **acceptor** loops on the listener and spawns a handler thread per
-//!   connection (`std::thread::scope`, so nothing outlives the server).
-//! * Connection handlers parse request lines and submit jobs to the bounded
-//!   [`scheduler`]; each handler serves its connection's requests in order
-//!   (one in flight per connection — concurrency comes from connections).
-//! * A fixed pool of `jobs` **synthesis workers** drains the queue. Each
-//!   job runs under `catch_unwind` (a panic becomes an `error` response for
-//!   that request only) with a per-request wall-clock budget clamped to the
-//!   server's `--timeout`, and takes a [`scoped`](SolverCache::scoped)
-//!   cache handle so the counters it reports are its own, not its
-//!   neighbours'.
+//! * A small fixed set of **I/O threads** (`--io-threads`, default 1),
+//!   each running an epoll readiness loop (see [`resyn_net`]) over the
+//!   nonblocking connections it owns. Thread 0 also owns the listener and
+//!   hands accepted connections round-robin across the set. A thousand
+//!   idle clients cost a thousand registered fds, not a thousand parked
+//!   threads.
+//! * A fixed pool of `jobs` **synthesis workers** drains the bounded
+//!   [`scheduler`] queue. Each job runs under `catch_unwind` (a panic
+//!   becomes an `error` response for that request only) with a per-request
+//!   wall-clock budget clamped to the server's `--timeout`, and takes a
+//!   [`scoped`](SolverCache::scoped) cache handle so the counters it
+//!   reports are its own, not its neighbours'. A finished verdict — or a
+//!   `resyn-wire/2` progress heartbeat from the budget's checkpoints — is
+//!   handed back to the owning I/O thread through its mailbox + waker
+//!   eventfd; workers never touch a socket.
 //!
 //! # Backpressure
 //!
@@ -28,24 +32,35 @@
 //! requests get an immediate `overloaded` response instead of unbounded
 //! buffering. Request lines beyond [`ServerConfig::max_request_bytes`] get
 //! an `invalid_request` response and the connection is closed (there is no
-//! way to resynchronize past an unterminated line).
+//! way to resynchronize past an unterminated line). Per-connection output
+//! is bounded by [`ServerConfig::max_output_bytes`]: a reader too slow to
+//! drain what it asked for is disconnected rather than allowed to grow the
+//! server's memory without bound.
+//!
+//! # Latency accounting
+//!
+//! Every completed job records its queue wait and its solve time into two
+//! process-wide log-scale [`latency`] histograms; the `stats` request
+//! reports p50/p95/p99 of both splits.
 
 pub mod client;
+mod event_loop;
+pub mod latency;
 pub mod scheduler;
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use resyn_budget::{Budget, CancelToken};
+use resyn_budget::{Budget, CancelToken, ProgressSink};
+use resyn_net::{Epoll, Interest};
 use resyn_parse::parse_problem;
 use resyn_parse::surface::expr_to_surface;
 use resyn_solver::SolverCache;
 use resyn_synth::{Mode, SynthStats, Synthesizer};
-use resyn_wire::proto::{Request, Response, SynthRequest, Verdict};
+use resyn_wire::proto::{Response, SynthRequest, Verdict};
 
 pub use client::{Client, ClientError};
 pub use resyn_wire as wire;
@@ -66,6 +81,19 @@ pub struct ServerConfig {
     pub queue_limit: usize,
     /// Longest accepted request line, in bytes.
     pub max_request_bytes: usize,
+    /// Epoll I/O threads (`--io-threads`). One readiness loop comfortably
+    /// multiplexes thousands of connections — synthesis dominates, not
+    /// I/O — so the default is 1; values below 1 are treated as 1.
+    pub io_threads: usize,
+    /// Bound on a connection's pending output, in bytes. A client too slow
+    /// to drain what it asked for (or asking for a single frame beyond the
+    /// bound) is disconnected. Must exceed the largest legitimate frame —
+    /// cache-export payloads in particular — with room for a backlog.
+    pub max_output_bytes: usize,
+    /// Minimum spacing between `resyn-wire/2` progress heartbeats on a
+    /// streaming request (ticked from the synthesis budget's checkpoints,
+    /// so heartbeats can be sparser, never denser).
+    pub progress_interval: Duration,
     /// Threads fanned across the skeletons of each goal *within* one
     /// request (the synthesizer's first-win pool; `resyn serve
     /// --goal-jobs`). `1` keeps each job single-threaded — the default,
@@ -88,6 +116,9 @@ impl Default for ServerConfig {
             timeout: Duration::from_secs(120),
             queue_limit: 32,
             max_request_bytes: 1 << 20,
+            io_threads: 1,
+            max_output_bytes: 64 << 20,
+            progress_interval: Duration::from_millis(100),
             goal_jobs: 1,
             cache_budget: None,
             cache_file: None,
@@ -145,7 +176,7 @@ impl Counters {
     }
 }
 
-/// State shared by the acceptor, every connection handler and every worker.
+/// State shared by every I/O thread and every synthesis worker.
 struct Shared {
     config: ServerConfig,
     cache: SolverCache,
@@ -153,6 +184,12 @@ struct Shared {
     counters: Counters,
     started: Instant,
     shutdown: std::sync::atomic::AtomicBool,
+    /// One mailbox + waker per I/O thread (`io[i]` belongs to thread `i`).
+    io: Vec<Arc<event_loop::IoShared>>,
+    /// Time completed jobs spent waiting in the scheduler queue.
+    queue_latency: Arc<latency::Histogram>,
+    /// Time completed jobs spent actually solving.
+    solve_latency: Arc<latency::Histogram>,
 }
 
 /// A running server. Dropping (or calling [`shutdown`](Self::shutdown) on)
@@ -189,8 +226,10 @@ impl ServerHandle {
             .shutdown
             .store(true, std::sync::atomic::Ordering::SeqCst);
         self.shared.scheduler.shutdown();
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        // Every I/O thread re-checks the flag when its waker fires.
+        for io in &self.shared.io {
+            io.waker.wake();
+        }
     }
 }
 
@@ -204,32 +243,69 @@ impl Drop for ServerHandle {
 }
 
 /// Bind and start a server. Returns as soon as the listener is bound; the
-/// accept loop, connection handlers and synthesis workers run on background
-/// threads owned by the returned handle.
+/// I/O threads and synthesis workers run on background threads owned by
+/// the returned handle.
 ///
 /// # Errors
 ///
-/// Returns the bind/spawn error.
+/// Returns the bind/spawn error, or the error from setting up an epoll
+/// instance or waker eventfd.
 pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let cache = match &config.cache_file {
         Some(path) => SolverCache::with_snapshot_file(path, config.cache_budget)?.0,
         None => SolverCache::bounded(config.cache_budget),
     };
+    // Epoll instances, wakers and mailboxes are built up front so setup
+    // failures surface here as the bind error would, not on a thread.
+    let io_threads = config.io_threads.max(1);
+    let mut io = Vec::with_capacity(io_threads);
+    let mut epolls = Vec::with_capacity(io_threads);
+    for index in 0..io_threads {
+        let mailbox = Arc::new(event_loop::IoShared::new()?);
+        let epoll = Epoll::new()?;
+        epoll.add(
+            mailbox.waker.fd(),
+            event_loop::WAKER_TOKEN,
+            Interest::READABLE,
+        )?;
+        if index == 0 {
+            epoll.add(
+                listener.as_raw_fd(),
+                event_loop::LISTENER_TOKEN,
+                Interest::READABLE,
+            )?;
+        }
+        io.push(mailbox);
+        epolls.push(epoll);
+    }
+    let queue_latency = Arc::new(latency::Histogram::new());
+    let solve_latency = Arc::new(latency::Histogram::new());
+    let scheduler = scheduler::Scheduler::new(config.queue_limit).with_timing_observer({
+        let (queue, solve) = (Arc::clone(&queue_latency), Arc::clone(&solve_latency));
+        move |queue_wait, solve_time| {
+            queue.record(queue_wait);
+            solve.record(solve_time);
+        }
+    });
     let shared = Arc::new(Shared {
-        scheduler: scheduler::Scheduler::new(config.queue_limit),
+        scheduler,
         cache,
         counters: Counters::default(),
         started: Instant::now(),
         shutdown: std::sync::atomic::AtomicBool::new(false),
+        io,
+        queue_latency,
+        solve_latency,
         config,
     });
     let supervisor = std::thread::Builder::new()
         .name("resyn-serve".to_string())
         .spawn({
             let shared = Arc::clone(&shared);
-            move || supervise(&listener, &shared)
+            move || supervise(listener, epolls, &shared)
         })?;
     Ok(ServerHandle {
         addr,
@@ -238,292 +314,48 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-/// The supervisor thread: workers + accept loop under one scope, so every
-/// connection handler and worker is joined before the thread exits.
-fn supervise(listener: &TcpListener, shared: &Shared) {
+/// The supervisor thread: synthesis workers + I/O threads under one scope,
+/// so everything is joined before the thread exits.
+fn supervise(listener: TcpListener, epolls: Vec<Epoll>, shared: &Arc<Shared>) {
     std::thread::scope(|scope| {
         for _ in 0..shared.config.jobs.max(1) {
             scope.spawn(|| {
-                shared.scheduler.worker_loop(|request, id, token| {
-                    run_synth_request(&shared.cache, &shared.config, request, id, token)
+                shared.scheduler.worker_loop(|job: &scheduler::Job| {
+                    // A streaming job gets a budget-driven progress sink
+                    // that forwards heartbeats to the submitting I/O
+                    // thread's mailbox.
+                    let sink = job.progress.clone().map(|emit| {
+                        ProgressSink::new(shared.config.progress_interval, move |seq, elapsed| {
+                            emit(seq, elapsed);
+                        })
+                    });
+                    run_synth_request_with(
+                        &shared.cache,
+                        &shared.config,
+                        &job.request,
+                        &job.id,
+                        &job.token,
+                        sink,
+                    )
                 });
             });
         }
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else {
-                // Transient accept failures (EMFILE under fd exhaustion,
-                // ECONNABORTED) surface as an Err per attempt; back off
-                // briefly instead of spinning the acceptor at full CPU.
-                std::thread::sleep(Duration::from_millis(20));
-                continue;
-            };
-            Counters::bump(&shared.counters.connections);
-            scope.spawn(move || handle_connection(stream, shared));
+        let mut listener = Some(listener);
+        for (index, epoll) in epolls.into_iter().enumerate() {
+            let listener = if index == 0 { listener.take() } else { None };
+            let shared = Arc::clone(shared);
+            scope.spawn(move || event_loop::run(&shared, index, epoll, listener));
         }
-        // Abandon anything still queued so handlers waiting on replies see
-        // their channels close instead of blocking the scope join.
-        shared.scheduler.shutdown();
     });
 }
 
-enum LineError {
-    /// The line exceeded the request-size cap.
-    TooLong,
-    /// The connection failed or the server is shutting down.
-    Closed,
-}
-
-/// Read one `\n`-terminated line, enforcing the size cap. `Ok(None)` is a
-/// clean disconnect (EOF) — including one mid-line: a partial request with
-/// no terminator is dropped, never parsed.
-fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
-    cap: usize,
-    shared: &Shared,
-) -> Result<Option<String>, LineError> {
-    let mut line = Vec::new();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return Err(LineError::Closed);
-        }
-        let (done, used) = {
-            let available = match reader.fill_buf() {
-                Ok(bytes) => bytes,
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock
-                            | std::io::ErrorKind::TimedOut
-                            | std::io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    continue
-                }
-                Err(_) => return Err(LineError::Closed),
-            };
-            if available.is_empty() {
-                return Ok(None);
-            }
-            match available.iter().position(|&b| b == b'\n') {
-                Some(nl) => {
-                    line.extend_from_slice(&available[..nl]);
-                    (true, nl + 1)
-                }
-                None => {
-                    line.extend_from_slice(available);
-                    (false, available.len())
-                }
-            }
-        };
-        reader.consume(used);
-        if line.len() > cap {
-            return Err(LineError::TooLong);
-        }
-        if done {
-            return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
-        }
-    }
-}
-
-/// Serve one connection: read request lines, dispatch, write response
-/// lines. Requests on one connection are served in order; concurrency
-/// comes from concurrent connections sharing the worker pool.
-fn handle_connection(stream: TcpStream, shared: &Shared) {
-    // A short read timeout keeps the handler responsive to shutdown while
-    // the client is idle.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let Ok(mut writer) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    // Deterministic correlation ids for requests that do not bring one:
-    // `srv-1`, `srv-2`, … in per-connection request order.
-    let mut next_assigned = 0u64;
-    let mut assign_id = move |supplied: Option<&str>| {
-        next_assigned += 1;
-        supplied
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("srv-{next_assigned}"))
-    };
-    let respond = |writer: &mut TcpStream, response: &Response| -> bool {
-        shared.counters.record_verdict(response.verdict);
-        writer
-            .write_all(format!("{}\n", response.render()).as_bytes())
-            .and_then(|()| writer.flush())
-            .is_ok()
-    };
-    loop {
-        let line = match read_request_line(&mut reader, shared.config.max_request_bytes, shared) {
-            Ok(Some(line)) => line,
-            Ok(None) | Err(LineError::Closed) => return,
-            Err(LineError::TooLong) => {
-                let response = Response::failure(
-                    assign_id(None),
-                    Verdict::InvalidRequest,
-                    format!(
-                        "request exceeds {} bytes; closing connection",
-                        shared.config.max_request_bytes
-                    ),
-                );
-                respond(&mut writer, &response);
-                return;
-            }
-        };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let request = match Request::parse_line(&line) {
-            Ok(request) => request,
-            Err(message) => {
-                let response = Response::failure(assign_id(None), Verdict::InvalidRequest, message);
-                if !respond(&mut writer, &response) {
-                    return;
-                }
-                continue;
-            }
-        };
-        let id = assign_id(request.id());
-        let response = match request {
-            Request::Stats { .. } => {
-                Counters::bump(&shared.counters.stats_requests);
-                stats_response(shared, id)
-            }
-            Request::CacheExport { .. } => {
-                Counters::bump(&shared.counters.cache_requests);
-                let mut response = stats_response(shared, id);
-                response.payload = Some(shared.cache.export_snapshot());
-                response
-            }
-            Request::CacheImport { snapshot, .. } => {
-                Counters::bump(&shared.counters.cache_requests);
-                match shared.cache.import_snapshot(&snapshot) {
-                    Ok(load) => Response {
-                        stats: vec![
-                            ("imported".to_string(), load.loaded as f64),
-                            ("duplicates".to_string(), load.duplicates as f64),
-                            (
-                                "truncated_tail".to_string(),
-                                f64::from(u8::from(load.truncated_tail)),
-                            ),
-                        ],
-                        error: None,
-                        ..Response::failure(id, Verdict::Ok, "")
-                    },
-                    Err(message) => Response::failure(id, Verdict::InvalidRequest, message),
-                }
-            }
-            Request::Synth(synth) => {
-                Counters::bump(&shared.counters.synth_requests);
-                match shared.scheduler.submit(synth, id.clone()) {
-                    Err(_refused) => Response::failure(
-                        id,
-                        Verdict::Overloaded,
-                        format!(
-                            "queue full ({} jobs waiting); retry later",
-                            shared.config.queue_limit
-                        ),
-                    ),
-                    Ok((receiver, token)) => {
-                        match await_reply(&mut reader, &receiver, &token, id) {
-                            Some(response) => response,
-                            // The client disconnected mid-job; the job has
-                            // been cancelled and there is nobody to answer.
-                            // No verdict is delivered, so account for the
-                            // request under `cancelled` to keep the stats
-                            // totals adding up.
-                            None => {
-                                Counters::bump(&shared.counters.cancelled);
-                                return;
-                            }
-                        }
-                    }
-                }
-            }
-        };
-        if !respond(&mut writer, &response) {
-            return;
-        }
-    }
-}
-
-/// Wait for a submitted job's response while watching the client's side of
-/// the connection. If the client disconnects before the response arrives,
-/// the job's token is cancelled — freeing its worker at the synthesizer's
-/// next budget checkpoint (or skipping the job entirely if it was still
-/// queued) — and `None` is returned so the handler closes up.
-fn await_reply(
-    reader: &mut BufReader<TcpStream>,
-    receiver: &Receiver<Response>,
-    token: &CancelToken,
-    id: String,
-) -> Option<Response> {
-    loop {
-        match receiver.recv_timeout(Duration::from_millis(50)) {
-            Ok(response) => return Some(response),
-            // The reply channel only closes when the scheduler abandons
-            // queued jobs at shutdown.
-            Err(RecvTimeoutError::Disconnected) => {
-                return Some(Response::failure(
-                    id,
-                    Verdict::Error,
-                    "server shutting down",
-                ))
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if client_disconnected(reader) {
-                    // Cancel and leave; the worker's send into the dropped
-                    // receiver is already a tolerated no-op.
-                    token.cancel();
-                    return None;
-                }
-            }
-        }
-    }
-}
-
-/// Probe the connection for a client-side disconnect without consuming data:
-/// an EOF (or a hard error) on a non-destructive `fill_buf` means the peer
-/// is gone. Pipelined request bytes stay buffered for the next
-/// `read_request_line`. The probe temporarily shrinks the stream's read
-/// timeout to 10 ms so a response landing in the reply channel mid-probe is
-/// picked up promptly (the handler's usual 100 ms timeout is restored on
-/// the way out).
-fn client_disconnected(reader: &mut BufReader<TcpStream>) -> bool {
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(10)));
-    let gone = probe_eof(reader);
-    let _ = reader
-        .get_ref()
-        .set_read_timeout(Some(Duration::from_millis(100)));
-    gone
-}
-
-fn probe_eof(reader: &mut BufReader<TcpStream>) -> bool {
-    match reader.fill_buf() {
-        Ok(buffered) => buffered.is_empty(),
-        Err(e)
-            if matches!(
-                e.kind(),
-                std::io::ErrorKind::WouldBlock
-                    | std::io::ErrorKind::TimedOut
-                    | std::io::ErrorKind::Interrupted
-            ) =>
-        {
-            false
-        }
-        Err(_) => true,
-    }
-}
-
-/// Answer a `stats` request: cumulative request counters plus the counters
-/// of the process-wide shared solver cache.
+/// Answer a `stats` request: cumulative request counters, the per-request
+/// latency percentiles (queue-wait vs solve split) and the counters of the
+/// process-wide shared solver cache.
 fn stats_response(shared: &Shared, id: String) -> Response {
     let cache = shared.cache.stats();
     let count = |c: &AtomicU64| c.load(Ordering::Relaxed) as f64;
+    let quantile = |h: &latency::Histogram, q: f64| h.quantile(q).unwrap_or_default().as_secs_f64();
     let counters = &shared.counters;
     Response {
         id,
@@ -536,7 +368,39 @@ fn stats_response(shared: &Shared, id: String) -> Response {
                 shared.started.elapsed().as_secs_f64(),
             ),
             ("jobs".to_string(), shared.config.jobs as f64),
+            (
+                "io_threads".to_string(),
+                shared.config.io_threads.max(1) as f64,
+            ),
             ("queue_depth".to_string(), shared.scheduler.depth() as f64),
+            (
+                "latency_samples".to_string(),
+                shared.solve_latency.count() as f64,
+            ),
+            (
+                "queue_wait_p50_secs".to_string(),
+                quantile(&shared.queue_latency, 0.50),
+            ),
+            (
+                "queue_wait_p95_secs".to_string(),
+                quantile(&shared.queue_latency, 0.95),
+            ),
+            (
+                "queue_wait_p99_secs".to_string(),
+                quantile(&shared.queue_latency, 0.99),
+            ),
+            (
+                "solve_p50_secs".to_string(),
+                quantile(&shared.solve_latency, 0.50),
+            ),
+            (
+                "solve_p95_secs".to_string(),
+                quantile(&shared.solve_latency, 0.95),
+            ),
+            (
+                "solve_p99_secs".to_string(),
+                quantile(&shared.solve_latency, 0.99),
+            ),
             ("connections".to_string(), count(&counters.connections)),
             (
                 "synth_requests".to_string(),
@@ -590,6 +454,22 @@ pub fn run_synth_request(
     id: &str,
     token: &CancelToken,
 ) -> Response {
+    run_synth_request_with(cache, config, request, id, token, None)
+}
+
+/// [`run_synth_request`] with an optional [`ProgressSink`] attached to the
+/// request's budget: every budget checkpoint while the job runs gives the
+/// sink a chance to emit a (rate-limited) `resyn-wire/2` progress
+/// heartbeat. This is the worker-side half of streaming; the final
+/// response is identical with or without the sink.
+pub fn run_synth_request_with(
+    cache: &SolverCache,
+    config: &ServerConfig,
+    request: &SynthRequest,
+    id: &str,
+    token: &CancelToken,
+    progress: Option<ProgressSink>,
+) -> Response {
     let max_timeout = config.timeout;
     let mode: Mode = match request.mode.as_deref() {
         None => Mode::ReSyn,
@@ -638,8 +518,11 @@ pub fn run_synth_request(
 
     // One wall-clock budget for the whole request (later goals get whatever
     // the earlier ones left over), cancelled when the client's connection
-    // handler gives up on the job.
-    let budget = Budget::with_timeout(timeout).attach(token.clone());
+    // gives up on the job.
+    let mut budget = Budget::with_timeout(timeout).attach(token.clone());
+    if let Some(sink) = progress {
+        budget = budget.with_progress(sink);
+    }
     let mut merged = SynthStats::default();
     let mut programs = String::new();
     let mut failed_goal = None;

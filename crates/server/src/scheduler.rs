@@ -28,15 +28,38 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use resyn_budget::CancelToken;
 use resyn_wire::proto::{Response, SynthRequest, Verdict};
 
+/// A streaming progress callback: `(seq, elapsed)` pairs the runner should
+/// forward while the job is still running (the event loop turns them into
+/// `resyn-wire/2` `progress` frames).
+pub type ProgressFn = Arc<dyn Fn(u64, Duration) + Send + Sync>;
+
+/// A completion callback for [`Scheduler::submit_with`]. Called with
+/// `Some(response)` when the job ran (or panicked — the panic becomes an
+/// `error` response), and with `None` when the job was claimed but skipped
+/// because its token was already cancelled (the submitter's client is gone;
+/// there is no one to answer, but the submitter may want to account for the
+/// abandonment).
+pub type DoneFn = Box<dyn FnOnce(Option<Response>) + Send>;
+
+/// How a job's response travels back to its submitter.
+enum ReplySink {
+    /// [`Scheduler::submit`]: an mpsc channel the submitter waits on.
+    Channel(Sender<Response>),
+    /// [`Scheduler::submit_with`]: a callback the worker invokes — this is
+    /// how the event-driven server hands a finished verdict back to the
+    /// I/O thread that owns the client's connection.
+    Callback(DoneFn),
+}
+
 /// A queued synthesis job: the parsed request plus the correlation id the
-/// connection assigned, the channel its response travels back on, and the
+/// connection assigned, the sink its response travels back through, and the
 /// token that cancels it.
-#[derive(Debug)]
 pub struct Job {
     /// The request to run.
     pub request: SynthRequest,
@@ -44,7 +67,22 @@ pub struct Job {
     pub id: String,
     /// Cancels this job (see the module documentation).
     pub token: CancelToken,
-    reply: Sender<Response>,
+    /// Present when the submitter wants streamed progress: the runner
+    /// forwards budget-checkpoint heartbeats through it.
+    pub progress: Option<ProgressFn>,
+    reply: ReplySink,
+    /// When the job entered the queue; the worker derives the queue-wait
+    /// half of the latency split from it.
+    queued_at: Instant,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("id", &self.id)
+            .field("streaming", &self.progress.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 /// The bounded job queue shared by every connection handler and drained by
@@ -56,6 +94,9 @@ pub struct Scheduler {
     /// refused (`overloaded`).
     limit: usize,
     shutdown: AtomicBool,
+    /// Observes `(queue_wait, solve_time)` for every job that actually ran;
+    /// the server points this at its latency histograms.
+    timing: Option<Box<dyn Fn(Duration, Duration) + Send + Sync>>,
 }
 
 impl Scheduler {
@@ -67,7 +108,20 @@ impl Scheduler {
             ready: Condvar::new(),
             limit: limit.max(1),
             shutdown: AtomicBool::new(false),
+            timing: None,
         }
+    }
+
+    /// Install a timing observer called with `(queue_wait, solve_time)`
+    /// after each completed job. Builder-style, meant for construction time
+    /// (before workers start).
+    #[must_use]
+    pub fn with_timing_observer(
+        mut self,
+        observer: impl Fn(Duration, Duration) + Send + Sync + 'static,
+    ) -> Scheduler {
+        self.timing = Some(Box::new(observer));
+        self
     }
 
     fn lock_queue(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
@@ -76,6 +130,21 @@ impl Scheduler {
         self.queue
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    // Handing the whole job back on refusal is the point (the caller
+    // answers `overloaded` with its id, in order), so the large Err
+    // variant is deliberate — as it already is for `submit`.
+    #[allow(clippy::result_large_err)]
+    fn enqueue(&self, job: Job) -> Result<(), Job> {
+        let mut queue = self.lock_queue();
+        if queue.len() >= self.limit || self.shutdown.load(Ordering::SeqCst) {
+            return Err(job);
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.ready.notify_one();
+        Ok(())
     }
 
     /// Enqueue a job. Returns the receiver its response will arrive on plus
@@ -90,20 +159,42 @@ impl Scheduler {
     ) -> Result<(Receiver<Response>, CancelToken), Job> {
         let (reply, receiver) = channel();
         let token = CancelToken::new();
-        let job = Job {
+        self.enqueue(Job {
             request,
             id,
             token: token.clone(),
-            reply,
-        };
-        let mut queue = self.lock_queue();
-        if queue.len() >= self.limit || self.shutdown.load(Ordering::SeqCst) {
-            return Err(job);
-        }
-        queue.push_back(job);
-        drop(queue);
-        self.ready.notify_one();
+            progress: None,
+            reply: ReplySink::Channel(reply),
+            queued_at: Instant::now(),
+        })?;
         Ok((receiver, token))
+    }
+
+    /// Enqueue a job whose response comes back through a callback instead
+    /// of a channel — the event-driven server's path: `done` runs on the
+    /// worker thread and hands the rendered frame to the I/O thread that
+    /// owns the connection. `progress` (optional) receives streamed
+    /// heartbeats while the job runs. On refusal the job is handed back —
+    /// including its callback, uninvoked — so the caller can answer
+    /// `overloaded` in-line and in order.
+    #[allow(clippy::result_large_err)]
+    pub fn submit_with(
+        &self,
+        request: SynthRequest,
+        id: String,
+        progress: Option<ProgressFn>,
+        done: DoneFn,
+    ) -> Result<CancelToken, Job> {
+        let token = CancelToken::new();
+        self.enqueue(Job {
+            request,
+            id,
+            token: token.clone(),
+            progress,
+            reply: ReplySink::Callback(done),
+            queued_at: Instant::now(),
+        })?;
+        Ok(token)
     }
 
     /// How many jobs are currently waiting (not running).
@@ -126,8 +217,10 @@ impl Scheduler {
     /// and every other queued job are unaffected (the same contract the
     /// parallel evaluation pool gives benchmarks). A job whose token was
     /// cancelled while it waited in the queue is discarded without running
-    /// (its submitter has stopped listening). The runner receives the job's
-    /// token so mid-run cancellation reaches the synthesis budget.
+    /// (its submitter has stopped listening); a callback submitter is told
+    /// with `None`. The runner receives the whole [`Job`] so mid-run
+    /// cancellation reaches the synthesis budget and streamed progress
+    /// reaches the submitter's `progress` callback.
     ///
     /// Waiting is purely condvar-driven: [`submit`](Self::submit) and
     /// [`shutdown`](Self::shutdown) notify under the queue mutex's
@@ -136,7 +229,7 @@ impl Scheduler {
     /// wakeup per worker per tick for nothing).
     pub fn worker_loop<F>(&self, run: F)
     where
-        F: Fn(&SynthRequest, &str, &CancelToken) -> Response,
+        F: Fn(&Job) -> Response,
     {
         loop {
             let job = {
@@ -157,23 +250,40 @@ impl Scheduler {
             if job.token.is_cancelled() {
                 // The client disconnected while the job was queued: skip it
                 // entirely instead of synthesizing into a closed channel.
+                // A callback submitter still hears about the abandonment.
+                if let ReplySink::Callback(done) = job.reply {
+                    done(None);
+                }
                 continue;
             }
-            let response =
-                match catch_unwind(AssertUnwindSafe(|| run(&job.request, &job.id, &job.token))) {
-                    Ok(response) => response,
-                    Err(payload) => Response::failure(
-                        job.id.clone(),
-                        Verdict::Error,
-                        format!(
-                            "synthesis worker panicked: {}",
-                            panic_message(payload.as_ref())
-                        ),
+            let queue_wait = job.queued_at.elapsed();
+            let solve_started = Instant::now();
+            let response = match catch_unwind(AssertUnwindSafe(|| run(&job))) {
+                Ok(response) => response,
+                Err(payload) => Response::failure(
+                    job.id.clone(),
+                    Verdict::Error,
+                    format!(
+                        "synthesis worker panicked: {}",
+                        panic_message(payload.as_ref())
                     ),
-                };
-            // The client may have disconnected while the job was queued or
-            // running; a closed reply channel is not an error.
-            let _ = job.reply.send(response);
+                ),
+            };
+            let solve_time = solve_started.elapsed();
+            // Record timing *before* delivering the reply: once the client
+            // holds its verdict it may immediately ask for `stats`, and the
+            // histogram must already contain this job's samples.
+            if let Some(observer) = &self.timing {
+                observer(queue_wait, solve_time);
+            }
+            match job.reply {
+                // The client may have disconnected while the job was queued
+                // or running; a closed reply channel is not an error.
+                ReplySink::Channel(reply) => {
+                    let _ = reply.send(response);
+                }
+                ReplySink::Callback(done) => done(Some(response)),
+            }
         }
     }
 }
@@ -218,7 +328,7 @@ mod tests {
     fn jobs_flow_through_a_worker_and_correlate_by_id() {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
-            scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
+            scope.spawn(|| scheduler.worker_loop(|job: &Job| ok_response(&job.id)));
             let (rx_a, _) = scheduler
                 .submit(synth_request("a"), "id-a".to_string())
                 .unwrap();
@@ -240,9 +350,9 @@ mod tests {
         let gate_rx = Mutex::new(gate_rx);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|_, id, _| {
+                scheduler.worker_loop(|job: &Job| {
                     let _ = gate_rx.lock().unwrap().recv();
-                    ok_response(id)
+                    ok_response(&job.id)
                 })
             });
             let (first, _) = scheduler
@@ -283,11 +393,11 @@ mod tests {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|request, id, _| {
-                    if request.problem == "boom" {
+                scheduler.worker_loop(|job: &Job| {
+                    if job.request.problem == "boom" {
                         panic!("injected failure");
                     }
-                    ok_response(id)
+                    ok_response(&job.id)
                 })
             });
             let (rx_bad, _) = scheduler
@@ -314,14 +424,14 @@ mod tests {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|request, id, token| {
-                    if request.problem == "endless" {
-                        while !token.is_cancelled() {
+                scheduler.worker_loop(|job: &Job| {
+                    if job.request.problem == "endless" {
+                        while !job.token.is_cancelled() {
                             std::thread::yield_now();
                         }
-                        return Response::failure(id, Verdict::TimedOut, "cancelled");
+                        return Response::failure(job.id.clone(), Verdict::TimedOut, "cancelled");
                     }
-                    ok_response(id)
+                    ok_response(&job.id)
                 })
             });
             let (endless, token) = scheduler
@@ -353,13 +463,13 @@ mod tests {
         let gate_rx = Mutex::new(gate_rx);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|request, id, _| {
+                scheduler.worker_loop(|job: &Job| {
                     assert_ne!(
-                        request.problem, "abandoned",
+                        job.request.problem, "abandoned",
                         "a queued job cancelled before being claimed must be skipped"
                     );
                     let _ = gate_rx.lock().unwrap().recv();
-                    ok_response(id)
+                    ok_response(&job.id)
                 })
             });
             // Occupy the only worker, queue a job, cancel it while queued.
@@ -399,7 +509,7 @@ mod tests {
         // per job would have allowed.
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
-            scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
+            scope.spawn(|| scheduler.worker_loop(|job: &Job| ok_response(&job.id)));
             let start = std::time::Instant::now();
             for i in 0..200 {
                 let (rx, _) = scheduler
@@ -426,9 +536,9 @@ mod tests {
         let gate_rx = Mutex::new(gate_rx);
         std::thread::scope(|scope| {
             scope.spawn(|| {
-                scheduler.worker_loop(|_, id, _| {
+                scheduler.worker_loop(|job: &Job| {
                     let _ = gate_rx.lock().unwrap().recv();
-                    ok_response(id)
+                    ok_response(&job.id)
                 })
             });
             let (running, _) = scheduler
@@ -455,12 +565,120 @@ mod tests {
     fn shutdown_refuses_new_work_and_stops_workers() {
         let scheduler = Scheduler::new(8);
         std::thread::scope(|scope| {
-            let worker = scope.spawn(|| scheduler.worker_loop(|_, id, _| ok_response(id)));
+            let worker = scope.spawn(|| scheduler.worker_loop(|job: &Job| ok_response(&job.id)));
             scheduler.shutdown();
             assert!(scheduler
                 .submit(synth_request("late"), "l".to_string())
                 .is_err());
             worker.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn callback_submissions_deliver_the_response_and_streamed_progress() {
+        let scheduler = Scheduler::new(8);
+        let (done_tx, done_rx) = mpsc::channel::<Option<Response>>();
+        let (progress_tx, progress_rx) = mpsc::channel::<u64>();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|job: &Job| {
+                    // The runner forwards progress the way the synthesis
+                    // budget's checkpoints do.
+                    if let Some(progress) = &job.progress {
+                        progress(1, std::time::Duration::from_millis(5));
+                        progress(2, std::time::Duration::from_millis(10));
+                    }
+                    ok_response(&job.id)
+                })
+            });
+            let progress: ProgressFn = Arc::new(move |seq, _elapsed| {
+                let _ = progress_tx.send(seq);
+            });
+            scheduler
+                .submit_with(
+                    synth_request("streamed"),
+                    "s".to_string(),
+                    Some(progress),
+                    Box::new(move |response| {
+                        let _ = done_tx.send(response);
+                    }),
+                )
+                .unwrap();
+            let response = done_rx.recv().unwrap().expect("job ran to completion");
+            assert_eq!(response.id, "s");
+            assert_eq!(progress_rx.recv().unwrap(), 1);
+            assert_eq!(progress_rx.recv().unwrap(), 2);
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn a_callback_job_cancelled_while_queued_hears_none() {
+        let scheduler = Scheduler::new(8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let gate_rx = Mutex::new(gate_rx);
+        let (done_tx, done_rx) = mpsc::channel::<Option<Response>>();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|job: &Job| {
+                    assert_ne!(
+                        job.request.problem, "abandoned",
+                        "a queued job cancelled before being claimed must be skipped"
+                    );
+                    let _ = gate_rx.lock().unwrap().recv();
+                    ok_response(&job.id)
+                })
+            });
+            let (running, _) = scheduler
+                .submit(synth_request("running"), "r".to_string())
+                .unwrap();
+            while scheduler.depth() > 0 {
+                std::thread::yield_now();
+            }
+            let token = scheduler
+                .submit_with(
+                    synth_request("abandoned"),
+                    "a".to_string(),
+                    None,
+                    Box::new(move |response| {
+                        let _ = done_tx.send(response);
+                    }),
+                )
+                .unwrap();
+            token.cancel();
+            gate_tx.send(()).unwrap();
+            assert_eq!(running.recv().unwrap().id, "r");
+            assert!(
+                done_rx.recv().unwrap().is_none(),
+                "a skipped callback job is told it was abandoned"
+            );
+            scheduler.shutdown();
+        });
+    }
+
+    #[test]
+    fn the_timing_observer_sees_queue_wait_and_solve_time() {
+        let (timing_tx, timing_rx) = mpsc::channel::<(Duration, Duration)>();
+        let scheduler = Scheduler::new(8).with_timing_observer(move |queue_wait, solve| {
+            let _ = timing_tx.send((queue_wait, solve));
+        });
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                scheduler.worker_loop(|job: &Job| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    ok_response(&job.id)
+                })
+            });
+            let (rx, _) = scheduler
+                .submit(synth_request("timed"), "t".to_string())
+                .unwrap();
+            assert_eq!(rx.recv().unwrap().id, "t");
+            let (_queue_wait, solve) = timing_rx.recv().unwrap();
+            assert!(
+                solve >= Duration::from_millis(10),
+                "solve time {solve:?} must cover the runner's work"
+            );
+            scheduler.shutdown();
         });
     }
 }

@@ -373,6 +373,77 @@ pub fn generate(
         }
     }
 
+    // 5. Match on a datatype parameter whose recursive arm re-matches the
+    //    *tail binder* (a match binder, not a parameter) — the adjacent-pair
+    //    view `compress`-style goals need: the innermost arm sees both the
+    //    head and the head-of-tail, and may be split by zero, one or two
+    //    guards comparing them. Appended after the flatter families so the
+    //    lowest-index-wins search order still prefers simpler programs.
+    for (p, d) in &data_params {
+        let outer_binders = recursive_arm_binders(datatypes, d, 1);
+        let tails: Vec<(String, String)> = outer_binders
+            .iter()
+            .filter_map(|(n, s)| match s {
+                Shape::Data(inner) => Some((n.clone(), inner.clone())),
+                _ => None,
+            })
+            .collect();
+        for (tail, td) in &tails {
+            for depth in 0..=2usize {
+                if budget.is_exceeded() {
+                    return out;
+                }
+                let inner_binders = recursive_arm_binders(datatypes, td, 2);
+                let mut scope = params.to_vec();
+                scope.extend(outer_binders.clone());
+                scope.extend(inner_binders.clone());
+                let guards = guard_candidates(&scope);
+                let combos: Vec<Vec<Expr>> = match depth {
+                    0 => vec![Vec::new()],
+                    1 => guards.iter().map(|g| vec![g.clone()]).collect(),
+                    _ => {
+                        let mut cs = Vec::new();
+                        for g1 in &guards {
+                            for g2 in &guards {
+                                if g1 != g2 {
+                                    cs.push(vec![g1.clone(), g2.clone()]);
+                                }
+                            }
+                        }
+                        cs
+                    }
+                };
+                for combo in combos {
+                    if budget.is_exceeded() {
+                        return out;
+                    }
+                    let mut b = Builder { holes: Vec::new() };
+                    let tail_c = tail.clone();
+                    let td_c = td.clone();
+                    let combo_ref = combo.clone();
+                    let body = match_on(&mut b, datatypes, p, d, 1, |b, outer| {
+                        // Only the arm that actually binds the tail can
+                        // re-match it; the other arms keep a plain hole.
+                        if !outer.iter().any(|(n, _)| n == &tail_c) {
+                            return b.hole(outer);
+                        }
+                        match match_on_inner(b, datatypes, &tail_c, &td_c, 2, &outer, &combo_ref) {
+                            Some(e) => e,
+                            None => b.hole(outer),
+                        }
+                    });
+                    if let Some(body) = body {
+                        out.push(Skeleton {
+                            body,
+                            holes: b.holes,
+                            guards: combo.len(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
     out
 }
 
@@ -483,6 +554,40 @@ mod tests {
         // The innermost hole sees the binders of both matches.
         let deepest = nested.holes.last().unwrap();
         assert!(deepest.binders.len() >= 4);
+    }
+
+    #[test]
+    fn tail_rematch_skeletons_expose_adjacent_elements() {
+        // `compress` needs `match xs with … Cons x xs' -> match xs' with …`:
+        // a nested match on the *tail binder* of the outer recursive arm, so
+        // the innermost hole sees two adjacent elements at once.
+        let datatypes = Datatypes::standard();
+        let params = vec![("xs".to_string(), Shape::Data("List".into()))];
+        let no_guards = |_: &[(String, Shape)]| Vec::<Expr>::new();
+        let skeletons = generate(&params, &datatypes, &no_guards, &Budget::unlimited());
+        let nested = skeletons
+            .iter()
+            .find(|s| s.body.to_string().contains("match xs1_1"))
+            .expect("a skeleton re-matching the tail binder");
+        // Three leaves: Nil, Cons-of-Nil, Cons-of-Cons.
+        assert_eq!(nested.holes.len(), 3);
+        let deepest = nested.holes.last().unwrap();
+        let names: Vec<&str> = deepest.binders.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(
+            names.contains(&"x1_0") && names.contains(&"x2_0"),
+            "innermost hole must see both adjacent heads: {names:?}"
+        );
+        // The tail-rematch family is appended *after* the flatter families,
+        // so existing goals keep their lowest-index (simpler) solutions.
+        let first_nested = skeletons
+            .iter()
+            .position(|s| s.body.to_string().contains("match xs1_1"))
+            .unwrap();
+        let last_flat = skeletons
+            .iter()
+            .rposition(|s| !s.body.to_string().contains("match xs1_1"))
+            .unwrap();
+        assert!(first_nested > last_flat || skeletons.len() == first_nested + 1);
     }
 
     #[test]

@@ -460,6 +460,14 @@ impl Checker {
         if goal.is_true() {
             return Ok(());
         }
+        // `premises ⊢ a ∧ b` holds iff both conjuncts hold on their own, and
+        // the split queries are strictly smaller — a conjunction of two set
+        // equalities (e.g. compress's `elems … ∧ heads …`) can exceed the
+        // solver's decision limit where each half alone is easy.
+        if let Term::Binary(resyn_logic::BinOp::And, a, b) = &goal {
+            self.require_valid(ctx, st, extra_premise.clone(), (**a).clone(), origin)?;
+            return self.require_valid(ctx, st, extra_premise, (**b).clone(), origin);
+        }
         if self.budget.is_exceeded() {
             return Err(CheckError::Cancelled);
         }

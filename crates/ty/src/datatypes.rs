@@ -236,6 +236,27 @@ fn list_decl(name: &str, tail_elem_refinement: Option<Term>) -> DataDecl {
         .into_iter()
         .collect(),
     };
+    // The head-element set ({x} for a cons, ∅ for nil), matching the CList
+    // measure of the same name: `compress`'s signature uses it to promise
+    // the result starts with the same element as the input, which is what
+    // lets `CCons x (compress xs')` discharge the no-adjacent-duplicate
+    // constraint on the recursive call. Declared for plain `List` only —
+    // the sorted variants have no goal relating them to `CList`.
+    let heads = MeasureDef {
+        name: "heads".into(),
+        params: vec![],
+        result: Sort::Set,
+        cases: [
+            (nil_name.to_string(), Term::EmptySet),
+            (cons_name.to_string(), Term::var("x").singleton()),
+        ]
+        .into_iter()
+        .collect(),
+    };
+    let mut measures = vec![len, elems, numgt, numlt];
+    if name == "List" {
+        measures.push(heads);
+    }
     DataDecl {
         name: name.into(),
         param: Some("a".into()),
@@ -249,7 +270,7 @@ fn list_decl(name: &str, tail_elem_refinement: Option<Term>) -> DataDecl {
                 args: vec![("x".into(), elem), ("xs".into(), self_ty(tail_elem))],
             },
         ],
-        measures: vec![len, elems, numgt, numlt],
+        measures,
     }
 }
 

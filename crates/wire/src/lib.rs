@@ -9,11 +9,12 @@
 //!   used to live inside `resyn_eval::report`; the `resyn-bench-eval/1`
 //!   report schema and the `resyn-wire/1` protocol below are both built on
 //!   it.
-//! * [`proto`] — the `resyn-wire/1` request/response protocol of the
-//!   `resyn serve` synthesis server: newline-delimited JSON messages that
-//!   submit a surface-syntax synthesis problem (or query server statistics)
-//!   and carry back the verdict, the synthesized program, timing and
-//!   solver-cache counters.
+//! * [`proto`] — the `resyn-wire/1` and `resyn-wire/2` request/response
+//!   protocols of the `resyn serve` synthesis server: newline-delimited
+//!   JSON messages that submit a surface-syntax synthesis problem (or query
+//!   server statistics) and carry back the verdict, the synthesized
+//!   program, timing and solver-cache counters — with `/2` adding streamed
+//!   `progress` frames ahead of the final response.
 //!
 //! # The `resyn-wire/1` schema
 //!
@@ -53,6 +54,38 @@
 //! keys may be appended, so consumers must index by name. Like
 //! `resyn-bench-eval/1`, the schema is versioned by its name: breaking
 //! changes bump the suffix.
+//!
+//! # The `resyn-wire/2` streaming extension
+//!
+//! `/2` is a strict superset of `/1`. A synthesis request opts into
+//! streaming by carrying the `/2` schema and `"stream": true`:
+//!
+//! ```json
+//! {"wire": "resyn-wire/2", "type": "synth", "id": "req-3",
+//!  "problem": "goal id :: xs: List a -> {List a | len _v == len xs}",
+//!  "stream": true}
+//! ```
+//!
+//! The server then interleaves `progress` heartbeat frames — emitted from
+//! the synthesis budget's checkpoints while the job runs — before the final
+//! response:
+//!
+//! ```json
+//! {"wire": "resyn-wire/2", "type": "progress", "id": "req-3", "seq": 1,
+//!  "elapsed_secs": 0.104}
+//! {"wire": "resyn-wire/2", "type": "progress", "id": "req-3", "seq": 2,
+//!  "elapsed_secs": 0.221}
+//! {"wire": "resyn-wire/1", "id": "req-3", "verdict": "solved", "...": "..."}
+//! ```
+//!
+//! `seq` increases monotonically per request starting at 1; `elapsed_secs`
+//! is wall-clock time since the request's budget started. The **final frame
+//! is byte-identical to the `/1` response** — streaming changes what comes
+//! *before* it, never the verdict line itself — so `/1`-era clients that
+//! never set `"stream"` observe no difference at all. Readers of a
+//! streaming exchange dispatch per line with [`proto::Frame::parse_line`]:
+//! `"type": "progress"` marks a heartbeat, a missing `type` marks the final
+//! response.
 
 pub mod json;
 pub mod proto;
@@ -61,4 +94,6 @@ pub mod proto;
 mod proptests;
 
 pub use json::{json_num, json_str, parse_json, render_compact, Json};
-pub use proto::{Request, Response, SynthRequest, Verdict, WIRE_SCHEMA};
+pub use proto::{
+    Frame, Progress, Request, Response, SynthRequest, Verdict, WIRE_SCHEMA, WIRE_SCHEMA_2,
+};

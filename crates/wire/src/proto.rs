@@ -1,15 +1,28 @@
-//! The `resyn-wire/1` protocol: typed requests and responses plus their
-//! (de)serialization to single-line JSON messages.
+//! The `resyn-wire/1` and `resyn-wire/2` protocols: typed requests,
+//! responses and streaming frames plus their (de)serialization to
+//! single-line JSON messages.
 //!
-//! See the crate-level documentation for the schema. This module is
+//! See the crate-level documentation for the schemas. This module is
 //! deliberately free of synthesis-pipeline types — modes are strings here
 //! and are validated by the server — so clients in other languages can be
 //! checked against the same description.
+//!
+//! `/2` is a strict superset of `/1`: a synthesis request may opt into
+//! **streaming** (`"stream": true`), in which case the server interleaves
+//! [`Progress`] frames before the final [`Response`]. The final frame is
+//! byte-identical to what a `/1` server would send, so a `/1`-era reader
+//! that only ever looks at the last line of a non-streaming exchange keeps
+//! working unchanged.
 
 use crate::json::{parse_json, render_compact, Json};
 
-/// The protocol identifier carried in every message's `"wire"` field.
+/// The original protocol identifier carried in every message's `"wire"`
+/// field. Non-streaming messages still carry this one.
 pub const WIRE_SCHEMA: &str = "resyn-wire/1";
+
+/// The streaming protocol identifier: carried by requests that opt into
+/// streaming and by the `progress` frames the server interleaves for them.
+pub const WIRE_SCHEMA_2: &str = "resyn-wire/2";
 
 /// A synthesis request: a surface-syntax problem plus search options.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -27,6 +40,10 @@ pub struct SynthRequest {
     pub timeout_secs: Option<f64>,
     /// Restrict synthesis to the goal with this name.
     pub goal: Option<String>,
+    /// Opt into `resyn-wire/2` streaming: the server interleaves
+    /// `progress` frames before the (unchanged) final response. Rendered
+    /// requests carry `"wire": "resyn-wire/2"` when set.
+    pub stream: bool,
 }
 
 /// A parsed `resyn-wire/1` request.
@@ -68,7 +85,13 @@ impl Request {
 
     /// Serialize to a single-line JSON message (no trailing newline).
     pub fn render(&self) -> String {
-        let mut members = vec![("wire".to_string(), Json::Str(WIRE_SCHEMA.to_string()))];
+        // Only streaming requests need `/2`; everything else stays `/1` so
+        // the rendered form keeps working against pre-streaming servers.
+        let schema = match self {
+            Request::Synth(req) if req.stream => WIRE_SCHEMA_2,
+            _ => WIRE_SCHEMA,
+        };
+        let mut members = vec![("wire".to_string(), Json::Str(schema.to_string()))];
         match self {
             Request::Synth(req) => {
                 members.push(("type".to_string(), Json::Str("synth".to_string())));
@@ -84,6 +107,9 @@ impl Request {
                 }
                 if let Some(goal) = &req.goal {
                     members.push(("goal".to_string(), Json::Str(goal.clone())));
+                }
+                if req.stream {
+                    members.push(("stream".to_string(), Json::Bool(true)));
                 }
             }
             Request::Stats { id } => {
@@ -137,6 +163,11 @@ impl Request {
                         Some(_) => return Err("`timeout_secs` must be a number".to_string()),
                     },
                     goal: optional_str(&value, "goal")?,
+                    stream: match value.get("stream") {
+                        None | Some(Json::Null) => false,
+                        Some(Json::Bool(b)) => *b,
+                        Some(_) => return Err("`stream` must be a boolean".to_string()),
+                    },
                 }))
             }
             Some("stats") => Ok(Request::Stats { id }),
@@ -306,6 +337,10 @@ impl Response {
     pub fn parse_line(line: &str) -> Result<Response, String> {
         let value = parse_json(line)?;
         check_wire_field(&value)?;
+        Response::from_json(&value)
+    }
+
+    fn from_json(value: &Json) -> Result<Response, String> {
         let id = value
             .get("id")
             .and_then(Json::as_str)
@@ -333,24 +368,129 @@ impl Response {
         Ok(Response {
             id,
             verdict,
-            program: optional_str(&value, "program")?,
+            program: optional_str(value, "program")?,
             time_secs: match value.get("time_secs") {
                 None | Some(Json::Null) => None,
                 Some(Json::Num(t)) => Some(*t),
                 Some(_) => return Err("`time_secs` must be a number".to_string()),
             },
             stats,
-            payload: optional_str(&value, "payload")?,
-            error: optional_str(&value, "error")?,
+            payload: optional_str(value, "payload")?,
+            error: optional_str(value, "error")?,
         })
+    }
+}
+
+/// A `resyn-wire/2` streaming progress frame: a heartbeat the server emits
+/// at synthesis budget checkpoints while a streaming request is still
+/// running, before the final [`Response`].
+///
+/// Progress frames are distinguishable from final responses by their
+/// `"type": "progress"` member (responses have no `type` member at all), so
+/// a streaming reader dispatches on [`Frame::parse_line`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Progress {
+    /// The correlation id of the request this heartbeat belongs to.
+    pub id: String,
+    /// Monotonic per-request sequence number, starting at 1.
+    pub seq: u64,
+    /// Wall-clock seconds since the request's synthesis budget started.
+    pub elapsed_secs: f64,
+}
+
+impl Progress {
+    /// Serialize to a single-line JSON message (no trailing newline).
+    pub fn render(&self) -> String {
+        render_compact(&Json::Obj(vec![
+            ("wire".to_string(), Json::Str(WIRE_SCHEMA_2.to_string())),
+            ("type".to_string(), Json::Str("progress".to_string())),
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("seq".to_string(), Json::Num(self.seq as f64)),
+            ("elapsed_secs".to_string(), Json::Num(self.elapsed_secs)),
+        ]))
+    }
+
+    /// Parse a progress frame line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformation.
+    pub fn parse_line(line: &str) -> Result<Progress, String> {
+        let value = parse_json(line)?;
+        check_wire_field(&value)?;
+        Progress::from_json(&value)
+    }
+
+    fn from_json(value: &Json) -> Result<Progress, String> {
+        if value.get("type").and_then(Json::as_str) != Some("progress") {
+            return Err("progress frame needs `\"type\": \"progress\"`".to_string());
+        }
+        let id = value
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("progress frame needs a string `id` field")?
+            .to_string();
+        let seq = value
+            .get("seq")
+            .and_then(Json::as_num)
+            .ok_or("progress frame needs a numeric `seq` field")?;
+        if !(seq.is_finite() && seq >= 0.0) {
+            return Err(format!("`seq` must be a non-negative number, got {seq}"));
+        }
+        let elapsed_secs = value
+            .get("elapsed_secs")
+            .and_then(Json::as_num)
+            .ok_or("progress frame needs a numeric `elapsed_secs` field")?;
+        Ok(Progress {
+            id,
+            seq: seq as u64,
+            elapsed_secs,
+        })
+    }
+}
+
+/// One line of a streaming exchange: zero or more [`Progress`] heartbeats
+/// followed by exactly one final [`Response`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// An intermediate heartbeat; the request is still running.
+    Progress(Progress),
+    /// The final response; nothing follows for this request.
+    Final(Response),
+}
+
+impl Frame {
+    /// Serialize to a single-line JSON message (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Frame::Progress(p) => p.render(),
+            Frame::Final(r) => r.render(),
+        }
+    }
+
+    /// Parse one frame line, dispatching on the `"type"` member: progress
+    /// frames carry `"type": "progress"`, final responses carry no `type`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformation.
+    pub fn parse_line(line: &str) -> Result<Frame, String> {
+        let value = parse_json(line)?;
+        check_wire_field(&value)?;
+        if value.get("type").and_then(Json::as_str) == Some("progress") {
+            Ok(Frame::Progress(Progress::from_json(&value)?))
+        } else {
+            Ok(Frame::Final(Response::from_json(&value)?))
+        }
     }
 }
 
 fn check_wire_field(value: &Json) -> Result<(), String> {
     match value.get("wire").and_then(Json::as_str) {
-        Some(WIRE_SCHEMA) => Ok(()),
+        Some(WIRE_SCHEMA | WIRE_SCHEMA_2) => Ok(()),
         Some(other) => Err(format!(
-            "unsupported wire schema `{other}` (this server speaks `{WIRE_SCHEMA}`)"
+            "unsupported wire schema `{other}` (this server speaks `{WIRE_SCHEMA}` \
+             and `{WIRE_SCHEMA_2}`)"
         )),
         None => Err(format!(
             "message needs a `\"wire\": \"{WIRE_SCHEMA}\"` field"
@@ -378,9 +518,11 @@ mod tests {
             mode: Some("synquid".to_string()),
             timeout_secs: Some(12.5),
             goal: Some("id".to_string()),
+            stream: false,
         });
         let line = req.render();
         assert!(!line.contains('\n'));
+        assert!(line.contains("resyn-wire/1"), "{line}");
         assert_eq!(Request::parse_line(&line).unwrap(), req);
 
         let minimal = Request::Synth(SynthRequest {
@@ -436,8 +578,12 @@ mod tests {
     fn requests_without_the_wire_field_are_rejected() {
         let err = Request::parse_line("{\"type\": \"stats\"}").unwrap_err();
         assert!(err.contains("resyn-wire/1"), "{err}");
+        // `/2` is a supported schema since streaming landed …
+        let ok = Request::parse_line("{\"wire\": \"resyn-wire/2\", \"type\": \"stats\"}").unwrap();
+        assert_eq!(ok, Request::Stats { id: None });
+        // … but unknown versions still bounce.
         let err =
-            Request::parse_line("{\"wire\": \"resyn-wire/2\", \"type\": \"stats\"}").unwrap_err();
+            Request::parse_line("{\"wire\": \"resyn-wire/9\", \"type\": \"stats\"}").unwrap_err();
         assert!(err.contains("unsupported wire schema"), "{err}");
     }
 
@@ -490,6 +636,82 @@ mod tests {
         assert_eq!(parsed.verdict, Verdict::Overloaded);
         assert!(parsed.program.is_none() && parsed.time_secs.is_none());
         assert_eq!(parsed.error.as_deref(), Some("queue full (depth 32)"));
+    }
+
+    #[test]
+    fn streaming_requests_carry_wire_2_and_round_trip() {
+        let req = Request::Synth(SynthRequest {
+            problem: "goal g :: Int -> Int".to_string(),
+            stream: true,
+            ..SynthRequest::default()
+        });
+        let line = req.render();
+        assert!(line.contains("resyn-wire/2"), "{line}");
+        assert!(line.contains("\"stream\": true"), "{line}");
+        assert_eq!(Request::parse_line(&line).unwrap(), req);
+
+        let err = Request::parse_line(
+            "{\"wire\": \"resyn-wire/2\", \"type\": \"synth\", \"problem\": \"p\", \
+             \"stream\": \"yes\"}",
+        )
+        .unwrap_err();
+        assert!(err.contains("`stream`"), "{err}");
+    }
+
+    #[test]
+    fn progress_frames_round_trip_and_frames_dispatch_on_type() {
+        let progress = Progress {
+            id: "req-9".to_string(),
+            seq: 3,
+            elapsed_secs: 0.25,
+        };
+        let line = progress.render();
+        assert!(line.contains("resyn-wire/2"), "{line}");
+        assert_eq!(Progress::parse_line(&line).unwrap(), progress);
+        assert_eq!(
+            Frame::parse_line(&line).unwrap(),
+            Frame::Progress(progress.clone())
+        );
+
+        // A final response — still spelled `resyn-wire/1` — parses as the
+        // terminal frame of the same stream.
+        let response = Response::failure("req-9", Verdict::TimedOut, "budget exhausted");
+        let frame = Frame::parse_line(&response.render()).unwrap();
+        assert_eq!(frame, Frame::Final(response.clone()));
+        assert_eq!(frame.render(), response.render());
+
+        // Frame round-trips in the other direction too.
+        let reframed = Frame::Progress(progress);
+        assert_eq!(Frame::parse_line(&reframed.render()).unwrap(), reframed);
+    }
+
+    #[test]
+    fn malformed_progress_frames_are_rejected_with_reasons() {
+        for (line, needle) in [
+            (
+                "{\"wire\": \"resyn-wire/2\", \"type\": \"progress\", \"seq\": 1, \
+                 \"elapsed_secs\": 0.1}",
+                "`id`",
+            ),
+            (
+                "{\"wire\": \"resyn-wire/2\", \"type\": \"progress\", \"id\": \"x\", \
+                 \"elapsed_secs\": 0.1}",
+                "`seq`",
+            ),
+            (
+                "{\"wire\": \"resyn-wire/2\", \"type\": \"progress\", \"id\": \"x\", \
+                 \"seq\": -2, \"elapsed_secs\": 0.1}",
+                "non-negative",
+            ),
+            (
+                "{\"wire\": \"resyn-wire/2\", \"type\": \"progress\", \"id\": \"x\", \
+                 \"seq\": 1}",
+                "`elapsed_secs`",
+            ),
+        ] {
+            let err = Progress::parse_line(line).unwrap_err();
+            assert!(err.contains(needle), "`{line}` → `{err}`");
+        }
     }
 
     #[test]

@@ -113,3 +113,53 @@ fn length_checks_under_the_linear_bound() {
     assert!(!synthesizer.check(&goal, Mode::ReSyn, &wrong));
     assert!(!synthesizer.check(&goal, Mode::Synquid, &wrong));
 }
+
+#[test]
+fn compress_reference_checks_and_near_misses_are_rejected() {
+    // The Table-1 `list-compress` goal: same elements *and* the same head
+    // element. The `heads` conjunct is what makes `CCons x (compress xs')`
+    // checkable — without it nothing bounds the head of the recursive call,
+    // and the no-adjacent-duplicate constraint on CCons cannot discharge.
+    let table1 = resyn::eval::suite::table1();
+    let bench = table1
+        .iter()
+        .find(|b| b.id == "list-compress")
+        .expect("list-compress is a Table-1 row");
+    let synthesizer = Synthesizer::new();
+
+    let compress = parse_expr(
+        r"fix compress xs.
+            match xs with
+            | Nil -> CNil
+            | Cons h t ->
+                (match t with
+                 | Nil -> CCons h CNil
+                 | Cons h2 t2 ->
+                     (let g = eq h h2 in
+                      if g then compress t else (let r = compress t in CCons h r)))",
+    )
+    .expect("the program parses");
+    assert!(
+        synthesizer.check(&bench.goal, Mode::ReSyn, &compress),
+        "the textbook compress must check in ReSyn mode"
+    );
+    assert!(synthesizer.check(&bench.goal, Mode::Synquid, &compress));
+
+    // Swapping the branches keeps the element set but duplicates adjacent
+    // heads (`CCons h r` with h == head of r): the CCons argument constraint
+    // must reject it.
+    let wrong = parse_expr(
+        r"fix compress xs.
+            match xs with
+            | Nil -> CNil
+            | Cons h t ->
+                (match t with
+                 | Nil -> CCons h CNil
+                 | Cons h2 t2 ->
+                     (let g = eq h h2 in
+                      if g then (let r = compress t in CCons h r) else compress t))",
+    )
+    .expect("the program parses");
+    assert!(!synthesizer.check(&bench.goal, Mode::ReSyn, &wrong));
+    assert!(!synthesizer.check(&bench.goal, Mode::Synquid, &wrong));
+}

@@ -54,6 +54,22 @@ const FAST_IDS: &[&str] = &[
     "insertion-sort",
 ];
 
+/// Rows that synthesize in a few seconds optimized but take the better part
+/// of a minute unoptimized: pinned exactly like [`FAST_IDS`], but only
+/// exercised by release builds so plain `cargo test -q` stays fast (their
+/// golden *files* are still parse-checked in every build).
+const RELEASE_ONLY_IDS: &[&str] = &["list-compress"];
+
+/// The ids pinned by this build profile.
+fn pinned_ids() -> impl Iterator<Item = &'static str> {
+    let release_only: &[&str] = if cfg!(debug_assertions) {
+        &[]
+    } else {
+        RELEASE_ONLY_IDS
+    };
+    FAST_IDS.iter().chain(release_only.iter()).copied()
+}
+
 fn golden_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR is `crates/resyn`; the goldens live at the repo
     // root next to this test's source.
@@ -67,10 +83,10 @@ fn fast_benchmarks_match_their_golden_programs() {
     let table1 = suite::table1();
     let mut failures = Vec::new();
 
-    for id in FAST_IDS {
+    for id in pinned_ids() {
         let bench = table1
             .iter()
-            .find(|b| b.id == *id)
+            .find(|b| b.id == id)
             .unwrap_or_else(|| panic!("no Table-1 benchmark named `{id}`"));
         let outcome = harness.run_mode(bench, Mode::ReSyn);
         let Some(program) = outcome.program else {
@@ -110,7 +126,11 @@ fn golden_programs_are_valid_surface_syntax() {
     // The checked-in goldens themselves must stay parseable — a reviewer
     // editing one by hand gets told immediately.
     let mut seen = 0;
-    for id in FAST_IDS {
+    for id in FAST_IDS
+        .iter()
+        .copied()
+        .chain(RELEASE_ONLY_IDS.iter().copied())
+    {
         let path = golden_dir().join(format!("{id}.golden"));
         let Ok(text) = fs::read_to_string(&path) else {
             continue; // the bless-needed case is reported by the test above
