@@ -12,6 +12,9 @@
 //!   fitted asymptotic bound (the `B` column of the paper's Table 2),
 //! * `resyn parse <problem.re>` — validate a problem file and echo the parsed
 //!   signatures,
+//! * `resyn lint <problem.re|dir>` — run the pre-synthesis diagnostics pass
+//!   (duplicates, shadowing, unreachable components, unsatisfiable
+//!   refinements) with byte-spanned findings; deny-level findings exit 2,
 //! * `resyn eval` — run the paper's benchmark suites through the parallel
 //!   batch harness and (optionally) emit the machine-readable
 //!   `BENCH_eval.json` report,
@@ -31,6 +34,8 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use resyn_analysis::lint::{render_lint_json, Diagnostic, Level};
+use resyn_budget::Budget;
 use resyn_eval::parallel::{default_jobs, ParallelConfig};
 use resyn_eval::report::{render_json, EvalReport};
 use resyn_parse::surface::{expr_to_surface, schema_to_surface};
@@ -56,6 +61,9 @@ pub enum CliError {
     /// `fuzz` found a differential failure (the details and the shrunk
     /// reproducer have already been printed / written to `--out`).
     FuzzFailed(String),
+    /// `lint` found deny-level diagnostics (the report has already been
+    /// printed); exits with a distinct status so CI can gate on it.
+    LintDeny(String),
     /// The synthesis server could not be reached or broke protocol
     /// (`client`). Unlike [`Usage`](Self::Usage), this does not mean the
     /// command line was wrong, so `main` does not print the usage text.
@@ -78,6 +86,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "program does not satisfy the signature of goal `{name}`")
             }
             CliError::FuzzFailed(msg) => write!(f, "differential failure: {msg}"),
+            CliError::LintDeny(msg) => write!(f, "lint: {msg}"),
             CliError::Transport(msg) => write!(f, "server error: {msg}"),
         }
     }
@@ -118,6 +127,9 @@ pub struct Options {
     /// `serve`: epoll I/O threads (`--io-threads N`); defaults to 1 — one
     /// readiness loop multiplexes thousands of connections.
     pub io_threads: Option<usize>,
+    /// `serve`: cap on concurrently-open connections (`--max-conns N`);
+    /// accepts beyond it get an immediate `overloaded` response and close.
+    pub max_conns: Option<usize>,
     /// `client`: submit the problem as a `resyn-wire/2` streaming request
     /// and print progress heartbeats as they arrive (`--stream`).
     pub stream: bool,
@@ -130,6 +142,10 @@ pub struct Options {
     /// `fuzz`: write the shrunk reproducer of the first failure to this
     /// path (`--out PATH`).
     pub out: Option<String>,
+    /// `fuzz`: which invariant to check per problem (`--check
+    /// modes|prune|lint`); defaults to `modes` (the cross-mode
+    /// differential).
+    pub check: Option<String>,
     /// `synth`/`eval`/`serve`: approximate byte budget for the solver cache
     /// (`--cache-budget BYTES`); over it, cold entries are evicted.
     pub cache_budget: Option<usize>,
@@ -142,6 +158,12 @@ pub struct Options {
     /// `client`: read a snapshot from this path and seed the server's cache
     /// with it (`--import-cache PATH`).
     pub import_cache: Option<String>,
+    /// `synth`/`eval`: disable reachability pruning of component libraries
+    /// (`--no-prune`). Pruning never changes the outcome — this escape hatch
+    /// exists for differential runs and for measuring the pruner's effect.
+    pub no_prune: bool,
+    /// `lint`: output format (`--format human|json`); human by default.
+    pub format: Option<String>,
     /// Flags seen on the command line, for per-subcommand scope checking
     /// (see [`check_flag_scope`]).
     pub seen_flags: Vec<String>,
@@ -162,15 +184,19 @@ impl Default for Options {
             addr: None,
             queue: None,
             io_threads: None,
+            max_conns: None,
             stream: false,
             seed: None,
             count: None,
             size: None,
             out: None,
+            check: None,
             cache_budget: None,
             cache_file: None,
             export_cache: None,
             import_cache: None,
+            no_prune: false,
+            format: None,
             seen_flags: Vec::new(),
         }
     }
@@ -195,6 +221,7 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--goal-jobs",
             "--cache-budget",
             "--cache-file",
+            "--no-prune",
         ],
         "check" => &["--mode", "--timeout", "--goal"],
         "measure" => &["--goal"],
@@ -207,6 +234,7 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--goal-jobs",
             "--cache-budget",
             "--cache-file",
+            "--no-prune",
         ],
         "serve" => &[
             "--addr",
@@ -214,6 +242,7 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--timeout",
             "--queue",
             "--io-threads",
+            "--max-conns",
             "--goal-jobs",
             "--cache-budget",
             "--cache-file",
@@ -228,8 +257,16 @@ pub fn check_flag_scope(command: &str, opts: &Options) -> Result<(), CliError> {
             "--export-cache",
             "--import-cache",
         ],
+        "lint" => &["--format", "--timeout", "--cache-budget", "--cache-file"],
         "gen" => &["--seed", "--count", "--size"],
-        "fuzz" => &["--seed", "--count", "--size", "--timeout", "--out"],
+        "fuzz" => &[
+            "--seed",
+            "--count",
+            "--size",
+            "--timeout",
+            "--out",
+            "--check",
+        ],
         // Unknown subcommands are reported as such by the dispatcher.
         _ => return Ok(()),
     };
@@ -367,8 +404,34 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     })?;
                 opts.io_threads = Some(io_threads);
             }
+            "--max-conns" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--max-conns needs a value".to_string()))?;
+                let max_conns: usize =
+                    value.parse().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        CliError::Usage(format!("invalid connection cap `{value}`"))
+                    })?;
+                opts.max_conns = Some(max_conns);
+            }
             "--stream" => {
                 opts.stream = true;
+            }
+            "--no-prune" => {
+                opts.no_prune = true;
+            }
+            "--format" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--format needs a value".to_string()))?;
+                match value.as_str() {
+                    "human" | "json" => opts.format = Some(value.clone()),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown format `{other}` (expected human or json)"
+                        )))
+                    }
+                }
             }
             "--seed" => {
                 let value = it
@@ -406,6 +469,19 @@ pub fn parse_flags(args: &[String]) -> Result<(Vec<String>, Options), CliError> 
                     .next()
                     .ok_or_else(|| CliError::Usage("--out needs a value".to_string()))?;
                 opts.out = Some(value.clone());
+            }
+            "--check" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage("--check needs a value".to_string()))?;
+                match value.as_str() {
+                    "modes" | "prune" | "lint" => opts.check = Some(value.clone()),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown check `{other}` (expected modes, prune or lint)"
+                        )))
+                    }
+                }
             }
             "--cache-budget" => {
                 let value = it
@@ -498,6 +574,80 @@ pub fn run_parse(problem_text: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// The output of `resyn lint`: the rendered report plus the finding counts
+/// (the caller decides the exit status from `denials`).
+#[derive(Debug, Clone)]
+pub struct LintOutput {
+    /// The human or JSON report, per `--format`.
+    pub report: String,
+    /// Warn-level findings across all files.
+    pub warnings: usize,
+    /// Deny-level findings across all files.
+    pub denials: usize,
+}
+
+/// `resyn lint`: run the full diagnostics pass over one or more problem
+/// files (the caller has already read them — this library does no I/O).
+///
+/// Each file gets the structural checks (duplicates, shadowing, unreachable
+/// components, non-recursing goals) plus refinement sorting and a budgeted
+/// unsatisfiability query per refinement; `--timeout` bounds the solver time
+/// per file. `--format json` renders the stable `resyn-lint/1` schema
+/// instead of human-readable lines. Inline `-- resyn: allow(check)` markers
+/// suppress findings on their own and the following line.
+///
+/// # Errors
+///
+/// Returns [`CliError::Parse`] if any file fails to scan (a lint needs a
+/// token-level scan to anchor spans; syntactically broken files are the
+/// parser's to report).
+pub fn run_lint(files: &[(String, String)], opts: &Options) -> Result<LintOutput, CliError> {
+    let (cache, _) = build_cache(opts)?;
+    let mut per_file: Vec<(String, Vec<Diagnostic>)> = Vec::new();
+    for (path, text) in files {
+        let budget = Budget::with_timeout(opts.timeout);
+        let diags = resyn_parse::lint_source(text, Some(&cache), &budget)
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+        per_file.push((path.clone(), diags));
+    }
+    let warnings = per_file
+        .iter()
+        .flat_map(|(_, d)| d)
+        .filter(|d| d.level == Level::Warn)
+        .count();
+    let denials = per_file
+        .iter()
+        .flat_map(|(_, d)| d)
+        .filter(|d| d.level == Level::Deny)
+        .count();
+    let report = if opts.format.as_deref() == Some("json") {
+        let mut json = render_lint_json(&per_file);
+        json.push('\n');
+        json
+    } else {
+        let mut out = String::new();
+        for (path, diags) in &per_file {
+            for d in diags {
+                let _ = writeln!(out, "{}", d.render_human(path));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{} file{} linted: {warnings} warning{}, {denials} deny-level finding{}",
+            per_file.len(),
+            if per_file.len() == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+            if denials == 1 { "" } else { "s" },
+        );
+        out
+    };
+    Ok(LintOutput {
+        report,
+        warnings,
+        denials,
+    })
+}
+
 /// `resyn synth`: synthesize every selected goal of a problem file and render
 /// the programs in surface syntax together with basic search statistics.
 ///
@@ -508,9 +658,10 @@ pub fn run_parse(problem_text: &str) -> Result<String, CliError> {
 pub fn run_synth(problem_text: &str, opts: &Options) -> Result<String, CliError> {
     let goals = load_goals(problem_text, opts)?;
     let (cache, loaded) = build_cache(opts)?;
-    let synthesizer = Synthesizer::with_timeout(opts.timeout)
+    let mut synthesizer = Synthesizer::with_timeout(opts.timeout)
         .with_goal_jobs(opts.goal_jobs.unwrap_or(1))
         .with_cache(cache);
+    synthesizer.prune = !opts.no_prune;
     let mut out = String::new();
     if let Some(loaded) = loaded {
         let _ = writeln!(
@@ -539,6 +690,11 @@ pub fn run_synth(problem_text: &str, opts: &Options) -> Result<String, CliError>
                 outcome.stats.solver_cache_hits,
                 outcome.stats.solver_cache_misses,
                 outcome.stats.interned_terms
+            );
+            let _ = writeln!(
+                out,
+                "-- component library: {} of {} components reachable",
+                outcome.stats.pruned_library_size, outcome.stats.library_size
             );
         }
         let _ = writeln!(out, "{}", expr_to_surface(&program));
@@ -613,7 +769,7 @@ pub fn run_measure(
 }
 
 /// The output of `resyn eval`: the rendered text table and, when `--json`
-/// was given, the serialized `resyn-bench-eval/2` report (the caller writes
+/// was given, the serialized `resyn-bench-eval/3` report (the caller writes
 /// it to the requested path — this library does no I/O).
 #[derive(Debug, Clone)]
 pub struct EvalOutput {
@@ -630,7 +786,7 @@ pub struct EvalOutput {
 /// whatever the worker count, except for benchmarks running right at the
 /// wall-clock timeout boundary, which core contention can tip over),
 /// `--timeout` bounds each synthesis mode, and `--json` additionally
-/// serializes the run to the `resyn-bench-eval/2` schema (see
+/// serializes the run to the `resyn-bench-eval/3` schema (see
 /// [`resyn_eval::report`]).
 ///
 /// # Errors
@@ -649,6 +805,7 @@ pub fn run_eval(opts: &Options) -> Result<EvalOutput, CliError> {
         ablations: true,
         progress: true,
         goal_jobs: opts.goal_jobs.unwrap_or(1),
+        prune: !opts.no_prune,
     };
     let (cache, loaded) = build_cache(opts)?;
     let run = resyn_eval::run_suite_cached(&benches, &config, cache);
@@ -700,6 +857,7 @@ pub fn server_config(opts: &Options) -> ServerConfig {
         },
         queue_limit: opts.queue.unwrap_or(defaults.queue_limit),
         io_threads: opts.io_threads.unwrap_or(defaults.io_threads),
+        max_conns: opts.max_conns,
         goal_jobs: opts.goal_jobs.unwrap_or(defaults.goal_jobs),
         cache_budget: opts.cache_budget,
         cache_file: opts.cache_file.clone().map(std::path::PathBuf::from),
@@ -895,26 +1053,79 @@ pub struct FuzzFailure {
     pub reproducer: String,
 }
 
-/// `resyn fuzz`: run a generated batch through the differential checker —
-/// ReSyn vs. EAC vs. NoInc under one budget, plus a warm-cache replay — and
-/// greedily shrink the first failing problem to a minimal reproducer.
+/// One `resyn fuzz --check` pass over a single generated spec: the
+/// complaint if the invariant fails, plus whether any run timed out (only
+/// the cross-mode differential reports timeouts — the prune differential
+/// skips timed-out goals internally and lint does no synthesis).
+fn fuzz_complaint(
+    check: &str,
+    spec: &resyn_gen::ProblemSpec,
+    timeout: Duration,
+) -> (Option<String>, bool) {
+    match check {
+        "prune" => (
+            resyn_gen::run_prune_differential(&spec.problem(), timeout),
+            false,
+        ),
+        "lint" => {
+            let budget = Budget::with_timeout(timeout);
+            match resyn_parse::lint_source(&spec.render(), None, &budget) {
+                Err(err) => (
+                    Some(format!("generated problem does not lint: {err}")),
+                    false,
+                ),
+                Ok(diags) => {
+                    let denies: Vec<String> = diags
+                        .iter()
+                        .filter(|d| d.level == Level::Deny)
+                        .map(|d| d.render_human("gen"))
+                        .collect();
+                    if denies.is_empty() {
+                        (None, false)
+                    } else {
+                        (Some(denies.join("; ")), false)
+                    }
+                }
+            }
+        }
+        _ => {
+            let outcome = resyn_gen::run_differential(&spec.problem(), timeout);
+            let timed_out = outcome.timed_out();
+            (outcome.failure(), timed_out)
+        }
+    }
+}
+
+/// `resyn fuzz`: run a generated batch through a per-problem invariant
+/// checker and greedily shrink the first failing problem to a minimal
+/// reproducer. `--check` picks the invariant:
 ///
-/// `--timeout` bounds *each synthesis run* (so one problem costs up to four
-/// timeouts across the three modes and the replay); timeouts make a mode
-/// incomparable, never a failure. The walk stops at the first failure:
+/// * `modes` (default) — the cross-mode differential: ReSyn vs. EAC vs.
+///   NoInc under one budget, plus a warm-cache replay, must agree;
+/// * `prune` — reachability pruning must not change the verdict or the
+///   synthesized program, and must never drop a component the synthesized
+///   program calls;
+/// * `lint` — every generated problem must lint without deny-level
+///   findings (the generator's output is well-formed by construction, so a
+///   deny here is a bug in one side or the other).
+///
+/// `--timeout` bounds *each synthesis run* (so one `modes` problem costs up
+/// to four timeouts across the three modes and the replay); timeouts make a
+/// run incomparable, never a failure. The walk stops at the first failure:
 /// everything after it would shrink against a stale budget anyway, and the
 /// artifact names the exact `--seed`/problem index to resume from.
 pub fn run_fuzz(opts: &Options) -> FuzzOutput {
     let config = gen_config(opts);
+    let check = opts.check.as_deref().unwrap_or("modes");
     let mut report = String::new();
     let mut timeouts = 0usize;
     let mut passed = 0usize;
     for problem in resyn_gen::problems(&config) {
-        let outcome = resyn_gen::run_differential(&problem.problem(), opts.timeout);
-        match outcome.failure() {
+        let (failure, timed_out) = fuzz_complaint(check, &problem.spec, opts.timeout);
+        match failure {
             None => {
                 passed += 1;
-                if outcome.timed_out() {
+                if timed_out {
                     timeouts += 1;
                     let _ = writeln!(report, "{}: ok (some mode timed out)", problem.id);
                 } else {
@@ -924,12 +1135,10 @@ pub fn run_fuzz(opts: &Options) -> FuzzOutput {
             Some(complaint) => {
                 let _ = writeln!(report, "{}: FAIL — {complaint}", problem.id);
                 let shrunk = resyn_gen::shrink(&problem.spec, &mut |spec| {
-                    resyn_gen::run_differential(&spec.problem(), opts.timeout)
-                        .failure()
-                        .is_some()
+                    fuzz_complaint(check, spec, opts.timeout).0.is_some()
                 });
-                let complaint = resyn_gen::run_differential(&shrunk.problem(), opts.timeout)
-                    .failure()
+                let complaint = fuzz_complaint(check, &shrunk, opts.timeout)
+                    .0
                     .unwrap_or(complaint);
                 let reproducer = format!(
                     "-- {} shrunk reproducer (resyn fuzz --seed {} ; problem {})\n-- {complaint}\n{}",
@@ -954,12 +1163,30 @@ pub fn run_fuzz(opts: &Options) -> FuzzOutput {
             }
         }
     }
-    let _ = writeln!(
-        report,
-        "{passed}/{} problems agree across {} modes ({timeouts} with timeouts)",
-        config.count,
-        resyn_gen::DIFF_MODES.len()
-    );
+    match check {
+        "prune" => {
+            let _ = writeln!(
+                report,
+                "{passed}/{} problems agree pruned vs unpruned",
+                config.count
+            );
+        }
+        "lint" => {
+            let _ = writeln!(
+                report,
+                "{passed}/{} problems lint without deny-level findings",
+                config.count
+            );
+        }
+        _ => {
+            let _ = writeln!(
+                report,
+                "{passed}/{} problems agree across {} modes ({timeouts} with timeouts)",
+                config.count,
+                resyn_gen::DIFF_MODES.len()
+            );
+        }
+    }
     FuzzOutput {
         report,
         failure: None,
@@ -973,15 +1200,18 @@ resyn — resource-guided program synthesis
 USAGE:
     resyn synth <problem-file> [--mode MODE] [--timeout SECS] [--goal NAME] [--stats]
                 [--goal-jobs N] [--cache-budget BYTES] [--cache-file PATH]
+                [--no-prune]
     resyn check <problem-file> <program-file> [--mode MODE] [--goal NAME]
     resyn measure <problem-file> <program-file> [--goal NAME]
     resyn parse <problem-file>
+    resyn lint <problem-file-or-dir> [--format human|json] [--timeout SECS]
+               [--cache-budget BYTES] [--cache-file PATH]
     resyn eval [--table 1|2] [--jobs N] [--timeout SECS] [--filter SUBSTR,...]
                [--json PATH] [--goal-jobs N] [--cache-budget BYTES]
-               [--cache-file PATH]
+               [--cache-file PATH] [--no-prune]
     resyn serve [--addr HOST:PORT] [--jobs N] [--timeout SECS] [--queue N]
-                [--io-threads N] [--goal-jobs N] [--cache-budget BYTES]
-                [--cache-file PATH]
+                [--io-threads N] [--max-conns N] [--goal-jobs N]
+                [--cache-budget BYTES] [--cache-file PATH]
     resyn client <problem-file> [--addr HOST:PORT] [--mode MODE]
                  [--timeout SECS] [--goal NAME] [--stream]
     resyn client --stats [--addr HOST:PORT]
@@ -989,6 +1219,7 @@ USAGE:
     resyn client --import-cache PATH [--addr HOST:PORT]
     resyn gen [--seed N] [--count N] [--size N]
     resyn fuzz [--seed N] [--count N] [--size N] [--timeout SECS] [--out PATH]
+               [--check modes|prune|lint]
 
 MODES: resyn (default), synquid, eac, noinc, ct
 
@@ -1002,20 +1233,40 @@ first-win worker threads (deterministic winner: the same program a
 sequential search returns, found faster on hard goals).
 
 `--stats` additionally reports, per goal, the solver query-cache hit/miss
-counters and the size of the term intern table.
+counters, the size of the term intern table and how many library components
+survived reachability pruning.
+
+Component libraries are pruned by a shape-reachability analysis before each
+search: components the enumerator could never apply are dropped. Pruning
+never changes the synthesized program or the verdict, only the search cost;
+`--no-prune` (synth, eval) disables it for differential runs.
+
+`lint` runs the pre-synthesis diagnostics pass over one problem file or
+every `.re` file in a directory: duplicate and shadowed declarations,
+components unreachable for every goal, goals that cannot recurse, ill-sorted
+refinements and trivially-unsatisfiable refinements (a budgeted solver
+query). `--format json` emits the stable `resyn-lint/1` schema. Exit status:
+0 when clean or warnings only, 2 on deny-level findings, 1 on tool errors.
+Inline `-- resyn: allow(check-name)` comments suppress a check for the
+declaration on the same or the next line.
 
 `eval` runs a paper benchmark suite through the parallel batch harness
 (workers share one solver query cache; results are row-for-row identical
 whatever `--jobs` is, modulo rows right at the wall-clock timeout boundary)
-and with `--json` writes the machine-readable `resyn-bench-eval/2` report
+and with `--json` writes the machine-readable `resyn-bench-eval/3` report
 to PATH.
 
 `gen` prints a seeded batch of generated, well-typed synthesis problems —
 byte-identical across runs for the same `--seed`/`--count`/`--size`
-(defaults: 42/10/3). `fuzz` runs such a batch through the differential
-checker (ReSyn vs. EAC vs. NoInc under one per-run `--timeout`, plus a
-warm-cache replay), shrinks the first failing problem to a minimal
-reproducer, writes it to `--out` if given, and exits nonzero.
+(defaults: 42/10/3). `fuzz` runs such a batch through a per-problem
+invariant checker, shrinks the first failing problem to a minimal
+reproducer, writes it to `--out` if given, and exits nonzero. `--check`
+picks the invariant: `modes` (default) demands ReSyn vs. EAC vs. NoInc
+agreement under one per-run `--timeout` plus a bit-identical warm-cache
+replay; `prune` demands that reachability pruning changes neither the
+verdict nor the synthesized program and never drops a component the
+program calls; `lint` demands that every generated problem is free of
+deny-level lint findings.
 
 `--cache-budget BYTES` bounds the solver query cache: past the budget, cold
 entries are evicted (approximate second-chance policy; recently-hit entries
@@ -1031,7 +1282,11 @@ cache, `--queue` bounds the pending-job backlog before requests bounce
 with `overloaded`, and per-request timeouts are clamped to `--timeout`).
 Connections are multiplexed by `--io-threads` epoll readiness loops
 (default 1 — synthesis dominates, not I/O), so thousands of concurrent
-clients cost registered fds, not threads.
+clients cost registered fds, not threads. `--max-conns N` caps concurrently
+open connections: accepts beyond the cap get one immediate `overloaded`
+response and are closed (unlimited by default). Every synthesis request is
+run through the linter's structural checks first; deny-level findings come
+back as the error instead of being synthesized over.
 `client` submits a problem file — or, with `--stats`, a statistics query —
 to a running server; the default address for both is 127.0.0.1:7171.
 `client --stream` opts into `resyn-wire/2` streaming: the server sends
@@ -1304,7 +1559,7 @@ mod tests {
         let parsed = resyn_eval::parse_json(&json).expect("report must be valid JSON");
         assert_eq!(
             parsed.get("schema").and_then(resyn_eval::Json::as_str),
-            Some("resyn-bench-eval/2")
+            Some("resyn-bench-eval/3")
         );
         assert_eq!(
             parsed.get("suite").and_then(resyn_eval::Json::as_str),
@@ -1319,6 +1574,88 @@ mod tests {
             rows[0].get("id").and_then(resyn_eval::Json::as_str),
             Some("list-id")
         );
+    }
+
+    #[test]
+    fn lint_reports_findings_and_counts_denials() {
+        let dirty = (
+            "bad.re".to_string(),
+            "component f :: x: Int -> Int\n\
+             component f :: x: Int -> Int\n\
+             goal g :: xs: List a -> List a"
+                .to_string(),
+        );
+        let out = run_lint(std::slice::from_ref(&dirty), &Options::default()).unwrap();
+        assert!(out.denials > 0, "{}", out.report);
+        assert!(
+            out.report.contains("deny[duplicate-declaration]"),
+            "{}",
+            out.report
+        );
+        assert!(out.report.contains("bad.re:"), "{}", out.report);
+
+        // JSON format emits the stable schema with per-file diagnostics.
+        let json_opts = Options {
+            format: Some("json".to_string()),
+            ..Options::default()
+        };
+        let out = run_lint(&[dirty], &json_opts).unwrap();
+        assert!(
+            out.report.starts_with("{\"schema\": \"resyn-lint/1\""),
+            "{}",
+            out.report
+        );
+        assert!(
+            out.report.contains("duplicate-declaration"),
+            "{}",
+            out.report
+        );
+
+        // A clean file has no findings and no denials.
+        let clean = (
+            "ok.re".to_string(),
+            "component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}\n\
+             goal insert :: x: a -> xs: IList a^1 ->\n\
+                 {IList a | elems _v == {x} union elems xs}"
+                .to_string(),
+        );
+        let out = run_lint(&[clean], &Options::default()).unwrap();
+        assert_eq!((out.warnings, out.denials), (0, 0), "{}", out.report);
+    }
+
+    #[test]
+    fn lint_flags_are_parsed_and_scoped() {
+        let args: Vec<String> = ["problems/", "--format", "json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (positional, opts) = parse_flags(&args).unwrap();
+        assert_eq!(positional, vec!["problems/".to_string()]);
+        assert_eq!(opts.format.as_deref(), Some("json"));
+        assert!(check_flag_scope("lint", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("synth", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--format")
+        ));
+        let bad: Vec<String> = ["--format", "xml"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn no_prune_flag_is_parsed_and_scoped() {
+        let args: Vec<String> = ["file.re", "--no-prune"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert!(opts.no_prune);
+        assert!(!Options::default().no_prune);
+        assert!(check_flag_scope("synth", &opts).is_ok());
+        assert!(check_flag_scope("eval", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("check", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--no-prune")
+        ));
     }
 
     #[test]
@@ -1786,6 +2123,52 @@ mod tests {
         assert!(out.failure.is_none(), "{}", out.report);
         assert!(out.report.contains("gen-42-0: ok"), "{}", out.report);
         assert!(out.report.contains("2/2 problems agree"), "{}", out.report);
+    }
+
+    #[test]
+    fn fuzz_check_flag_selects_the_invariant() {
+        // `--check` parses, validates its value, and is fuzz-only.
+        let args: Vec<String> = ["--check", "prune"].iter().map(|s| s.to_string()).collect();
+        let (_, opts) = parse_flags(&args).unwrap();
+        assert_eq!(opts.check.as_deref(), Some("prune"));
+        assert!(check_flag_scope("fuzz", &opts).is_ok());
+        assert!(matches!(
+            check_flag_scope("gen", &opts),
+            Err(CliError::Usage(msg)) if msg.contains("--check")
+        ));
+        let bad: Vec<String> = ["--check", "vibes"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(parse_flags(&bad), Err(CliError::Usage(_))));
+
+        // The prune differential passes on a small generated batch and
+        // labels its summary accordingly.
+        let opts = Options {
+            seed: Some(42),
+            count: Some(2),
+            timeout: Duration::from_secs(60),
+            check: Some("prune".to_string()),
+            ..Options::default()
+        };
+        let out = run_fuzz(&opts);
+        assert!(out.failure.is_none(), "{}", out.report);
+        assert!(
+            out.report.contains("2/2 problems agree pruned vs unpruned"),
+            "{}",
+            out.report
+        );
+
+        // Every generated problem lints clean of deny-level findings.
+        let out = run_fuzz(&Options {
+            check: Some("lint".to_string()),
+            count: Some(5),
+            ..opts
+        });
+        assert!(out.failure.is_none(), "{}", out.report);
+        assert!(
+            out.report
+                .contains("5/5 problems lint without deny-level findings"),
+            "{}",
+            out.report
+        );
     }
 
     #[test]

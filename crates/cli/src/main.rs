@@ -5,7 +5,7 @@ use std::process::ExitCode;
 
 use resyn_cli::{
     check_flag_scope, parse_flags, run_check, run_client, run_client_export_cache,
-    run_client_import_cache, run_client_stream, run_eval, run_fuzz, run_gen, run_measure,
+    run_client_import_cache, run_client_stream, run_eval, run_fuzz, run_gen, run_lint, run_measure,
     run_parse, run_synth, server_config, CliError, USAGE,
 };
 
@@ -20,9 +20,39 @@ fn main() -> ExitCode {
             if matches!(err, CliError::Usage(_)) {
                 eprintln!("\n{USAGE}");
             }
-            ExitCode::FAILURE
+            // Deny-level lint findings get a distinct exit status so CI can
+            // tell "the problem files are bad" (2) from "the tool failed" (1).
+            if matches!(err, CliError::LintDeny(_)) {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
+}
+
+/// Collect the problem files for `resyn lint`: the path itself when it is a
+/// file, otherwise every `*.re` file directly inside the directory, sorted.
+fn lint_files(path: &str) -> Result<Vec<String>, CliError> {
+    let meta = std::fs::metadata(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?;
+    if !meta.is_dir() {
+        return Ok(vec![path.to_string()]);
+    }
+    let mut files: Vec<String> = std::fs::read_dir(path)
+        .map_err(|e| CliError::Usage(format!("cannot read `{path}`: {e}")))?
+        .filter_map(|entry| entry.ok())
+        .map(|entry| entry.path())
+        .filter(|p| p.is_file() && p.extension().is_some_and(|e| e == "re"))
+        .map(|p| p.to_string_lossy().into_owned())
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(CliError::Usage(format!(
+            "`{path}` contains no .re problem files"
+        )));
+    }
+    Ok(files)
 }
 
 fn run(args: Vec<String>) -> Result<String, CliError> {
@@ -46,6 +76,28 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
                 ));
             };
             run_parse(&read(problem)?)
+        }
+        "lint" => {
+            let [target] = positional.as_slice() else {
+                return Err(CliError::Usage(
+                    "lint expects one problem file or directory".to_string(),
+                ));
+            };
+            let mut files = Vec::new();
+            for path in lint_files(target)? {
+                let text = read(&path)?;
+                files.push((path, text));
+            }
+            let out = run_lint(&files, &opts)?;
+            if out.denials > 0 {
+                print!("{}", out.report);
+                return Err(CliError::LintDeny(format!(
+                    "{} deny-level finding{}",
+                    out.denials,
+                    if out.denials == 1 { "" } else { "s" }
+                )));
+            }
+            Ok(out.report)
         }
         "synth" => {
             let [problem] = positional.as_slice() else {

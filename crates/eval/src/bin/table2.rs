@@ -32,6 +32,7 @@ fn main() {
         ablations: true,
         progress: true,
         goal_jobs: 1,
+        prune: true,
     };
     println!("{}", run_suite(&benches, &config).render(true));
 }

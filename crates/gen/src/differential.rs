@@ -20,6 +20,7 @@ use resyn_parse::surface::expr_to_surface;
 use resyn_parse::ParsedProblem;
 use resyn_solver::SolverCache;
 use resyn_synth::{Goal, Mode, Synthesizer};
+use resyn_ty::datatypes::Datatypes;
 
 /// The modes every generated problem is run through.
 pub const DIFF_MODES: &[Mode] = &[Mode::ReSyn, Mode::Eac, Mode::ReSynNoInc];
@@ -151,8 +152,19 @@ fn synthesize_caught(
     cache: &SolverCache,
     timeout: Duration,
 ) -> (Verdict, Option<String>) {
+    synthesize_caught_pruned(goal, mode, cache, timeout, true)
+}
+
+fn synthesize_caught_pruned(
+    goal: &Goal,
+    mode: Mode,
+    cache: &SolverCache,
+    timeout: Duration,
+    prune: bool,
+) -> (Verdict, Option<String>) {
     let result = catch_unwind(AssertUnwindSafe(|| {
-        let synthesizer = Synthesizer::with_timeout(timeout).with_cache(cache.clone());
+        let mut synthesizer = Synthesizer::with_timeout(timeout).with_cache(cache.clone());
+        synthesizer.prune = prune;
         synthesizer.synthesize_with_budget(goal, mode, &Budget::with_timeout(timeout))
     }));
     match result {
@@ -222,6 +234,65 @@ pub fn run_differential(problem: &ParsedProblem, timeout: Duration) -> DiffOutco
     DiffOutcome { goals: out }
 }
 
+/// Whether the rendered program references `name` as an identifier (not as
+/// a substring of a longer name).
+fn references_ident(program: &str, name: &str) -> bool {
+    program
+        .split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '\''))
+        .any(|tok| tok == name)
+}
+
+/// The prune-vs-no-prune differential: run every goal of a problem under
+/// ReSyn with reachability pruning on and off. Timeouts aside, the two runs
+/// must agree on the verdict and emit the bit-identical program; on top, no
+/// component referenced by the synthesized program may have been dropped by
+/// the pruner (prune soundness, checked against the actual winner).
+///
+/// Returns the first failure, or `None` when the problem passes.
+pub fn run_prune_differential(problem: &ParsedProblem, timeout: Duration) -> Option<String> {
+    for goal in problem.clone().into_goals() {
+        let (pruned_verdict, pruned_program) =
+            synthesize_caught_pruned(&goal, Mode::ReSyn, &SolverCache::new(), timeout, true);
+        let (plain_verdict, plain_program) =
+            synthesize_caught_pruned(&goal, Mode::ReSyn, &SolverCache::new(), timeout, false);
+        for (verdict, label) in [(&pruned_verdict, "pruned"), (&plain_verdict, "unpruned")] {
+            if let Verdict::Panicked(msg) = verdict {
+                return Some(format!("goal `{}`: {label} run panicked: {msg}", goal.name));
+            }
+        }
+        if pruned_verdict == Verdict::TimedOut || plain_verdict == Verdict::TimedOut {
+            continue;
+        }
+        if pruned_verdict != plain_verdict {
+            return Some(format!(
+                "goal `{}`: pruning changes the verdict: pruned {pruned_verdict:?} vs unpruned {plain_verdict:?}",
+                goal.name
+            ));
+        }
+        if pruned_program != plain_program {
+            return Some(format!(
+                "goal `{}`: pruning changes the program:\n  pruned:   {}\n  unpruned: {}",
+                goal.name,
+                pruned_program.as_deref().unwrap_or("<none>"),
+                plain_program.as_deref().unwrap_or("<none>"),
+            ));
+        }
+        if let Some(program) = &plain_program {
+            let report =
+                resyn_analysis::analyze(&goal.schema, &goal.components, &Datatypes::standard());
+            for (name, _) in &report.dropped {
+                if references_ident(program, name) {
+                    return Some(format!(
+                        "goal `{}`: pruner dropped `{name}`, which the synthesized program uses:\n{program}",
+                        goal.name
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +309,27 @@ mod tests {
         for run in &outcome.goals[0].runs {
             assert_eq!(run.verdict, Verdict::Solved, "mode {}", run.mode.as_str());
         }
+    }
+
+    #[test]
+    fn the_prune_differential_passes_on_a_distractor_heavy_problem() {
+        // `lt`/`leq` are prunable distractors for this goal; the pruned and
+        // unpruned searches must still land on the identical program.
+        let problem = parse_problem(
+            "component lt :: x: a -> y: a -> {Bool | _v <==> x < y}\n\
+             component leq :: x: a -> y: a -> {Bool | _v <==> x <= y}\n\
+             goal id0 :: xs: List a -> {List a | len _v == len xs}",
+        )
+        .unwrap();
+        let failure = run_prune_differential(&problem, Duration::from_secs(30));
+        assert!(failure.is_none(), "{failure:?}");
+    }
+
+    #[test]
+    fn identifier_references_respect_word_boundaries() {
+        assert!(references_ident("append xs ys", "append"));
+        assert!(!references_ident("append2 xs", "append"));
+        assert!(!references_ident("my_append xs", "append"));
     }
 
     #[test]

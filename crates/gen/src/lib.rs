@@ -30,7 +30,9 @@ pub mod rng;
 pub mod shrink;
 pub mod spec;
 
-pub use differential::{run_differential, DiffOutcome, GoalDiff, ModeRun, Verdict, DIFF_MODES};
+pub use differential::{
+    run_differential, run_prune_differential, DiffOutcome, GoalDiff, ModeRun, Verdict, DIFF_MODES,
+};
 pub use rng::SplitMix64;
 pub use shrink::shrink;
 pub use spec::{generate, Component, GoalSpec, ProblemSpec, Template, TEMPLATES};

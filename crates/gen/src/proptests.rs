@@ -27,4 +27,33 @@ proptest! {
         prop_assert_eq!(&reparsed.goals, &direct.goals);
         prop_assert_eq!(reparsed.metric, direct.metric);
     }
+
+    /// Prune soundness against the templates' known reference solutions:
+    /// every component a goal's template *requires* (i.e. that its golden
+    /// program calls) must survive reachability pruning, for every
+    /// generated problem. No synthesis needed — required components are
+    /// known statically.
+    #[test]
+    fn pruning_never_drops_a_template_required_component(
+        seed in 0i64..i64::MAX,
+        size in 1usize..9,
+    ) {
+        let spec = generate(&mut SplitMix64::from_seed(seed as u64), size);
+        let problem = spec.problem();
+        let datatypes = resyn_ty::datatypes::Datatypes::standard();
+        for (goal_spec, goal) in spec.goals.iter().zip(problem.into_goals()) {
+            let report =
+                resyn_analysis::analyze(&goal.schema, &goal.components, &datatypes);
+            for required in goal_spec.template.required_components() {
+                prop_assert!(
+                    report.is_kept(required.name()),
+                    "goal `{}` ({:?}): pruner dropped required `{}`: {:?}",
+                    goal.name,
+                    goal_spec.template,
+                    required.name(),
+                    report.dropped
+                );
+            }
+        }
+    }
 }

@@ -29,6 +29,11 @@ impl Cursor {
         &self.current().tok
     }
 
+    /// The current token together with its source span (without consuming).
+    pub fn peek_spanned(&self) -> &Spanned {
+        self.current()
+    }
+
     /// The token after the current one.
     pub fn peek2(&self) -> &Tok {
         let idx = (self.pos + 1).min(self.toks.len() - 1);

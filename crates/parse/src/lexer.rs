@@ -197,7 +197,7 @@ impl Tok {
     }
 }
 
-/// A token together with its 1-based source position.
+/// A token together with its 1-based source position and byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
@@ -206,6 +206,10 @@ pub struct Spanned {
     pub line: usize,
     /// 1-based column.
     pub col: usize,
+    /// 0-based byte offset of the token's first byte in the source.
+    pub offset: usize,
+    /// Byte length of the token's source text (0 for `Eof`).
+    pub len: usize,
 }
 
 fn keyword(word: &str) -> Option<Tok> {
@@ -256,32 +260,36 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut i = 0usize;
     let mut line = 1usize;
     let mut col = 1usize;
+    // Byte offset of `chars[i]` in the source (chars can be multi-byte).
+    let mut offset = 0usize;
 
     let n = chars.len();
     while i < n {
         let c = chars[i];
-        let (tline, tcol) = (line, col);
-        let advance = |i: &mut usize, line: &mut usize, col: &mut usize, by: usize| {
-            for k in 0..by {
-                if chars[*i + k] == '\n' {
-                    *line += 1;
-                    *col = 1;
-                } else {
-                    *col += 1;
+        let (tline, tcol, toffset) = (line, col, offset);
+        let advance =
+            |i: &mut usize, line: &mut usize, col: &mut usize, offset: &mut usize, by: usize| {
+                for k in 0..by {
+                    if chars[*i + k] == '\n' {
+                        *line += 1;
+                        *col = 1;
+                    } else {
+                        *col += 1;
+                    }
+                    *offset += chars[*i + k].len_utf8();
                 }
-            }
-            *i += by;
-        };
+                *i += by;
+            };
 
         // Whitespace.
         if c.is_whitespace() {
-            advance(&mut i, &mut line, &mut col, 1);
+            advance(&mut i, &mut line, &mut col, &mut offset, 1);
             continue;
         }
         // Comments: `--` or `#` to end of line.
         if c == '#' || (c == '-' && i + 1 < n && chars[i + 1] == '-') {
             while i < n && chars[i] != '\n' {
-                advance(&mut i, &mut line, &mut col, 1);
+                advance(&mut i, &mut line, &mut col, &mut offset, 1);
             }
             continue;
         }
@@ -289,7 +297,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
         if is_ident_start(c) {
             let start = i;
             while i < n && is_ident_continue(chars[i]) {
-                advance(&mut i, &mut line, &mut col, 1);
+                advance(&mut i, &mut line, &mut col, &mut offset, 1);
             }
             let word: String = chars[start..i].iter().collect();
             let tok = keyword(&word).unwrap_or_else(|| {
@@ -303,6 +311,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 tok,
                 line: tline,
                 col: tcol,
+                offset: toffset,
+                len: offset - toffset,
             });
             continue;
         }
@@ -310,7 +320,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
         if c.is_ascii_digit() {
             let start = i;
             while i < n && chars[i].is_ascii_digit() {
-                advance(&mut i, &mut line, &mut col, 1);
+                advance(&mut i, &mut line, &mut col, &mut offset, 1);
             }
             let digits: String = chars[start..i].iter().collect();
             let value: i64 = digits.parse().map_err(|_| {
@@ -324,6 +334,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 tok: Tok::Int(value),
                 line: tline,
                 col: tcol,
+                offset: toffset,
+                len: offset - toffset,
             });
             continue;
         }
@@ -348,8 +360,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     tok: tok.clone(),
                     line: tline,
                     col: tcol,
+                    offset: toffset,
+                    len: s.len(),
                 });
-                advance(&mut i, &mut line, &mut col, s.len());
+                advance(&mut i, &mut line, &mut col, &mut offset, s.len());
                 matched = true;
                 break;
             }
@@ -391,14 +405,18 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             tok,
             line: tline,
             col: tcol,
+            offset: toffset,
+            len: c.len_utf8(),
         });
-        advance(&mut i, &mut line, &mut col, 1);
+        advance(&mut i, &mut line, &mut col, &mut offset, 1);
     }
 
     out.push(Spanned {
         tok: Tok::Eof,
         line,
         col,
+        offset,
+        len: 0,
     });
     Ok(out)
 }
@@ -472,6 +490,29 @@ mod tests {
         assert_eq!((spanned[1].line, spanned[1].col), (2, 3));
         assert_eq!(spanned[2].tok, Tok::Ident("y".into()));
         assert_eq!((spanned[2].line, spanned[2].col), (2, 5));
+    }
+
+    #[test]
+    fn tokens_carry_exact_byte_spans() {
+        let src = "goal f :: Int\n  -- note\nxs";
+        let spanned = tokenize(src).unwrap();
+        for s in &spanned {
+            if s.tok == Tok::Eof {
+                assert_eq!((s.offset, s.len), (src.len(), 0));
+            } else {
+                let text = &src[s.offset..s.offset + s.len];
+                assert_eq!(text, s.tok.describe().trim_matches('`'), "{:?}", s.tok);
+            }
+        }
+        // Multi-byte characters in comments shift byte offsets past char
+        // indices; spans must stay byte-accurate.
+        let src = "-- caché\nx";
+        let spanned = tokenize(src).unwrap();
+        assert_eq!(spanned[0].tok, Tok::Ident("x".into()));
+        assert_eq!(
+            &src[spanned[0].offset..spanned[0].offset + spanned[0].len],
+            "x"
+        );
     }
 
     #[test]

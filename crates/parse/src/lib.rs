@@ -53,6 +53,7 @@
 pub mod cursor;
 pub mod expr;
 pub mod lexer;
+pub mod lint;
 pub mod problem;
 pub mod surface;
 pub mod term;
@@ -65,6 +66,7 @@ use std::fmt;
 
 pub use cursor::Cursor;
 pub use lexer::{tokenize, Tok};
+pub use lint::{lint_source, lint_source_structural, scan_decls};
 pub use problem::{parse_problem, ParsedProblem};
 
 /// A parse error with the source position (1-based line and column) at which

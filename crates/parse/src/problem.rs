@@ -121,7 +121,7 @@ fn parse_signature(cur: &mut Cursor) -> Result<(String, Schema), ParseError> {
     Ok((name, schema))
 }
 
-fn parse_metric(cur: &mut Cursor) -> Result<CostMetric, ParseError> {
+pub(crate) fn parse_metric(cur: &mut Cursor) -> Result<CostMetric, ParseError> {
     match cur.peek().clone() {
         Tok::Ident(name) if name == "recursive-calls" || name == "recursive" => {
             cur.next();

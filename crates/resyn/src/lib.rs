@@ -8,6 +8,8 @@
 //! * [`solver`] — decision procedures for the refinement logic,
 //! * [`lang`] — the Re² core calculus and its cost-semantics interpreter,
 //! * [`ty`] — the Re² type system (refinements + AARA potential annotations),
+//! * [`analysis`] — pre-synthesis static analysis: shape-reachability pruning
+//!   of component libraries and the `resyn lint` diagnostics pass,
 //! * [`horn`] — Horn-constraint solving by predicate abstraction,
 //! * [`rescon`] — resource-constraint solving by (incremental) CEGIS,
 //! * [`synth`] — the resource-guided synthesizer and its baseline modes,
@@ -27,6 +29,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! architecture and the experiment index.
 
+pub use resyn_analysis as analysis;
 pub use resyn_budget as budget;
 pub use resyn_eval as eval;
 pub use resyn_gen as gen;

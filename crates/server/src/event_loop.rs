@@ -234,8 +234,26 @@ impl IoThread<'_> {
                 return;
             };
             match listener.accept() {
-                Ok((stream, _)) => {
+                Ok((mut stream, _)) => {
                     Counters::bump(&self.shared.counters.connections);
+                    if let Some(cap) = self.shared.config.max_conns {
+                        if self.shared.live_conns.load(Ordering::SeqCst) >= cap as u64 {
+                            // Over the cap: one definitive `overloaded`
+                            // answer and close, never a registered fd. The
+                            // accepted socket is still blocking, so the
+                            // short write either lands or fails fast.
+                            let response = Response::failure(
+                                "srv-0",
+                                Verdict::Overloaded,
+                                format!("server at its connection cap ({cap}); retry later"),
+                            );
+                            self.shared.counters.record_verdict(response.verdict);
+                            use std::io::Write as _;
+                            let _ = stream.write_all((response.render() + "\n").as_bytes());
+                            continue;
+                        }
+                    }
+                    self.shared.live_conns.fetch_add(1, Ordering::SeqCst);
                     let target = self.next_target % io_threads;
                     self.next_target = self.next_target.wrapping_add(1);
                     if target == self.index {
@@ -256,9 +274,11 @@ impl IoThread<'_> {
         }
     }
 
-    /// Take ownership of an accepted connection.
+    /// Take ownership of an accepted connection (already counted against
+    /// `live_conns` by the acceptor; failure paths here give the slot back).
     fn adopt(&mut self, stream: TcpStream) {
         if stream.set_nonblocking(true).is_err() {
+            self.shared.live_conns.fetch_sub(1, Ordering::SeqCst);
             return;
         }
         let token = self.next_token;
@@ -272,6 +292,8 @@ impl IoThread<'_> {
             .is_ok()
         {
             self.conns.insert(token, conn);
+        } else {
+            self.shared.live_conns.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -350,6 +372,7 @@ impl IoThread<'_> {
         if let Some(mut conn) = self.conns.remove(&token) {
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             abandon_inflight(&mut conn);
+            self.shared.live_conns.fetch_sub(1, Ordering::SeqCst);
         }
     }
 }

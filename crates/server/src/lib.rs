@@ -106,6 +106,11 @@ pub struct ServerConfig {
     /// restarted server answers old queries warm, appended to as verdicts
     /// are stored. `None` keeps the cache in-memory only.
     pub cache_file: Option<std::path::PathBuf>,
+    /// Cap on concurrently-open client connections (`--max-conns`).
+    /// Accepts beyond the cap get one immediate `overloaded` response and
+    /// are closed, so a fd-exhaustion attack degrades into polite refusals
+    /// instead of EMFILE inside the accept loop. `None` means unlimited.
+    pub max_conns: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +127,7 @@ impl Default for ServerConfig {
             goal_jobs: 1,
             cache_budget: None,
             cache_file: None,
+            max_conns: None,
         }
     }
 }
@@ -186,6 +192,9 @@ struct Shared {
     shutdown: std::sync::atomic::AtomicBool,
     /// One mailbox + waker per I/O thread (`io[i]` belongs to thread `i`).
     io: Vec<Arc<event_loop::IoShared>>,
+    /// Connections currently owned by some I/O thread, for the
+    /// [`max_conns`](ServerConfig::max_conns) admission check.
+    live_conns: AtomicU64,
     /// Time completed jobs spent waiting in the scheduler queue.
     queue_latency: Arc<latency::Histogram>,
     /// Time completed jobs spent actually solving.
@@ -297,6 +306,7 @@ pub fn serve(config: ServerConfig) -> std::io::Result<ServerHandle> {
         started: Instant::now(),
         shutdown: std::sync::atomic::AtomicBool::new(false),
         io,
+        live_conns: AtomicU64::new(0),
         queue_latency,
         solve_latency,
         config,
@@ -497,6 +507,20 @@ pub fn run_synth_request_with(
         Ok(problem) => problem,
         Err(e) => return Response::failure(id, Verdict::ParseError, e.to_string()),
     };
+    // The cheap structural lint subset (no solver queries) runs on every
+    // request: a deny-level finding means the problem is ill-formed, and
+    // refusing it here with the diagnostics costs microseconds where
+    // synthesizing over it would burn a worker's whole budget.
+    if let Ok(diags) = resyn_parse::lint_source_structural(&request.problem) {
+        let denies: Vec<String> = diags
+            .iter()
+            .filter(|d| d.level == resyn_analysis::lint::Level::Deny)
+            .map(|d| d.render_human("problem"))
+            .collect();
+        if !denies.is_empty() {
+            return Response::failure(id, Verdict::ParseError, denies.join("; "));
+        }
+    }
     let goals: Vec<_> = match &request.goal {
         None => problem.into_goals(),
         Some(name) => {
@@ -695,6 +719,35 @@ mod tests {
             run_synth_request(&cache, &test_config(5), &bad_goal, "g", &CancelToken::new());
         assert_eq!(response.verdict, Verdict::ParseError);
         assert!(response.error.unwrap().contains("missing"));
+    }
+
+    #[test]
+    fn deny_level_lint_findings_refuse_the_request_before_synthesis() {
+        // Parses fine, but using the List-sorted `_v` as a boolean is
+        // ill-sorted: the structural lint denies it and the request never
+        // reaches a synthesis budget.
+        let cache = SolverCache::new();
+        let request = SynthRequest {
+            problem: "goal f :: xs: List a -> {List a | _v && true}".to_string(),
+            ..SynthRequest::default()
+        };
+        let response =
+            run_synth_request(&cache, &test_config(60), &request, "l", &CancelToken::new());
+        assert_eq!(
+            response.verdict,
+            Verdict::ParseError,
+            "{:?}",
+            response.error
+        );
+        assert!(
+            response
+                .error
+                .as_deref()
+                .unwrap()
+                .contains("ill-sorted-refinement"),
+            "{:?}",
+            response.error
+        );
     }
 
     #[test]

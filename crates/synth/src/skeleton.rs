@@ -9,44 +9,11 @@
 use resyn_budget::Budget;
 use resyn_lang::{Expr, MatchArm};
 use resyn_ty::datatypes::Datatypes;
-use resyn_ty::types::{BaseType, Ty};
 
-/// The base-type shape of a value, used to drive enumeration.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Shape {
-    /// Booleans.
-    Bool,
-    /// Integers.
-    Int,
-    /// Values of a (polymorphic element) type variable.
-    Elem,
-    /// Values of the named datatype.
-    Data(String),
-}
-
-impl Shape {
-    /// The shape of a Re² type (arrows have no shape).
-    pub fn of(ty: &Ty) -> Option<Shape> {
-        match ty.base_type()? {
-            BaseType::Bool => Some(Shape::Bool),
-            BaseType::Int => Some(Shape::Int),
-            BaseType::TVar(_) => Some(Shape::Elem),
-            BaseType::Data(name, _) => Some(Shape::Data(name.clone())),
-        }
-    }
-
-    /// Whether an argument of this shape may be passed where `param` is
-    /// expected (element-shaped parameters accept integers and vice versa,
-    /// mirroring polymorphic instantiation).
-    pub fn fits(&self, param: &Shape) -> bool {
-        match (self, param) {
-            (a, b) if a == b => true,
-            (Shape::Int, Shape::Elem) | (Shape::Elem, Shape::Int) => true,
-            (Shape::Data(_), Shape::Elem) => false,
-            _ => false,
-        }
-    }
-}
+// The shape lattice moved to `resyn-ty` so the pre-synthesis reachability
+// analysis (`resyn-analysis`) can share it without depending on this crate;
+// re-exported here because enumeration is its primary consumer.
+pub use resyn_ty::shape::Shape;
 
 /// A hole in a skeleton: its index and the extra binders in scope at the hole
 /// (match binders), with their shapes.
@@ -500,19 +467,6 @@ pub fn recursive_arm_binders(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn shapes_of_types() {
-        assert_eq!(Shape::of(&Ty::int()), Some(Shape::Int));
-        assert_eq!(Shape::of(&Ty::tvar("a")), Some(Shape::Elem));
-        assert_eq!(
-            Shape::of(&Ty::list(Ty::tvar("a"))),
-            Some(Shape::Data("List".into()))
-        );
-        assert_eq!(Shape::of(&Ty::arrow("x", Ty::int(), Ty::int())), None);
-        assert!(Shape::Int.fits(&Shape::Elem));
-        assert!(!Shape::Data("List".into()).fits(&Shape::Int));
-    }
 
     #[test]
     fn skeleton_generation_produces_expected_structures() {

@@ -33,6 +33,7 @@ pub mod check;
 pub mod constraints;
 pub mod ctx;
 pub mod datatypes;
+pub mod shape;
 pub mod subtype;
 pub mod types;
 
@@ -40,4 +41,5 @@ pub use check::{CheckError, Checker, CheckerConfig, ResourceMode};
 pub use constraints::ResourceConstraint;
 pub use ctx::Ctx;
 pub use datatypes::{CtorDecl, DataDecl, Datatypes, MeasureDef};
+pub use shape::Shape;
 pub use types::{BaseType, Schema, Ty};

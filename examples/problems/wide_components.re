@@ -4,6 +4,9 @@
 -- refinement keeps every candidate rejectable — so a run only ends when
 -- its wall-clock budget binds. Used by the deadline-overrun regression
 -- test (tests/cancellation.rs) and the CI smoke-serve timeout probe.
+-- The trailing Tree components are unreachable from the goal's list-only
+-- inputs: shape-reachability pruning drops all six before the search, which
+-- tests/prune_perf.rs measures (`--no-prune` keeps the full 36).
 component f00 :: xs: List a -> ys: List a -> List a
 component f01 :: xs: List a -> ys: List a -> List a
 component f02 :: xs: List a -> ys: List a -> List a
@@ -34,6 +37,12 @@ component p2 :: x: a -> y: a -> {Bool | _v <==> x <= y}
 component p3 :: x: a -> y: a -> {Bool | _v <==> x <= y}
 component p4 :: x: a -> y: a -> {Bool | _v <==> x <= y}
 component p5 :: x: a -> y: a -> {Bool | _v <==> x <= y}
+component t0 :: t: Tree a -> Tree a
+component t1 :: t: Tree a -> Tree a
+component t2 :: t: Tree a -> u: Tree a -> List a
+component t3 :: t: Tree a -> u: Tree a -> List a
+component t4 :: t: Tree a -> u: Tree a -> Bool
+component t5 :: t: Tree a -> u: Tree a -> Bool
 
 goal hard_wide :: xs: List a -> ys: List a ->
                   {List a | len _v == len xs + len xs + len ys + 5}

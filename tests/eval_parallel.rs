@@ -35,6 +35,7 @@ fn config(jobs: usize) -> ParallelConfig {
         ablations: true,
         progress: false,
         goal_jobs: 1,
+        prune: true,
     }
 }
 

@@ -1,0 +1,6 @@
+-- Deliberately broken problem, committed as a known-bad lint fixture: the
+-- goal's refinement conjoins the List value itself with a boolean, which is
+-- ill-sorted, so `resyn lint` must report a deny-level finding and exit
+-- with status 2. Used by the lint golden tests and CI's smoke-lint job.
+component snoc :: xs: List a -> x: a -> {List a | len _v == len xs + 1}
+goal broken :: xs: List a -> {List a | _v && true}

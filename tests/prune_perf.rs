@@ -1,0 +1,122 @@
+//! The pruner's payoff, measured: shape-reachability pruning must strictly
+//! shrink the deliberately wide example library, and on a solvable goal with
+//! unreachable distractors a pruned search must do no more candidate checks
+//! than an unpruned one while synthesizing the bit-identical program.
+//!
+//! Candidate counts are the improvement metric here because they are
+//! deterministic; the only wall-clock assertion is a generous absolute
+//! budget, so the test cannot flake on a loaded machine. The end-to-end
+//! timing numbers live in `BENCH_eval.json` (per-mode `library` /
+//! `pruned_library` since `resyn-bench-eval/3`).
+
+use std::time::Duration;
+
+use resyn::synth::{Mode, Synthesizer};
+use resyn::ty::datatypes::Datatypes;
+
+const WIDE_PROBLEM: &str = include_str!("../examples/problems/wide_components.re");
+
+/// A goal solvable in well under a second, padded with the same six
+/// tree-shaped distractors as `wide_components.re` — all unreachable from
+/// the goal's list-only input, so the pruner drops them.
+const SOLVABLE_WITH_DISTRACTORS: &str = r"
+component append :: xs: List a -> ys: List a -> {List a | len _v == len xs + len ys}
+component t0 :: t: Tree a -> Tree a
+component t1 :: t: Tree a -> Tree a
+component t2 :: t: Tree a -> u: Tree a -> List a
+component t3 :: t: Tree a -> u: Tree a -> List a
+component t4 :: t: Tree a -> u: Tree a -> Bool
+component t5 :: t: Tree a -> u: Tree a -> Bool
+goal double :: xs: List a -> {List a | len _v == len xs + len xs}
+";
+
+#[test]
+fn pruning_strictly_shrinks_the_wide_example_library() {
+    let problem = resyn::parse::parse_problem(WIDE_PROBLEM).unwrap();
+    let goal = problem.into_goals().into_iter().next().unwrap();
+    assert_eq!(goal.components.len(), 36, "the library grew or shrank");
+    let report = resyn::analysis::analyze(&goal.schema, &goal.components, &Datatypes::standard());
+    assert_eq!(
+        report.pruned_size(),
+        30,
+        "exactly the six tree components must go: {:?}",
+        report.dropped
+    );
+    for tree in ["t0", "t1", "t2", "t3", "t4", "t5"] {
+        assert!(!report.is_kept(tree), "`{tree}` is unreachable, keep why?");
+    }
+    for name in goal.components.keys() {
+        if !name.starts_with('t') {
+            assert!(report.is_kept(name), "reachable `{name}` must survive");
+        }
+    }
+}
+
+/// The tentpole claim, on the real benchmarks: every Table-1 row
+/// synthesizes to the bit-identical outcome with and without reachability
+/// pruning. Rows where either run times out are skipped (timeouts void the
+/// comparison, exactly as in the fuzzer's prune differential).
+#[test]
+fn the_whole_table1_suite_is_prune_invariant() {
+    let budget = Duration::from_secs(60);
+    let mut compared = 0usize;
+    for bench in resyn::eval::suite::table1() {
+        let pruned = Synthesizer::with_timeout(budget).synthesize(&bench.goal, Mode::ReSyn);
+        let unpruned = Synthesizer::with_timeout(budget)
+            .without_prune()
+            .synthesize(&bench.goal, Mode::ReSyn);
+        if pruned.stats.timed_out || unpruned.stats.timed_out {
+            continue;
+        }
+        assert_eq!(
+            pruned.program.as_ref().map(ToString::to_string),
+            unpruned.program.as_ref().map(ToString::to_string),
+            "row `{}`: pruning changed the outcome",
+            bench.id
+        );
+        compared += 1;
+    }
+    assert!(
+        compared >= 35,
+        "only {compared} rows compared — budget too tight"
+    );
+}
+
+#[test]
+fn a_pruned_search_is_no_more_work_and_the_same_program() {
+    let problem = resyn::parse::parse_problem(SOLVABLE_WITH_DISTRACTORS).unwrap();
+    let goal = problem.into_goals().into_iter().next().unwrap();
+    let budget = Duration::from_secs(60);
+
+    let pruned = Synthesizer::with_timeout(budget).synthesize(&goal, Mode::ReSyn);
+    let unpruned = Synthesizer::with_timeout(budget)
+        .without_prune()
+        .synthesize(&goal, Mode::ReSyn);
+
+    let pruned_program = pruned.program.expect("pruned search must solve `double`");
+    let unpruned_program = unpruned
+        .program
+        .expect("unpruned search must solve `double`");
+    assert_eq!(
+        pruned_program.to_string(),
+        unpruned_program.to_string(),
+        "pruning must not change the synthesized program"
+    );
+
+    // The library really was pruned (7 declared, 1 reachable) — and the
+    // unpruned run saw everything.
+    assert_eq!(pruned.stats.library_size, 7);
+    assert_eq!(pruned.stats.pruned_library_size, 1);
+    assert_eq!(unpruned.stats.pruned_library_size, 7);
+
+    // Determinstic improvement metric: the pruned search never checks more
+    // candidates than the unpruned one (the dropped components only ever
+    // added dead ends).
+    assert!(
+        pruned.stats.candidates_checked <= unpruned.stats.candidates_checked,
+        "pruned search checked {} candidates, unpruned {}",
+        pruned.stats.candidates_checked,
+        unpruned.stats.candidates_checked
+    );
+    assert!(!pruned.stats.timed_out && !unpruned.stats.timed_out);
+}

@@ -130,6 +130,61 @@ fn a_thousand_concurrent_connections_on_one_io_thread_all_get_verdicts() {
 }
 
 #[test]
+fn accepts_beyond_the_connection_cap_bounce_with_overloaded_and_close() {
+    const CAP: usize = 4;
+    let server = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        io_threads: 1,
+        timeout: Duration::from_secs(60),
+        max_conns: Some(CAP),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+
+    // Fill the cap, round-tripping a stats query on each connection so the
+    // test proceeds only once the server has adopted all of them.
+    let mut parked: Vec<Client> = (0..CAP)
+        .map(|i| Client::connect(addr).unwrap_or_else(|e| panic!("parked #{i}: {e}")))
+        .collect();
+    for client in &mut parked {
+        client.stats().expect("parked connection is live");
+    }
+
+    // One more: accepted, answered with `overloaded`, and closed — the EOF
+    // that terminates `read_to_end` is the close assertion.
+    let mut over = TcpStream::connect(addr).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = Vec::new();
+    over.read_to_end(&mut buf)
+        .expect("server closes the refused connection");
+    let text = String::from_utf8_lossy(&buf);
+    assert!(text.contains("overloaded"), "{text}");
+    assert!(text.ends_with('\n'), "a complete response line: {text}");
+
+    // The refusal is visible in the counters, seen from inside the cap.
+    let stats = parked[0].stats().unwrap();
+    assert!(stats.stat("overloaded").unwrap() >= 1.0, "{stats:?}");
+
+    // Freeing a slot re-admits new sessions once the server notices the
+    // close (asynchronously, so poll briefly).
+    drop(parked.pop());
+    let mut admitted = false;
+    for _ in 0..250 {
+        let mut fresh = Client::connect(addr).unwrap();
+        if fresh.stats().is_ok() {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(admitted, "a freed slot must re-admit new connections");
+    server.shutdown();
+}
+
+#[test]
 fn streaming_sessions_hear_progress_strictly_before_the_final_frame() {
     // A zero heartbeat interval reports every budget checkpoint, so even
     // quick jobs stream; the client rejects non-monotonic sequence numbers
